@@ -1,0 +1,70 @@
+//! ByteScheduler-style tensor partitioning (Peng et al., SOSP'19).
+//!
+//! BytePS integrates ByteScheduler, which splits each gradient tensor into
+//! fixed-size chunks so that high-priority chunks of *later-needed* tensors
+//! can preempt at chunk granularity. The paper (§4.2.1) points out the two
+//! costs EmbRace avoids by scheduling whole blocks instead: extra
+//! per-message startup latency and poor bandwidth utilisation for small
+//! chunks — both of which the simulator charges per chunk.
+
+/// Split a tensor of `bytes` into chunks of at most `chunk_bytes`.
+/// Returns the chunk sizes (all equal except possibly the last). A zero
+/// or negative size yields no chunks.
+pub fn partition_tensor(bytes: f64, chunk_bytes: f64) -> Vec<f64> {
+    assert!(chunk_bytes > 0.0, "chunk size must be positive");
+    if bytes <= 0.0 {
+        return Vec::new();
+    }
+    let full = (bytes / chunk_bytes).floor() as usize;
+    let rem = bytes - full as f64 * chunk_bytes;
+    let mut out = vec![chunk_bytes; full];
+    if rem > 1e-9 {
+        out.push(rem);
+    }
+    out
+}
+
+/// ByteScheduler's default partition size (4 MB credits in the paper's
+/// released implementation).
+pub const DEFAULT_CHUNK_BYTES: f64 = 4.0 * 1024.0 * 1024.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_multiple() {
+        let chunks = partition_tensor(12.0, 4.0);
+        assert_eq!(chunks, vec![4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn remainder_chunk() {
+        let chunks = partition_tensor(10.0, 4.0);
+        assert_eq!(chunks, vec![4.0, 4.0, 2.0]);
+    }
+
+    #[test]
+    fn small_tensor_single_chunk() {
+        assert_eq!(partition_tensor(1.5, 4.0), vec![1.5]);
+    }
+
+    #[test]
+    fn zero_bytes_no_chunks() {
+        assert!(partition_tensor(0.0, 4.0).is_empty());
+    }
+
+    #[test]
+    fn conserves_total_bytes() {
+        for bytes in [1.0, 5.0, 4.0e6, 123456789.0] {
+            let total: f64 = partition_tensor(bytes, DEFAULT_CHUNK_BYTES).iter().sum();
+            assert!((total - bytes).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_chunk_size_panics() {
+        partition_tensor(1.0, 0.0);
+    }
+}

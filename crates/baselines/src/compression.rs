@@ -1,0 +1,157 @@
+//! Gradient compression (related work, §6): top-k sparsification (Deep
+//! Gradient Compression, Lin et al. 2017) and uniform 8-bit quantization
+//! (QSGD-style, Alistarh et al. 2017).
+//!
+//! The paper lists message-size reduction as *orthogonal and
+//! complementary* to EmbRace; these reference implementations let the
+//! ablation benches quantify how compression composes with (and differs
+//! from) sparsity-aware communication: compression shrinks *dense*
+//! gradients lossily, while EmbRace's embedding plane is lossless —
+//! it only moves rows that are exactly non-zero.
+
+use embrace_tensor::{DenseTensor, RowSparse, F32_BYTES, INDEX_BYTES};
+
+/// Element-level sparse view of a compressed dense gradient: flat element
+/// indices plus their values (a `k × 1` [`RowSparse`], so the existing
+/// coalesce/select machinery applies).
+pub type SparseElements = RowSparse;
+
+/// Keep the `k` largest-magnitude elements of `grad` (DGC-style). Ties
+/// break toward lower indices for determinism. Returns an element-level
+/// sparse gradient.
+pub fn topk_sparsify(grad: &DenseTensor, k: usize) -> SparseElements {
+    let n = grad.len();
+    let k = k.min(n);
+    if k == 0 {
+        return RowSparse::empty(1);
+    }
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by(|&a, &b| {
+        let ma = grad.as_slice()[a as usize].abs();
+        let mb = grad.as_slice()[b as usize].abs();
+        mb.partial_cmp(&ma).unwrap().then(a.cmp(&b))
+    });
+    let mut keep: Vec<u32> = order[..k].to_vec();
+    keep.sort_unstable();
+    let values: Vec<f32> = keep.iter().map(|&i| grad.as_slice()[i as usize]).collect();
+    RowSparse::new(keep, DenseTensor::from_vec(k, 1, values))
+}
+
+/// Reconstruct the dense gradient a [`topk_sparsify`] result represents
+/// (zeros elsewhere). `rows × cols` must match the original shape.
+pub fn densify_elements(sparse: &SparseElements, rows: usize, cols: usize) -> DenseTensor {
+    let mut out = DenseTensor::zeros(rows, cols);
+    for (i, &idx) in sparse.indices().iter().enumerate() {
+        out.as_mut_slice()[idx as usize] = sparse.values().as_slice()[i];
+    }
+    out
+}
+
+/// Wire bytes of a top-k message (values + element indices).
+pub fn topk_nbytes(k: usize) -> usize {
+    k * (F32_BYTES + INDEX_BYTES / 2) // 4-byte values + 4-byte u32 indices
+}
+
+/// A uniformly quantized tensor: signed 8-bit mantissas and one f32 scale.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Quantized8 {
+    pub rows: usize,
+    pub cols: usize,
+    pub scale: f32,
+    pub data: Vec<i8>,
+}
+
+impl Quantized8 {
+    /// Wire size: one byte per element plus the scale.
+    pub fn nbytes(&self) -> usize {
+        self.data.len() + F32_BYTES
+    }
+}
+
+/// Quantize to 8 bits with a per-tensor scale (`max|x| / 127`), rounding
+/// to nearest. The reconstruction error of any element is at most
+/// `scale / 2`.
+pub fn quantize_8bit(grad: &DenseTensor) -> Quantized8 {
+    let max = grad.as_slice().iter().fold(0.0_f32, |a, &x| a.max(x.abs()));
+    let scale = if max == 0.0 { 1.0 } else { max / 127.0 };
+    let data = grad.as_slice().iter().map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8).collect();
+    Quantized8 { rows: grad.rows(), cols: grad.cols(), scale, data }
+}
+
+/// Reconstruct the f32 tensor from its quantized form.
+pub fn dequantize_8bit(q: &Quantized8) -> DenseTensor {
+    let data = q.data.iter().map(|&b| b as f32 * q.scale).collect();
+    DenseTensor::from_vec(q.rows, q.cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn grad() -> DenseTensor {
+        DenseTensor::from_vec(2, 4, vec![0.1, -5.0, 0.0, 2.0, -0.3, 4.0, 0.05, -1.0])
+    }
+
+    #[test]
+    fn topk_keeps_largest_magnitudes() {
+        let s = topk_sparsify(&grad(), 3);
+        // |−5| > |4| > |2| — flat indices 1, 5, 3.
+        assert_eq!(s.indices(), &[1, 3, 5]);
+        let d = densify_elements(&s, 2, 4);
+        assert_eq!(d.as_slice(), &[0.0, -5.0, 0.0, 2.0, 0.0, 4.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn topk_with_k_ge_len_is_lossless() {
+        let s = topk_sparsify(&grad(), 100);
+        assert!(densify_elements(&s, 2, 4).approx_eq(&grad(), 0.0));
+    }
+
+    #[test]
+    fn topk_zero_k_is_empty() {
+        assert!(topk_sparsify(&grad(), 0).is_empty());
+    }
+
+    #[test]
+    fn topk_preserves_l2_better_than_random_k() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = DenseTensor::uniform(16, 16, 1.0, &mut rng);
+        let k = 32;
+        let kept = densify_elements(&topk_sparsify(&g, k), 16, 16);
+        // The retained energy must be at least k/n of the total (top-k is
+        // optimal, a uniform pick achieves exactly k/n in expectation).
+        assert!(kept.norm_sq() > g.norm_sq() * (k as f32 / 256.0));
+    }
+
+    #[test]
+    fn quantize_roundtrip_error_bounded() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = DenseTensor::uniform(8, 8, 3.0, &mut rng);
+        let q = quantize_8bit(&g);
+        let back = dequantize_8bit(&q);
+        assert!(g.max_abs_diff(&back) <= q.scale / 2.0 + 1e-6);
+        assert_eq!(q.nbytes(), 64 + 4);
+    }
+
+    #[test]
+    fn quantize_zero_tensor() {
+        let q = quantize_8bit(&DenseTensor::zeros(2, 2));
+        assert!(dequantize_8bit(&q).approx_eq(&DenseTensor::zeros(2, 2), 0.0));
+    }
+
+    #[test]
+    fn quantize_saturates_at_max() {
+        let g = DenseTensor::from_vec(1, 2, vec![127.0, -127.0]);
+        let q = quantize_8bit(&g);
+        let back = dequantize_8bit(&q);
+        assert!(back.approx_eq(&g, 1e-4));
+    }
+
+    #[test]
+    fn compression_ratios() {
+        let g = DenseTensor::zeros(100, 10); // 4000 bytes dense
+        assert_eq!(quantize_8bit(&g).nbytes(), 1004); // ~4x
+        assert_eq!(topk_nbytes(10), 80); // 10 elements at 8 B each
+    }
+}

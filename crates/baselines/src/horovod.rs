@@ -1,0 +1,84 @@
+//! Functional Horovod-style data-parallel operations.
+//!
+//! Every worker holds a full model replica. Dense gradients are averaged
+//! with ring AllReduce; sparse gradients either travel densified through
+//! the same AllReduce (Horovod 0.21 behaviour) or as COO tensors through
+//! AllGather (Horovod ≥ 0.22). These are the reference semantics the
+//! convergence experiment (Fig. 11) compares EmbRace against.
+
+use embrace_collectives::ops::{allgather_sparse, ring_allreduce};
+use embrace_collectives::Endpoint;
+use embrace_tensor::{coalesce, DenseTensor, RowSparse};
+
+/// Sum a replicated *sparse* gradient across ranks via AllGather and
+/// return the coalesced global gradient (identical on every rank).
+pub fn allgather_sparse_grad(ep: &mut Endpoint, local: RowSparse) -> RowSparse {
+    let gathered = allgather_sparse(ep, local);
+    coalesce(&RowSparse::concat(&gathered))
+}
+
+/// Sum a replicated sparse gradient across ranks by densifying it and
+/// ring-AllReducing the full table (Horovod-AllReduce semantics). `vocab`
+/// is the table's row count. Returns the dense summed gradient.
+pub fn allreduce_densified_grad(ep: &mut Endpoint, local: &RowSparse, vocab: usize) -> DenseTensor {
+    let mut dense = local.to_dense(vocab);
+    ring_allreduce(ep, dense.as_mut_slice());
+    dense
+}
+
+/// Sum a dense gradient across ranks in place (the dense plane all
+/// methods share).
+pub fn allreduce_dense_grad(ep: &mut Endpoint, grad: &mut DenseTensor) {
+    ring_allreduce(ep, grad.as_mut_slice());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embrace_collectives::run_group;
+
+    #[test]
+    fn allgather_and_densified_allreduce_agree() {
+        // Two sparse-aggregation paths must produce identical summed
+        // gradients (Fig. 1's semantics equivalence).
+        let vocab = 6;
+        let out = run_group(3, move |rank, ep| {
+            let local = RowSparse::new(
+                vec![rank as u32, 5],
+                DenseTensor::from_vec(2, 2, vec![1.0, 1.0, 10.0 * (rank + 1) as f32, 0.0]),
+            );
+            let via_gather = allgather_sparse_grad(ep, local.clone());
+            let via_reduce = allreduce_densified_grad(ep, &local, vocab);
+            (via_gather, via_reduce)
+        });
+        for (gathered, reduced) in out {
+            assert!(gathered.to_dense(vocab).approx_eq(&reduced, 1e-5));
+            // Row 5 was touched by all ranks: 10+20+30.
+            assert!((reduced.row(5)[0] - 60.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn allgather_result_is_replicated() {
+        let outs = run_group(4, |rank, ep| {
+            let local = RowSparse::new(vec![rank as u32], DenseTensor::full(1, 3, 1.0));
+            allgather_sparse_grad(ep, local)
+        });
+        for o in &outs[1..] {
+            assert_eq!(o, &outs[0]);
+        }
+        assert_eq!(outs[0].nnz_rows(), 4);
+    }
+
+    #[test]
+    fn dense_allreduce_sums() {
+        let outs = run_group(2, |rank, ep| {
+            let mut g = DenseTensor::full(2, 2, (rank + 1) as f32);
+            allreduce_dense_grad(ep, &mut g);
+            g
+        });
+        for o in outs {
+            assert!(o.as_slice().iter().all(|&x| x == 3.0));
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Functional Parallax (Kim et al., EuroSys'19): hybrid PS/AllReduce.
+//!
+//! Embedding parameters live on a row-partitioned sparse parameter server
+//! (`embrace-ps`); dense parameters are replicated and AllReduced. Each
+//! step a worker pulls the embedding rows its batch needs, computes, then
+//! pushes the sparse gradient back; the server applies the summed update
+//! synchronously.
+
+use embrace_ps::ShardedStore;
+use embrace_tensor::{coalesce, DenseTensor, RowSparse};
+
+/// Pull the embedding rows for `tokens` (the per-step lookup in Parallax's
+/// sparse-PS plane; duplicates allowed, as in a raw batch).
+pub fn pull_lookup(store: &ShardedStore, tokens: &[u32]) -> DenseTensor {
+    store.pull_rows(tokens)
+}
+
+/// Push this worker's raw (possibly uncoalesced) embedding gradient; the
+/// gradient is coalesced locally first (Parallax sends unique keys), then
+/// the store applies the synchronous summed SGD update at rate `lr`.
+pub fn push_grad(store: &ShardedStore, grad: &RowSparse, lr: f32) {
+    let g = coalesce(grad);
+    store.push_sparse(&g, lr);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embrace_dlsim::optim::{Optimizer, Sgd, UpdatePart};
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn ps_training_matches_replicated_sgd() {
+        // One synchronous Parallax step must equal a replicated table
+        // updated with the sum of all workers' gradients.
+        let vocab = 8;
+        let dim = 2;
+        let world = 3;
+        let init = DenseTensor::full(vocab, dim, 0.5);
+        let lr = 0.2_f32;
+        let batches: Vec<Vec<u32>> = vec![vec![1, 1, 4], vec![4, 7], vec![0]];
+
+        // Reference.
+        let mut reference = init.clone();
+        let parts: Vec<RowSparse> = batches
+            .iter()
+            .map(|b| RowSparse::new(b.clone(), DenseTensor::full(b.len(), dim, 1.0)))
+            .collect();
+        let summed = coalesce(&RowSparse::concat(&parts));
+        Sgd::new(lr).step_sparse(&mut reference, &summed, UpdatePart::Whole);
+
+        // Parallax plane.
+        let store = Arc::new(ShardedStore::new(init, 2, world));
+        thread::scope(|s| {
+            for b in &batches {
+                let store = Arc::clone(&store);
+                s.spawn(move || {
+                    let looked = pull_lookup(&store, b);
+                    assert_eq!(looked.rows(), b.len());
+                    let grad = RowSparse::new(b.clone(), DenseTensor::full(b.len(), 2, 1.0));
+                    push_grad(&store, &grad, lr);
+                });
+            }
+        });
+        assert!(store.snapshot().approx_eq(&reference, 1e-6));
+    }
+
+    #[test]
+    fn pull_after_push_sees_update() {
+        let store = ShardedStore::new(DenseTensor::zeros(4, 1), 1, 1);
+        let g = RowSparse::new(vec![2], DenseTensor::full(1, 1, 1.0));
+        push_grad(&store, &g, 1.0);
+        let row = pull_lookup(&store, &[2]);
+        assert_eq!(row.as_slice(), &[-1.0]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Criterion microbenchmarks of the functional (thread-mesh) collectives:
+//! ring AllReduce, sparse AllGather and AlltoAll at several world sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use embrace_collectives::ops::{allgather_sparse, alltoall_dense, ring_allreduce};
+use embrace_collectives::run_group;
+use embrace_tensor::{DenseTensor, RowSparse};
+
+fn bench_ring_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring_allreduce");
+    let len = 64 * 1024;
+    for world in [2usize, 4, 8] {
+        g.throughput(Throughput::Bytes((len * 4 * world) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(world), &world, |b, &world| {
+            b.iter(|| {
+                run_group(world, |rank, ep| {
+                    let mut buf = vec![rank as f32; len];
+                    ring_allreduce(ep, &mut buf);
+                    buf[0]
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_allgather_sparse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allgather_sparse");
+    for world in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(world), &world, |b, &world| {
+            b.iter(|| {
+                run_group(world, |rank, ep| {
+                    let local = RowSparse::new(
+                        vec![rank as u32, (rank + 1) as u32 % 16, 7],
+                        DenseTensor::full(3, 256, rank as f32),
+                    );
+                    allgather_sparse(ep, local).len()
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_alltoall_dense(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alltoall_dense");
+    for world in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(world), &world, |b, &world| {
+            b.iter(|| {
+                run_group(world, |rank, ep| {
+                    let parts: Vec<DenseTensor> =
+                        (0..world).map(|j| DenseTensor::full(16, 64, (rank * j) as f32)).collect();
+                    alltoall_dense(ep, parts).len()
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ring_allreduce, bench_allgather_sparse, bench_alltoall_dense);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benchmarks of the analytic cost model: the Fig. 4 sparsity
+//! sweep and the AlltoAllv rotation schedule on large payload matrices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use embrace_simnet::{Cluster, CostModel};
+
+fn bench_fig4_sweep(c: &mut Criterion) {
+    let cm = CostModel::new(Cluster::fig4b());
+    let m = 252.5 * 1024.0 * 1024.0;
+    c.bench_function("fig4_sparsity_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..100 {
+                let alpha = 1.0 - i as f64 / 100.0;
+                acc += 2.0 * cm.alltoall(alpha * m)
+                    + cm.ring_allreduce(m)
+                    + cm.allgather(alpha * m)
+                    + cm.ps(alpha * m, 4)
+                    + cm.omnireduce(m, alpha);
+            }
+            acc
+        });
+    });
+}
+
+fn bench_alltoallv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alltoallv_rotation");
+    for world in [4usize, 8, 16] {
+        let cm = CostModel::new(Cluster::rtx3090(world));
+        let bytes = vec![vec![1e6; world]; world];
+        g.bench_with_input(BenchmarkId::from_parameter(world), &bytes, |b, bytes| {
+            b.iter(|| cm.alltoallv(bytes));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4_sweep, bench_alltoallv);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benchmarks of the sparse-gradient machinery on the paper's
+//! real gradient shapes: coalescing (Table 3, line 2 of Algorithm 1) and
+//! the full vertical split (Algorithm 1) at each model's batch size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use embrace_core::vertical_split;
+use embrace_models::{BatchGen, ModelSpec};
+use embrace_simnet::GpuKind;
+use embrace_tensor::{coalesce, DenseTensor, RowSparse};
+
+fn model_grad(spec: &ModelSpec) -> (RowSparse, Vec<u32>, Vec<u32>) {
+    let mut gen = BatchGen::from_spec(spec, GpuKind::Rtx3090, 0, 42);
+    let tokens = gen.next_batch();
+    let next = gen.next_batch();
+    let values = DenseTensor::full(tokens.len(), spec.dim(), 1.0);
+    (RowSparse::new(tokens.clone(), values), tokens, next)
+}
+
+fn bench_coalesce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coalesce");
+    for spec in ModelSpec::all() {
+        let (grad, _, _) = model_grad(&spec);
+        g.throughput(Throughput::Bytes(grad.nbytes() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(spec.name), &grad, |b, grad| {
+            b.iter(|| coalesce(grad));
+        });
+    }
+    g.finish();
+}
+
+fn bench_vertical_split(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vertical_split");
+    for spec in ModelSpec::all() {
+        let (grad, cur, next) = model_grad(&spec);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(spec.name),
+            &(grad, cur, next),
+            |b, (grad, cur, next)| {
+                b.iter(|| vertical_split(grad, cur, next));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_to_dense_roundtrip(c: &mut Criterion) {
+    // Densification cost — what Horovod-AllReduce pays per sparse tensor.
+    let mut g = c.benchmark_group("densify");
+    let spec = ModelSpec::get(embrace_models::ModelId::BertBase);
+    let (grad, _, _) = model_grad(&spec);
+    g.bench_function("bert_grad_to_dense", |b| {
+        b.iter(|| grad.to_dense(spec.vocab()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_coalesce, bench_vertical_split, bench_to_dense_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benchmarks of the end-to-end step simulator (the engine
+//! behind Figs 7-10): how fast one method×model×cluster configuration
+//! simulates, and a whole Fig. 7 subplot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use embrace_baselines::MethodId;
+use embrace_models::ModelId;
+use embrace_simnet::Cluster;
+use embrace_trainer::{simulate, SimConfig};
+
+fn bench_single_config(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_one");
+    for method in [MethodId::EmbRace, MethodId::HorovodAllGather, MethodId::BytePs] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(method.name()),
+            &method,
+            |b, &method| {
+                b.iter(|| simulate(&SimConfig::new(method, ModelId::Gnmt8, Cluster::rtx3090(16))));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_fig7_subplot(c: &mut Criterion) {
+    c.bench_function("fig7_subplot_gnmt_rtx3090", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for method in MethodId::ALL {
+                for world in [4, 8, 16] {
+                    total += simulate(&SimConfig::new(method, ModelId::Gnmt8, Cluster::rtx3090(world)))
+                        .tokens_per_sec;
+                }
+            }
+            total
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_single_config, bench_fig7_subplot
+}
+criterion_main!(benches);

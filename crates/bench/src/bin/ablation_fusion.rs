@@ -1,0 +1,51 @@
+//! Design-choice ablation: block-granularity communication vs tensor
+//! fusion vs fine partitioning.
+//!
+//! §4.2.1 argues against ByteScheduler-style tensor partitioning (startup
+//! overhead, poor bandwidth for small messages) and for whole-block
+//! scheduling. The other direction — fusing *multiple* blocks into big
+//! buckets, as Horovod does — amortises latency further but delays the
+//! earliest-needed gradients. This harness sweeps the fusion bucket size
+//! for the dense plane of Horovod AllReduce and of EmbRace.
+
+use embrace_baselines::MethodId;
+use embrace_models::ModelId;
+use embrace_simnet::Cluster;
+use embrace_trainer::report::table;
+use embrace_trainer::{simulate, SimConfig};
+
+fn main() {
+    let cluster = Cluster::rtx3090(16);
+    let mib = 1024.0 * 1024.0;
+    println!("Fusion ablation on 16 RTX3090 GPUs (step time, ms)\n");
+    for method in [MethodId::HorovodAllReduce, MethodId::EmbRace] {
+        println!("{}:", method.name());
+        let mut rows = Vec::new();
+        for model in [ModelId::Gnmt8, ModelId::Transformer, ModelId::BertBase] {
+            let base = simulate(&SimConfig::new(method, model, cluster)).step_time * 1e3;
+            let mut row = vec![format!("{model:?}"), format!("{base:.2}")];
+            for bucket_mib in [2.0, 8.0, 32.0, 128.0, 4096.0] {
+                let t = simulate(
+                    &SimConfig::new(method, model, cluster).with_fusion(bucket_mib * mib),
+                )
+                .step_time
+                    * 1e3;
+                row.push(format!("{t:.2}"));
+            }
+            rows.push(row);
+        }
+        print!(
+            "{}",
+            table(
+                &["model", "per-block", "2 MiB", "8 MiB", "32 MiB", "128 MiB", "all-in-one"],
+                &rows
+            )
+        );
+        println!();
+    }
+    println!("Moderate fusion amortises the per-collective latency of many small");
+    println!("blocks; extreme fusion (one giant bucket) serialises everything behind");
+    println!("the last backward pass and removes the overlap scheduling exploits —");
+    println!("the same trade-off that makes the paper communicate whole blocks rather");
+    println!("than partitions or monolithic buffers.");
+}

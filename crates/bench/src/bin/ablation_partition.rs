@@ -1,0 +1,56 @@
+//! Ablation (§4.1.1): row-wise vs column-wise embedding partitioning.
+//!
+//! The paper argues for column-wise partitioning because Zipfian word
+//! frequencies make row shards hot. We generate each model's synthetic
+//! batches, build the per-pair AlltoAllv payload matrices under both
+//! partitionings, and price them with the rotation-schedule cost model —
+//! quantifying the §4.1.1 claim.
+
+use embrace_core::partition::{column_payload_matrix, receive_imbalance, row_payload_matrix};
+use embrace_models::{BatchGen, ModelSpec};
+use embrace_simnet::{Cluster, CostModel, GpuKind};
+use embrace_trainer::report::table;
+
+fn main() {
+    let world = 16;
+    let cluster = Cluster::rtx3090(world);
+    let cm = CostModel::new(cluster);
+    println!("Partitioning ablation: gradient AlltoAllv on {world} RTX3090 GPUs\n");
+    let mut rows = Vec::new();
+    for spec in ModelSpec::all() {
+        let vocab: usize = spec.embeddings.iter().map(|e| e.vocab).sum();
+        let batches: Vec<Vec<u32>> = (0..world)
+            .map(|r| BatchGen::from_spec(&spec, GpuKind::Rtx3090, r, 42).next_batch())
+            .collect();
+        let row_m = row_payload_matrix(&batches, vocab, spec.dim());
+        let batch_rows: Vec<usize> = batches.iter().map(Vec::len).collect();
+        let col_m = column_payload_matrix(&batch_rows, spec.dim());
+        let t_row = cm.alltoallv(&row_m);
+        let t_col = cm.alltoallv(&col_m);
+        rows.push(vec![
+            spec.name.to_string(),
+            format!("{:.2}", receive_imbalance(&row_m)),
+            format!("{:.2}", receive_imbalance(&col_m)),
+            format!("{:.2}", t_row * 1e3),
+            format!("{:.2}", t_col * 1e3),
+            format!("{:.2}x", t_row / t_col),
+        ]);
+    }
+    print!(
+        "{}",
+        table(
+            &[
+                "model",
+                "row imbalance",
+                "col imbalance",
+                "row-wise ms",
+                "col-wise ms",
+                "row/col"
+            ],
+            &rows
+        )
+    );
+    println!("\nColumn-wise partitioning is balanced by construction (imbalance 1.0);");
+    println!("row-wise partitioning concentrates Zipf-head words on the first shards,");
+    println!("inflating the slowest AlltoAll rounds — the paper's §4.1.1 argument.");
+}

@@ -1,0 +1,60 @@
+//! Extension: end-to-end *time-to-loss*, joining the two planes.
+//!
+//! Convergence (Fig. 11) shows EmbRace needs the same number of steps;
+//! throughput (Fig. 7) shows each step is faster. Multiplying the two —
+//! the functional trainer's steps-to-target-loss times the simulator's
+//! per-step wall time for the corresponding full-scale model — gives the
+//! quantity practitioners actually buy: wall-clock time to a quality
+//! target.
+
+use embrace_baselines::MethodId;
+use embrace_models::ModelId;
+use embrace_simnet::Cluster;
+use embrace_trainer::report::table;
+use embrace_trainer::{simulate, train_convergence, ConvergenceConfig, SimConfig, TrainMethod};
+
+fn main() {
+    let cluster = Cluster::rtx3090(16);
+    println!("Time-to-loss on 16 RTX3090 GPUs (LM workload)\n");
+
+    // Steps to reach 5% of the initial loss, from the functional trainer.
+    let cfg = ConvergenceConfig { world: 8, steps: 120, ..Default::default() };
+    let steps_to_target = |method: TrainMethod| {
+        let r = train_convergence(method, &cfg);
+        let target = r.losses[0] * 0.05;
+        r.losses.iter().position(|&l| l < target).map(|s| s + 1)
+    };
+    let base_steps = steps_to_target(TrainMethod::HorovodAllGather).expect("baseline converges");
+    let embrace_steps = steps_to_target(TrainMethod::EmbRace).expect("EmbRace converges");
+
+    // Per-step wall time of the full-scale LM, from the simulator.
+    let step_time = |m: MethodId| simulate(&SimConfig::new(m, ModelId::Lm, cluster)).step_time;
+    let t_allgather = step_time(MethodId::HorovodAllGather);
+    let t_embrace = step_time(MethodId::EmbRace);
+
+    let rows = vec![
+        vec![
+            "Horovod AllGather".to_string(),
+            base_steps.to_string(),
+            format!("{:.2}", t_allgather * 1e3),
+            format!("{:.2}", base_steps as f64 * t_allgather),
+        ],
+        vec![
+            "EmbRace".to_string(),
+            embrace_steps.to_string(),
+            format!("{:.2}", t_embrace * 1e3),
+            format!("{:.2}", embrace_steps as f64 * t_embrace),
+        ],
+    ];
+    print!(
+        "{}",
+        table(&["method", "steps to 5% loss", "step ms (LM@16)", "time to target s"], &rows)
+    );
+    let speedup =
+        (base_steps as f64 * t_allgather) / (embrace_steps as f64 * t_embrace);
+    println!("\nSame steps-to-quality ({base_steps} vs {embrace_steps}), faster steps:");
+    println!("EmbRace reaches the loss target {speedup:.2}x sooner in wall-clock time —");
+    println!("the throughput gain of Fig. 7 converts 1:1 into training-time savings");
+    println!("because convergence (Fig. 11) is untouched.");
+    assert_eq!(base_steps, embrace_steps, "identical convergence is the premise");
+}

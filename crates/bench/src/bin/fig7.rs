@@ -1,0 +1,62 @@
+//! Figure 7: end-to-end training throughput (tokens/sec) of all four
+//! models on 4/8/16 GPUs of both clusters, for EmbRace and the four
+//! baselines, plus EmbRace's speedup over the best baseline (the number
+//! the paper annotates on each subplot).
+
+use embrace_baselines::MethodId;
+use embrace_bench::{clusters, WORLDS};
+use embrace_models::ModelId;
+use embrace_trainer::report::table;
+use embrace_trainer::{simulate, SimConfig};
+
+fn main() {
+    // Paper speedup bands (min-max over 4/8/16 GPUs) per subplot.
+    let paper_bands = [
+        (ModelId::Lm, "1.18-1.77x", "1.99-2.41x"),
+        (ModelId::Gnmt8, "1.10-1.27x", "1.09-1.30x"),
+        (ModelId::Transformer, "1.12-1.18x", "1.11-1.28x"),
+        (ModelId::BertBase, "1.02-1.06x", "1.10-1.40x"),
+    ];
+    for (model, band3090, band2080) in paper_bands {
+        for (ci, cluster4) in clusters(4).into_iter().enumerate() {
+            let gpu = cluster4.gpu;
+            let band = if ci == 0 { band3090 } else { band2080 };
+            println!(
+                "Figure 7: {:?} on {} (paper speedup over best baseline: {band})\n",
+                model,
+                gpu.name()
+            );
+            let headers =
+                vec!["method", "4 GPUs tok/s", "8 GPUs tok/s", "16 GPUs tok/s", "speedup@16"];
+            let mut rows = Vec::new();
+            let mut best16 = 0.0_f64;
+            let mut tput = std::collections::HashMap::new();
+            for method in MethodId::ALL {
+                for world in WORLDS {
+                    let cluster = clusters(world)[ci];
+                    let m = simulate(&SimConfig::new(method, model, cluster));
+                    tput.insert((method, world), m.tokens_per_sec);
+                    if world == 16 && method != MethodId::EmbRace {
+                        best16 = best16.max(m.tokens_per_sec);
+                    }
+                }
+            }
+            for method in MethodId::ALL {
+                let t16 = tput[&(method, 16)];
+                rows.push(vec![
+                    method.name().to_string(),
+                    format!("{:.0}", tput[&(method, 4)]),
+                    format!("{:.0}", tput[&(method, 8)]),
+                    format!("{t16:.0}"),
+                    if method == MethodId::EmbRace {
+                        format!("{:.2}x", t16 / best16)
+                    } else {
+                        String::new()
+                    },
+                ]);
+            }
+            print!("{}", table(&headers, &rows));
+            println!();
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Figure 8: Computation Stall of all methods on 16 GPUs of both
+//! clusters, normalized by EmbRace's stall (as plotted in the paper).
+//!
+//! For EmbRace the stall includes the Vertical Sparse Scheduling
+//! computation; for the baselines it is the non-overlapped communication
+//! time (§5.4). As in the paper, Horovod AllReduce's LM stall is so large
+//! it dwarfs the plot — we print it anyway.
+
+use embrace_baselines::MethodId;
+use embrace_models::ModelId;
+use embrace_simnet::Cluster;
+use embrace_trainer::report::table;
+use embrace_trainer::{simulate, SimConfig};
+
+fn main() {
+    for (cluster, band) in [
+        (Cluster::rtx3090(16), "paper: EmbRace 1.45-2.56x better"),
+        (Cluster::rtx2080(16), "paper: EmbRace 1.37-3.02x better"),
+    ] {
+        println!(
+            "Figure 8: Computation Stall on 16 {} GPUs, normalized by EmbRace ({band})\n",
+            cluster.gpu.name()
+        );
+        let headers: Vec<String> = std::iter::once("method".to_string())
+            .chain(ModelId::ALL.iter().map(|m| format!("{m:?}")))
+            .collect();
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut embrace_stall = std::collections::HashMap::new();
+        for model in ModelId::ALL {
+            let m = simulate(&SimConfig::new(MethodId::EmbRace, model, cluster));
+            embrace_stall.insert(model, m.stall);
+        }
+        let mut rows = Vec::new();
+        for method in MethodId::ALL {
+            let mut row = vec![method.name().to_string()];
+            for model in ModelId::ALL {
+                let m = simulate(&SimConfig::new(method, model, cluster));
+                row.push(format!("{:.2}x ({:.1} ms)", m.stall / embrace_stall[&model], m.stall * 1e3));
+            }
+            rows.push(row);
+        }
+        print!("{}", table(&header_refs, &rows));
+        println!();
+    }
+}

@@ -1,0 +1,54 @@
+//! Figure 9: ablation of EmbRace's two techniques on 16 and 4 RTX3090
+//! GPUs. Training speeds normalized by Horovod AllGather, as the paper
+//! plots them:
+//!
+//! * Horovod AllGather → baseline (1.0);
+//! * EmbRace w/o Scheduling → adds Sparsity-aware Hybrid Communication;
+//! * EmbRace → adds 2D Communication Scheduling on top.
+
+use embrace_baselines::MethodId;
+use embrace_models::ModelId;
+use embrace_simnet::Cluster;
+use embrace_trainer::report::table;
+use embrace_trainer::{simulate, SimConfig};
+
+fn main() {
+    for (world, band) in [
+        (16, "paper: hybrid comm +2.9-51.0%, scheduling another +3.0-26.0%"),
+        (4, "paper: hybrid comm +1.5-14.6%, scheduling another +0.7-7.5%"),
+    ] {
+        let cluster = Cluster::rtx3090(world);
+        println!("Figure 9: ablation on {world} RTX3090 GPUs ({band})\n");
+        let mut rows = Vec::new();
+        for model in ModelId::ALL {
+            let base = simulate(&SimConfig::new(MethodId::HorovodAllGather, model, cluster))
+                .tokens_per_sec;
+            let hybrid =
+                simulate(&SimConfig::new(MethodId::EmbRaceNoSched, model, cluster)).tokens_per_sec;
+            let full = simulate(&SimConfig::new(MethodId::EmbRace, model, cluster)).tokens_per_sec;
+            rows.push(vec![
+                format!("{model:?}"),
+                format!("{:.3}", 1.0),
+                format!("{:.3}", hybrid / base),
+                format!("{:.3}", full / base),
+                format!("{:+.1}%", (hybrid / base - 1.0) * 100.0),
+                format!("{:+.1}%", (full / hybrid - 1.0) * 100.0),
+            ]);
+        }
+        print!(
+            "{}",
+            table(
+                &[
+                    "model",
+                    "AllGather",
+                    "+hybrid comm",
+                    "+2D sched",
+                    "hybrid gain",
+                    "sched gain"
+                ],
+                &rows
+            )
+        );
+        println!();
+    }
+}

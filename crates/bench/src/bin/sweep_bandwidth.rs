@@ -1,0 +1,40 @@
+//! Sensitivity sweep: how EmbRace's advantage depends on network
+//! bandwidth (robustness analysis beyond the paper's single 100 Gb/s
+//! fabric). As bandwidth grows, all methods converge toward the compute
+//! bound and EmbRace's margin narrows; as it shrinks, sparse-aware
+//! communication dominates — the regime the paper's conclusion targets
+//! ("training models swiftly with limited resources still matters").
+
+use embrace_baselines::MethodId;
+use embrace_models::ModelId;
+use embrace_simnet::Cluster;
+use embrace_trainer::report::table;
+use embrace_trainer::{simulate, SimConfig};
+
+fn main() {
+    println!("Bandwidth sweep: EmbRace speedup over the best baseline");
+    println!("(16 GPUs, RTX3090 compute calibration, 4 GPUs/node)\n");
+    let headers = ["inter-node Gbps", "LM", "GNMT-8", "Transformer", "BERT-base"];
+    let mut rows = Vec::new();
+    for gbps in [10.0, 25.0, 50.0, 100.0, 200.0, 400.0] {
+        let mut cluster = Cluster::rtx3090(16);
+        // Effective payload rate ≈ 88% of line rate, as in the defaults.
+        cluster.net.inter_bw = gbps / 8.0 * 1e9 * 0.88;
+        let mut row = vec![format!("{gbps:.0}")];
+        for model in ModelId::ALL {
+            let embrace = simulate(&SimConfig::new(MethodId::EmbRace, model, cluster));
+            let best = MethodId::BASELINES
+                .iter()
+                .map(|&m| simulate(&SimConfig::new(m, model, cluster)).tokens_per_sec)
+                .fold(0.0, f64::max);
+            row.push(format!("{:.2}x", embrace.tokens_per_sec / best));
+        }
+        rows.push(row);
+    }
+    print!("{}", table(&headers, &rows));
+    println!("\nThe margin peaks at moderate bandwidth: on very slow fabrics the");
+    println!("host-memory-bound PS baselines stop caring about the NIC (and even the");
+    println!("prior gradients are expensive to race), while on very fast fabrics every");
+    println!("method hits the compute bound. The paper's 100 Gb/s testbeds sit in the");
+    println!("regime where sparse-aware communication pays the most.");
+}

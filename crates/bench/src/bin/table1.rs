@@ -1,0 +1,40 @@
+//! Table 1: model size and embedding size (MiB) of the four NLP models.
+//!
+//! Regenerates the paper's Table 1 from the model specifications and
+//! prints the paper's reported numbers alongside.
+
+use embrace_models::ModelSpec;
+use embrace_trainer::report::table;
+
+fn main() {
+    let paper = [
+        ("LM", 3186.5, 3099.5, 97.27),
+        ("GNMT-8", 739.1, 252.5, 34.16),
+        ("Transformer", 1067.5, 263.4, 24.67),
+        ("BERT-base", 417.7, 89.4, 21.42),
+    ];
+    let rows: Vec<Vec<String>> = ModelSpec::all()
+        .iter()
+        .zip(paper)
+        .map(|(s, (pname, pm, pe, pr))| {
+            assert_eq!(s.name, pname);
+            vec![
+                s.name.to_string(),
+                format!("{:.1}", s.model_mib()),
+                format!("{pm:.1}"),
+                format!("{:.1}", s.embedding_mib()),
+                format!("{pe:.1}"),
+                format!("{:.2}%", s.embedding_ratio() * 100.0),
+                format!("{pr:.2}%"),
+            ]
+        })
+        .collect();
+    println!("Table 1: model size and embedding size (MiB); 'paper' columns are the published values\n");
+    print!(
+        "{}",
+        table(
+            &["model", "size", "paper", "emb size", "paper", "ratio", "paper"],
+            &rows
+        )
+    );
+}

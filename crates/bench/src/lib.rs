@@ -1,0 +1,23 @@
+//! Benchmark harness for the EmbRace reproduction.
+//!
+//! Two kinds of targets:
+//!
+//! * **Binaries** (`src/bin/`) — one per paper table/figure; each prints
+//!   the regenerated rows/series next to the paper's reported values.
+//!   `cargo run --release -p embrace-bench --bin fig7` etc. The complete
+//!   index lives in DESIGN.md §5.
+//! * **Criterion benches** (`benches/`) — microbenchmarks of the
+//!   substrate itself (real thread collectives, coalescing/Algorithm 1
+//!   throughput, the discrete-event simulator, the cost model sweeps).
+
+pub mod cli;
+
+use embrace_simnet::Cluster;
+
+/// The GPU-count axis of the paper's end-to-end figures.
+pub const WORLDS: [usize; 3] = [4, 8, 16];
+
+/// Both evaluation clusters at a given world size.
+pub fn clusters(world: usize) -> [Cluster; 2] {
+    [Cluster::rtx3090(world), Cluster::rtx2080(world)]
+}

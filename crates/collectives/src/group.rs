@@ -1,0 +1,60 @@
+//! Launching SPMD worker groups.
+//!
+//! [`run_group`] spawns one thread per rank, hands each its mesh
+//! [`Endpoint`], runs the provided closure and returns the per-rank results
+//! in rank order — the same programming model as `horovodrun`-launched
+//! training scripts.
+
+use crate::transport::{mesh, Endpoint};
+
+/// Run `f(rank, endpoint)` on `world` scoped threads; returns results in
+/// rank order. Panics in any worker propagate.
+pub fn run_group<R, F>(world: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, &mut Endpoint) -> R + Sync,
+{
+    let endpoints = mesh(world);
+    let mut results: Vec<Option<R>> = (0..world).map(|_| None).collect();
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(world);
+        for (rank, mut ep) in endpoints.into_iter().enumerate() {
+            let f = &f;
+            handles.push(s.spawn(move |_| (rank, f(rank, &mut ep))));
+        }
+        for h in handles {
+            let (rank, r) = h.join().expect("worker thread panicked");
+            results[rank] = Some(r);
+        }
+    })
+    .expect("worker group panicked");
+    results.into_iter().map(Option::unwrap).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::Packet;
+
+    #[test]
+    fn results_in_rank_order() {
+        let out = run_group(4, |rank, _ep| rank * 10);
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn single_rank_group() {
+        let out = run_group(1, |rank, _ep| rank);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn workers_can_exchange() {
+        let out = run_group(2, |rank, ep| {
+            let peer = 1 - rank;
+            ep.send(peer, Packet::Tokens(vec![rank as u32]));
+            ep.recv(peer).into_tokens()[0]
+        });
+        assert_eq!(out, vec![1, 0]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Functional collective communication for the EmbRace reproduction.
+//!
+//! The paper's prototype drives NCCL through Horovod; here the same
+//! primitives run over an in-memory full mesh of channels between worker
+//! threads. Data really moves and is really reduced — the convergence
+//! experiment (paper Fig. 11) and all algebraic identities of hybrid
+//! communication are exercised for real, while *timing* is handled
+//! separately by `embrace-simnet`'s cost model.
+//!
+//! Provided primitives (§2.2 of the paper):
+//! * [`ops::ring_allreduce`] — bandwidth-optimal ring AllReduce (the dense
+//!   gradient plane),
+//! * [`ops::allgather_sparse`] — AllGather of COO row-sparse gradients
+//!   (Horovod ≥ 0.22 sparse path),
+//! * [`ops::alltoall_dense`] / [`ops::alltoallv_sparse`] — the AlltoAll
+//!   exchanges EmbRace uses for embedding lookup results and gradients,
+//! * [`ops::allgather_tokens`], [`ops::broadcast`], [`ops::barrier`] —
+//!   support plumbing (token gathering feeds Algorithm 1's `D_cur`).
+//!
+//! # Example
+//!
+//! ```
+//! use embrace_collectives::{ops::ring_allreduce, run_group};
+//!
+//! let sums = run_group(4, |rank, ep| {
+//!     let mut buf = vec![rank as f32; 3];
+//!     ring_allreduce(ep, &mut buf);
+//!     buf[0]
+//! });
+//! assert_eq!(sums, vec![6.0; 4]); // 0+1+2+3 on every rank
+//! ```
+
+pub mod group;
+pub mod scheduler;
+pub mod ops;
+pub mod transport;
+
+pub use group::run_group;
+pub use scheduler::{CommOp, CommResult, CommScheduler, Ticket};
+pub use transport::{mesh, Endpoint, Packet};

@@ -1,0 +1,333 @@
+//! The collective algorithms themselves.
+//!
+//! All functions are SPMD: every rank of a group calls the same function
+//! with its own [`Endpoint`] and the call returns the rank's share of the
+//! result. Sends are non-blocking (unbounded channels), so no algorithm
+//! here can deadlock regardless of send/recv interleaving.
+
+use crate::transport::{Endpoint, Packet};
+use embrace_tensor::{row_partition, DenseTensor, RowSparse};
+
+/// Synchronise all ranks: no rank returns before every rank has entered.
+pub fn barrier(ep: &mut Endpoint) {
+    let world = ep.world();
+    if world == 1 {
+        return;
+    }
+    if ep.rank() == 0 {
+        for src in 1..world {
+            let _ = ep.recv(src);
+        }
+        for dst in 1..world {
+            ep.send(dst, Packet::Empty);
+        }
+    } else {
+        ep.send(0, Packet::Empty);
+        let _ = ep.recv(0);
+    }
+}
+
+/// Broadcast `packet` from `root` to every rank; returns the packet on all.
+pub fn broadcast(ep: &mut Endpoint, root: usize, packet: Option<Packet>) -> Packet {
+    if ep.rank() == root {
+        let p = packet.expect("root must supply the payload");
+        for dst in 0..ep.world() {
+            if dst != root {
+                ep.send(dst, p.clone());
+            }
+        }
+        p
+    } else {
+        assert!(packet.is_none(), "non-root ranks must not supply a payload");
+        ep.recv(root)
+    }
+}
+
+/// Bandwidth-optimal ring AllReduce (sum) in place: after the call every
+/// rank's `buf` holds the element-wise sum over all ranks.
+///
+/// Implements the classic two-phase algorithm (Patarasuk & Yuan 2009) the
+/// paper's Table 2 analyses: N−1 reduce-scatter steps then N−1 all-gather
+/// steps, each moving one of N near-equal chunks around the ring.
+pub fn ring_allreduce(ep: &mut Endpoint, buf: &mut [f32]) {
+    let world = ep.world();
+    let rank = ep.rank();
+    if world == 1 {
+        return;
+    }
+    let chunks = row_partition(buf.len(), world);
+    let next = (rank + 1) % world;
+    let prev = (rank + world - 1) % world;
+    let slice = |buf: &[f32], c: usize| buf[chunks[c].start..chunks[c].end].to_vec();
+
+    // Phase 1: reduce-scatter. After step s, chunk (rank−s) has been
+    // accumulated over s+1 ranks; after N−1 steps each rank owns the fully
+    // reduced chunk (rank+1) mod N.
+    for step in 0..world - 1 {
+        let send_c = (rank + world - step) % world;
+        let recv_c = (rank + world - step - 1) % world;
+        let payload = slice(buf, send_c);
+        ep.send(next, Packet::Dense(DenseTensor::from_vec(1, payload.len(), payload)));
+        let incoming = ep.recv(prev).into_dense();
+        let dst = &mut buf[chunks[recv_c].start..chunks[recv_c].end];
+        for (d, s) in dst.iter_mut().zip(incoming.as_slice()) {
+            *d += s;
+        }
+    }
+    // Phase 2: all-gather the reduced chunks around the same ring.
+    for step in 0..world - 1 {
+        let send_c = (rank + 1 + world - step) % world;
+        let recv_c = (rank + world - step) % world;
+        let payload = slice(buf, send_c);
+        ep.send(next, Packet::Dense(DenseTensor::from_vec(1, payload.len(), payload)));
+        let incoming = ep.recv(prev).into_dense();
+        buf[chunks[recv_c].start..chunks[recv_c].end].copy_from_slice(incoming.as_slice());
+    }
+}
+
+/// AllGather of per-rank dense tensors; returns all ranks' tensors in rank
+/// order (own tensor included).
+pub fn allgather_dense(ep: &mut Endpoint, local: DenseTensor) -> Vec<DenseTensor> {
+    let world = ep.world();
+    let rank = ep.rank();
+    for dst in 0..world {
+        if dst != rank {
+            ep.send(dst, Packet::Dense(local.clone()));
+        }
+    }
+    (0..world)
+        .map(|src| if src == rank { local.clone() } else { ep.recv(src).into_dense() })
+        .collect()
+}
+
+/// AllGather of row-sparse gradients — Horovod's sparse aggregation path
+/// (§2.2): every rank receives every other rank's COO tensor. The returned
+/// concatenation is *uncoalesced*; summing duplicates is the caller's job,
+/// exactly as in `horovod.torch.allreduce_` for sparse inputs.
+pub fn allgather_sparse(ep: &mut Endpoint, local: RowSparse) -> Vec<RowSparse> {
+    let world = ep.world();
+    let rank = ep.rank();
+    for dst in 0..world {
+        if dst != rank {
+            ep.send(dst, Packet::Sparse(local.clone()));
+        }
+    }
+    (0..world)
+        .map(|src| if src == rank { local.clone() } else { ep.recv(src).into_sparse() })
+        .collect()
+}
+
+/// AllGather of token-id batches; feeds `D_cur` in Algorithm 1 (every rank
+/// learns which tokens every other rank's batch contains).
+pub fn allgather_tokens(ep: &mut Endpoint, local: Vec<u32>) -> Vec<Vec<u32>> {
+    let world = ep.world();
+    let rank = ep.rank();
+    for dst in 0..world {
+        if dst != rank {
+            ep.send(dst, Packet::Tokens(local.clone()));
+        }
+    }
+    (0..world)
+        .map(|src| if src == rank { local.clone() } else { ep.recv(src).into_tokens() })
+        .collect()
+}
+
+/// AlltoAll of dense blocks: `parts[j]` goes to rank `j`; returns the
+/// blocks received, indexed by source rank (own block kept in place).
+/// This is AlltoAll #1 of §4.1.1 — redistributing embedding lookup results.
+pub fn alltoall_dense(ep: &mut Endpoint, mut parts: Vec<DenseTensor>) -> Vec<DenseTensor> {
+    let world = ep.world();
+    let rank = ep.rank();
+    assert_eq!(parts.len(), world, "need one outgoing block per rank");
+    // Send in a rotated order so no rank is flooded first.
+    for off in 1..world {
+        let dst = (rank + off) % world;
+        let block = std::mem::replace(&mut parts[dst], DenseTensor::zeros(0, 0));
+        ep.send(dst, Packet::Dense(block));
+    }
+    (0..world)
+        .map(|src| {
+            if src == rank {
+                std::mem::replace(&mut parts[rank], DenseTensor::zeros(0, 0))
+            } else {
+                ep.recv(src).into_dense()
+            }
+        })
+        .collect()
+}
+
+/// AlltoAllv of row-sparse blocks: `parts[j]` goes to rank `j`. This is
+/// AlltoAll #2 of §4.1.1 — exchanging column-sharded embedding gradients.
+pub fn alltoallv_sparse(ep: &mut Endpoint, mut parts: Vec<RowSparse>) -> Vec<RowSparse> {
+    let world = ep.world();
+    let rank = ep.rank();
+    assert_eq!(parts.len(), world, "need one outgoing block per rank");
+    let dim0 = parts[rank].dim();
+    for off in 1..world {
+        let dst = (rank + off) % world;
+        let block = std::mem::replace(&mut parts[dst], RowSparse::empty(dim0));
+        ep.send(dst, Packet::Sparse(block));
+    }
+    (0..world)
+        .map(|src| {
+            if src == rank {
+                std::mem::replace(&mut parts[rank], RowSparse::empty(dim0))
+            } else {
+                ep.recv(src).into_sparse()
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::run_group;
+
+    #[test]
+    fn barrier_completes_all_world_sizes() {
+        for world in [1, 2, 3, 5, 8] {
+            run_group(world, |_r, ep| barrier(ep));
+        }
+    }
+
+    #[test]
+    fn broadcast_delivers_root_payload() {
+        let out = run_group(4, |rank, ep| {
+            let payload = (rank == 2).then(|| Packet::Tokens(vec![42]));
+            broadcast(ep, 2, payload).into_tokens()
+        });
+        assert!(out.iter().all(|t| t == &vec![42]));
+    }
+
+    #[test]
+    fn ring_allreduce_sums_across_ranks() {
+        for world in [2, 3, 4, 7] {
+            let len = 23;
+            let out = run_group(world, move |rank, ep| {
+                let mut buf: Vec<f32> = (0..len).map(|i| (rank * 100 + i) as f32).collect();
+                ring_allreduce(ep, &mut buf);
+                buf
+            });
+            let expect: Vec<f32> = (0..len)
+                .map(|i| (0..world).map(|r| (r * 100 + i) as f32).sum())
+                .collect();
+            for buf in out {
+                assert_eq!(buf, expect, "world={world}");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_allreduce_short_buffer() {
+        // Fewer elements than ranks: some chunks are empty.
+        let out = run_group(5, |rank, ep| {
+            let mut buf = vec![rank as f32, 1.0];
+            ring_allreduce(ep, &mut buf);
+            buf
+        });
+        for buf in out {
+            assert_eq!(buf, vec![10.0, 5.0]);
+        }
+    }
+
+    #[test]
+    fn allgather_dense_collects_in_rank_order() {
+        let out = run_group(3, |rank, ep| {
+            let local = DenseTensor::full(1, 2, rank as f32);
+            allgather_dense(ep, local)
+        });
+        for gathered in out {
+            for (src, t) in gathered.iter().enumerate() {
+                assert_eq!(t.as_slice(), &[src as f32, src as f32]);
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_sparse_collects_all_coo() {
+        let out = run_group(3, |rank, ep| {
+            let local = RowSparse::new(vec![rank as u32], DenseTensor::full(1, 2, rank as f32));
+            let all = allgather_sparse(ep, local);
+            RowSparse::concat(&all)
+        });
+        for merged in out {
+            assert_eq!(merged.nnz_rows(), 3);
+            let dense = merged.to_dense(3);
+            for r in 0..3 {
+                assert_eq!(dense.row(r), &[r as f32, r as f32]);
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_tokens_roundtrip() {
+        let out = run_group(4, |rank, ep| allgather_tokens(ep, vec![rank as u32; rank + 1]));
+        for all in out {
+            for (src, toks) in all.iter().enumerate() {
+                assert_eq!(toks, &vec![src as u32; src + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_dense_transposes_ownership() {
+        // parts[i][j] is a 1x1 tensor with value i*10+j; after alltoall,
+        // rank j holds received[i] = i*10+j.
+        let out = run_group(4, |rank, ep| {
+            let parts: Vec<DenseTensor> =
+                (0..4).map(|j| DenseTensor::full(1, 1, (rank * 10 + j) as f32)).collect();
+            alltoall_dense(ep, parts)
+        });
+        for (j, received) in out.iter().enumerate() {
+            for (i, t) in received.iter().enumerate() {
+                assert_eq!(t.as_slice()[0], (i * 10 + j) as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_roundtrip_is_identity() {
+        // alltoall twice restores each rank's original blocks (transpose
+        // of a transpose).
+        let out = run_group(3, |rank, ep| {
+            let parts: Vec<DenseTensor> =
+                (0..3).map(|j| DenseTensor::full(1, 2, (rank * 3 + j) as f32)).collect();
+            let once = alltoall_dense(ep, parts.clone());
+            let twice = alltoall_dense(ep, once);
+            (parts, twice)
+        });
+        for (orig, back) in out {
+            assert_eq!(orig, back);
+        }
+    }
+
+    #[test]
+    fn alltoallv_sparse_exchanges_shards() {
+        let out = run_group(2, |rank, ep| {
+            let mk = |v: f32| RowSparse::new(vec![0], DenseTensor::full(1, 1, v));
+            let parts = vec![mk(rank as f32 * 2.0), mk(rank as f32 * 2.0 + 1.0)];
+            alltoallv_sparse(ep, parts)
+        });
+        // rank 0 receives [own part0 = 0, rank1's part0 = 2]
+        assert_eq!(out[0][0].values().as_slice(), &[0.0]);
+        assert_eq!(out[0][1].values().as_slice(), &[2.0]);
+        assert_eq!(out[1][0].values().as_slice(), &[1.0]);
+        assert_eq!(out[1][1].values().as_slice(), &[3.0]);
+    }
+
+    #[test]
+    fn single_rank_collectives_are_identity() {
+        let out = run_group(1, |_rank, ep| {
+            let mut buf = vec![1.0, 2.0];
+            ring_allreduce(ep, &mut buf);
+            let g = allgather_dense(ep, DenseTensor::full(1, 1, 5.0));
+            let a = alltoall_dense(ep, vec![DenseTensor::full(1, 1, 9.0)]);
+            (buf, g, a)
+        });
+        let (buf, g, a) = &out[0];
+        assert_eq!(buf, &vec![1.0, 2.0]);
+        assert_eq!(g[0].as_slice(), &[5.0]);
+        assert_eq!(a[0].as_slice(), &[9.0]);
+    }
+}

@@ -1,0 +1,190 @@
+//! In-memory full-mesh transport between worker threads.
+//!
+//! Each ordered pair of ranks gets a dedicated unbounded channel, so
+//! point-to-point receives are addressed by source rank and never interleave
+//! across senders — the delivery semantics collective algorithms assume
+//! from MPI/NCCL.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use embrace_tensor::{DenseTensor, RowSparse, INDEX_BYTES};
+
+/// One unit of data on the wire. The transport is typed rather than
+/// byte-serialised (everything is in-process), but [`Packet::nbytes`]
+/// reports the size the payload would occupy on a real wire so traffic
+/// accounting matches the cost model.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Packet {
+    /// A dense f32 block with row/col shape.
+    Dense(DenseTensor),
+    /// A row-sparse (COO) block: row ids + value rows.
+    Sparse(RowSparse),
+    /// A batch of token ids (used to gather `D_cur` across ranks).
+    Tokens(Vec<u32>),
+    /// Zero-payload control message (barrier).
+    Empty,
+}
+
+impl Packet {
+    /// Wire size in bytes (f32 values, i64 COO indices, u32 token ids).
+    pub fn nbytes(&self) -> usize {
+        match self {
+            Packet::Dense(d) => d.nbytes(),
+            Packet::Sparse(s) => s.nbytes(),
+            Packet::Tokens(t) => t.len() * INDEX_BYTES / 2,
+            Packet::Empty => 0,
+        }
+    }
+
+    pub fn into_dense(self) -> DenseTensor {
+        match self {
+            Packet::Dense(d) => d,
+            other => panic!("expected Dense packet, got {other:?}"),
+        }
+    }
+
+    pub fn into_sparse(self) -> RowSparse {
+        match self {
+            Packet::Sparse(s) => s,
+            other => panic!("expected Sparse packet, got {other:?}"),
+        }
+    }
+
+    pub fn into_tokens(self) -> Vec<u32> {
+        match self {
+            Packet::Tokens(t) => t,
+            other => panic!("expected Tokens packet, got {other:?}"),
+        }
+    }
+}
+
+/// Per-rank handle onto the mesh. Sending never blocks (channels are
+/// unbounded); receiving blocks until the addressed peer has sent.
+pub struct Endpoint {
+    rank: usize,
+    world: usize,
+    tx: Vec<Sender<Packet>>,
+    rx: Vec<Receiver<Packet>>,
+    bytes_sent: u64,
+    msgs_sent: u64,
+}
+
+impl Endpoint {
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    /// Send `packet` to rank `to` (self-sends allowed and delivered).
+    pub fn send(&mut self, to: usize, packet: Packet) {
+        self.bytes_sent += packet.nbytes() as u64;
+        self.msgs_sent += 1;
+        self.tx[to].send(packet).expect("peer endpoint dropped mid-collective");
+    }
+
+    /// Receive the next packet sent by rank `from`.
+    pub fn recv(&self, from: usize) -> Packet {
+        self.rx[from].recv().expect("peer endpoint dropped mid-collective")
+    }
+
+    /// Total bytes this endpoint has pushed onto the wire.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Total messages this endpoint has pushed onto the wire.
+    pub fn msgs_sent(&self) -> u64 {
+        self.msgs_sent
+    }
+}
+
+/// Construct a full mesh of `world` endpoints.
+pub fn mesh(world: usize) -> Vec<Endpoint> {
+    assert!(world > 0, "mesh needs at least one rank");
+    // channels[i][j]: i -> j
+    let mut senders: Vec<Vec<Option<Sender<Packet>>>> = (0..world).map(|_| (0..world).map(|_| None).collect()).collect();
+    let mut receivers: Vec<Vec<Option<Receiver<Packet>>>> =
+        (0..world).map(|_| (0..world).map(|_| None).collect()).collect();
+    for (i, row) in senders.iter_mut().enumerate() {
+        for (j, slot) in row.iter_mut().enumerate() {
+            let (tx, rx) = unbounded();
+            *slot = Some(tx);
+            receivers[j][i] = Some(rx);
+        }
+    }
+    senders
+        .into_iter()
+        .zip(receivers)
+        .enumerate()
+        .map(|(rank, (tx_row, rx_row))| Endpoint {
+            rank,
+            world,
+            tx: tx_row.into_iter().map(Option::unwrap).collect(),
+            rx: rx_row.into_iter().map(Option::unwrap).collect(),
+            bytes_sent: 0,
+            msgs_sent: 0,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embrace_tensor::F32_BYTES;
+    use std::thread;
+
+    #[test]
+    fn point_to_point_delivery() {
+        let mut eps = mesh(2);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        thread::scope(|s| {
+            s.spawn(|| {
+                a.send(1, Packet::Tokens(vec![7, 8]));
+            });
+            s.spawn(|| {
+                assert_eq!(b.recv(0).into_tokens(), vec![7, 8]);
+                b.send(1, Packet::Empty); // self-send
+                assert_eq!(b.recv(1), Packet::Empty);
+            });
+        });
+    }
+
+    #[test]
+    fn per_source_ordering_preserved() {
+        let mut eps = mesh(2);
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        for k in 0..10u32 {
+            a.send(1, Packet::Tokens(vec![k]));
+        }
+        for k in 0..10u32 {
+            assert_eq!(b.recv(0).into_tokens(), vec![k]);
+        }
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut eps = mesh(2);
+        let mut a = eps.remove(0);
+        a.send(1, Packet::Dense(DenseTensor::zeros(2, 3)));
+        assert_eq!(a.bytes_sent(), 2 * 3 * F32_BYTES as u64);
+        assert_eq!(a.msgs_sent(), 1);
+    }
+
+    #[test]
+    fn packet_sizes() {
+        assert_eq!(Packet::Empty.nbytes(), 0);
+        assert_eq!(Packet::Tokens(vec![1, 2, 3]).nbytes(), 12);
+        let s = RowSparse::new(vec![0], DenseTensor::zeros(1, 4));
+        assert_eq!(Packet::Sparse(s).nbytes(), INDEX_BYTES + 4 * F32_BYTES);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Dense")]
+    fn wrong_packet_kind_panics() {
+        Packet::Empty.into_dense();
+    }
+}

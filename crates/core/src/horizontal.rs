@@ -1,0 +1,113 @@
+//! Block-level Horizontal Scheduling (§4.2.1): priority assignment.
+//!
+//! Communication operations drain from a single priority queue (lower
+//! value first). The ordering encodes the paper's rules:
+//!
+//! * prior sparse gradients are most urgent — the next embedding FP waits
+//!   on them;
+//! * the embedding-data AlltoAll (lookup-result redistribution) comes
+//!   next — the first dense FP waits on it;
+//! * dense blocks are prioritised in *FP dependency order*, so each
+//!   block's gradients arrive just before its FP needs the updated
+//!   parameters (blocks are communicated whole — the paper deliberately
+//!   avoids tensor partitioning and its startup/bandwidth penalties);
+//! * delayed sparse gradients go last, overlapping the next iteration.
+
+use embrace_dlsim::graph::ModelGraph;
+
+/// Priority of prior embedding gradients (most urgent).
+pub const PRIOR_GRAD_PRIORITY: i64 = -2;
+/// Priority of the embedding lookup-result AlltoAll.
+pub const EMB_DATA_PRIORITY: i64 = -1;
+/// Priority of delayed embedding gradients (least urgent).
+pub const DELAYED_GRAD_PRIORITY: i64 = i64::MAX / 2;
+
+/// The communication operations EmbRace schedules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CommKind {
+    /// AllReduce of one dense block's gradients (block index).
+    DenseBlock(usize),
+    /// AlltoAll of one embedding's lookup results (embedding module index).
+    EmbData(usize),
+    /// AlltoAll of one embedding's prior gradients.
+    PriorGrad(usize),
+    /// AlltoAll of one embedding's delayed gradients.
+    DelayedGrad(usize),
+}
+
+/// Priority assignment for a model graph.
+#[derive(Clone, Debug)]
+pub struct Priorities {
+    /// Dense-block priority by module index (0 = first in FP order).
+    dense: Vec<Option<i64>>,
+}
+
+impl Priorities {
+    /// Assign priorities per §4.2.1: dense blocks numbered in FP order.
+    pub fn assign(graph: &ModelGraph) -> Self {
+        let mut dense = vec![None; graph.len()];
+        let mut next = 0i64;
+        for i in graph.fp_order() {
+            if !graph.modules[i].is_embedding() {
+                dense[i] = Some(next);
+                next += 1;
+            }
+        }
+        Priorities { dense }
+    }
+
+    /// Priority value of a communication operation.
+    pub fn of(&self, kind: CommKind) -> i64 {
+        match kind {
+            CommKind::PriorGrad(_) => PRIOR_GRAD_PRIORITY,
+            CommKind::EmbData(_) => EMB_DATA_PRIORITY,
+            CommKind::DelayedGrad(_) => DELAYED_GRAD_PRIORITY,
+            CommKind::DenseBlock(m) => self.dense[m].expect("module is not a dense block"),
+        }
+    }
+
+    /// Number of prioritised dense blocks.
+    pub fn n_dense(&self) -> usize {
+        self.dense.iter().filter(|d| d.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> ModelGraph {
+        ModelGraph::translation((10, 4), (10, 4), 2, 2, 8, 0.1, 0.1, 0.1, 0.1)
+    }
+
+    #[test]
+    fn dense_blocks_numbered_in_fp_order() {
+        // Modules: 0=enc_emb, 1..2=enc blocks, 3=dec_emb, 4..5=dec blocks.
+        let p = Priorities::assign(&graph());
+        assert_eq!(p.of(CommKind::DenseBlock(1)), 0);
+        assert_eq!(p.of(CommKind::DenseBlock(2)), 1);
+        assert_eq!(p.of(CommKind::DenseBlock(4)), 2);
+        assert_eq!(p.of(CommKind::DenseBlock(5)), 3);
+        assert_eq!(p.n_dense(), 4);
+    }
+
+    #[test]
+    fn sparse_ops_bracket_dense_ops() {
+        let p = Priorities::assign(&graph());
+        let prior = p.of(CommKind::PriorGrad(0));
+        let data = p.of(CommKind::EmbData(0));
+        let first_dense = p.of(CommKind::DenseBlock(1));
+        let last_dense = p.of(CommKind::DenseBlock(5));
+        let delayed = p.of(CommKind::DelayedGrad(0));
+        assert!(prior < data, "prior gradients beat embedding data");
+        assert!(data < first_dense, "embedding data beats all dense blocks");
+        assert!(last_dense < delayed, "delayed gradients come last");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a dense block")]
+    fn embedding_module_has_no_dense_priority() {
+        let p = Priorities::assign(&graph());
+        p.of(CommKind::DenseBlock(0));
+    }
+}

@@ -1,0 +1,259 @@
+//! Sparsity-aware Hybrid Communication — the functional embedding plane.
+//!
+//! The full embedding table is column-wise partitioned before training
+//! (§4.1.1). Each step:
+//!
+//! 1. every worker looks up *all* workers' batch tokens against its column
+//!    shard, producing one dense block per destination;
+//! 2. **AlltoAll #1** redistributes lookup results: worker `j` assembles
+//!    its own batch's full-width embedding output from the received
+//!    column blocks;
+//! 3. dense FP/BP runs; worker `j` ends with `∂loss/∂(lookup output)`;
+//! 4. **AlltoAll #2** exchanges sparse gradients: worker `j` slices its
+//!    output gradient into column blocks and sends each to the owning
+//!    shard, which coalesces and applies the update.
+//!
+//! With Vertical Sparse Scheduling, step 4 happens twice — once for the
+//! prior rows, once for the delayed rows — and the optimizer is told which
+//! part it is applying ([`UpdatePart`]).
+
+use embrace_collectives::ops::{alltoall_dense, alltoallv_sparse};
+use embrace_collectives::Endpoint;
+use embrace_dlsim::optim::{Optimizer, UpdatePart};
+use embrace_dlsim::EmbeddingTable;
+use embrace_tensor::{coalesce, column_partition, ColumnRange, DenseTensor, RowSparse};
+
+/// One worker's column shard of an embedding table, with the AlltoAll
+/// forward/backward protocol.
+#[derive(Clone, Debug)]
+pub struct ColumnShardedEmbedding {
+    shard: EmbeddingTable,
+    ranges: Vec<ColumnRange>,
+    rank: usize,
+    dim_total: usize,
+}
+
+impl ColumnShardedEmbedding {
+    /// Carve worker `rank`'s shard out of the full `vocab × dim` table.
+    /// Every worker must construct from the same `full` table.
+    pub fn new(full: &DenseTensor, rank: usize, world: usize) -> Self {
+        let ranges = column_partition(full.cols(), world);
+        let r = ranges[rank];
+        ColumnShardedEmbedding {
+            shard: EmbeddingTable::from_table(full.slice_columns(r.start, r.end)),
+            ranges,
+            rank,
+            dim_total: full.cols(),
+        }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn vocab(&self) -> usize {
+        self.shard.vocab()
+    }
+
+    /// Width of this worker's column range.
+    pub fn shard_dim(&self) -> usize {
+        self.shard.dim()
+    }
+
+    /// Full embedding dimension.
+    pub fn dim_total(&self) -> usize {
+        self.dim_total
+    }
+
+    /// This worker's column shard (vocab × shard_dim).
+    pub fn shard_table(&self) -> &DenseTensor {
+        self.shard.table()
+    }
+
+    /// Forward: given every rank's batch tokens (`all_tokens[r]`), perform
+    /// the local lookups and AlltoAll #1; returns this rank's full-width
+    /// lookup output for its own batch.
+    pub fn forward(&self, ep: &mut Endpoint, all_tokens: &[Vec<u32>]) -> DenseTensor {
+        assert_eq!(all_tokens.len(), ep.world(), "need every rank's tokens");
+        let outgoing = self.lookup_parts(all_tokens);
+        // AlltoAll #1: receive my batch's column blocks from every shard.
+        let received = alltoall_dense(ep, outgoing);
+        Self::assemble_lookup(&received)
+    }
+
+    /// The local half of the forward pass: look up each destination
+    /// rank's batch against my column shard, producing one outgoing dense
+    /// block per rank (the payload of AlltoAll #1). Split out so callers
+    /// can route the exchange through a communication thread.
+    pub fn lookup_parts(&self, all_tokens: &[Vec<u32>]) -> Vec<DenseTensor> {
+        all_tokens.iter().map(|toks| self.shard.lookup(toks)).collect()
+    }
+
+    /// Reassemble the full-width lookup output from the column blocks
+    /// received in AlltoAll #1 (indexed by source rank == column order).
+    pub fn assemble_lookup(received: &[DenseTensor]) -> DenseTensor {
+        DenseTensor::concat_columns(received)
+    }
+
+    /// Backward: slice `grad_out` (`∂loss/∂lookup`, one row per token of
+    /// `my_tokens`) into per-shard column blocks and run AlltoAll #2;
+    /// returns the coalesced gradient for *this* worker's shard
+    /// (full-vocab row ids, shard-width values).
+    pub fn backward(&self, ep: &mut Endpoint, my_tokens: &[u32], grad_out: &DenseTensor) -> RowSparse {
+        assert_eq!(my_tokens.len(), grad_out.rows(), "one grad row per token");
+        assert_eq!(grad_out.cols(), self.dim_total, "grad must be full width");
+        let outgoing: Vec<RowSparse> = self
+            .ranges
+            .iter()
+            .map(|r| RowSparse::new(my_tokens.to_vec(), grad_out.slice_columns(r.start, r.end)))
+            .collect();
+        let received = alltoallv_sparse(ep, outgoing);
+        coalesce(&RowSparse::concat(&received))
+    }
+
+    /// Backward for an already-split gradient part (Vertical Scheduling):
+    /// same exchange, but the caller passes per-destination row-sparse
+    /// blocks built from `G_p` or `G_d` instead of the raw output grad.
+    pub fn exchange_grad_part(&self, ep: &mut Endpoint, part: &RowSparse) -> RowSparse {
+        let outgoing = self.grad_parts(part);
+        let received = alltoallv_sparse(ep, outgoing);
+        Self::merge_grad_shards(&received)
+    }
+
+    /// The local half of a gradient exchange: slice a full-width gradient
+    /// part into per-destination column blocks (AlltoAll #2 payload).
+    pub fn grad_parts(&self, part: &RowSparse) -> Vec<RowSparse> {
+        assert_eq!(part.dim(), self.dim_total, "part must be full width");
+        self.ranges.iter().map(|r| part.slice_columns(r.start, r.end)).collect()
+    }
+
+    /// Coalesce the shard-width gradient blocks received in AlltoAll #2.
+    pub fn merge_grad_shards(received: &[RowSparse]) -> RowSparse {
+        coalesce(&RowSparse::concat(received))
+    }
+
+    /// Apply a shard-width gradient (as returned by [`Self::backward`] or
+    /// [`Self::exchange_grad_part`]) to the local shard.
+    pub fn apply_grad(&mut self, grad: &RowSparse, opt: &mut dyn Optimizer, part: UpdatePart) {
+        assert_eq!(grad.dim(), self.shard_dim(), "gradient width must match shard");
+        opt.step_sparse(self.shard.table_mut(), grad, part);
+    }
+
+    /// Reassemble the full table from every worker's shard (testing and
+    /// checkpoint export).
+    pub fn assemble_full(shards: &[&ColumnShardedEmbedding]) -> DenseTensor {
+        let blocks: Vec<DenseTensor> = shards.iter().map(|s| s.shard.table().clone()).collect();
+        DenseTensor::concat_columns(&blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embrace_collectives::run_group;
+    use embrace_dlsim::optim::Sgd;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn full_table(vocab: usize, dim: usize) -> DenseTensor {
+        let mut rng = StdRng::seed_from_u64(99);
+        DenseTensor::uniform(vocab, dim, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn forward_matches_replicated_lookup() {
+        let full = full_table(20, 8);
+        let batches: Vec<Vec<u32>> = vec![vec![1, 3, 3], vec![0, 19], vec![7, 7, 7, 2]];
+        let full2 = full.clone();
+        let batches2 = batches.clone();
+        let out = run_group(3, move |rank, ep| {
+            let emb = ColumnShardedEmbedding::new(&full2, rank, 3);
+            emb.forward(ep, &batches2)
+        });
+        let reference = EmbeddingTable::from_table(full);
+        for (rank, got) in out.iter().enumerate() {
+            assert_eq!(got, &reference.lookup(&batches[rank]), "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn backward_applies_same_update_as_replicated() {
+        // Hybrid AlltoAll training must equal a replicated table updated
+        // with the *sum* of all workers' gradients (synchronous DP).
+        let vocab = 12;
+        let dim = 6;
+        let world = 3;
+        let full = full_table(vocab, dim);
+        let batches: Vec<Vec<u32>> = vec![vec![1, 3, 3], vec![0, 11, 3], vec![7, 1]];
+        let lr = 0.1_f32;
+
+        // Reference: replicated table, summed gradient, SGD.
+        let mut reference = full.clone();
+        {
+            let mut summed = Vec::new();
+            for b in &batches {
+                // d(loss)/d(out) = all ones.
+                summed.push(RowSparse::new(b.clone(), DenseTensor::full(b.len(), dim, 1.0)));
+            }
+            let g = coalesce(&RowSparse::concat(&summed));
+            Sgd::new(lr).step_sparse(&mut reference, &g, UpdatePart::Whole);
+        }
+
+        // Hybrid: each worker exchanges and applies its shard.
+        let full2 = full.clone();
+        let batches2 = batches.clone();
+        let shards = run_group(world, move |rank, ep| {
+            let mut emb = ColumnShardedEmbedding::new(&full2, rank, world);
+            let my = &batches2[rank];
+            let grad_out = DenseTensor::full(my.len(), dim, 1.0);
+            let shard_grad = emb.backward(ep, my, &grad_out);
+            let mut opt = Sgd::new(lr);
+            emb.apply_grad(&shard_grad, &mut opt, UpdatePart::Whole);
+            emb
+        });
+        let refs: Vec<&ColumnShardedEmbedding> = shards.iter().collect();
+        let assembled = ColumnShardedEmbedding::assemble_full(&refs);
+        assert!(assembled.approx_eq(&reference, 1e-6));
+    }
+
+    #[test]
+    fn split_exchange_equals_single_exchange() {
+        // Prior+delayed exchange must deliver the same shard gradient as
+        // one whole exchange.
+        use crate::vertical::vertical_split;
+        let vocab = 10;
+        let dim = 4;
+        let world = 2;
+        let full = full_table(vocab, dim);
+        let batches: Vec<Vec<u32>> = vec![vec![1, 2, 2, 5], vec![5, 9]];
+        let next: Vec<u32> = vec![2, 9]; // next-iteration tokens (gathered)
+
+        let full2 = full.clone();
+        let batches2 = batches.clone();
+        let got = run_group(world, move |rank, ep| {
+            let emb = ColumnShardedEmbedding::new(&full2, rank, world);
+            let my = &batches2[rank];
+            let grad_out = DenseTensor::full(my.len(), dim, 0.5);
+            let raw = RowSparse::new(my.clone(), grad_out.clone());
+            let split = vertical_split(&raw, my, &next);
+            let prior = emb.exchange_grad_part(ep, &split.prior);
+            let delayed = emb.exchange_grad_part(ep, &split.delayed);
+            let whole = emb.backward(ep, my, &grad_out);
+            (prior, delayed, whole)
+        });
+        for (prior, delayed, whole) in got {
+            let merged = coalesce(&RowSparse::concat(&[prior, delayed]));
+            assert_eq!(merged, whole);
+        }
+    }
+
+    #[test]
+    fn shard_dims_cover_table() {
+        let full = full_table(5, 10);
+        let shards: Vec<ColumnShardedEmbedding> =
+            (0..3).map(|r| ColumnShardedEmbedding::new(&full, r, 3)).collect();
+        let total: usize = shards.iter().map(ColumnShardedEmbedding::shard_dim).sum();
+        assert_eq!(total, 10);
+        let refs: Vec<&ColumnShardedEmbedding> = shards.iter().collect();
+        assert_eq!(ColumnShardedEmbedding::assemble_full(&refs), full);
+    }
+}

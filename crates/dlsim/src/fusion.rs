@@ -1,0 +1,109 @@
+//! Tensor fusion: batching small dense gradients into buckets.
+//!
+//! Horovod fuses gradient tensors into fixed-size buffers before
+//! AllReduce to amortise per-operation startup latency; PACE (related
+//! work, §6) tunes fusion for bandwidth. The paper's horizontal
+//! scheduling deliberately communicates whole *blocks* instead —
+//! "parameters in the same block got the same priority and transmit
+//! their gradients together" — which is a form of fusion at block
+//! granularity. This module provides the bucket-assignment algorithm so
+//! the ablation benches can quantify the trade-off: bigger buckets
+//! amortise latency but delay the earliest-needed gradients.
+
+/// A fusion bucket: a contiguous run of module indices (in BP completion
+/// order) whose gradients are communicated as one operation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Bucket {
+    /// Module indices fused into this bucket, in the order their BP
+    /// completes.
+    pub modules: Vec<usize>,
+    /// Total payload bytes.
+    pub bytes: f64,
+}
+
+impl Bucket {
+    /// The communication can only start when the *last* fused module's
+    /// backward pass has finished.
+    pub fn ready_after(&self) -> usize {
+        *self.modules.last().expect("bucket cannot be empty")
+    }
+}
+
+/// Greedily assign modules (given in BP completion order with their
+/// gradient sizes) to buckets of at most `bucket_bytes`. A module larger
+/// than the bucket size gets its own bucket. `bucket_bytes <= 0` means
+/// no fusion: one bucket per module.
+pub fn assign_buckets(sizes_in_bp_order: &[(usize, f64)], bucket_bytes: f64) -> Vec<Bucket> {
+    let mut out = Vec::new();
+    if bucket_bytes <= 0.0 {
+        for &(m, b) in sizes_in_bp_order {
+            out.push(Bucket { modules: vec![m], bytes: b });
+        }
+        return out;
+    }
+    let mut current = Bucket { modules: Vec::new(), bytes: 0.0 };
+    for &(m, b) in sizes_in_bp_order {
+        if !current.modules.is_empty() && current.bytes + b > bucket_bytes {
+            out.push(std::mem::replace(&mut current, Bucket { modules: Vec::new(), bytes: 0.0 }));
+        }
+        current.modules.push(m);
+        current.bytes += b;
+    }
+    if !current.modules.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_fusion_is_one_bucket_per_module() {
+        let buckets = assign_buckets(&[(0, 10.0), (1, 20.0)], 0.0);
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].modules, vec![0]);
+        assert_eq!(buckets[1].bytes, 20.0);
+    }
+
+    #[test]
+    fn fusion_groups_until_capacity() {
+        let sizes = [(3, 4.0), (2, 4.0), (1, 4.0), (0, 4.0)];
+        let buckets = assign_buckets(&sizes, 8.0);
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].modules, vec![3, 2]);
+        assert_eq!(buckets[1].modules, vec![1, 0]);
+        assert_eq!(buckets[0].ready_after(), 2);
+    }
+
+    #[test]
+    fn oversized_module_gets_own_bucket() {
+        let buckets = assign_buckets(&[(0, 100.0), (1, 1.0), (2, 1.0)], 10.0);
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].modules, vec![0]);
+        assert_eq!(buckets[1].modules, vec![1, 2]);
+    }
+
+    #[test]
+    fn bytes_conserved() {
+        let sizes: Vec<(usize, f64)> = (0..10).map(|i| (i, (i + 1) as f64)).collect();
+        for cap in [0.0, 5.0, 17.0, 1000.0] {
+            let total: f64 = assign_buckets(&sizes, cap).iter().map(|b| b.bytes).sum();
+            assert!((total - 55.0).abs() < 1e-12, "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn huge_capacity_fuses_everything() {
+        let sizes = [(5, 1.0), (4, 1.0), (3, 1.0)];
+        let buckets = assign_buckets(&sizes, 1e9);
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].ready_after(), 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(assign_buckets(&[], 8.0).is_empty());
+    }
+}

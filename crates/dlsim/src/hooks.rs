@@ -1,0 +1,86 @@
+//! Backward-hook registry.
+//!
+//! The prototype "registers a hook on each BP of dense blocks… when this
+//! hook is fired, the corresponding dense communication operations along
+//! with their priorities are dumped into our priority queue", and another
+//! hook on the last BP for the Vertical Sparse Scheduling computation
+//! (§5.1). This registry reproduces that mechanism for the functional
+//! trainer: hooks are keyed by module index and fired as each module's
+//! backward completes.
+
+/// A boxed backward-hook callback.
+type Hook<E> = Box<dyn FnMut(&mut E) + Send>;
+
+/// Callbacks fired when a module's backward pass completes. `E` is the
+/// event payload (typically the per-module gradient context).
+pub struct HookRegistry<E> {
+    hooks: Vec<Vec<Hook<E>>>,
+}
+
+impl<E> HookRegistry<E> {
+    /// Registry for a model of `n_modules` modules.
+    pub fn new(n_modules: usize) -> Self {
+        HookRegistry { hooks: (0..n_modules).map(|_| Vec::new()).collect() }
+    }
+
+    pub fn n_modules(&self) -> usize {
+        self.hooks.len()
+    }
+
+    /// Register `hook` on the BP of `module`.
+    pub fn register<F>(&mut self, module: usize, hook: F)
+    where
+        F: FnMut(&mut E) + Send + 'static,
+    {
+        self.hooks[module].push(Box::new(hook));
+    }
+
+    /// Number of hooks registered on `module`.
+    pub fn count(&self, module: usize) -> usize {
+        self.hooks[module].len()
+    }
+
+    /// Fire all hooks of `module` in registration order.
+    pub fn fire(&mut self, module: usize, event: &mut E) {
+        for h in &mut self.hooks[module] {
+            h(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hooks_fire_in_registration_order() {
+        let mut reg: HookRegistry<Vec<&'static str>> = HookRegistry::new(2);
+        reg.register(0, |log| log.push("first"));
+        reg.register(0, |log| log.push("second"));
+        reg.register(1, |log| log.push("other-module"));
+        let mut log = Vec::new();
+        reg.fire(0, &mut log);
+        assert_eq!(log, vec!["first", "second"]);
+    }
+
+    #[test]
+    fn firing_module_without_hooks_is_noop() {
+        let mut reg: HookRegistry<u32> = HookRegistry::new(3);
+        let mut ev = 0;
+        reg.fire(2, &mut ev);
+        assert_eq!(ev, 0);
+        assert_eq!(reg.count(2), 0);
+    }
+
+    #[test]
+    fn hooks_can_mutate_captured_state() {
+        let mut reg: HookRegistry<i32> = HookRegistry::new(1);
+        let mut total = 0;
+        reg.register(0, move |ev| *ev += 1);
+        for _ in 0..3 {
+            reg.fire(0, &mut total);
+        }
+        assert_eq!(total, 3);
+        assert_eq!(reg.n_modules(), 1);
+    }
+}

@@ -1,0 +1,296 @@
+//! Sparse-capable optimizers: SGD, Adagrad and Adam.
+//!
+//! Vertical Sparse Scheduling (§4.2.2) splits each embedding gradient into
+//! a *prior* and a *delayed* part, so the table is updated twice per step.
+//! SGD and Adagrad are fully element-wise, hence unaffected (§5.7). Adam's
+//! `step` state is *per tensor*, so naively calling it twice advances the
+//! bias correction twice; the paper modifies Adam to advance `step` only
+//! when the delayed part is applied. [`UpdatePart`] selects that behaviour
+//! and the equivalence is proven in this module's tests.
+
+use embrace_tensor::{DenseTensor, RowSparse};
+
+/// Which portion of a split sparse gradient an update call carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdatePart {
+    /// The entire gradient in one call (non-EmbRace behaviour).
+    Whole,
+    /// The prior rows (needed by the next batch); `step` must NOT advance.
+    Prior,
+    /// The delayed rows; `step` advances here, completing the logical step.
+    Delayed,
+}
+
+/// A parameter-tensor optimizer with dense and row-sparse update paths.
+pub trait Optimizer {
+    /// Apply a dense gradient to a dense parameter tensor.
+    fn step_dense(&mut self, params: &mut DenseTensor, grad: &DenseTensor);
+
+    /// Apply a (coalesced) row-sparse gradient to `params`.
+    fn step_sparse(&mut self, params: &mut DenseTensor, grad: &RowSparse, part: UpdatePart);
+}
+
+/// Plain SGD: `p -= lr * g`. Stateless, trivially element-wise.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    pub lr: f32,
+}
+
+impl Sgd {
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step_dense(&mut self, params: &mut DenseTensor, grad: &DenseTensor) {
+        params.axpy(-self.lr, grad);
+    }
+
+    fn step_sparse(&mut self, params: &mut DenseTensor, grad: &RowSparse, _part: UpdatePart) {
+        for (i, &row) in grad.indices().iter().enumerate() {
+            let dst = params.row_mut(row as usize);
+            for (p, g) in dst.iter_mut().zip(grad.values().row(i)) {
+                *p -= self.lr * g;
+            }
+        }
+    }
+}
+
+/// Adagrad (Duchi et al. 2011): per-element accumulated squared gradients.
+/// Fully element-wise, so split updates are exactly equivalent to whole
+/// updates regardless of `UpdatePart`.
+#[derive(Clone, Debug)]
+pub struct Adagrad {
+    pub lr: f32,
+    pub eps: f32,
+    accum: DenseTensor,
+}
+
+impl Adagrad {
+    pub fn new(rows: usize, cols: usize, lr: f32) -> Self {
+        Adagrad { lr, eps: 1e-10, accum: DenseTensor::zeros(rows, cols) }
+    }
+
+    fn update_row(&mut self, params: &mut DenseTensor, row: usize, grad_row: &[f32]) {
+        let acc = self.accum.row_mut(row);
+        let dst = params.row_mut(row);
+        for ((p, a), &g) in dst.iter_mut().zip(acc).zip(grad_row) {
+            *a += g * g;
+            *p -= self.lr * g / (a.sqrt() + self.eps);
+        }
+    }
+}
+
+impl Optimizer for Adagrad {
+    fn step_dense(&mut self, params: &mut DenseTensor, grad: &DenseTensor) {
+        assert_eq!(params.rows(), grad.rows());
+        for r in 0..params.rows() {
+            let g = grad.row(r).to_vec();
+            self.update_row(params, r, &g);
+        }
+    }
+
+    fn step_sparse(&mut self, params: &mut DenseTensor, grad: &RowSparse, _part: UpdatePart) {
+        for (i, &row) in grad.indices().iter().enumerate() {
+            let g = grad.values().row(i).to_vec();
+            self.update_row(params, row as usize, &g);
+        }
+    }
+}
+
+/// Adam (Kingma & Ba 2014), PyTorch-style with a per-tensor `step` counter
+/// used for bias correction.
+///
+/// `step` advances on [`UpdatePart::Whole`] and [`UpdatePart::Delayed`]
+/// but not on [`UpdatePart::Prior`] — the paper's modification (§5.7)
+/// making `Prior`-then-`Delayed` bit-identical to one `Whole` update on
+/// the union of rows.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    m: DenseTensor,
+    v: DenseTensor,
+    step: u64,
+}
+
+impl Adam {
+    pub fn new(rows: usize, cols: usize, lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: DenseTensor::zeros(rows, cols),
+            v: DenseTensor::zeros(rows, cols),
+            step: 0,
+        }
+    }
+
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    fn effective_step(&mut self, part: UpdatePart) -> u64 {
+        match part {
+            UpdatePart::Whole | UpdatePart::Delayed => {
+                self.step += 1;
+                self.step
+            }
+            // Use the upcoming step's bias correction without committing it.
+            UpdatePart::Prior => self.step + 1,
+        }
+    }
+
+    fn update_row(&mut self, params: &mut DenseTensor, row: usize, grad_row: &[f32], t: u64) {
+        let bc1 = 1.0 - self.beta1.powi(t as i32);
+        let bc2 = 1.0 - self.beta2.powi(t as i32);
+        let m = self.m.row_mut(row);
+        let v = self.v.row_mut(row);
+        let dst = params.row_mut(row);
+        for (((p, m), v), &g) in dst.iter_mut().zip(m).zip(v).zip(grad_row) {
+            *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+            *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+            let m_hat = *m / bc1;
+            let v_hat = *v / bc2;
+            *p -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step_dense(&mut self, params: &mut DenseTensor, grad: &DenseTensor) {
+        assert_eq!(params.rows(), grad.rows());
+        let t = self.effective_step(UpdatePart::Whole);
+        for r in 0..params.rows() {
+            let g = grad.row(r).to_vec();
+            self.update_row(params, r, &g, t);
+        }
+    }
+
+    fn step_sparse(&mut self, params: &mut DenseTensor, grad: &RowSparse, part: UpdatePart) {
+        let t = self.effective_step(part);
+        for (i, &row) in grad.indices().iter().enumerate() {
+            let g = grad.values().row(i).to_vec();
+            self.update_row(params, row as usize, &g, t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embrace_tensor::index_select;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn rand_grad(rows: &[u32], dim: usize, seed: u64) -> RowSparse {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vals = DenseTensor::uniform(rows.len(), dim, 1.0, &mut rng);
+        RowSparse::new(rows.to_vec(), vals)
+    }
+
+    #[test]
+    fn sgd_sparse_matches_dense() {
+        let mut p1 = DenseTensor::full(4, 2, 1.0);
+        let mut p2 = p1.clone();
+        let g = rand_grad(&[0, 2], 2, 7);
+        Sgd::new(0.1).step_sparse(&mut p1, &g, UpdatePart::Whole);
+        Sgd::new(0.1).step_dense(&mut p2, &g.to_dense(4));
+        assert!(p1.approx_eq(&p2, 1e-7));
+    }
+
+    #[test]
+    fn adagrad_split_equals_whole() {
+        let g = rand_grad(&[0, 1, 3, 5], 3, 11);
+        let prior = index_select(&g, &[1, 5]);
+        let delayed = index_select(&g, &[0, 3]);
+
+        let mut p_whole = DenseTensor::full(6, 3, 0.5);
+        let mut p_split = p_whole.clone();
+        let mut o_whole = Adagrad::new(6, 3, 0.05);
+        let mut o_split = o_whole.clone();
+
+        o_whole.step_sparse(&mut p_whole, &g, UpdatePart::Whole);
+        o_split.step_sparse(&mut p_split, &prior, UpdatePart::Prior);
+        o_split.step_sparse(&mut p_split, &delayed, UpdatePart::Delayed);
+        assert!(p_whole.approx_eq(&p_split, 0.0), "Adagrad is element-wise: exact match expected");
+    }
+
+    #[test]
+    fn adam_modified_split_equals_whole() {
+        // The §5.7 claim: with the step-state modification, prior+delayed
+        // equals a single whole update — over many steps.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut p_whole = DenseTensor::full(8, 2, 0.3);
+        let mut p_split = p_whole.clone();
+        let mut o_whole = Adam::new(8, 2, 0.01);
+        let mut o_split = o_whole.clone();
+
+        for step in 0..20 {
+            let rows: Vec<u32> = (0..8u32).filter(|_| rng.gen_bool(0.6)).collect();
+            if rows.is_empty() {
+                continue;
+            }
+            let g = rand_grad(&rows, 2, 100 + step);
+            let cut = rows.len() / 2;
+            let prior = index_select(&g, &rows[..cut]);
+            let delayed = index_select(&g, &rows[cut..]);
+
+            o_whole.step_sparse(&mut p_whole, &g, UpdatePart::Whole);
+            o_split.step_sparse(&mut p_split, &prior, UpdatePart::Prior);
+            o_split.step_sparse(&mut p_split, &delayed, UpdatePart::Delayed);
+        }
+        assert!(p_whole.approx_eq(&p_split, 0.0), "modified Adam must match exactly");
+        assert_eq!(o_whole.step_count(), o_split.step_count());
+    }
+
+    #[test]
+    fn adam_unmodified_double_step_diverges() {
+        // Without the modification (two Whole calls), the step counter
+        // advances twice and results differ — the problem §5.7 fixes.
+        let g = rand_grad(&[0, 1, 2, 3], 2, 5);
+        let prior = index_select(&g, &[0, 1]);
+        let delayed = index_select(&g, &[2, 3]);
+
+        let mut p_ref = DenseTensor::full(4, 2, 0.3);
+        let mut p_bad = p_ref.clone();
+        let mut o_ref = Adam::new(4, 2, 0.01);
+        let mut o_bad = o_ref.clone();
+
+        for _ in 0..5 {
+            o_ref.step_sparse(&mut p_ref, &g, UpdatePart::Whole);
+            o_bad.step_sparse(&mut p_bad, &prior, UpdatePart::Whole);
+            o_bad.step_sparse(&mut p_bad, &delayed, UpdatePart::Whole);
+        }
+        assert!(o_bad.step_count() > o_ref.step_count());
+        assert!(p_ref.max_abs_diff(&p_bad) > 0.0, "naive double update must differ");
+    }
+
+    #[test]
+    fn adam_moves_params_toward_minimum() {
+        // Minimise (p - 2)^2 / 2 by gradient p - 2.
+        let mut p = DenseTensor::full(1, 1, 0.0);
+        let mut o = Adam::new(1, 1, 0.1);
+        for _ in 0..400 {
+            let g = DenseTensor::from_vec(1, 1, vec![p.as_slice()[0] - 2.0]);
+            o.step_dense(&mut p, &g);
+        }
+        assert!((p.as_slice()[0] - 2.0).abs() < 0.05, "got {}", p.as_slice()[0]);
+    }
+
+    #[test]
+    fn adagrad_shrinks_effective_rate() {
+        let mut p = DenseTensor::full(1, 1, 0.0);
+        let mut o = Adagrad::new(1, 1, 1.0);
+        let g = DenseTensor::full(1, 1, 1.0);
+        o.step_dense(&mut p, &g);
+        let first = -p.as_slice()[0];
+        let before = p.as_slice()[0];
+        o.step_dense(&mut p, &g);
+        let second = before - p.as_slice()[0];
+        assert!(second < first, "accumulated squares must damp the step");
+    }
+}

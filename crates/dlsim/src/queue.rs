@@ -1,0 +1,145 @@
+//! A stable priority queue for communication scheduling.
+//!
+//! The paper replaces the framework's FIFO communication queue with a
+//! priority queue (§2.3, §4.2.1): gradient communications that block the
+//! next FP soonest are drained first. Ties must break by enqueue order
+//! (stability) so equal-priority operations keep wait-free-backprop order.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<T> {
+    priority: i64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for min-first semantics.
+        (other.priority, other.seq).cmp(&(self.priority, self.seq))
+    }
+}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-priority queue with FIFO tie-breaking. Lower `priority` pops first.
+pub struct StablePriorityQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+}
+
+impl<T> Default for StablePriorityQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> StablePriorityQueue<T> {
+    pub fn new() -> Self {
+        StablePriorityQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    pub fn push(&mut self, priority: i64, item: T) {
+        self.heap.push(Entry { priority, seq: self.seq, item });
+        self.seq += 1;
+    }
+
+    /// Remove and return the lowest-priority-value item (FIFO among ties).
+    pub fn pop(&mut self) -> Option<(i64, T)> {
+        self.heap.pop().map(|e| (e.priority, e.item))
+    }
+
+    /// Priority of the next item to pop.
+    pub fn peek_priority(&self) -> Option<i64> {
+        self.heap.peek().map(|e| e.priority)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drain everything in priority order.
+    pub fn drain_ordered(&mut self) -> Vec<(i64, T)> {
+        let mut out = Vec::with_capacity(self.len());
+        while let Some(x) = self.pop() {
+            out.push(x);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_lowest_priority_first() {
+        let mut q = StablePriorityQueue::new();
+        q.push(5, "e");
+        q.push(1, "a");
+        q.push(3, "c");
+        let order: Vec<&str> = q.drain_ordered().into_iter().map(|(_, x)| x).collect();
+        assert_eq!(order, vec!["a", "c", "e"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = StablePriorityQueue::new();
+        q.push(1, "first");
+        q.push(1, "second");
+        q.push(0, "urgent");
+        q.push(1, "third");
+        let order: Vec<&str> = q.drain_ordered().into_iter().map(|(_, x)| x).collect();
+        assert_eq!(order, vec!["urgent", "first", "second", "third"]);
+    }
+
+    #[test]
+    fn negative_priorities_are_most_urgent() {
+        let mut q = StablePriorityQueue::new();
+        q.push(0, "dense");
+        q.push(-1, "prior-grads");
+        q.push(i64::MAX, "delayed-grads");
+        assert_eq!(q.pop().unwrap().1, "prior-grads");
+        assert_eq!(q.pop().unwrap().1, "dense");
+        assert_eq!(q.pop().unwrap().1, "delayed-grads");
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = StablePriorityQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_priority(), None);
+        q.push(2, ());
+        q.push(1, ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_priority(), Some(1));
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = StablePriorityQueue::new();
+        q.push(2, "b");
+        assert_eq!(q.pop().unwrap().1, "b");
+        q.push(3, "c");
+        q.push(1, "a");
+        assert_eq!(q.pop().unwrap().1, "a");
+        q.push(0, "z");
+        assert_eq!(q.pop().unwrap().1, "z");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,355 @@
+//! Synthetic token workloads with Zipf-distributed vocabularies.
+//!
+//! NLP batch statistics drive everything in Vertical Sparse Scheduling:
+//! duplicate/padded tokens make coalescing effective (Table 3), and
+//! batch-to-batch overlap determines the prior/delayed split. Natural
+//! corpora have Zipfian word frequencies, so a Zipf sampler plus a padding
+//! fraction reproduces both effects; per-model exponents are calibrated in
+//! [`crate::spec`].
+
+use crate::spec::ModelSpec;
+use embrace_simnet::GpuKind;
+use embrace_tensor::{intersect, unique_sorted};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Token id reserved for padding (§4.2.2: "the same value will be padded").
+pub const PAD_TOKEN: u32 = 0;
+
+/// Inverse-CDF sampler over token ids `1..vocab` with Zipf weights
+/// `P(k) ∝ 1/k^s`. The cumulative table is shared between clones so all
+/// workers of a job sample the same corpus distribution cheaply.
+#[derive(Clone)]
+pub struct ZipfSampler {
+    cum: Arc<Vec<f64>>,
+}
+
+impl ZipfSampler {
+    pub fn new(vocab: usize, s: f64) -> Self {
+        assert!(vocab >= 2, "need at least PAD + one real token");
+        let mut cum = Vec::with_capacity(vocab - 1);
+        let mut total = 0.0;
+        for k in 1..vocab {
+            total += 1.0 / (k as f64).powf(s);
+            cum.push(total);
+        }
+        ZipfSampler { cum: Arc::new(cum) }
+    }
+
+    /// Number of samplable (non-pad) tokens.
+    pub fn support(&self) -> usize {
+        self.cum.len()
+    }
+
+    /// Draw one token id in `1..=support`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u32 {
+        let total = *self.cum.last().unwrap();
+        let u = rng.gen_range(0.0..total);
+        // partition_point: first index with cum[i] > u.
+        let idx = self.cum.partition_point(|&c| c <= u);
+        (idx + 1) as u32
+    }
+}
+
+/// Per-worker batch generator: an infinite stream of token batches.
+#[derive(Clone)]
+pub struct BatchGen {
+    sampler: ZipfSampler,
+    tokens_per_batch: usize,
+    pad_fraction: f64,
+    rng: StdRng,
+}
+
+impl BatchGen {
+    pub fn new(sampler: ZipfSampler, tokens_per_batch: usize, pad_fraction: f64, seed: u64) -> Self {
+        BatchGen { sampler, tokens_per_batch, pad_fraction, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Generator for `spec`'s workload on `gpu`, for worker `rank`.
+    /// The model's embedding tables are treated as one logical table of
+    /// `Σ vocab` rows; token ids index into it.
+    pub fn from_spec(spec: &ModelSpec, gpu: GpuKind, rank: usize, seed: u64) -> Self {
+        let vocab: usize = spec.embeddings.iter().map(|e| e.vocab).sum();
+        let sampler = ZipfSampler::new(vocab, spec.zipf_s);
+        BatchGen::new(sampler, spec.tokens_per_batch(gpu), spec.pad_fraction, seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    pub fn tokens_per_batch(&self) -> usize {
+        self.tokens_per_batch
+    }
+
+    /// Produce the next batch: `tokens_per_batch` positions, each PAD with
+    /// probability `pad_fraction`, otherwise a Zipf draw.
+    pub fn next_batch(&mut self) -> Vec<u32> {
+        (0..self.tokens_per_batch)
+            .map(|_| {
+                if self.rng.gen_bool(self.pad_fraction) {
+                    PAD_TOKEN
+                } else {
+                    self.sampler.sample(&mut self.rng)
+                }
+            })
+            .collect()
+    }
+}
+
+impl Iterator for BatchGen {
+    type Item = Vec<u32>;
+
+    fn next(&mut self) -> Option<Vec<u32>> {
+        Some(self.next_batch())
+    }
+}
+
+/// Average per-worker-batch gradient statistics (the quantities of the
+/// paper's Table 3), measured over a synthetic workload.
+#[derive(Clone, Copy, Debug)]
+pub struct GradStats {
+    /// Average raw gradient rows per batch (token positions).
+    pub rows_original: f64,
+    /// Average rows after coalescing duplicates (unique tokens).
+    pub rows_coalesced: f64,
+    /// Average rows in the prior part: `unique(D_cur[rank]) ∩ D_next`.
+    pub rows_prior: f64,
+    /// Wire bytes per COO row.
+    pub row_bytes: usize,
+}
+
+impl GradStats {
+    const MIB: f64 = 1024.0 * 1024.0;
+
+    pub fn original_mib(&self) -> f64 {
+        self.rows_original * self.row_bytes as f64 / Self::MIB
+    }
+
+    pub fn coalesced_mib(&self) -> f64 {
+        self.rows_coalesced * self.row_bytes as f64 / Self::MIB
+    }
+
+    pub fn prior_mib(&self) -> f64 {
+        self.rows_prior * self.row_bytes as f64 / Self::MIB
+    }
+
+    /// Fraction of rows surviving coalescing.
+    pub fn coalesce_ratio(&self) -> f64 {
+        self.rows_coalesced / self.rows_original
+    }
+
+    /// Fraction of coalesced rows that are prior (needed by next batch).
+    pub fn prior_ratio(&self) -> f64 {
+        self.rows_prior / self.rows_coalesced
+    }
+}
+
+/// Measure Table 3 statistics for `spec` on `gpu` with `world` workers,
+/// averaged over `steps` steps. Implements exactly Algorithm 1's set
+/// algebra: `Du = UNIQUE(D_cur[rank])`, `i_prior = Du ∩ D_next` where
+/// `D_next` is the *gathered* (all-worker) next-iteration data.
+pub fn grad_stats(spec: &ModelSpec, gpu: GpuKind, world: usize, steps: usize, seed: u64) -> GradStats {
+    assert!(steps > 0 && world > 0);
+    let mut gens: Vec<BatchGen> =
+        (0..world).map(|r| BatchGen::from_spec(spec, gpu, r, seed)).collect();
+    let mut cur: Vec<Vec<u32>> = gens.iter_mut().map(|g| g.next_batch()).collect();
+
+    let (mut orig, mut coal, mut prior) = (0.0, 0.0, 0.0);
+    for _ in 0..steps {
+        let next: Vec<Vec<u32>> = gens.iter_mut().map(|g| g.next_batch()).collect();
+        let next_union = unique_sorted(&next.concat());
+        for batch in &cur {
+            let du = unique_sorted(batch);
+            orig += batch.len() as f64;
+            coal += du.len() as f64;
+            prior += intersect(&du, &next_union).len() as f64;
+        }
+        cur = next;
+    }
+    let denom = (steps * world) as f64;
+    GradStats {
+        rows_original: orig / denom,
+        rows_coalesced: coal / denom,
+        rows_prior: prior / denom,
+        row_bytes: spec.grad_row_bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ModelId;
+
+    #[test]
+    fn zipf_prefers_head_tokens() {
+        let s = ZipfSampler::new(10_000, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let draws: Vec<u32> = (0..20_000).map(|_| s.sample(&mut rng)).collect();
+        let head = draws.iter().filter(|&&t| t <= 100).count();
+        let tail = draws.iter().filter(|&&t| t > 5_000).count();
+        assert!(head > 10 * tail.max(1), "head {head} vs tail {tail}");
+        assert!(draws.iter().all(|&t| (1..10_000).contains(&(t as usize))));
+    }
+
+    #[test]
+    fn zipf_never_emits_pad() {
+        let s = ZipfSampler::new(50, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert_ne!(s.sample(&mut rng), PAD_TOKEN);
+        }
+    }
+
+    #[test]
+    fn batches_are_deterministic_per_seed() {
+        let spec = ModelSpec::get(ModelId::Gnmt8);
+        let mut a = BatchGen::from_spec(&spec, GpuKind::Rtx3090, 0, 42);
+        let mut b = BatchGen::from_spec(&spec, GpuKind::Rtx3090, 0, 42);
+        assert_eq!(a.next_batch(), b.next_batch());
+        let mut c = BatchGen::from_spec(&spec, GpuKind::Rtx3090, 1, 42);
+        assert_ne!(a.next_batch(), c.next_batch(), "ranks see different data shards");
+    }
+
+    #[test]
+    fn batch_size_matches_spec() {
+        let spec = ModelSpec::get(ModelId::BertBase);
+        let mut g = BatchGen::from_spec(&spec, GpuKind::Rtx2080, 0, 7);
+        assert_eq!(g.next_batch().len(), spec.tokens_per_batch(GpuKind::Rtx2080));
+    }
+
+    #[test]
+    fn pad_fraction_realised() {
+        let s = ZipfSampler::new(1000, 1.0);
+        let mut g = BatchGen::new(s, 50_000, 0.3, 3);
+        let batch = g.next_batch();
+        let pads = batch.iter().filter(|&&t| t == PAD_TOKEN).count() as f64;
+        let frac = pads / batch.len() as f64;
+        assert!((frac - 0.3).abs() < 0.02, "pad fraction {frac}");
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let spec = ModelSpec::get(ModelId::Gnmt8);
+        let st = grad_stats(&spec, GpuKind::Rtx3090, 4, 5, 11);
+        assert!(st.rows_coalesced <= st.rows_original);
+        assert!(st.rows_prior <= st.rows_coalesced);
+        assert!(st.rows_prior > 0.0);
+        assert!(st.original_mib() > st.coalesced_mib());
+        assert!(st.coalesced_mib() > st.prior_mib());
+        assert!((st.rows_original - spec.tokens_per_batch(GpuKind::Rtx3090) as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn coalescing_shrinks_more_for_bert() {
+        // The paper's Table 3 ordering: BERT coalesces hardest (84.7%
+        // reduction), LM least (20.4%).
+        let lm = grad_stats(&ModelSpec::get(ModelId::Lm), GpuKind::Rtx3090, 4, 3, 5);
+        let bert = grad_stats(&ModelSpec::get(ModelId::BertBase), GpuKind::Rtx3090, 4, 3, 5);
+        assert!(bert.coalesce_ratio() < lm.coalesce_ratio());
+    }
+}
+
+#[cfg(test)]
+mod calibration_probe {
+    use super::*;
+    use crate::spec::ModelId;
+
+    /// Not an assertion — prints measured Table 3 ratios for tuning.
+    /// Run with: cargo test -p embrace-models probe -- --ignored --nocapture
+    #[test]
+    #[ignore]
+    fn probe_table3() {
+        for id in ModelId::ALL {
+            let spec = ModelSpec::get(id);
+            let st = grad_stats(&spec, GpuKind::Rtx3090, 8, 10, 42);
+            println!(
+                "{:<12} orig {:6.1} MiB  coal {:6.1} MiB ({:.3})  prior {:6.1} MiB ({:.3})",
+                spec.name,
+                st.original_mib(),
+                st.coalesced_mib(),
+                st.coalesce_ratio(),
+                st.prior_mib(),
+                st.prior_ratio()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod table3_calibration {
+    use super::*;
+    use crate::spec::ModelId;
+
+    /// The synthetic workloads must reproduce the paper's Table 3 gradient
+    /// shrinkage: coalesce ratio within ±0.08 absolute, prior ratio within
+    /// ±0.15 (the prior split is the noisier statistic; measured values
+    /// are recorded in EXPERIMENTS.md).
+    #[test]
+    fn ratios_track_paper_table3() {
+        let targets = [
+            (ModelId::Lm, 6.9 / 8.7, 2.6 / 6.9),
+            (ModelId::Gnmt8, 12.2 / 26.0, 5.8 / 12.2),
+            (ModelId::Transformer, 16.6 / 35.2, 8.9 / 16.6),
+            (ModelId::BertBase, 5.5 / 36.0, 3.2 / 5.5),
+        ];
+        for (id, coal_t, prior_t) in targets {
+            let spec = ModelSpec::get(id);
+            let st = grad_stats(&spec, GpuKind::Rtx3090, 8, 6, 42);
+            assert!(
+                (st.coalesce_ratio() - coal_t).abs() < 0.08,
+                "{}: coalesce {:.3} vs paper {:.3}",
+                spec.name,
+                st.coalesce_ratio(),
+                coal_t
+            );
+            assert!(
+                (st.prior_ratio() - prior_t).abs() < 0.15,
+                "{}: prior {:.3} vs paper {:.3}",
+                spec.name,
+                st.prior_ratio(),
+                prior_t
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+    use crate::spec::ModelId;
+
+    #[test]
+    fn grad_stats_deterministic_for_seed() {
+        let spec = ModelSpec::get(ModelId::BertBase);
+        let a = grad_stats(&spec, GpuKind::Rtx3090, 4, 3, 9);
+        let b = grad_stats(&spec, GpuKind::Rtx3090, 4, 3, 9);
+        assert_eq!(a.rows_original, b.rows_original);
+        assert_eq!(a.rows_coalesced, b.rows_coalesced);
+        assert_eq!(a.rows_prior, b.rows_prior);
+    }
+
+    #[test]
+    fn prior_rows_grow_with_world() {
+        // D_next is gathered over all workers: more workers, more of this
+        // worker's tokens reappear somewhere next step.
+        let spec = ModelSpec::get(ModelId::Gnmt8);
+        let small = grad_stats(&spec, GpuKind::Rtx3090, 2, 4, 5);
+        let large = grad_stats(&spec, GpuKind::Rtx3090, 12, 4, 5);
+        assert!(
+            large.rows_prior > small.rows_prior,
+            "world 12 prior {} vs world 2 prior {}",
+            large.rows_prior,
+            small.rows_prior
+        );
+        // Coalescing is world-independent (per-batch statistic).
+        assert!((large.rows_coalesced - small.rows_coalesced).abs() / small.rows_coalesced < 0.05);
+    }
+
+    #[test]
+    fn smaller_batches_coalesce_less() {
+        // Fewer draws over the same vocabulary → fewer collisions →
+        // higher surviving fraction.
+        let spec = ModelSpec::get(ModelId::Transformer);
+        let big = grad_stats(&spec, GpuKind::Rtx3090, 4, 3, 5); // 8994 tokens
+        let small = grad_stats(&spec, GpuKind::Rtx2080, 4, 3, 5); // 878 tokens
+        assert!(small.coalesce_ratio() > big.coalesce_ratio());
+    }
+}

@@ -1,0 +1,33 @@
+//! NLP model specifications and synthetic workloads.
+//!
+//! The paper evaluates four models (Table 1): **LM** (Jozefowicz et al.
+//! big-LSTM on LM1B), **GNMT-8** (WMT16 En-De), **Transformer** (WMT14
+//! En-De) and **BERT-base** (SQuAD). Reproducing the experiments needs
+//! three things from each model, none of which require the actual weights:
+//!
+//! 1. **Sizes** — embedding and dense parameter volumes (Table 1), which we
+//!    encode exactly: e.g. LM's two `793471 × 512` tables are precisely the
+//!    paper's 3099.5 MiB of embedding parameters.
+//! 2. **Workload statistics** — how many embedding rows a batch touches,
+//!    how many are duplicates (coalescing, Table 3) and how much overlap
+//!    consecutive batches have (prior/delayed split, Table 3). Generated
+//!    synthetically with Zipf-distributed tokens plus padding, calibrated
+//!    per model in [`spec`].
+//! 3. **Compute costs** — per-module FP/BP times per GPU kind, estimated
+//!    from the paper's setup (§5.2) and documented in [`spec::ModelSpec`].
+//!
+//! # Example
+//!
+//! ```
+//! use embrace_models::{ModelId, ModelSpec};
+//!
+//! let lm = ModelSpec::get(ModelId::Lm);
+//! assert_eq!(format!("{:.1}", lm.embedding_mib()), "3099.5"); // Table 1
+//! assert!(lm.embedding_ratio() > 0.97);
+//! ```
+
+pub mod data;
+pub mod spec;
+
+pub use data::{grad_stats, BatchGen, GradStats, ZipfSampler};
+pub use spec::{EmbeddingDef, ModelId, ModelSpec};

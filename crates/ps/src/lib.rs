@@ -1,0 +1,24 @@
+//! Sharded parameter-server substrate.
+//!
+//! Two of the paper's baselines are PS-based: **BytePS** (dense PS +
+//! ByteScheduler) and **Parallax** (row-partitioned *sparse* PS for
+//! embeddings + AllReduce for dense parameters, §5.2.3). This crate
+//! provides the functional server: an in-process, shard-locked parameter
+//! store with synchronous push/pull semantics. Timing is modelled
+//! separately by `embrace_simnet::cost::CostModel::ps`.
+//!
+//! # Example
+//!
+//! ```
+//! use embrace_ps::ShardedStore;
+//! use embrace_tensor::{DenseTensor, RowSparse};
+//!
+//! let store = ShardedStore::new(DenseTensor::zeros(8, 2), 2, 1);
+//! let grad = RowSparse::new(vec![3], DenseTensor::full(1, 2, 1.0));
+//! store.push_sparse(&grad, 0.5);
+//! assert_eq!(store.pull_rows(&[3]).row(0), &[-0.5, -0.5]);
+//! ```
+
+pub mod store;
+
+pub use store::ShardedStore;

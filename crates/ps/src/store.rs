@@ -1,0 +1,266 @@
+//! The sharded synchronous parameter store.
+//!
+//! Parameters of one table (`vocab × dim`) are **row-partitioned** across
+//! `shards` server shards (Parallax partitions its sparse PS this way; the
+//! paper contrasts this with EmbRace's column-wise partitioning in §4.1.1).
+//! Workers `pull` the rows they need and `push` sparse gradients; a push
+//! blocks until all `world` workers of the step have pushed, then one
+//! worker applies the summed update — synchronous data-parallel semantics.
+
+use embrace_tensor::{coalesce, row_partition, DenseTensor, RowRange, RowSparse};
+use parking_lot::{Condvar, Mutex};
+
+struct ShardState {
+    /// Parameter rows `range.start..range.end` of the global table.
+    table: DenseTensor,
+    /// Sum of gradients pushed this step (global row ids).
+    pending: Vec<RowSparse>,
+    /// Number of workers that have pushed this step.
+    pushes: usize,
+    /// Monotone step counter, bumped when an update is applied.
+    step: u64,
+}
+
+struct Shard {
+    range: RowRange,
+    state: Mutex<ShardState>,
+    cv: Condvar,
+}
+
+/// A row-sharded parameter server for one embedding table.
+///
+/// All methods take `&self`; shards are independently locked so pushes to
+/// different shards proceed in parallel.
+pub struct ShardedStore {
+    vocab: usize,
+    dim: usize,
+    world: usize,
+    shards: Vec<Shard>,
+}
+
+impl ShardedStore {
+    /// Create a store holding `init` (a `vocab × dim` table) split across
+    /// `shards` row shards, serving `world` synchronous workers.
+    pub fn new(init: DenseTensor, shards: usize, world: usize) -> Self {
+        assert!(shards > 0 && world > 0);
+        let vocab = init.rows();
+        let dim = init.cols();
+        let ranges = row_partition(vocab, shards);
+        let shards = ranges
+            .into_iter()
+            .map(|range| {
+                let rows: Vec<u32> = (range.start as u32..range.end as u32).collect();
+                Shard {
+                    range,
+                    state: Mutex::new(ShardState {
+                        table: init.gather_rows(&rows),
+                        pending: Vec::new(),
+                        pushes: 0,
+                        step: 0,
+                    }),
+                    cv: Condvar::new(),
+                }
+            })
+            .collect();
+        ShardedStore { vocab, dim, world, shards }
+    }
+
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, row: u32) -> usize {
+        self.shards
+            .iter()
+            .position(|s| s.range.contains(row))
+            .unwrap_or_else(|| panic!("row {row} outside table of {} rows", self.vocab))
+    }
+
+    /// Fetch the current values of `rows` (global ids, any order, duplicates
+    /// allowed) — the per-step parameter pull.
+    pub fn pull_rows(&self, rows: &[u32]) -> DenseTensor {
+        let mut out = DenseTensor::zeros(rows.len(), self.dim);
+        for (i, &row) in rows.iter().enumerate() {
+            let shard = &self.shards[self.shard_of(row)];
+            let st = shard.state.lock();
+            let local = row as usize - shard.range.start;
+            out.row_mut(i).copy_from_slice(st.table.row(local));
+        }
+        out
+    }
+
+    /// Push this worker's sparse gradient for the step and block until the
+    /// step's summed update (SGD with rate `lr`) has been applied by the
+    /// last pusher. Every worker must push exactly once per step.
+    pub fn push_sparse(&self, grad: &RowSparse, lr: f32) {
+        assert_eq!(grad.dim(), self.dim, "gradient dim mismatch");
+        // Split the gradient by owning shard, then run the sync protocol
+        // independently per shard (empty pushes still participate so the
+        // barrier count reaches `world` on every shard).
+        let mut per_shard: Vec<(Vec<u32>, Vec<u32>)> = vec![(Vec::new(), Vec::new()); self.shards.len()];
+        for (pos, &row) in grad.indices().iter().enumerate() {
+            let s = self.shard_of(row);
+            per_shard[s].0.push(pos as u32);
+            per_shard[s].1.push(row);
+        }
+        for (sidx, (positions, rows)) in per_shard.into_iter().enumerate() {
+            let shard = &self.shards[sidx];
+            let part = if positions.is_empty() {
+                RowSparse::empty(self.dim)
+            } else {
+                RowSparse::new(rows, grad.values().gather_rows(&positions))
+            };
+            let mut st = shard.state.lock();
+            let my_step = st.step;
+            if !part.is_empty() {
+                st.pending.push(part);
+            }
+            st.pushes += 1;
+            if st.pushes == self.world {
+                // Last pusher applies the update.
+                let pending = std::mem::take(&mut st.pending);
+                if !pending.is_empty() {
+                    let summed = coalesce(&RowSparse::concat(&pending));
+                    let start = shard.range.start;
+                    for (i, &row) in summed.indices().iter().enumerate() {
+                        let dst = st.table.row_mut(row as usize - start);
+                        for (d, g) in dst.iter_mut().zip(summed.values().row(i)) {
+                            *d -= lr * g;
+                        }
+                    }
+                }
+                st.pushes = 0;
+                st.step += 1;
+                shard.cv.notify_all();
+            } else {
+                shard.cv.wait_while(&mut st, |st| st.step == my_step);
+            }
+        }
+    }
+
+    /// Snapshot the full table (test/inspection helper).
+    pub fn snapshot(&self) -> DenseTensor {
+        let blocks: Vec<DenseTensor> = self
+            .shards
+            .iter()
+            .map(|s| s.state.lock().table.clone())
+            .collect();
+        DenseTensor::concat_rows(&blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn arange_table(vocab: usize, dim: usize) -> DenseTensor {
+        DenseTensor::from_vec(vocab, dim, (0..vocab * dim).map(|x| x as f32).collect())
+    }
+
+    #[test]
+    fn pull_returns_requested_rows() {
+        let store = ShardedStore::new(arange_table(10, 2), 3, 1);
+        let got = store.pull_rows(&[9, 0, 9]);
+        assert_eq!(got.row(0), &[18.0, 19.0]);
+        assert_eq!(got.row(1), &[0.0, 1.0]);
+        assert_eq!(got.row(2), &[18.0, 19.0]);
+    }
+
+    #[test]
+    fn single_worker_push_applies_sgd() {
+        let store = ShardedStore::new(DenseTensor::zeros(4, 2), 2, 1);
+        let g = RowSparse::new(vec![1, 3], DenseTensor::full(2, 2, 1.0));
+        store.push_sparse(&g, 0.5);
+        let snap = store.snapshot();
+        assert_eq!(snap.row(1), &[-0.5, -0.5]);
+        assert_eq!(snap.row(3), &[-0.5, -0.5]);
+        assert_eq!(snap.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn synchronous_push_sums_across_workers() {
+        let world = 4;
+        let store = Arc::new(ShardedStore::new(DenseTensor::zeros(8, 1), 3, world));
+        thread::scope(|s| {
+            for w in 0..world {
+                let store = Arc::clone(&store);
+                s.spawn(move || {
+                    // All workers touch row 2; worker w also touches row w+3.
+                    let g = RowSparse::new(
+                        vec![2, (w + 3) as u32],
+                        DenseTensor::from_vec(2, 1, vec![1.0, 10.0]),
+                    );
+                    store.push_sparse(&g, 1.0);
+                });
+            }
+        });
+        let snap = store.snapshot();
+        assert_eq!(snap.row(2), &[-4.0]); // summed over 4 workers
+        for w in 0..world {
+            assert_eq!(snap.row(w + 3), &[-10.0]);
+        }
+    }
+
+    #[test]
+    fn multiple_steps_advance() {
+        let store = Arc::new(ShardedStore::new(DenseTensor::zeros(2, 1), 1, 2));
+        thread::scope(|s| {
+            for _ in 0..2 {
+                let store = Arc::clone(&store);
+                s.spawn(move || {
+                    for _ in 0..5 {
+                        let g = RowSparse::new(vec![0], DenseTensor::full(1, 1, 1.0));
+                        store.push_sparse(&g, 1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(store.snapshot().row(0), &[-10.0]);
+    }
+
+    #[test]
+    fn empty_gradient_still_synchronises() {
+        let store = Arc::new(ShardedStore::new(DenseTensor::zeros(4, 1), 2, 2));
+        thread::scope(|s| {
+            {
+                let store = Arc::clone(&store);
+                s.spawn(move || {
+                    store.push_sparse(&RowSparse::empty(1), 1.0);
+                });
+            }
+            {
+                let store = Arc::clone(&store);
+                s.spawn(move || {
+                    let g = RowSparse::new(vec![0], DenseTensor::full(1, 1, 2.0));
+                    store.push_sparse(&g, 1.0);
+                });
+            }
+        });
+        assert_eq!(store.snapshot().row(0), &[-2.0]);
+    }
+
+    #[test]
+    fn duplicate_rows_in_push_are_coalesced() {
+        let store = ShardedStore::new(DenseTensor::zeros(4, 1), 1, 1);
+        let g = RowSparse::new(vec![1, 1], DenseTensor::from_vec(2, 1, vec![1.0, 2.0]));
+        store.push_sparse(&g, 1.0);
+        assert_eq!(store.snapshot().row(1), &[-3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dim mismatch")]
+    fn wrong_dim_push_panics() {
+        let store = ShardedStore::new(DenseTensor::zeros(4, 2), 1, 1);
+        store.push_sparse(&RowSparse::new(vec![0], DenseTensor::zeros(1, 3)), 1.0);
+    }
+}

@@ -1,0 +1,520 @@
+//! Discrete-event execution of a training-step task DAG.
+//!
+//! A step is modelled as tasks on two resources per worker group —
+//! the **compute stream** (GPU kernels: FP/BP of each module, plus the
+//! Vertical-Scheduling set computation) and the **communication stream**
+//! (one collective at a time, like Horovod's background thread driving
+//! NCCL). Dependencies encode the module graph (paper Fig. 5); the
+//! communication stream drains either a FIFO queue (default DL framework
+//! behaviour, Fig. 6a) or a priority queue (EmbRace / ByteScheduler,
+//! Fig. 6b-c).
+//!
+//! Because synchronous data-parallel workers are symmetric, one
+//! (compute, comm) pair of streams represents the whole job; per-worker
+//! asymmetry (e.g. row-partition imbalance) is already folded into
+//! collective durations by [`crate::cost::CostModel::alltoallv`].
+
+use crate::trace::{Span, Trace};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Identifier of a task inside one [`Sim`].
+pub type TaskId = usize;
+
+/// Which stream a task occupies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Res {
+    /// GPU compute stream.
+    Compute,
+    /// Network/communication stream.
+    Comm,
+}
+
+/// One node of the step DAG.
+#[derive(Clone, Debug)]
+pub struct Task {
+    pub name: String,
+    pub dur: f64,
+    pub res: Res,
+    pub deps: Vec<TaskId>,
+    /// Lower value = drained earlier by the priority queue. Ignored for
+    /// compute tasks (the GPU stream runs in program order) and ignored by
+    /// FIFO scheduling.
+    pub priority: i64,
+    /// True for model FP/BP kernels — the useful work against which
+    /// Computation Stall is measured. False for communication and for
+    /// scheduling bookkeeping computations (Algorithm 1), which the paper
+    /// counts *as* stall (§5.4).
+    pub model_compute: bool,
+}
+
+impl Task {
+    pub fn compute(name: impl Into<String>, dur: f64) -> Self {
+        Task { name: name.into(), dur, res: Res::Compute, deps: vec![], priority: 0, model_compute: true }
+    }
+
+    /// A compute-stream task that is *not* useful model work (e.g. the
+    /// Vertical Sparse Scheduling set computation).
+    pub fn overhead(name: impl Into<String>, dur: f64) -> Self {
+        Task { name: name.into(), dur, res: Res::Compute, deps: vec![], priority: 0, model_compute: false }
+    }
+
+    pub fn comm(name: impl Into<String>, dur: f64, priority: i64) -> Self {
+        Task { name: name.into(), dur, res: Res::Comm, deps: vec![], priority, model_compute: false }
+    }
+
+    pub fn after(mut self, deps: impl IntoIterator<Item = TaskId>) -> Self {
+        self.deps.extend(deps);
+        self
+    }
+}
+
+/// How the communication stream picks among ready collectives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommOrder {
+    /// First-ready-first-served (default DAG execution in PyTorch/TF).
+    Fifo,
+    /// Smallest `priority` first among ready tasks (EmbRace §4.2).
+    Priority,
+    /// Priority with preemption: a strictly more urgent collective
+    /// suspends the one in flight and the remainder resumes later —
+    /// PACE's preemptive queue (Bao et al., INFOCOM'20), implemented
+    /// here as an extension the paper lists as related work.
+    Preemptive,
+}
+
+/// Simulation outcome.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Completion time of the last task.
+    pub makespan: f64,
+    /// Total busy time of the compute stream.
+    pub compute_busy: f64,
+    /// Total busy time of the communication stream.
+    pub comm_busy: f64,
+    /// Busy time of *useful* model compute only.
+    pub model_compute_busy: f64,
+    /// `makespan - model_compute_busy`: compute-stall attributable to
+    /// communication and scheduling overhead (paper §5.4).
+    pub stall: f64,
+    /// Per-task execution spans for timeline rendering and metrics.
+    pub trace: Trace,
+}
+
+#[derive(PartialEq)]
+struct CommEntry {
+    key: (i64, u64, usize), // (priority, ready_seq, id) — min first
+}
+
+impl Eq for CommEntry {}
+impl Ord for CommEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.key.cmp(&self.key) // reverse: BinaryHeap is a max-heap
+    }
+}
+impl PartialOrd for CommEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A DAG of tasks plus a communication-ordering policy.
+#[derive(Clone, Debug)]
+pub struct Sim {
+    tasks: Vec<Task>,
+    order: CommOrder,
+}
+
+impl Sim {
+    pub fn new(order: CommOrder) -> Self {
+        Sim { tasks: Vec::new(), order }
+    }
+
+    /// Add a task; returns its id for use in successors' `deps`.
+    pub fn add(&mut self, task: Task) -> TaskId {
+        for &d in &task.deps {
+            assert!(d < self.tasks.len(), "dependency {d} does not exist yet");
+        }
+        self.tasks.push(task);
+        self.tasks.len() - 1
+    }
+
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id]
+    }
+
+    /// Execute the DAG; panics on dependency cycles (impossible by
+    /// construction since `add` only accepts already-created deps).
+    pub fn run(&self) -> SimResult {
+        let n = self.tasks.len();
+        let mut indegree: Vec<usize> = vec![0; n];
+        let mut succs: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+        for (id, t) in self.tasks.iter().enumerate() {
+            indegree[id] = t.deps.len();
+            for &d in &t.deps {
+                succs[d].push(id);
+            }
+        }
+
+        let mut ready_seq: u64 = 0;
+        // Compute stream runs in program (id) order among ready tasks: the
+        // GPU executes kernels in the order the framework launched them.
+        let mut ready_compute: BinaryHeap<std::cmp::Reverse<usize>> = BinaryHeap::new();
+        let mut ready_comm: BinaryHeap<CommEntry> = BinaryHeap::new();
+        let order = self.order;
+        let push_ready = |id: usize,
+                          seq: &mut u64,
+                          rc: &mut BinaryHeap<std::cmp::Reverse<usize>>,
+                          rq: &mut BinaryHeap<CommEntry>,
+                          tasks: &[Task]| {
+            match tasks[id].res {
+                Res::Compute => rc.push(std::cmp::Reverse(id)),
+                Res::Comm => {
+                    let pr = match order {
+                        CommOrder::Fifo => 0,
+                        CommOrder::Priority | CommOrder::Preemptive => tasks[id].priority,
+                    };
+                    rq.push(CommEntry { key: (pr, *seq, id) });
+                    *seq += 1;
+                }
+            }
+        };
+
+        for (id, &deg) in indegree.iter().enumerate() {
+            if deg == 0 {
+                push_ready(id, &mut ready_seq, &mut ready_compute, &mut ready_comm, &self.tasks);
+            }
+        }
+
+        let mut now = 0.0_f64;
+        // Occupied stream slots: (end time, task id, span start, priority).
+        let mut run_compute: Option<(f64, TaskId, f64)> = None;
+        let mut run_comm: Option<(f64, TaskId, f64, i64)> = None;
+        // Remaining duration per task (preemption may split execution).
+        let mut remaining: Vec<f64> = self.tasks.iter().map(|t| t.dur).collect();
+        let mut spans: Vec<Span> = Vec::with_capacity(n);
+        let mut done = 0usize;
+        let (mut compute_busy, mut comm_busy, mut model_busy) = (0.0, 0.0, 0.0);
+
+        loop {
+            // Preemption (PACE-style extension): a strictly more urgent
+            // ready collective suspends the one on the wire; the remainder
+            // is requeued and resumes later.
+            if order == CommOrder::Preemptive {
+                if let (Some((end, id, start, pr)), Some(entry)) = (run_comm, ready_comm.peek()) {
+                    if entry.key.0 < pr {
+                        remaining[id] = end - now;
+                        if now > start {
+                            comm_busy += now - start;
+                            spans.push(Span {
+                                task: id,
+                                name: self.tasks[id].name.clone(),
+                                res: Res::Comm,
+                                start,
+                                end: now,
+                            });
+                        }
+                        ready_comm.push(CommEntry { key: (self.tasks[id].priority, ready_seq, id) });
+                        ready_seq += 1;
+                        run_comm = None;
+                    }
+                }
+            }
+
+            // Fill free slots at `now`.
+            if run_compute.is_none() {
+                if let Some(std::cmp::Reverse(id)) = ready_compute.pop() {
+                    run_compute = Some((now + remaining[id], id, now));
+                }
+            }
+            if run_comm.is_none() {
+                if let Some(entry) = ready_comm.pop() {
+                    let id = entry.key.2;
+                    run_comm = Some((now + remaining[id], id, now, entry.key.0));
+                }
+            }
+
+            // Advance to the earliest completion.
+            let next = match (run_compute, run_comm) {
+                (None, None) => break,
+                (Some((e, ..)), None) => e,
+                (None, Some((e, ..))) => e,
+                (Some((a, ..)), Some((b, ..))) => a.min(b),
+            };
+            now = next;
+
+            // Complete whichever stream(s) finish exactly now.
+            if let Some((end, id, start)) = run_compute {
+                if end <= now {
+                    let t = &self.tasks[id];
+                    compute_busy += end - start;
+                    if t.model_compute {
+                        model_busy += end - start;
+                    }
+                    spans.push(Span { task: id, name: t.name.clone(), res: Res::Compute, start, end });
+                    done += 1;
+                    for &s in &succs[id] {
+                        indegree[s] -= 1;
+                        if indegree[s] == 0 {
+                            push_ready(s, &mut ready_seq, &mut ready_compute, &mut ready_comm, &self.tasks);
+                        }
+                    }
+                    run_compute = None;
+                }
+            }
+            if let Some((end, id, start, _)) = run_comm {
+                if end <= now {
+                    let t = &self.tasks[id];
+                    comm_busy += end - start;
+                    spans.push(Span { task: id, name: t.name.clone(), res: Res::Comm, start, end });
+                    done += 1;
+                    for &s in &succs[id] {
+                        indegree[s] -= 1;
+                        if indegree[s] == 0 {
+                            push_ready(s, &mut ready_seq, &mut ready_compute, &mut ready_comm, &self.tasks);
+                        }
+                    }
+                    run_comm = None;
+                }
+            }
+        }
+
+        assert_eq!(done, n, "deadlock: {} of {n} tasks completed (cyclic deps?)", done);
+        let makespan = spans.iter().map(|s| s.end).fold(0.0, f64::max);
+        SimResult {
+            makespan,
+            compute_busy,
+            comm_busy,
+            model_compute_busy: model_busy,
+            stall: makespan - model_busy,
+            trace: Trace { spans },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sim() {
+        let r = Sim::new(CommOrder::Fifo).run();
+        assert_eq!(r.makespan, 0.0);
+        assert_eq!(r.stall, 0.0);
+    }
+
+    #[test]
+    fn serial_chain_sums_durations() {
+        let mut s = Sim::new(CommOrder::Fifo);
+        let a = s.add(Task::compute("a", 1.0));
+        let b = s.add(Task::comm("b", 2.0, 0).after([a]));
+        let _c = s.add(Task::compute("c", 3.0).after([b]));
+        let r = s.run();
+        assert!((r.makespan - 6.0).abs() < 1e-12);
+        assert!((r.model_compute_busy - 4.0).abs() < 1e-12);
+        assert!((r.stall - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_streams_overlap() {
+        let mut s = Sim::new(CommOrder::Fifo);
+        s.add(Task::compute("fp", 5.0));
+        s.add(Task::comm("net", 5.0, 0));
+        let r = s.run();
+        assert!((r.makespan - 5.0).abs() < 1e-12, "compute and comm must overlap");
+        assert_eq!(r.stall, 0.0);
+    }
+
+    #[test]
+    fn compute_stream_serialises() {
+        let mut s = Sim::new(CommOrder::Fifo);
+        s.add(Task::compute("k1", 1.0));
+        s.add(Task::compute("k2", 1.0));
+        let r = s.run();
+        assert!((r.makespan - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fifo_runs_in_ready_order() {
+        // Two comms become ready at t=0; FIFO runs the first-added first
+        // even when the second has better priority.
+        let mut s = Sim::new(CommOrder::Fifo);
+        s.add(Task::comm("low-prio-first", 1.0, 10));
+        s.add(Task::comm("high-prio-second", 1.0, 0));
+        let r = s.run();
+        let first = r.trace.spans.iter().find(|sp| sp.start == 0.0).unwrap();
+        assert_eq!(first.name, "low-prio-first");
+    }
+
+    #[test]
+    fn priority_queue_reorders() {
+        let mut s = Sim::new(CommOrder::Priority);
+        s.add(Task::comm("low", 1.0, 10));
+        s.add(Task::comm("high", 1.0, 0));
+        let r = s.run();
+        let first = r.trace.spans.iter().find(|sp| sp.start == 0.0).unwrap();
+        assert_eq!(first.name, "high");
+    }
+
+    #[test]
+    fn priority_cannot_preempt_running_comm() {
+        // "low" starts at t=0 (only ready task); "high" becomes ready at
+        // t=1 but must wait until "low" finishes at t=5.
+        let mut s = Sim::new(CommOrder::Priority);
+        s.add(Task::comm("low", 5.0, 10));
+        let gate = s.add(Task::compute("bp", 1.0));
+        s.add(Task::comm("high", 1.0, 0).after([gate]));
+        let r = s.run();
+        let high = r.trace.spans.iter().find(|sp| sp.name == "high").unwrap();
+        assert!((high.start - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scheduling_changes_makespan_like_fig6() {
+        // While an early collective occupies the network, BP finishes grads
+        // A (needed late in next FP) and B (needed first). Both are queued
+        // when the network frees: FIFO sends A then B, priority sends B
+        // first, unblocking the next FP earlier — the Fig. 6a vs 6b effect.
+        let build = |order| {
+            let mut s = Sim::new(order);
+            let bp0 = s.add(Task::compute("bp0", 1.0));
+            let _comm0 = s.add(Task::comm("comm0", 2.0, 1).after([bp0]));
+            let bp_a = s.add(Task::compute("bp_a", 1.0).after([bp0]));
+            let bp_b = s.add(Task::compute("bp_b", 1.0).after([bp_a]));
+            let comm_a = s.add(Task::comm("comm_a", 4.0, 5).after([bp_a]));
+            let comm_b = s.add(Task::comm("comm_b", 4.0, 0).after([bp_b]));
+            let fp_b = s.add(Task::compute("fp_b", 1.0).after([comm_b]));
+            let _fp_a = s.add(Task::compute("fp_a", 1.0).after([comm_a, fp_b]));
+            s
+        };
+        let fifo = build(CommOrder::Fifo).run();
+        let prio = build(CommOrder::Priority).run();
+        assert!(
+            prio.makespan < fifo.makespan,
+            "priority {p} must beat FIFO {f}",
+            p = prio.makespan,
+            f = fifo.makespan
+        );
+    }
+
+    #[test]
+    fn overhead_tasks_count_as_stall() {
+        let mut s = Sim::new(CommOrder::Fifo);
+        s.add(Task::compute("bp", 2.0));
+        s.add(Task::overhead("vertical-sched", 1.0));
+        let r = s.run();
+        assert!((r.model_compute_busy - 2.0).abs() < 1e-12);
+        assert!((r.stall - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn forward_dependency_rejected() {
+        let mut s = Sim::new(CommOrder::Fifo);
+        s.add(Task::compute("a", 1.0).after([3]));
+    }
+}
+
+#[cfg(test)]
+mod preemptive_tests {
+    use super::*;
+
+    /// A long low-priority collective is on the wire when an urgent one
+    /// becomes ready: preemption lets the urgent one cut in.
+    fn scenario(order: CommOrder) -> SimResult {
+        let mut s = Sim::new(order);
+        s.add(Task::comm("bulk", 10.0, 100));
+        let bp = s.add(Task::compute("bp", 1.0));
+        let urgent = s.add(Task::comm("urgent", 1.0, 0).after([bp]));
+        s.add(Task::compute("fp", 1.0).after([urgent]));
+        s.run()
+    }
+
+    #[test]
+    fn preemption_unblocks_urgent_comm() {
+        let prio = scenario(CommOrder::Priority);
+        let pre = scenario(CommOrder::Preemptive);
+        // Non-preemptive: fp waits for bulk (10) + urgent (1) + fp (1).
+        assert!((prio.makespan - 12.0).abs() < 1e-9, "got {}", prio.makespan);
+        // Preemptive: bulk is suspended at t=1; urgent runs 1..2; fp 2..3;
+        // bulk resumes 2..11.
+        assert!((pre.makespan - 11.0).abs() < 1e-9, "got {}", pre.makespan);
+        let fp = pre.trace.first_start("fp").unwrap();
+        assert!((fp - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn preempted_task_total_time_is_preserved() {
+        let pre = scenario(CommOrder::Preemptive);
+        // "bulk" executed in two spans totalling its full duration.
+        let total: f64 = pre
+            .trace
+            .spans
+            .iter()
+            .filter(|sp| sp.name == "bulk")
+            .map(|sp| sp.dur())
+            .sum();
+        assert!((total - 10.0).abs() < 1e-9, "split spans must sum to dur, got {total}");
+        let n_spans = pre.trace.spans.iter().filter(|sp| sp.name == "bulk").count();
+        assert_eq!(n_spans, 2, "expected exactly one preemption");
+        // Busy accounting matches.
+        assert!((pre.comm_busy - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equal_priority_does_not_preempt() {
+        let mut s = Sim::new(CommOrder::Preemptive);
+        s.add(Task::comm("first", 5.0, 1));
+        let bp = s.add(Task::compute("bp", 1.0));
+        s.add(Task::comm("same-prio", 1.0, 1).after([bp]));
+        let r = s.run();
+        let spans: Vec<&Span> = r.trace.spans.iter().filter(|sp| sp.name == "first").collect();
+        assert_eq!(spans.len(), 1, "no preemption between equal priorities");
+    }
+
+    #[test]
+    fn preemptive_never_slower_than_priority() {
+        // On the fig6-style scenario preemption can only help.
+        let build = |order| {
+            let mut s = Sim::new(order);
+            let bp0 = s.add(Task::compute("bp0", 1.0));
+            let _c0 = s.add(Task::comm("comm0", 6.0, 3).after([bp0]));
+            let bp1 = s.add(Task::compute("bp1", 1.0).after([bp0]));
+            let c1 = s.add(Task::comm("comm1", 2.0, 0).after([bp1]));
+            s.add(Task::compute("fp", 1.0).after([c1]));
+            s.run()
+        };
+        let prio = build(CommOrder::Priority);
+        let pre = build(CommOrder::Preemptive);
+        assert!(pre.makespan <= prio.makespan + 1e-12);
+        assert!(pre.makespan < prio.makespan, "this scenario must actually improve");
+    }
+
+    #[test]
+    fn multiple_preemptions_of_same_task() {
+        let mut s = Sim::new(CommOrder::Preemptive);
+        s.add(Task::comm("bulk", 10.0, 100));
+        let mut prev = None;
+        for k in 0..3 {
+            let bp = match prev {
+                None => s.add(Task::compute(format!("bp{k}"), 1.0)),
+                Some(p) => s.add(Task::compute(format!("bp{k}"), 1.0).after([p])),
+            };
+            s.add(Task::comm(format!("urgent{k}"), 0.5, 0).after([bp]));
+            prev = Some(bp);
+        }
+        let r = s.run();
+        let total: f64 =
+            r.trace.spans.iter().filter(|sp| sp.name == "bulk").map(|sp| sp.dur()).sum();
+        assert!((total - 10.0).abs() < 1e-9);
+        assert_eq!(r.trace.spans.iter().filter(|sp| sp.name == "bulk").count(), 4);
+    }
+}

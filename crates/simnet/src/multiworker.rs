@@ -1,0 +1,270 @@
+//! Multi-worker discrete-event simulation with explicit per-worker
+//! compute streams.
+//!
+//! The main [`crate::event::Sim`] models a synchronous SPMD job with one
+//! representative (compute, network) stream pair — correct when workers
+//! are symmetric. This module drops that assumption: each worker owns a
+//! compute stream, and *collective* tasks act as barriers — they start
+//! only once every dependency (typically one per worker) has finished,
+//! occupy the shared network, and release all successors together. That
+//! exposes straggler effects: one slow worker stalls every synchronous
+//! collective behind it.
+
+use crate::trace::{Span, Trace};
+use crate::event::Res;
+
+/// Identifier of a task inside one [`MultiSim`].
+pub type MwTaskId = usize;
+
+/// Where a multi-worker task runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MwKind {
+    /// On worker `w`'s compute stream.
+    Compute(usize),
+    /// On the shared network, as a barrier collective.
+    Collective,
+}
+
+/// One task of the asymmetric step DAG.
+#[derive(Clone, Debug)]
+pub struct MwTask {
+    pub name: String,
+    pub dur: f64,
+    pub kind: MwKind,
+    pub deps: Vec<MwTaskId>,
+}
+
+impl MwTask {
+    pub fn compute(worker: usize, name: impl Into<String>, dur: f64) -> Self {
+        MwTask { name: name.into(), dur, kind: MwKind::Compute(worker), deps: vec![] }
+    }
+
+    pub fn collective(name: impl Into<String>, dur: f64) -> Self {
+        MwTask { name: name.into(), dur, kind: MwKind::Collective, deps: vec![] }
+    }
+
+    pub fn after(mut self, deps: impl IntoIterator<Item = MwTaskId>) -> Self {
+        self.deps.extend(deps);
+        self
+    }
+}
+
+/// Result of a multi-worker simulation.
+#[derive(Clone, Debug)]
+pub struct MwResult {
+    pub makespan: f64,
+    /// Busy time per worker compute stream.
+    pub worker_busy: Vec<f64>,
+    /// Busy time of the shared network.
+    pub network_busy: f64,
+    pub trace: Trace,
+}
+
+/// A DAG of per-worker compute tasks and barrier collectives.
+#[derive(Clone, Debug)]
+pub struct MultiSim {
+    workers: usize,
+    tasks: Vec<MwTask>,
+}
+
+impl MultiSim {
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0);
+        MultiSim { workers, tasks: Vec::new() }
+    }
+
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Add a task; dependencies must already exist.
+    pub fn add(&mut self, task: MwTask) -> MwTaskId {
+        for &d in &task.deps {
+            assert!(d < self.tasks.len(), "dependency {d} does not exist yet");
+        }
+        if let MwKind::Compute(w) = task.kind {
+            assert!(w < self.workers, "worker {w} out of range");
+        }
+        self.tasks.push(task);
+        self.tasks.len() - 1
+    }
+
+    /// Execute: per-worker compute streams run ready tasks in id order;
+    /// the network runs collectives FIFO (first-ready-first-served).
+    pub fn run(&self) -> MwResult {
+        let n = self.tasks.len();
+        let mut indegree: Vec<usize> = self.tasks.iter().map(|t| t.deps.len()).collect();
+        let mut succs: Vec<Vec<MwTaskId>> = vec![Vec::new(); n];
+        for (id, t) in self.tasks.iter().enumerate() {
+            for &d in &t.deps {
+                succs[d].push(id);
+            }
+        }
+
+        // Ready queues: per worker (sorted by id) + network FIFO.
+        let mut ready_w: Vec<Vec<MwTaskId>> = vec![Vec::new(); self.workers];
+        let mut ready_net: std::collections::VecDeque<MwTaskId> = Default::default();
+        let push_ready = |id: usize, rw: &mut Vec<Vec<MwTaskId>>, rn: &mut std::collections::VecDeque<MwTaskId>| {
+            match self.tasks[id].kind {
+                MwKind::Compute(w) => {
+                    let pos = rw[w].partition_point(|&x| x < id);
+                    rw[w].insert(pos, id);
+                }
+                MwKind::Collective => rn.push_back(id),
+            }
+        };
+        for (id, &deg) in indegree.iter().enumerate() {
+            if deg == 0 {
+                push_ready(id, &mut ready_w, &mut ready_net);
+            }
+        }
+
+        let mut now = 0.0_f64;
+        // One running slot per worker + one for the network: (end, id, start).
+        let mut running: Vec<Option<(f64, MwTaskId, f64)>> = vec![None; self.workers + 1];
+        let net = self.workers;
+        let mut spans = Vec::with_capacity(n);
+        let mut worker_busy = vec![0.0; self.workers];
+        let mut network_busy = 0.0;
+        let mut done = 0usize;
+
+        loop {
+            // Fill free slots.
+            for w in 0..self.workers {
+                if running[w].is_none() {
+                    if let Some(&id) = ready_w[w].first() {
+                        ready_w[w].remove(0);
+                        running[w] = Some((now + self.tasks[id].dur, id, now));
+                    }
+                }
+            }
+            if running[net].is_none() {
+                if let Some(id) = ready_net.pop_front() {
+                    running[net] = Some((now + self.tasks[id].dur, id, now));
+                }
+            }
+
+            // Earliest completion.
+            let next = running.iter().flatten().map(|&(e, _, _)| e).fold(f64::INFINITY, f64::min);
+            if !next.is_finite() {
+                break;
+            }
+            now = next;
+            for slot in 0..=self.workers {
+                if let Some((end, id, start)) = running[slot] {
+                    if end <= now {
+                        let t = &self.tasks[id];
+                        let res = if slot == net { Res::Comm } else { Res::Compute };
+                        if slot == net {
+                            network_busy += end - start;
+                        } else {
+                            worker_busy[slot] += end - start;
+                        }
+                        spans.push(Span { task: id, name: t.name.clone(), res, start, end });
+                        done += 1;
+                        for &s in &succs[id] {
+                            indegree[s] -= 1;
+                            if indegree[s] == 0 {
+                                push_ready(s, &mut ready_w, &mut ready_net);
+                            }
+                        }
+                        running[slot] = None;
+                    }
+                }
+            }
+        }
+
+        assert_eq!(done, n, "deadlock: {done} of {n} tasks completed");
+        let makespan = spans.iter().map(|s| s.end).fold(0.0, f64::max);
+        MwResult { makespan, worker_busy, network_busy, trace: Trace { spans } }
+    }
+}
+
+/// Build one synchronous data-parallel step: per-worker backward compute
+/// (scaled by `compute_scale[w]`), a gradient collective joining all
+/// workers, then per-worker forward compute. Returns the step makespan —
+/// the building block of the straggler ablation.
+pub fn synchronous_step(compute_scale: &[f64], bp: f64, comm: f64, fp: f64) -> MwResult {
+    let workers = compute_scale.len();
+    let mut sim = MultiSim::new(workers);
+    let mut bp_ids = Vec::with_capacity(workers);
+    for (w, &scale) in compute_scale.iter().enumerate() {
+        bp_ids.push(sim.add(MwTask::compute(w, format!("w{w}/bp"), bp * scale)));
+    }
+    let coll = sim.add(MwTask::collective("allreduce", comm).after(bp_ids));
+    for (w, &scale) in compute_scale.iter().enumerate() {
+        sim.add(MwTask::compute(w, format!("w{w}/fp"), fp * scale).after([coll]));
+    }
+    sim.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_step_equals_serial_sum() {
+        let r = synchronous_step(&[1.0; 4], 2.0, 1.0, 1.0);
+        assert!((r.makespan - 4.0).abs() < 1e-12);
+        for w in 0..4 {
+            assert!((r.worker_busy[w] - 3.0).abs() < 1e-12);
+        }
+        assert!((r.network_busy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn straggler_delays_every_worker() {
+        // Worker 0 is 50% slower: the barrier waits for it.
+        let r = synchronous_step(&[1.5, 1.0, 1.0, 1.0], 2.0, 1.0, 1.0);
+        assert!((r.makespan - (3.0 + 1.0 + 1.5)).abs() < 1e-12, "got {}", r.makespan);
+    }
+
+    #[test]
+    fn collective_is_a_barrier() {
+        let mut sim = MultiSim::new(2);
+        let a = sim.add(MwTask::compute(0, "fast", 1.0));
+        let b = sim.add(MwTask::compute(1, "slow", 5.0));
+        let c = sim.add(MwTask::collective("sync", 1.0).after([a, b]));
+        sim.add(MwTask::compute(0, "post", 1.0).after([c]));
+        let r = sim.run();
+        assert!((r.trace.first_start("sync").unwrap() - 5.0).abs() < 1e-12);
+        assert!((r.makespan - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn workers_run_in_parallel() {
+        let mut sim = MultiSim::new(3);
+        for w in 0..3 {
+            sim.add(MwTask::compute(w, format!("k{w}"), 2.0));
+        }
+        let r = sim.run();
+        assert!((r.makespan - 2.0).abs() < 1e-12, "independent workers overlap");
+    }
+
+    #[test]
+    fn same_worker_tasks_serialise() {
+        let mut sim = MultiSim::new(2);
+        sim.add(MwTask::compute(0, "a", 1.0));
+        sim.add(MwTask::compute(0, "b", 1.0));
+        sim.add(MwTask::compute(1, "c", 1.0));
+        let r = sim.run();
+        assert!((r.makespan - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn network_serialises_collectives() {
+        let mut sim = MultiSim::new(1);
+        sim.add(MwTask::collective("x", 2.0));
+        sim.add(MwTask::collective("y", 2.0));
+        let r = sim.run();
+        assert!((r.makespan - 4.0).abs() < 1e-12);
+        assert!((r.network_busy - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_worker_rejected() {
+        let mut sim = MultiSim::new(2);
+        sim.add(MwTask::compute(5, "bad", 1.0));
+    }
+}

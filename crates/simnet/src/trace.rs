@@ -1,0 +1,169 @@
+//! Execution traces: per-task spans plus an ASCII Gantt renderer used by the
+//! `fig6_timeline` bench binary to reproduce the paper's Figure 2/6
+//! execution-timeline comparisons.
+
+use crate::event::{Res, TaskId};
+
+/// One executed task occurrence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Span {
+    pub task: TaskId,
+    pub name: String,
+    pub res: Res,
+    pub start: f64,
+    pub end: f64,
+}
+
+impl Span {
+    pub fn dur(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// All spans of one simulation, in start order per stream.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    pub spans: Vec<Span>,
+}
+
+impl Trace {
+    /// Spans on one resource, sorted by start time.
+    pub fn on(&self, res: Res) -> Vec<&Span> {
+        let mut v: Vec<&Span> = self.spans.iter().filter(|s| s.res == res).collect();
+        v.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+        v
+    }
+
+    /// Earliest start of a span whose name contains `pat`.
+    pub fn first_start(&self, pat: &str) -> Option<f64> {
+        self.spans
+            .iter()
+            .filter(|s| s.name.contains(pat))
+            .map(|s| s.start)
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+    }
+
+    /// Latest end of a span whose name contains `pat`.
+    pub fn last_end(&self, pat: &str) -> Option<f64> {
+        self.spans
+            .iter()
+            .filter(|s| s.name.contains(pat))
+            .map(|s| s.end)
+            .max_by(|a, b| a.partial_cmp(b).unwrap())
+    }
+
+    /// Total busy time on a resource inside the window `[from, to)`.
+    pub fn busy_in(&self, res: Res, from: f64, to: f64) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.res == res)
+            .map(|s| (s.end.min(to) - s.start.max(from)).max(0.0))
+            .sum()
+    }
+
+    /// Display character for a span: the first letter of the second
+    /// `/`-separated segment of its name (so `s0/fp/enc_emb` renders as
+    /// `f`, `s0/allreduce/blk3` as `a`), falling back to the name's first
+    /// character.
+    fn span_char(name: &str) -> char {
+        name.split('/')
+            .nth(1)
+            .and_then(|seg| seg.chars().next())
+            .or_else(|| name.chars().next())
+            .unwrap_or('#')
+    }
+
+    /// Render both streams as a two-row ASCII Gantt chart, `width`
+    /// characters wide. Each span is drawn with a letter derived from its
+    /// name (see [`Self::span_char`]); idle time is `.`.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let makespan = self.spans.iter().map(|s| s.end).fold(0.0, f64::max);
+        if makespan <= 0.0 || width == 0 {
+            return String::from("(empty trace)\n");
+        }
+        let mut out = String::new();
+        for (label, res) in [("compute ", Res::Compute), ("network ", Res::Comm)] {
+            let mut row = vec!['.'; width];
+            for s in self.on(res) {
+                let a = ((s.start / makespan) * width as f64).floor() as usize;
+                let b = (((s.end / makespan) * width as f64).ceil() as usize).min(width);
+                let ch = Self::span_char(&s.name);
+                for cell in row.iter_mut().take(b).skip(a.min(width)) {
+                    *cell = ch;
+                }
+            }
+            out.push_str(label);
+            out.push('|');
+            out.extend(row);
+            out.push('|');
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CommOrder, Sim, Task};
+
+    fn sample() -> Trace {
+        let mut s = Sim::new(CommOrder::Fifo);
+        let a = s.add(Task::compute("alpha", 1.0));
+        let b = s.add(Task::comm("beta", 2.0, 0).after([a]));
+        s.add(Task::compute("gamma", 1.0).after([b]));
+        s.run().trace
+    }
+
+    #[test]
+    fn spans_ordered_and_located() {
+        let t = sample();
+        assert_eq!(t.on(Res::Compute).len(), 2);
+        assert_eq!(t.on(Res::Comm).len(), 1);
+        assert_eq!(t.first_start("beta"), Some(1.0));
+        assert_eq!(t.last_end("gamma"), Some(4.0));
+        assert_eq!(t.first_start("missing"), None);
+    }
+
+    #[test]
+    fn busy_in_window() {
+        let t = sample();
+        assert!((t.busy_in(Res::Comm, 0.0, 4.0) - 2.0).abs() < 1e-12);
+        assert!((t.busy_in(Res::Comm, 0.0, 2.0) - 1.0).abs() < 1e-12);
+        assert_eq!(t.busy_in(Res::Comm, 3.5, 4.0), 0.0);
+    }
+
+    #[test]
+    fn ascii_render_has_two_rows() {
+        let g = sample().render_ascii(40);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("compute "));
+        assert!(lines[0].contains('a'));
+        assert!(lines[1].contains('b'));
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        let t = Trace::default();
+        assert_eq!(t.render_ascii(10), "(empty trace)\n");
+    }
+}
+
+#[cfg(test)]
+mod span_char_tests {
+    use super::*;
+
+    #[test]
+    fn picks_second_segment() {
+        assert_eq!(Trace::span_char("s0/fp/enc_emb"), 'f');
+        assert_eq!(Trace::span_char("s3/allreduce/blk7"), 'a');
+        assert_eq!(Trace::span_char("s1/prior_grad/dec_emb"), 'p');
+    }
+
+    #[test]
+    fn falls_back_to_first_char() {
+        assert_eq!(Trace::span_char("bulk"), 'b');
+        assert_eq!(Trace::span_char(""), '#');
+    }
+}

@@ -1,0 +1,107 @@
+//! `COALESCE` — merge duplicate rows of a row-sparse gradient by summation.
+//!
+//! This is line 2 of the paper's Algorithm 1 (Vertical Sparse Scheduling):
+//! NLP batches contain duplicate and padded tokens, so the raw embedding
+//! gradient has repeated coordinates; summing them shrinks the gradient by
+//! 20–85% depending on the model (paper Table 3).
+
+use crate::dense::DenseTensor;
+use crate::sparse::RowSparse;
+
+/// True when indices are strictly increasing (each row appears once).
+pub fn is_coalesced(grad: &RowSparse) -> bool {
+    grad.indices().windows(2).all(|w| w[0] < w[1])
+}
+
+/// Return a coalesced copy: indices strictly increasing, duplicate rows
+/// summed. Idempotent; the dense materialisation is preserved exactly
+/// (summation is performed in the same f32 precision PyTorch uses).
+pub fn coalesce(grad: &RowSparse) -> RowSparse {
+    if is_coalesced(grad) {
+        return grad.clone();
+    }
+    let mut out = RowSparse::empty(grad.dim());
+    coalesce_into(grad, &mut out);
+    out
+}
+
+/// Coalesce `grad` into `out`, reusing `out`'s allocations where possible.
+pub fn coalesce_into(grad: &RowSparse, out: &mut RowSparse) {
+    let dim = grad.dim();
+    // Sort an index permutation by row id, stably, so duplicates are adjacent
+    // and summed in their original order (deterministic f32 results).
+    let mut perm: Vec<u32> = (0..grad.nnz_rows() as u32).collect();
+    perm.sort_by_key(|&i| grad.indices()[i as usize]);
+
+    let mut indices: Vec<u32> = Vec::with_capacity(grad.nnz_rows());
+    let mut values: Vec<f32> = Vec::with_capacity(grad.nnz_rows() * dim);
+    for &src in &perm {
+        let row_id = grad.indices()[src as usize];
+        let row = grad.values().row(src as usize);
+        if indices.last() == Some(&row_id) {
+            let start = values.len() - dim;
+            for (d, s) in values[start..].iter_mut().zip(row) {
+                *d += s;
+            }
+        } else {
+            indices.push(row_id);
+            values.extend_from_slice(row);
+        }
+    }
+    let rows = indices.len();
+    *out = RowSparse::new(indices, DenseTensor::from_vec(rows, dim, values));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uncoalesced() -> RowSparse {
+        RowSparse::new(
+            vec![5, 1, 5, 1, 2],
+            DenseTensor::from_vec(5, 1, vec![1.0, 10.0, 2.0, 20.0, 7.0]),
+        )
+    }
+
+    #[test]
+    fn merges_duplicates_and_sorts() {
+        let c = coalesce(&uncoalesced());
+        assert_eq!(c.indices(), &[1, 2, 5]);
+        assert_eq!(c.values().as_slice(), &[30.0, 7.0, 3.0]);
+        assert!(is_coalesced(&c));
+    }
+
+    #[test]
+    fn idempotent() {
+        let once = coalesce(&uncoalesced());
+        let twice = coalesce(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn preserves_dense_materialisation() {
+        let g = uncoalesced();
+        assert_eq!(coalesce(&g).to_dense(8), g.to_dense(8));
+    }
+
+    #[test]
+    fn empty_is_coalesced() {
+        let e = RowSparse::empty(3);
+        assert!(is_coalesced(&e));
+        assert_eq!(coalesce(&e), e);
+    }
+
+    #[test]
+    fn single_row() {
+        let g = RowSparse::new(vec![4], DenseTensor::from_vec(1, 2, vec![1.0, 2.0]));
+        let c = coalesce(&g);
+        assert_eq!(c, g);
+    }
+
+    #[test]
+    fn already_sorted_fast_path() {
+        let g = RowSparse::new(vec![0, 2, 9], DenseTensor::zeros(3, 2));
+        assert!(is_coalesced(&g));
+        assert_eq!(coalesce(&g).indices(), &[0, 2, 9]);
+    }
+}

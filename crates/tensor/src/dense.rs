@@ -1,0 +1,410 @@
+//! Contiguous row-major 2-D `f32` tensors.
+//!
+//! A deliberately small surface: the reproduction needs construction,
+//! element-wise arithmetic, row/column slicing and (de)serialisation into
+//! flat buffers, not a full BLAS.
+
+use rand::Rng;
+
+/// A dense row-major matrix of `f32`.
+///
+/// One-dimensional tensors are represented as `rows == 1`. All binary
+/// operations panic on shape mismatch — shape errors are programming errors
+/// in this codebase, not recoverable conditions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseTensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl DenseTensor {
+    /// A `rows × cols` tensor filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// A `rows × cols` tensor filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Build from an existing buffer. Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        Self { rows, cols, data }
+    }
+
+    /// A tensor with entries drawn uniformly from `[-scale, scale]`.
+    pub fn uniform<R: Rng>(rows: usize, cols: usize, scale: f32, rng: &mut R) -> Self {
+        let data = (0..rows * cols).map(|_| rng.gen_range(-scale..=scale)).collect();
+        Self { rows, cols, data }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size in bytes when stored (or transmitted) densely.
+    pub fn nbytes(&self) -> usize {
+        self.len() * crate::F32_BYTES
+    }
+
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Borrow row `r`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of bounds ({} rows)", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of bounds ({} rows)", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self += other`, element-wise.
+    pub fn add_assign(&mut self, other: &DenseTensor) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch in add");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self += alpha * other`, element-wise (axpy).
+    pub fn axpy(&mut self, alpha: f32, other: &DenseTensor) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch in axpy");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// `self *= alpha`, element-wise.
+    pub fn scale(&mut self, alpha: f32) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Set every element to zero without reallocating.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Squared L2 norm.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+
+    /// Copy the rows given by `indices` (in order) into a new tensor.
+    pub fn gather_rows(&self, indices: &[u32]) -> DenseTensor {
+        let mut out = DenseTensor::zeros(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            out.row_mut(dst).copy_from_slice(self.row(src as usize));
+        }
+        out
+    }
+
+    /// Copy a half-open column range `[start, end)` of every row.
+    pub fn slice_columns(&self, start: usize, end: usize) -> DenseTensor {
+        assert!(start <= end && end <= self.cols, "column range out of bounds");
+        let width = end - start;
+        let mut out = DenseTensor::zeros(self.rows, width);
+        for r in 0..self.rows {
+            out.row_mut(r).copy_from_slice(&self.row(r)[start..end]);
+        }
+        out
+    }
+
+    /// Write `block` into the column range starting at `start` of every row.
+    pub fn set_columns(&mut self, start: usize, block: &DenseTensor) {
+        assert_eq!(self.rows, block.rows, "row count mismatch in set_columns");
+        assert!(start + block.cols <= self.cols, "column range out of bounds");
+        for r in 0..self.rows {
+            self.row_mut(r)[start..start + block.cols].copy_from_slice(block.row(r));
+        }
+    }
+
+    /// Horizontally concatenate column blocks with identical row counts.
+    pub fn concat_columns(blocks: &[DenseTensor]) -> DenseTensor {
+        assert!(!blocks.is_empty(), "cannot concatenate zero blocks");
+        let rows = blocks[0].rows;
+        let cols: usize = blocks.iter().map(|b| b.cols).sum();
+        let mut out = DenseTensor::zeros(rows, cols);
+        let mut offset = 0;
+        for b in blocks {
+            assert_eq!(b.rows, rows, "row count mismatch in concat_columns");
+            out.set_columns(offset, b);
+            offset += b.cols;
+        }
+        out
+    }
+
+    /// Vertically concatenate row blocks with identical column counts.
+    pub fn concat_rows(blocks: &[DenseTensor]) -> DenseTensor {
+        assert!(!blocks.is_empty(), "cannot concatenate zero blocks");
+        let cols = blocks[0].cols;
+        let rows: usize = blocks.iter().map(|b| b.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for b in blocks {
+            assert_eq!(b.cols, cols, "column count mismatch in concat_rows");
+            data.extend_from_slice(&b.data);
+        }
+        DenseTensor { rows, cols, data }
+    }
+
+    /// Maximum absolute element-wise difference to `other`.
+    pub fn max_abs_diff(&self, other: &DenseTensor) -> f32 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0_f32, f32::max)
+    }
+
+    /// True when all elements differ from `other` by at most `tol`.
+    pub fn approx_eq(&self, other: &DenseTensor, tol: f32) -> bool {
+        (self.rows, self.cols) == (other.rows, other.cols) && self.max_abs_diff(other) <= tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn zeros_shape_and_bytes() {
+        let t = DenseTensor::zeros(3, 5);
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 5);
+        assert_eq!(t.len(), 15);
+        assert_eq!(t.nbytes(), 60);
+        assert!(t.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn full_and_sum() {
+        let t = DenseTensor::full(2, 4, 0.5);
+        assert_eq!(t.sum(), 4.0);
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let t = DenseTensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.row(0), &[1.0, 2.0]);
+        assert_eq!(t.row(1), &[3.0, 4.0]);
+        assert_eq!(t.into_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_bad_len_panics() {
+        let _ = DenseTensor::from_vec(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn add_and_axpy_and_scale() {
+        let mut a = DenseTensor::full(1, 3, 1.0);
+        let b = DenseTensor::full(1, 3, 2.0);
+        a.add_assign(&b);
+        assert_eq!(a.as_slice(), &[3.0, 3.0, 3.0]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.as_slice(), &[4.0, 4.0, 4.0]);
+        a.scale(0.25);
+        assert_eq!(a.as_slice(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_shape_mismatch_panics() {
+        let mut a = DenseTensor::zeros(1, 3);
+        let b = DenseTensor::zeros(3, 1);
+        a.add_assign(&b);
+    }
+
+    #[test]
+    fn gather_rows_selects_in_order() {
+        let t = DenseTensor::from_vec(3, 2, vec![0.0, 1.0, 10.0, 11.0, 20.0, 21.0]);
+        let g = t.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.rows(), 3);
+        assert_eq!(g.row(0), &[20.0, 21.0]);
+        assert_eq!(g.row(1), &[0.0, 1.0]);
+        assert_eq!(g.row(2), &[20.0, 21.0]);
+    }
+
+    #[test]
+    fn column_slice_and_set_roundtrip() {
+        let t = DenseTensor::from_vec(2, 4, (0..8).map(|x| x as f32).collect());
+        let s = t.slice_columns(1, 3);
+        assert_eq!(s.row(0), &[1.0, 2.0]);
+        assert_eq!(s.row(1), &[5.0, 6.0]);
+        let mut u = DenseTensor::zeros(2, 4);
+        u.set_columns(1, &s);
+        assert_eq!(u.row(0), &[0.0, 1.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn concat_columns_reassembles_slices() {
+        let t = DenseTensor::from_vec(2, 4, (0..8).map(|x| x as f32).collect());
+        let parts = [t.slice_columns(0, 1), t.slice_columns(1, 3), t.slice_columns(3, 4)];
+        assert_eq!(DenseTensor::concat_columns(&parts), t);
+    }
+
+    #[test]
+    fn concat_rows_stacks() {
+        let a = DenseTensor::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = DenseTensor::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]);
+        let c = DenseTensor::concat_rows(&[a, b]);
+        assert_eq!(c.rows(), 3);
+        assert_eq!(c.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn uniform_respects_scale() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = DenseTensor::uniform(8, 8, 0.1, &mut rng);
+        assert!(t.as_slice().iter().all(|&x| (-0.1..=0.1).contains(&x)));
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let a = DenseTensor::full(1, 2, 1.0);
+        let mut b = a.clone();
+        b.as_mut_slice()[0] = 1.0005;
+        assert!(a.approx_eq(&b, 1e-3));
+        assert!(!a.approx_eq(&b, 1e-4));
+    }
+}
+
+impl DenseTensor {
+    /// Matrix product `self(n×k) · other(k×m)`.
+    pub fn matmul(&self, other: &DenseTensor) -> DenseTensor {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let (n, m) = (self.rows, other.cols);
+        let mut out = DenseTensor::zeros(n, m);
+        for i in 0..n {
+            let ar = self.row(i);
+            let or = out.row_mut(i);
+            for (p, &av) in ar.iter().enumerate() {
+                let br = other.row(p);
+                for (o, &bv) in or.iter_mut().zip(br) {
+                    *o += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ(k×n) · other(n×m)` where `self` is `n×k` — the gradient of a
+    /// matmul with respect to its right operand.
+    pub fn matmul_tn(&self, other: &DenseTensor) -> DenseTensor {
+        assert_eq!(self.rows, other.rows, "leading dimensions must agree");
+        let (k, m) = (self.cols, other.cols);
+        let mut out = DenseTensor::zeros(k, m);
+        for i in 0..self.rows {
+            let ar = self.row(i);
+            let br = other.row(i);
+            for (p, &av) in ar.iter().enumerate() {
+                let or = out.row_mut(p);
+                for (o, &bv) in or.iter_mut().zip(br) {
+                    *o += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self(n×k) · otherᵀ(k×m)` where `other` is `m×k` — the gradient of
+    /// a matmul with respect to its left operand.
+    pub fn matmul_nt(&self, other: &DenseTensor) -> DenseTensor {
+        assert_eq!(self.cols, other.cols, "trailing dimensions must agree");
+        let (n, m, k) = (self.rows, other.rows, self.cols);
+        let mut out = DenseTensor::zeros(n, m);
+        for i in 0..n {
+            let ar = self.row(i);
+            let or = out.row_mut(i);
+            for (j, o) in or.iter_mut().enumerate() {
+                let br = other.row(j);
+                let mut dot = 0.0;
+                for p in 0..k {
+                    dot += ar[p] * br[p];
+                }
+                *o = dot;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod matmul_tests {
+    use super::*;
+
+    fn a() -> DenseTensor {
+        DenseTensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.])
+    }
+
+    fn b() -> DenseTensor {
+        DenseTensor::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.])
+    }
+
+    #[test]
+    fn matmul_basic() {
+        let c = a().matmul(&b());
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let i = DenseTensor::from_vec(3, 3, vec![1., 0., 0., 0., 1., 0., 0., 0., 1.]);
+        assert_eq!(a().matmul(&i), a());
+    }
+
+    #[test]
+    fn transposed_variants_agree_with_explicit_transpose() {
+        // aᵀ·b via matmul_tn equals transpose(a)·b via matmul.
+        let at = DenseTensor::from_vec(3, 2, vec![1., 4., 2., 5., 3., 6.]);
+        let c = DenseTensor::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        assert!(a().matmul_tn(&c).approx_eq(&at.matmul(&c), 1e-6));
+        // a·bᵀ via matmul_nt equals a·transpose(b).
+        let bt = DenseTensor::from_vec(2, 3, vec![7., 9., 11., 8., 10., 12.]);
+        assert!(a().matmul_nt(&bt).approx_eq(&a().matmul(&b()), 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn shape_mismatch_panics() {
+        let _ = a().matmul(&a());
+    }
+}

@@ -1,0 +1,56 @@
+//! Dense and row-sparse tensor primitives for the EmbRace reproduction.
+//!
+//! The EmbRace paper (ICPP'22) manipulates two kinds of data:
+//!
+//! * **dense tensors** — contiguous `f32` buffers holding the parameters and
+//!   gradients of the non-embedding ("dense") part of an NLP model;
+//! * **row-sparse tensors** — the gradients of embedding tables, where only
+//!   the rows touched by the current batch are non-zero. PyTorch stores these
+//!   in COO format; we store them as a sorted-or-unsorted list of row indices
+//!   plus a `rows × dim` dense value block, which is exactly the COO layout
+//!   specialised to whole-row sparsity.
+//!
+//! Everything EmbRace's algorithms do to data — `COALESCE`, `UNIQUE`,
+//! set intersection/difference, `INDEX_SELECT` (Algorithm 1 of the paper),
+//! column-wise partitioning (§4.1.1) — is provided here, independent of any
+//! communication or scheduling machinery.
+//!
+//! # Example
+//!
+//! ```
+//! use embrace_tensor::{coalesce, index_select, unique_sorted, DenseTensor, RowSparse};
+//!
+//! // A raw embedding gradient with a duplicate row (token 7 twice).
+//! let grad = RowSparse::new(
+//!     vec![7, 2, 7],
+//!     DenseTensor::from_vec(3, 2, vec![1.0, 1.0, 5.0, 5.0, 2.0, 2.0]),
+//! );
+//! let c = coalesce(&grad);
+//! assert_eq!(c.indices(), &[2, 7]);
+//! assert_eq!(c.values().row(1), &[3.0, 3.0]); // 1 + 2 summed
+//!
+//! // Select the rows the next batch needs.
+//! let wanted = unique_sorted(&[7, 9]);
+//! let prior = index_select(&c, &wanted);
+//! assert_eq!(prior.indices(), &[7]);
+//! ```
+
+mod proptests;
+
+pub mod coalesce;
+pub mod dense;
+pub mod index;
+pub mod shard;
+pub mod sparse;
+
+pub use coalesce::{coalesce, coalesce_into, is_coalesced};
+pub use dense::DenseTensor;
+pub use index::{difference, index_select, intersect, unique_sorted, IndexSet};
+pub use shard::{column_partition, owner_of_row, row_partition, ColumnRange, RowRange};
+pub use sparse::RowSparse;
+
+/// Bytes per `f32` element; used throughout the cost model.
+pub const F32_BYTES: usize = 4;
+
+/// Bytes used to encode one COO row index on the wire (PyTorch uses i64).
+pub const INDEX_BYTES: usize = 8;

@@ -1,0 +1,131 @@
+//! Partitioning helpers: split a `vocab × dim` table by rows or by columns
+//! across `n` workers.
+//!
+//! The paper (§4.1.1) argues for **column-wise** partitioning: every shard
+//! keeps the whole vocabulary, so request load is uniform regardless of word
+//! frequency, whereas row-wise shards holding frequent words are hot.
+
+/// Half-open column range `[start, end)` owned by one worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ColumnRange {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl ColumnRange {
+    pub fn width(&self) -> usize {
+        self.end - self.start
+    }
+}
+
+/// Half-open row range `[start, end)` owned by one worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RowRange {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl RowRange {
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    pub fn contains(&self, row: u32) -> bool {
+        (self.start..self.end).contains(&(row as usize))
+    }
+}
+
+/// Split `total` items into `parts` contiguous near-equal ranges; the first
+/// `total % parts` ranges get one extra item. Panics when `parts == 0`.
+fn split_even(total: usize, parts: usize) -> Vec<(usize, usize)> {
+    assert!(parts > 0, "cannot split into zero parts");
+    let base = total / parts;
+    let extra = total % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+/// Column ranges of a `dim`-wide table split across `n` workers.
+pub fn column_partition(dim: usize, n: usize) -> Vec<ColumnRange> {
+    split_even(dim, n).into_iter().map(|(start, end)| ColumnRange { start, end }).collect()
+}
+
+/// Row ranges of a `vocab`-row table split across `n` workers.
+pub fn row_partition(vocab: usize, n: usize) -> Vec<RowRange> {
+    split_even(vocab, n).into_iter().map(|(start, end)| RowRange { start, end }).collect()
+}
+
+/// Which row-partition shard owns vocabulary row `row`, given shard list
+/// produced by [`row_partition`]. Linear scan is fine: `n ≤ 16` here.
+pub fn owner_of_row(shards: &[RowRange], row: u32) -> usize {
+    shards
+        .iter()
+        .position(|s| s.contains(row))
+        .unwrap_or_else(|| panic!("row {row} outside all shards"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_partition_covers_dim() {
+        let parts = column_partition(10, 3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], ColumnRange { start: 0, end: 4 });
+        assert_eq!(parts[1], ColumnRange { start: 4, end: 7 });
+        assert_eq!(parts[2], ColumnRange { start: 7, end: 10 });
+        assert_eq!(parts.iter().map(ColumnRange::width).sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn column_partition_exact_division() {
+        let parts = column_partition(8, 4);
+        assert!(parts.iter().all(|p| p.width() == 2));
+    }
+
+    #[test]
+    fn row_partition_covers_vocab_contiguously() {
+        let parts = row_partition(7, 2);
+        assert_eq!(parts[0], RowRange { start: 0, end: 4 });
+        assert_eq!(parts[1], RowRange { start: 4, end: 7 });
+    }
+
+    #[test]
+    fn more_parts_than_items_yields_empty_tails() {
+        let parts = row_partition(2, 4);
+        assert_eq!(parts.iter().filter(|p| !p.is_empty()).count(), 2);
+        assert_eq!(parts.iter().map(RowRange::len).sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn owner_lookup() {
+        let shards = row_partition(100, 4);
+        assert_eq!(owner_of_row(&shards, 0), 0);
+        assert_eq!(owner_of_row(&shards, 25), 1);
+        assert_eq!(owner_of_row(&shards, 99), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside all shards")]
+    fn owner_out_of_range_panics() {
+        let shards = row_partition(10, 2);
+        owner_of_row(&shards, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parts")]
+    fn zero_parts_panics() {
+        column_partition(4, 0);
+    }
+}

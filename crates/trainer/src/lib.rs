@@ -1,0 +1,29 @@
+//! End-to-end training harness: the step simulator behind every
+//! throughput/stall figure, and the functional convergence trainer.
+//!
+//! * [`sim`] — builds a multi-step discrete-event task DAG for any
+//!   [`embrace_baselines::MethodId`] × model × cluster combination and
+//!   extracts steady-state step time, throughput (tokens/sec, counting
+//!   non-padding words as the paper does, §5.2.2) and Computation Stall
+//!   (§5.4). Drives Figs 7, 8, 9, 10.
+//! * [`real`] — trains a real (small) embedding model through the
+//!   functional collectives with EmbRace's hybrid communication + split
+//!   Adam updates vs the Horovod-AllGather baseline, demonstrating the
+//!   convergence equivalence of Fig. 11.
+//! * [`timeline`] — renders the execution timelines of Figs 2/6.
+//! * [`report`] — plain-text table formatting shared by the bench
+//!   binaries.
+
+pub mod lstm;
+pub mod real;
+pub mod report;
+pub mod scheduled;
+pub mod sim;
+pub mod timeline;
+pub mod translation;
+
+pub use lstm::train_lstm_lm;
+pub use real::{train_convergence, ConvergenceConfig, ConvergenceResult, TrainMethod};
+pub use scheduled::train_convergence_scheduled;
+pub use sim::{simulate, simulate_with_trace, SimConfig, StepMetrics};
+pub use translation::train_translation;

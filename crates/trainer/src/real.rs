@@ -1,0 +1,305 @@
+//! Functional convergence training (paper Fig. 11).
+//!
+//! A small but *real* model is trained end-to-end through the functional
+//! collectives: an embedding table `E` feeding a dense projection `W`,
+//! with a regression loss against fixed per-token targets
+//! (`loss = ½‖E[t]·W − y_t‖²`). The gradients have exactly the paper's
+//! structure — sparse rows for `E`, a dense matrix for `W` — so the
+//! comparison EmbRace vs Horovod-AllGather exercises hybrid AlltoAll
+//! communication, Algorithm 1's split updates and the modified Adam, and
+//! must converge identically (both are synchronous with summed gradients).
+
+use embrace_baselines::horovod::{allgather_sparse_grad, allreduce_dense_grad};
+use embrace_collectives::ops::allgather_tokens;
+use embrace_collectives::{run_group, Endpoint};
+use embrace_core::{vertical_split, ColumnShardedEmbedding};
+use embrace_dlsim::optim::{Adam, Optimizer, UpdatePart};
+use embrace_dlsim::{EmbeddingTable, Prefetcher};
+use embrace_models::{BatchGen, ZipfSampler};
+use embrace_tensor::{DenseTensor, RowSparse};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which training method drives the embedding plane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrainMethod {
+    /// EmbRace: column-sharded embedding, AlltoAll, prior/delayed split
+    /// updates with the modified Adam.
+    EmbRace,
+    /// Horovod AllGather: replicated embedding, sparse AllGather, single
+    /// whole-gradient Adam update.
+    HorovodAllGather,
+}
+
+/// Configuration of a convergence run.
+#[derive(Clone, Copy, Debug)]
+pub struct ConvergenceConfig {
+    pub world: usize,
+    pub vocab: usize,
+    pub dim: usize,
+    pub tokens_per_batch: usize,
+    pub steps: usize,
+    pub lr: f32,
+    pub zipf_s: f64,
+    pub seed: u64,
+}
+
+impl Default for ConvergenceConfig {
+    fn default() -> Self {
+        ConvergenceConfig {
+            world: 4,
+            vocab: 200,
+            dim: 16,
+            tokens_per_batch: 64,
+            steps: 40,
+            lr: 0.05,
+            zipf_s: 0.9,
+            seed: 7,
+        }
+    }
+}
+
+/// Outcome: the global (summed over workers) loss after every step.
+#[derive(Clone, Debug)]
+pub struct ConvergenceResult {
+    pub losses: Vec<f64>,
+}
+
+impl ConvergenceResult {
+    pub fn final_loss(&self) -> f64 {
+        *self.losses.last().expect("at least one step")
+    }
+
+    /// Largest per-step absolute difference to another run's curve.
+    pub fn max_curve_diff(&self, other: &ConvergenceResult) -> f64 {
+        self.losses
+            .iter()
+            .zip(&other.losses)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// `a(n×k) · b(k×m)`.
+fn matmul(a: &DenseTensor, b: &DenseTensor) -> DenseTensor {
+    assert_eq!(a.cols(), b.rows());
+    let (n, k, m) = (a.rows(), a.cols(), b.cols());
+    let mut out = DenseTensor::zeros(n, m);
+    for i in 0..n {
+        let ar = a.row(i);
+        let or = out.row_mut(i);
+        for (p, &av) in ar.iter().enumerate() {
+            let br = b.row(p);
+            for j in 0..m {
+                or[j] += av * br[j];
+            }
+        }
+        let _ = k;
+    }
+    out
+}
+
+/// `aᵀ(k×n) · b(n×m)` where `a` is `n×k`.
+fn matmul_tn(a: &DenseTensor, b: &DenseTensor) -> DenseTensor {
+    assert_eq!(a.rows(), b.rows());
+    let (n, k, m) = (a.rows(), a.cols(), b.cols());
+    let mut out = DenseTensor::zeros(k, m);
+    for i in 0..n {
+        let ar = a.row(i);
+        let br = b.row(i);
+        for (p, &av) in ar.iter().enumerate().take(k) {
+            let or = out.row_mut(p);
+            for (o, &bv) in or.iter_mut().zip(br).take(m) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// `a(n×k) · bᵀ(k×m)` where `b` is `m×k`.
+fn matmul_nt(a: &DenseTensor, b: &DenseTensor) -> DenseTensor {
+    assert_eq!(a.cols(), b.cols());
+    let (n, k, m) = (a.rows(), a.cols(), b.rows());
+    let mut out = DenseTensor::zeros(n, m);
+    for i in 0..n {
+        let ar = a.row(i);
+        let or = out.row_mut(i);
+        for (j, o) in or.iter_mut().enumerate().take(m) {
+            let br = b.row(j);
+            let mut dot = 0.0;
+            for p in 0..k {
+                dot += ar[p] * br[p];
+            }
+            *o = dot;
+        }
+    }
+    out
+}
+
+/// Shared deterministic initial state: embedding, projection, targets.
+pub(crate) fn init_toy_state(cfg: &ConvergenceConfig) -> (DenseTensor, DenseTensor, DenseTensor) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let emb = DenseTensor::uniform(cfg.vocab, cfg.dim, 0.3, &mut rng);
+    let w = DenseTensor::uniform(cfg.dim, cfg.dim, 0.3, &mut rng);
+    let targets = DenseTensor::uniform(cfg.vocab, cfg.dim, 1.0, &mut rng);
+    (emb, w, targets)
+}
+
+/// Forward + backward of the toy model on one batch.
+/// Returns `(loss, grad_w, grad_emb_rows)` where `grad_emb_rows` pairs
+/// with `tokens` as an uncoalesced sparse gradient of `E`.
+pub(crate) fn fwd_bwd_toy(
+    lookup: &DenseTensor,
+    tokens: &[u32],
+    w: &DenseTensor,
+    targets: &DenseTensor,
+) -> (f64, DenseTensor, DenseTensor) {
+    let pred = matmul(lookup, w);
+    // Residuals and loss.
+    let mut resid = pred.clone();
+    for (i, &t) in tokens.iter().enumerate() {
+        let ty = targets.row(t as usize);
+        let rr = resid.row_mut(i);
+        for (r, &y) in rr.iter_mut().zip(ty) {
+            *r -= y;
+        }
+    }
+    let loss = 0.5 * resid.norm_sq() as f64;
+    let grad_w = matmul_tn(lookup, &resid);
+    let grad_emb = matmul_nt(&resid, w);
+    (loss, grad_w, grad_emb)
+}
+
+/// Sum each worker's scalar loss across the group.
+fn global_loss(ep: &mut Endpoint, local: f64) -> f64 {
+    let mut buf = DenseTensor::from_vec(1, 1, vec![local as f32]);
+    // Cheap exactness: gather all values and sum in rank order so every
+    // rank computes the identical f64 total.
+    let all = embrace_collectives::ops::allgather_dense(ep, buf.clone());
+    buf.fill_zero();
+    all.iter().map(|t| t.as_slice()[0] as f64).sum()
+}
+
+/// Train the toy model with `method`; returns the per-step global loss.
+pub fn train_convergence(method: TrainMethod, cfg: &ConvergenceConfig) -> ConvergenceResult {
+    let losses = run_group(cfg.world, |rank, ep| match method {
+        TrainMethod::HorovodAllGather => train_allgather(rank, ep, cfg),
+        TrainMethod::EmbRace => train_embrace(rank, ep, cfg),
+    });
+    ConvergenceResult { losses: losses.into_iter().next().expect("at least one worker") }
+}
+
+fn batch_stream(cfg: &ConvergenceConfig, rank: usize) -> Prefetcher<Vec<u32>, BatchGen> {
+    let sampler = ZipfSampler::new(cfg.vocab, cfg.zipf_s);
+    let gen = BatchGen::new(sampler, cfg.tokens_per_batch, 0.0, cfg.seed ^ ((rank as u64) << 32));
+    Prefetcher::new(gen)
+}
+
+fn train_allgather(rank: usize, ep: &mut Endpoint, cfg: &ConvergenceConfig) -> Vec<f64> {
+    let (emb_init, w_init, targets) = init_toy_state(cfg);
+    let mut emb = EmbeddingTable::from_table(emb_init);
+    let mut w = w_init;
+    let mut opt_e = Adam::new(cfg.vocab, cfg.dim, cfg.lr);
+    let mut opt_w = Adam::new(cfg.dim, cfg.dim, cfg.lr);
+    let mut stream = batch_stream(cfg, rank);
+
+    let mut losses = Vec::with_capacity(cfg.steps);
+    for _ in 0..cfg.steps {
+        let tokens = stream.advance().expect("infinite stream");
+        let lookup = emb.lookup(&tokens);
+        let (loss, mut grad_w, grad_rows) = fwd_bwd_toy(&lookup, &tokens, &w, &targets);
+        // Dense plane: ring AllReduce.
+        allreduce_dense_grad(ep, &mut grad_w);
+        // Sparse plane: AllGather the COO gradient, coalesce, apply whole.
+        let sparse = RowSparse::new(tokens.clone(), grad_rows);
+        let global = allgather_sparse_grad(ep, sparse);
+        opt_e.step_sparse(emb.table_mut(), &global, UpdatePart::Whole);
+        opt_w.step_dense(&mut w, &grad_w);
+        losses.push(global_loss(ep, loss));
+    }
+    losses
+}
+
+fn train_embrace(rank: usize, ep: &mut Endpoint, cfg: &ConvergenceConfig) -> Vec<f64> {
+    let (emb_init, w_init, targets) = init_toy_state(cfg);
+    let mut emb = ColumnShardedEmbedding::new(&emb_init, rank, cfg.world);
+    let mut w = w_init;
+    // Adam over the local column shard only; the modified step-state rule
+    // makes the split update equivalent to the baseline's whole update.
+    let mut opt_e = Adam::new(cfg.vocab, emb.shard_dim(), cfg.lr);
+    let mut opt_w = Adam::new(cfg.dim, cfg.dim, cfg.lr);
+    let mut stream = batch_stream(cfg, rank);
+
+    let mut losses = Vec::with_capacity(cfg.steps);
+    for _ in 0..cfg.steps {
+        let tokens = stream.advance().expect("infinite stream");
+        let next_local = stream.peek_next().expect("infinite stream").clone();
+        // Hybrid FP: gather all batches, AlltoAll lookup results.
+        let all_tokens = allgather_tokens(ep, tokens.clone());
+        let lookup = emb.forward(ep, &all_tokens);
+        let (loss, mut grad_w, grad_rows) = fwd_bwd_toy(&lookup, &tokens, &w, &targets);
+        allreduce_dense_grad(ep, &mut grad_w);
+        opt_w.step_dense(&mut w, &grad_w);
+        // Vertical Sparse Scheduling: split by next-iteration data.
+        let next_gathered: Vec<u32> = allgather_tokens(ep, next_local).concat();
+        let raw = RowSparse::new(tokens.clone(), grad_rows);
+        let split = vertical_split(&raw, &tokens, &next_gathered);
+        // AlltoAll #2, prior first, then delayed; Adam advances once.
+        let prior_shard = emb.exchange_grad_part(ep, &split.prior);
+        emb.apply_grad(&prior_shard, &mut opt_e, UpdatePart::Prior);
+        let delayed_shard = emb.exchange_grad_part(ep, &split.delayed);
+        emb.apply_grad(&delayed_shard, &mut opt_e, UpdatePart::Delayed);
+        losses.push(global_loss(ep, loss));
+    }
+    losses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_methods_learn() {
+        let cfg = ConvergenceConfig { steps: 60, ..Default::default() };
+        for method in [TrainMethod::HorovodAllGather, TrainMethod::EmbRace] {
+            let r = train_convergence(method, &cfg);
+            assert_eq!(r.losses.len(), 60);
+            let early: f64 = r.losses[..5].iter().sum();
+            let late: f64 = r.losses[55..].iter().sum();
+            assert!(
+                late < early * 0.5,
+                "{method:?} failed to learn: early {early}, late {late}"
+            );
+        }
+    }
+
+    #[test]
+    fn embrace_converges_like_allgather() {
+        // The Fig. 11 claim: same convergence as the synchronous baseline.
+        let cfg = ConvergenceConfig::default();
+        let base = train_convergence(TrainMethod::HorovodAllGather, &cfg);
+        let embrace = train_convergence(TrainMethod::EmbRace, &cfg);
+        let scale = base.losses[0].abs().max(1.0);
+        let diff = base.max_curve_diff(&embrace) / scale;
+        assert!(diff < 1e-3, "curves diverge: relative diff {diff}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = ConvergenceConfig { steps: 10, ..Default::default() };
+        let a = train_convergence(TrainMethod::EmbRace, &cfg);
+        let b = train_convergence(TrainMethod::EmbRace, &cfg);
+        assert_eq!(a.losses, b.losses);
+    }
+
+    #[test]
+    fn worlds_of_different_sizes_work() {
+        for world in [1, 2, 3] {
+            let cfg = ConvergenceConfig { world, steps: 6, ..Default::default() };
+            let r = train_convergence(TrainMethod::EmbRace, &cfg);
+            assert_eq!(r.losses.len(), 6);
+            assert!(r.final_loss().is_finite());
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Execution timelines (paper Figs 2 and 6).
+//!
+//! Renders, for one model/cluster, the three scheduling schemes the paper
+//! contrasts: default FIFO (Fig. 6a), Block-level Horizontal Scheduling
+//! (Fig. 6b) and full 2D Communication Scheduling (Fig. 6c) — all over
+//! Sparsity-aware Hybrid Communication, as in the paper's figure.
+
+use crate::sim::{simulate, simulate_with_trace, SimConfig};
+use embrace_baselines::MethodId;
+use embrace_models::ModelId;
+use embrace_simnet::Cluster;
+
+/// One scheme's rendered timeline plus its steady step time.
+#[derive(Clone, Debug)]
+pub struct SchemeTimeline {
+    pub label: &'static str,
+    pub step_time: f64,
+    pub stall: f64,
+}
+
+/// Compare the three scheduling schemes of Fig. 6. Returns them in the
+/// paper's order: default, horizontal, 2D.
+pub fn fig6_comparison(model: ModelId, cluster: Cluster) -> Vec<SchemeTimeline> {
+    let schemes = [
+        ("Default (FIFO) scheduling", MethodId::EmbRaceNoSched),
+        ("Block-level Horizontal Scheduling", MethodId::EmbRaceHorizontal),
+        ("2D Communication Scheduling", MethodId::EmbRace),
+    ];
+    schemes
+        .iter()
+        .map(|&(label, method)| {
+            let m = simulate(&SimConfig::new(method, model, cluster));
+            SchemeTimeline { label, step_time: m.step_time, stall: m.stall }
+        })
+        .collect()
+}
+
+/// ASCII Gantt chart of one steady-state step under `method`, rendered
+/// `width` characters wide: `f`/`b` = forward/backward kernels, `v` =
+/// vertical-scheduling computation, `a` = dense AllReduce, `e` =
+/// embedding-data AlltoAll, `p`/`d` = prior/delayed gradient AlltoAll.
+pub fn render_step_gantt(
+    method: embrace_baselines::MethodId,
+    model: ModelId,
+    cluster: Cluster,
+    width: usize,
+) -> String {
+    let mut cfg = SimConfig::new(method, model, cluster);
+    cfg.steps = 5;
+    let (_, trace) = simulate_with_trace(&cfg);
+    // Window on one steady step: from the first FP of step 3 to the first
+    // FP of step 4.
+    let from = trace.first_start("s3/").unwrap_or(0.0);
+    let to = trace.first_start("s4/").unwrap_or(f64::MAX);
+    let windowed: Vec<_> = trace
+        .spans
+        .iter()
+        .filter(|sp| sp.start < to && sp.end > from)
+        .map(|sp| embrace_simnet::Span {
+            task: sp.task,
+            name: sp.name.clone(),
+            res: sp.res,
+            start: (sp.start.max(from) - from),
+            end: (sp.end.min(to) - from),
+        })
+        .collect();
+    embrace_simnet::Trace { spans: windowed }.render_ascii(width)
+}
+
+/// Render the Fig. 6 comparison as text (used by the `fig6_timeline` bench
+/// binary): per scheme, the step time, the stall, and the speedup over the
+/// default FIFO schedule.
+pub fn render_fig6(model: ModelId, cluster: Cluster) -> String {
+    let rows = fig6_comparison(model, cluster);
+    let base = rows[0].step_time;
+    let mut out = String::new();
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<36} step {:8.2} ms   stall {:8.2} ms   speedup {:.3}x\n",
+            r.label,
+            r.step_time * 1e3,
+            r.stall * 1e3,
+            base / r.step_time
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schemes_improve_in_paper_order() {
+        // Fig. 6: each level of scheduling shortens (or at least does not
+        // lengthen) the step.
+        let rows = fig6_comparison(ModelId::Gnmt8, Cluster::rtx3090(16));
+        assert_eq!(rows.len(), 3);
+        assert!(rows[1].step_time <= rows[0].step_time * 1.001, "horizontal must not regress");
+        assert!(rows[2].step_time <= rows[1].step_time * 1.001, "2D must not regress");
+    }
+
+    #[test]
+    fn gantt_renders_both_streams() {
+        let g = render_step_gantt(MethodId::EmbRace, ModelId::Gnmt8, Cluster::rtx3090(16), 80);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains('f') || lines[0].contains('b'), "compute row: {g}");
+        assert!(lines[1].contains('a'), "network row should show allreduce: {g}");
+    }
+
+    #[test]
+    fn render_contains_all_schemes() {
+        let text = render_fig6(ModelId::BertBase, Cluster::rtx3090(8));
+        assert!(text.contains("Default"));
+        assert!(text.contains("Horizontal"));
+        assert!(text.contains("2D"));
+        assert_eq!(text.lines().count(), 3);
+    }
+}

@@ -1,0 +1,248 @@
+//! Convergence of a translation-shaped model (paper Fig. 11b analog).
+//!
+//! A GNMT-like micro-model with *two* embedding tables (encoder and
+//! decoder, §4.2.1's structure) and a real autograd tape
+//! (`embrace_dlsim::autograd`) computing the dense gradients:
+//!
+//! ```text
+//! enc_tokens → E_enc → ·W_enc → tanh ┐
+//!                                    (+) → ·W_out → MSE(target rows)
+//! dec_tokens → E_dec → ·W_dec → tanh ┘
+//! ```
+//!
+//! Trained two ways — EmbRace (both tables column-sharded, AlltoAll,
+//! per-table Algorithm 1 splits, modified Adam) and Horovod AllGather
+//! (replicated tables) — the loss curves must coincide, reproducing the
+//! Fig. 11b claim for the multi-embedding case.
+
+use embrace_baselines::horovod::{allgather_sparse_grad, allreduce_dense_grad};
+use embrace_collectives::ops::allgather_tokens;
+use embrace_collectives::{run_group, Endpoint};
+use embrace_core::{vertical_split, ColumnShardedEmbedding};
+use embrace_dlsim::autograd::Tape;
+use embrace_dlsim::optim::{Adam, Optimizer, UpdatePart};
+use embrace_dlsim::{EmbeddingTable, Prefetcher};
+use embrace_models::{BatchGen, ZipfSampler};
+use embrace_tensor::{DenseTensor, RowSparse};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::real::{ConvergenceConfig, ConvergenceResult, TrainMethod};
+
+/// Dense parameters of the micro-translation model.
+struct DenseParams {
+    w_enc: DenseTensor,
+    w_dec: DenseTensor,
+    w_out: DenseTensor,
+}
+
+struct DenseOpts {
+    w_enc: Adam,
+    w_dec: Adam,
+    w_out: Adam,
+}
+
+fn init_translation_state(
+    cfg: &ConvergenceConfig,
+) -> (DenseTensor, DenseTensor, DenseParams, DenseTensor) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(77));
+    let e_enc = DenseTensor::uniform(cfg.vocab, cfg.dim, 0.3, &mut rng);
+    let e_dec = DenseTensor::uniform(cfg.vocab, cfg.dim, 0.3, &mut rng);
+    let params = DenseParams {
+        w_enc: DenseTensor::uniform(cfg.dim, cfg.dim, 0.3, &mut rng),
+        w_dec: DenseTensor::uniform(cfg.dim, cfg.dim, 0.3, &mut rng),
+        w_out: DenseTensor::uniform(cfg.dim, cfg.dim, 0.3, &mut rng),
+    };
+    let targets = DenseTensor::uniform(cfg.vocab, cfg.dim, 1.0, &mut rng);
+    (e_enc, e_dec, params, targets)
+}
+
+fn dense_opts(cfg: &ConvergenceConfig) -> DenseOpts {
+    DenseOpts {
+        w_enc: Adam::new(cfg.dim, cfg.dim, cfg.lr),
+        w_dec: Adam::new(cfg.dim, cfg.dim, cfg.lr),
+        w_out: Adam::new(cfg.dim, cfg.dim, cfg.lr),
+    }
+}
+
+/// One tape forward/backward. Returns
+/// `(loss, grad_w_enc, grad_w_dec, grad_w_out, grad_enc_lookup, grad_dec_lookup)`.
+#[allow(clippy::type_complexity)]
+fn step_tape(
+    enc_lookup: DenseTensor,
+    dec_lookup: DenseTensor,
+    dec_tokens: &[u32],
+    params: &DenseParams,
+    targets: &DenseTensor,
+) -> (f64, DenseTensor, DenseTensor, DenseTensor, DenseTensor, DenseTensor) {
+    let mut tape = Tape::new();
+    let enc_in = tape.leaf(enc_lookup, true);
+    let dec_in = tape.leaf(dec_lookup, true);
+    let w_enc = tape.leaf(params.w_enc.clone(), true);
+    let w_dec = tape.leaf(params.w_dec.clone(), true);
+    let w_out = tape.leaf(params.w_out.clone(), true);
+
+    let he = tape.matmul(enc_in, w_enc);
+    let he = tape.tanh(he);
+    let hd = tape.matmul(dec_in, w_dec);
+    let hd = tape.tanh(hd);
+    let h = tape.add(he, hd);
+    let y = tape.matmul(h, w_out);
+    let target = targets.gather_rows(dec_tokens);
+    let loss = tape.mse_loss(y, &target);
+    tape.backward(loss);
+
+    (
+        tape.scalar(loss) as f64,
+        tape.grad(w_enc).clone(),
+        tape.grad(w_dec).clone(),
+        tape.grad(w_out).clone(),
+        tape.grad(enc_in).clone(),
+        tape.grad(dec_in).clone(),
+    )
+}
+
+/// Per-rank batch streams for the encoder and decoder sides (different
+/// sub-corpora, same batch length).
+fn streams(cfg: &ConvergenceConfig, rank: usize) -> (Prefetcher<Vec<u32>, BatchGen>, Prefetcher<Vec<u32>, BatchGen>) {
+    let sampler = ZipfSampler::new(cfg.vocab, cfg.zipf_s);
+    let enc = BatchGen::new(sampler.clone(), cfg.tokens_per_batch, 0.0, cfg.seed ^ ((rank as u64) << 32));
+    let dec =
+        BatchGen::new(sampler, cfg.tokens_per_batch, 0.0, cfg.seed ^ ((rank as u64) << 32) ^ 0xDEC0);
+    (Prefetcher::new(enc), Prefetcher::new(dec))
+}
+
+fn global_loss(ep: &mut Endpoint, local: f64) -> f64 {
+    let all = embrace_collectives::ops::allgather_dense(ep, DenseTensor::from_vec(1, 1, vec![local as f32]));
+    all.iter().map(|t| t.as_slice()[0] as f64).sum()
+}
+
+/// Train the translation micro-model; per-step global loss curve.
+pub fn train_translation(method: TrainMethod, cfg: &ConvergenceConfig) -> ConvergenceResult {
+    let losses = run_group(cfg.world, |rank, ep| match method {
+        TrainMethod::HorovodAllGather => worker_allgather(rank, ep, cfg),
+        TrainMethod::EmbRace => worker_embrace(rank, ep, cfg),
+    });
+    ConvergenceResult { losses: losses.into_iter().next().expect("at least one worker") }
+}
+
+fn apply_dense(ep: &mut Endpoint, params: &mut DenseParams, opts: &mut DenseOpts, grads: (DenseTensor, DenseTensor, DenseTensor)) {
+    let (mut ge, mut gd, mut go) = grads;
+    allreduce_dense_grad(ep, &mut ge);
+    allreduce_dense_grad(ep, &mut gd);
+    allreduce_dense_grad(ep, &mut go);
+    opts.w_enc.step_dense(&mut params.w_enc, &ge);
+    opts.w_dec.step_dense(&mut params.w_dec, &gd);
+    opts.w_out.step_dense(&mut params.w_out, &go);
+}
+
+fn worker_allgather(rank: usize, ep: &mut Endpoint, cfg: &ConvergenceConfig) -> Vec<f64> {
+    let (e_enc, e_dec, mut params, targets) = init_translation_state(cfg);
+    let mut enc_table = EmbeddingTable::from_table(e_enc);
+    let mut dec_table = EmbeddingTable::from_table(e_dec);
+    let mut opt_enc = Adam::new(cfg.vocab, cfg.dim, cfg.lr);
+    let mut opt_dec = Adam::new(cfg.vocab, cfg.dim, cfg.lr);
+    let mut opts = dense_opts(cfg);
+    let (mut enc_stream, mut dec_stream) = streams(cfg, rank);
+
+    let mut losses = Vec::with_capacity(cfg.steps);
+    for _ in 0..cfg.steps {
+        let enc_tokens = enc_stream.advance().expect("infinite");
+        let dec_tokens = dec_stream.advance().expect("infinite");
+        let (loss, ge, gd, go, g_enc_rows, g_dec_rows) = step_tape(
+            enc_table.lookup(&enc_tokens),
+            dec_table.lookup(&dec_tokens),
+            &dec_tokens,
+            &params,
+            &targets,
+        );
+        apply_dense(ep, &mut params, &mut opts, (ge, gd, go));
+        let g_enc = allgather_sparse_grad(ep, RowSparse::new(enc_tokens, g_enc_rows));
+        opt_enc.step_sparse(enc_table.table_mut(), &g_enc, UpdatePart::Whole);
+        let g_dec = allgather_sparse_grad(ep, RowSparse::new(dec_tokens, g_dec_rows));
+        opt_dec.step_sparse(dec_table.table_mut(), &g_dec, UpdatePart::Whole);
+        losses.push(global_loss(ep, loss));
+    }
+    losses
+}
+
+fn worker_embrace(rank: usize, ep: &mut Endpoint, cfg: &ConvergenceConfig) -> Vec<f64> {
+    let (e_enc, e_dec, mut params, targets) = init_translation_state(cfg);
+    let mut enc_emb = ColumnShardedEmbedding::new(&e_enc, rank, cfg.world);
+    let mut dec_emb = ColumnShardedEmbedding::new(&e_dec, rank, cfg.world);
+    let mut opt_enc = Adam::new(cfg.vocab, enc_emb.shard_dim(), cfg.lr);
+    let mut opt_dec = Adam::new(cfg.vocab, dec_emb.shard_dim(), cfg.lr);
+    let mut opts = dense_opts(cfg);
+    let (mut enc_stream, mut dec_stream) = streams(cfg, rank);
+
+    let mut losses = Vec::with_capacity(cfg.steps);
+    for _ in 0..cfg.steps {
+        let enc_tokens = enc_stream.advance().expect("infinite");
+        let dec_tokens = dec_stream.advance().expect("infinite");
+        let enc_next = enc_stream.peek_next().expect("infinite").clone();
+        let dec_next = dec_stream.peek_next().expect("infinite").clone();
+
+        // Hybrid FP for both tables.
+        let all_enc = allgather_tokens(ep, enc_tokens.clone());
+        let enc_lookup = enc_emb.forward(ep, &all_enc);
+        let all_dec = allgather_tokens(ep, dec_tokens.clone());
+        let dec_lookup = dec_emb.forward(ep, &all_dec);
+
+        let (loss, ge, gd, go, g_enc_rows, g_dec_rows) =
+            step_tape(enc_lookup, dec_lookup, &dec_tokens, &params, &targets);
+        apply_dense(ep, &mut params, &mut opts, (ge, gd, go));
+
+        // Per-table vertical split and split-Adam updates.
+        let next_enc_gathered: Vec<u32> = allgather_tokens(ep, enc_next).concat();
+        let split = vertical_split(&RowSparse::new(enc_tokens.clone(), g_enc_rows), &enc_tokens, &next_enc_gathered);
+        let prior = enc_emb.exchange_grad_part(ep, &split.prior);
+        enc_emb.apply_grad(&prior, &mut opt_enc, UpdatePart::Prior);
+        let delayed = enc_emb.exchange_grad_part(ep, &split.delayed);
+        enc_emb.apply_grad(&delayed, &mut opt_enc, UpdatePart::Delayed);
+
+        let next_dec_gathered: Vec<u32> = allgather_tokens(ep, dec_next).concat();
+        let split = vertical_split(&RowSparse::new(dec_tokens.clone(), g_dec_rows), &dec_tokens, &next_dec_gathered);
+        let prior = dec_emb.exchange_grad_part(ep, &split.prior);
+        dec_emb.apply_grad(&prior, &mut opt_dec, UpdatePart::Prior);
+        let delayed = dec_emb.exchange_grad_part(ep, &split.delayed);
+        dec_emb.apply_grad(&delayed, &mut opt_dec, UpdatePart::Delayed);
+
+        losses.push(global_loss(ep, loss));
+    }
+    losses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ConvergenceConfig {
+        ConvergenceConfig { world: 4, vocab: 150, dim: 12, tokens_per_batch: 48, steps: 40, lr: 0.03, zipf_s: 0.9, seed: 21 }
+    }
+
+    #[test]
+    fn translation_model_learns() {
+        let r = train_translation(TrainMethod::HorovodAllGather, &cfg());
+        let early: f64 = r.losses[..5].iter().sum();
+        let late: f64 = r.losses[35..].iter().sum();
+        assert!(late < early * 0.6, "early {early} late {late}");
+    }
+
+    #[test]
+    fn embrace_translation_matches_allgather() {
+        // Fig. 11b: the translation model converges identically.
+        let cfg = cfg();
+        let base = train_translation(TrainMethod::HorovodAllGather, &cfg);
+        let embrace = train_translation(TrainMethod::EmbRace, &cfg);
+        let rel = base.max_curve_diff(&embrace) / base.losses[0].max(1.0);
+        assert!(rel < 1e-3, "curves diverge: {rel}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = ConvergenceConfig { steps: 6, ..cfg() };
+        let a = train_translation(TrainMethod::EmbRace, &cfg);
+        let b = train_translation(TrainMethod::EmbRace, &cfg);
+        assert_eq!(a.losses, b.losses);
+    }
+}

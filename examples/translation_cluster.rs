@@ -1,0 +1,50 @@
+//! Simulate distributed training of a translation model (GNMT-8) on the
+//! paper's clusters and compare every method — a miniature of Fig. 7.
+//!
+//! ```text
+//! cargo run --release --example translation_cluster [world]
+//! ```
+
+use embrace_repro::baselines::MethodId;
+use embrace_repro::models::ModelId;
+use embrace_repro::simnet::Cluster;
+use embrace_repro::trainer::report::table;
+use embrace_repro::trainer::{simulate, SimConfig};
+
+fn main() {
+    let world: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(16);
+    for cluster in [Cluster::rtx3090(world), Cluster::rtx2080(world)] {
+        println!(
+            "GNMT-8 on {} x {} ({} nodes x {} GPUs):\n",
+            world,
+            cluster.gpu.name(),
+            cluster.nodes,
+            cluster.gpus_per_node
+        );
+        let mut rows = Vec::new();
+        let mut best_baseline = 0.0_f64;
+        let mut metrics = Vec::new();
+        for method in MethodId::ALL {
+            let m = simulate(&SimConfig::new(method, ModelId::Gnmt8, cluster));
+            if method != MethodId::EmbRace {
+                best_baseline = best_baseline.max(m.tokens_per_sec);
+            }
+            metrics.push((method, m));
+        }
+        for (method, m) in metrics {
+            rows.push(vec![
+                method.name().to_string(),
+                format!("{:.1}", m.step_time * 1e3),
+                format!("{:.1}", m.stall * 1e3),
+                format!("{:.0}", m.tokens_per_sec),
+                if method == MethodId::EmbRace {
+                    format!("{:.2}x over best baseline", m.tokens_per_sec / best_baseline)
+                } else {
+                    String::new()
+                },
+            ]);
+        }
+        print!("{}", table(&["method", "step ms", "stall ms", "tokens/s", "note"], &rows));
+        println!();
+    }
+}

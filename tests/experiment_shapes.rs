@@ -1,0 +1,185 @@
+//! The paper's headline experimental shapes, asserted end-to-end through
+//! the simulator: who wins, roughly by how much, and where the crossovers
+//! fall (Figs 4, 7, 8, 9, 10). EXPERIMENTS.md records the exact measured
+//! numbers; these tests pin the qualitative claims so regressions in any
+//! crate surface here.
+
+use embrace_repro::baselines::MethodId;
+use embrace_repro::models::ModelId;
+use embrace_repro::simnet::{Cluster, CostModel};
+use embrace_repro::trainer::{simulate, SimConfig};
+
+fn tput(method: MethodId, model: ModelId, cluster: Cluster) -> f64 {
+    simulate(&SimConfig::new(method, model, cluster)).tokens_per_sec
+}
+
+fn best_baseline(model: ModelId, cluster: Cluster) -> f64 {
+    MethodId::BASELINES
+        .iter()
+        .map(|&m| tput(m, model, cluster))
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn fig7_embrace_wins_everywhere_at_16_gpus() {
+    for cluster in [Cluster::rtx3090(16), Cluster::rtx2080(16)] {
+        for model in ModelId::ALL {
+            let e = tput(MethodId::EmbRace, model, cluster);
+            let b = best_baseline(model, cluster);
+            assert!(
+                e > b,
+                "{model:?}/{}: EmbRace {e:.0} <= best baseline {b:.0}",
+                cluster.gpu.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn fig7_lm_speedup_is_the_largest() {
+    // LM has the largest sparse ratio (97%), so its speedup leads.
+    let cluster = Cluster::rtx3090(16);
+    let speedup =
+        |model| tput(MethodId::EmbRace, model, cluster) / best_baseline(model, cluster);
+    let lm = speedup(ModelId::Lm);
+    for other in [ModelId::Gnmt8, ModelId::Transformer, ModelId::BertBase] {
+        assert!(lm > speedup(other), "LM speedup must dominate {other:?}");
+    }
+    assert!(lm > 1.4, "LM speedup at 16 GPUs should be large, got {lm:.2}");
+}
+
+#[test]
+fn fig7_bert_speedup_is_modest_on_rtx3090() {
+    // Paper: 1.02-1.06x — BP is long enough to hide the small embedding.
+    let cluster = Cluster::rtx3090(16);
+    let s = tput(MethodId::EmbRace, ModelId::BertBase, cluster)
+        / best_baseline(ModelId::BertBase, cluster);
+    assert!((1.0..1.15).contains(&s), "BERT/3090 speedup should be modest: {s:.3}");
+}
+
+#[test]
+fn fig7_dense_methods_collapse_on_lm() {
+    // 3.1 GiB of embeddings in dense format: Horovod AllReduce and BytePS
+    // must be far behind every sparse-aware method.
+    let cluster = Cluster::rtx3090(16);
+    let dense_best = tput(MethodId::HorovodAllReduce, ModelId::Lm, cluster)
+        .max(tput(MethodId::BytePs, ModelId::Lm, cluster));
+    for sparse in [MethodId::EmbRace, MethodId::HorovodAllGather, MethodId::Parallax] {
+        let t = tput(sparse, ModelId::Lm, cluster);
+        assert!(
+            t > dense_best * 3.0,
+            "{}: {t:.0} should dwarf dense methods ({dense_best:.0})",
+            sparse.name()
+        );
+    }
+}
+
+#[test]
+fn fig7_allgather_loses_its_lead_at_scale() {
+    // Paper (§5.3, GNMT): AllGather is the best baseline on 4/8 GPUs but
+    // falls behind AllReduce at 16 — the scalability crossover.
+    let at = |world| {
+        let c = Cluster::rtx3090(world);
+        (
+            tput(MethodId::HorovodAllGather, ModelId::Gnmt8, c),
+            tput(MethodId::HorovodAllReduce, ModelId::Gnmt8, c),
+        )
+    };
+    let (ag4, ar4) = at(4);
+    let (ag16, ar16) = at(16);
+    assert!(ag4 > ar4, "AllGather should lead on one node ({ag4:.0} vs {ar4:.0})");
+    assert!(ar16 > ag16, "AllReduce should lead at 16 GPUs ({ar16:.0} vs {ag16:.0})");
+}
+
+#[test]
+fn fig8_embrace_has_the_least_stall() {
+    for cluster in [Cluster::rtx3090(16), Cluster::rtx2080(16)] {
+        for model in ModelId::ALL {
+            let e = simulate(&SimConfig::new(MethodId::EmbRace, model, cluster)).stall;
+            for b in MethodId::BASELINES {
+                let s = simulate(&SimConfig::new(b, model, cluster)).stall;
+                assert!(
+                    s >= e * 0.999,
+                    "{model:?}/{}: {} stall {s:.4} < EmbRace {e:.4}",
+                    cluster.gpu.name(),
+                    b.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fig9_each_technique_contributes() {
+    // Hybrid communication alone beats AllGather; 2D scheduling adds more.
+    let cluster = Cluster::rtx3090(16);
+    for model in ModelId::ALL {
+        let base = tput(MethodId::HorovodAllGather, model, cluster);
+        let hybrid = tput(MethodId::EmbRaceNoSched, model, cluster);
+        let full = tput(MethodId::EmbRace, model, cluster);
+        assert!(hybrid > base, "{model:?}: hybrid comm must beat AllGather");
+        assert!(full > hybrid, "{model:?}: 2D scheduling must add on top");
+    }
+}
+
+#[test]
+fn fig10_embrace_scales_at_least_as_well_as_competitor() {
+    let cases = [
+        (ModelId::Lm, MethodId::Parallax),
+        (ModelId::Gnmt8, MethodId::HorovodAllReduce),
+        (ModelId::Transformer, MethodId::HorovodAllReduce),
+        (ModelId::BertBase, MethodId::HorovodAllReduce),
+    ];
+    for (model, comp) in cases {
+        let scale = |m: MethodId| {
+            tput(m, model, Cluster::rtx3090(16)) / tput(m, model, Cluster::rtx3090(4))
+        };
+        let e = scale(MethodId::EmbRace);
+        let c = scale(comp);
+        assert!(
+            e >= c * 0.97,
+            "{model:?}: EmbRace 4→16 scaling {e:.2} should be >= {} {c:.2}",
+            comp.name()
+        );
+        assert!(e <= 4.0 + 1e-9, "{model:?}: no super-linear scaling ({e:.2})");
+    }
+}
+
+#[test]
+fn fig4_crossovers() {
+    let m = 252.5 * 1024.0 * 1024.0;
+    // (a) 2 nodes × 4 GPUs: AlltoAll beats AllGather/AllReduce beyond ~40%
+    // sparsity.
+    // Our NIC-sharing model puts the crossover near ~55% sparsity (the
+    // paper measured ~40% on real NCCL); the ordering beyond it holds.
+    let cm = CostModel::new(Cluster::fig4a());
+    for sparsity in [0.6, 0.8, 0.95] {
+        let alpha = 1.0 - sparsity;
+        let a2a = 2.0 * cm.alltoall(alpha * m);
+        assert!(a2a < cm.ring_allreduce(m), "sparsity {sparsity}: a2a vs allreduce");
+        assert!(a2a < cm.allgather(alpha * m), "sparsity {sparsity}: a2a vs allgather");
+    }
+    // Dense AllReduce wins when there is no sparsity (alpha = 1).
+    assert!(2.0 * cm.alltoall(m) > cm.ring_allreduce(m));
+    // (b) 4 nodes × 1 GPU: AlltoAll is best at every sparsity level.
+    let cm = CostModel::new(Cluster::fig4b());
+    for sparsity in [0.0, 0.4, 0.8, 0.95] {
+        let alpha = 1.0 - sparsity;
+        let a2a = 2.0 * cm.alltoall(alpha * m);
+        assert!(a2a <= cm.ring_allreduce(m) * 1.001);
+        assert!(a2a <= cm.allgather(alpha * m) * 1.001);
+        assert!(a2a <= cm.ps(alpha * m, 4) * 1.001);
+        assert!(a2a <= cm.omnireduce(m, alpha) * 1.001);
+    }
+}
+
+#[test]
+fn rtx2080_speedups_exceed_rtx3090_for_bert() {
+    // §5.3: with smaller batches, communication dominates on RTX2080, so
+    // EmbRace gains more there (1.10-1.40x vs 1.02-1.06x for BERT).
+    let s3090 = tput(MethodId::EmbRace, ModelId::BertBase, Cluster::rtx3090(16))
+        / best_baseline(ModelId::BertBase, Cluster::rtx3090(16));
+    let s2080 = tput(MethodId::EmbRace, ModelId::BertBase, Cluster::rtx2080(16))
+        / best_baseline(ModelId::BertBase, Cluster::rtx2080(16));
+    assert!(s2080 > s3090, "2080 {s2080:.3} should exceed 3090 {s3090:.3}");
+}

@@ -1,0 +1,110 @@
+//! Failure-injection: the substrate must fail loudly and precisely on
+//! misuse — a distributed-training framework that hangs or silently
+//! corrupts on programmer error is worse than one that panics.
+
+use embrace_repro::collectives::{mesh, run_group, CommOp, CommScheduler};
+use embrace_repro::ps::ShardedStore;
+use embrace_repro::simnet::{CommOrder, Sim, Task};
+use embrace_repro::tensor::{DenseTensor, RowSparse};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+#[test]
+fn worker_panic_propagates_out_of_the_group() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        run_group(3, |rank, _ep| {
+            if rank == 1 {
+                panic!("injected worker failure");
+            }
+            rank
+        })
+    }));
+    assert!(result.is_err(), "a worker panic must fail the whole group");
+}
+
+#[test]
+fn mismatched_alltoall_parts_panic() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        run_group(2, |_rank, ep| {
+            // Wrong number of outgoing blocks (3 for a world of 2).
+            let parts = vec![DenseTensor::zeros(1, 1); 3];
+            embrace_repro::collectives::ops::alltoall_dense(ep, parts)
+        })
+    }));
+    assert!(result.is_err());
+}
+
+#[test]
+fn ps_rejects_wrong_gradient_width() {
+    let store = ShardedStore::new(DenseTensor::zeros(4, 2), 2, 1);
+    let bad = RowSparse::new(vec![0], DenseTensor::zeros(1, 5));
+    let result = catch_unwind(AssertUnwindSafe(|| store.push_sparse(&bad, 0.1)));
+    assert!(result.is_err(), "dim mismatch must panic, not corrupt");
+    // The store remains usable afterwards.
+    let good = RowSparse::new(vec![1], DenseTensor::full(1, 2, 1.0));
+    store.push_sparse(&good, 1.0);
+    assert_eq!(store.pull_rows(&[1]).row(0), &[-1.0, -1.0]);
+}
+
+#[test]
+fn ps_rejects_out_of_range_rows() {
+    let store = ShardedStore::new(DenseTensor::zeros(4, 1), 2, 1);
+    let result = catch_unwind(AssertUnwindSafe(|| store.pull_rows(&[99])));
+    assert!(result.is_err());
+}
+
+#[test]
+fn sim_rejects_forward_dependencies() {
+    let mut sim = Sim::new(CommOrder::Fifo);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        sim.add(Task::compute("bad", 1.0).after([42]));
+    }));
+    assert!(result.is_err(), "dangling dependency must be rejected at construction");
+}
+
+#[test]
+fn comm_scheduler_drains_cleanly_on_drop() {
+    // Dropping schedulers with work still enqueued must not deadlock:
+    // the coordinator drains its queue before broadcasting shutdown.
+    let endpoints = mesh(2);
+    std::thread::scope(|s| {
+        for (rank, ep) in endpoints.into_iter().enumerate() {
+            s.spawn(move || {
+                let mut comm = CommScheduler::spawn(ep);
+                for k in 0..3 {
+                    let _ = comm.submit(k, format!("op{k}"), CommOp::GatherTokens(vec![rank as u32]));
+                }
+                // Implicit drop — no flush.
+            });
+        }
+    });
+}
+
+#[test]
+fn zero_duration_tasks_complete() {
+    let mut sim = Sim::new(CommOrder::Priority);
+    let a = sim.add(Task::compute("instant", 0.0));
+    let b = sim.add(Task::comm("also-instant", 0.0, 0).after([a]));
+    sim.add(Task::compute("after", 1.0).after([b]));
+    let r = sim.run();
+    assert!((r.makespan - 1.0).abs() < 1e-12);
+    assert_eq!(r.trace.spans.len(), 3);
+}
+
+#[test]
+fn degenerate_model_dimensions_survive() {
+    // A 1-row, 1-dim table across more workers than columns.
+    use embrace_repro::core::ColumnShardedEmbedding;
+    let full = DenseTensor::full(1, 2, 1.0);
+    let out = run_group(4, move |rank, ep| {
+        let emb = ColumnShardedEmbedding::new(&full, rank, 4);
+        // Two of the four shards are zero-width; lookups still work.
+        let all_tokens: Vec<Vec<u32>> = vec![vec![0]; 4];
+        let lookup = emb.forward(ep, &all_tokens);
+        (emb.shard_dim(), lookup)
+    });
+    let widths: Vec<usize> = out.iter().map(|(w, _)| *w).collect();
+    assert_eq!(widths.iter().sum::<usize>(), 2);
+    for (_, lookup) in out {
+        assert_eq!(lookup.row(0), &[1.0, 1.0]);
+    }
+}

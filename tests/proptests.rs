@@ -1,0 +1,180 @@
+//! Cross-crate property-based tests of the invariants everything else
+//! leans on: coalescing, Algorithm 1's partition, real collectives, the
+//! modified Adam, and cost-model monotonicity.
+
+use embrace_repro::collectives::ops::{alltoall_dense, ring_allreduce};
+use embrace_repro::collectives::run_group;
+use embrace_repro::core::vertical_split;
+use embrace_repro::dlsim::optim::{Adam, Optimizer, UpdatePart};
+use embrace_repro::simnet::{Cluster, CostModel};
+use embrace_repro::tensor::{
+    coalesce, difference, index_select, intersect, is_coalesced, unique_sorted, DenseTensor,
+    RowSparse,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random row-sparse gradient over `vocab` rows of `dim`.
+fn sparse_grad(vocab: u32, dim: usize, max_rows: usize) -> impl Strategy<Value = RowSparse> {
+    prop::collection::vec((0..vocab, prop::collection::vec(-10.0f32..10.0, dim)), 0..max_rows)
+        .prop_map(move |rows| {
+            let indices: Vec<u32> = rows.iter().map(|(i, _)| *i).collect();
+            let values: Vec<f32> = rows.into_iter().flat_map(|(_, v)| v).collect();
+            let n = indices.len();
+            RowSparse::new(indices, DenseTensor::from_vec(n, dim, values))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn coalesce_preserves_dense_semantics(grad in sparse_grad(40, 3, 30)) {
+        let c = coalesce(&grad);
+        prop_assert!(is_coalesced(&c));
+        let dense_raw = grad.to_dense(40);
+        let dense_coalesced = c.to_dense(40);
+        prop_assert!(dense_raw.approx_eq(&dense_coalesced, 1e-4));
+        // Idempotent.
+        prop_assert_eq!(coalesce(&c), c);
+    }
+
+    #[test]
+    fn set_ops_partition_their_input(
+        a in prop::collection::vec(0u32..100, 0..60),
+        b in prop::collection::vec(0u32..100, 0..60),
+    ) {
+        let ua = unique_sorted(&a);
+        let ub = unique_sorted(&b);
+        let inter = intersect(&ua, &ub);
+        let diff = difference(&ua, &ub);
+        // Disjoint and covering.
+        prop_assert!(intersect(&inter, &diff).is_empty());
+        let mut merged = [inter.clone(), diff].concat();
+        merged.sort_unstable();
+        prop_assert_eq!(merged, ua);
+        // Intersection is symmetric.
+        prop_assert_eq!(inter, intersect(&ub, &unique_sorted(&a)));
+    }
+
+    #[test]
+    fn algorithm1_partitions_the_coalesced_gradient(
+        tokens in prop::collection::vec(0u32..50, 1..40),
+        next in prop::collection::vec(0u32..50, 0..40),
+        dim in 1usize..4,
+    ) {
+        let values = DenseTensor::full(tokens.len(), dim, 1.0);
+        let grad = RowSparse::new(tokens.clone(), values);
+        let split = vertical_split(&grad, &tokens, &next);
+        // Disjoint index sets covering unique(tokens).
+        prop_assert!(intersect(&split.i_prior, &split.i_delayed).is_empty());
+        let mut all = [split.i_prior.clone(), split.i_delayed.clone()].concat();
+        all.sort_unstable();
+        prop_assert_eq!(all, unique_sorted(&tokens));
+        // Prior rows are exactly those appearing in `next`.
+        let next_set = unique_sorted(&next);
+        for &i in &split.i_prior {
+            prop_assert!(next_set.binary_search(&i).is_ok());
+        }
+        for &i in &split.i_delayed {
+            prop_assert!(next_set.binary_search(&i).is_err());
+        }
+        // The two parts reassemble the coalesced gradient.
+        let merged = coalesce(&RowSparse::concat(&[split.prior, split.delayed]));
+        prop_assert_eq!(merged, coalesce(&grad));
+    }
+
+    #[test]
+    fn index_select_returns_requested_rows_only(
+        grad in sparse_grad(30, 2, 25),
+        select in prop::collection::vec(0u32..30, 0..20),
+    ) {
+        let c = coalesce(&grad);
+        let sel = unique_sorted(&select);
+        let out = index_select(&c, &sel);
+        prop_assert!(is_coalesced(&out));
+        for &i in out.indices() {
+            prop_assert!(sel.binary_search(&i).is_ok());
+            prop_assert!(c.indices().binary_search(&i).is_ok());
+        }
+        prop_assert_eq!(out.indices().len(), intersect(c.indices(), &sel).len());
+    }
+
+    #[test]
+    fn ring_allreduce_equals_serial_sum(
+        world in 2usize..6,
+        len in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let data: Vec<Vec<f32>> = (0..world)
+            .map(|r| (0..len).map(|i| ((seed + r as u64 * 31 + i as u64) % 17) as f32 - 8.0).collect())
+            .collect();
+        let expect: Vec<f32> =
+            (0..len).map(|i| data.iter().map(|d| d[i]).sum()).collect();
+        let data2 = data.clone();
+        let out = run_group(world, move |rank, ep| {
+            let mut buf = data2[rank].clone();
+            ring_allreduce(ep, &mut buf);
+            buf
+        });
+        for buf in out {
+            for (got, want) in buf.iter().zip(&expect) {
+                prop_assert!((got - want).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_is_an_involution(world in 1usize..5, seed in 0u64..100) {
+        let out = run_group(world, move |rank, ep| {
+            let parts: Vec<DenseTensor> = (0..world)
+                .map(|j| DenseTensor::full(1, 2, (seed as usize + rank * world + j) as f32))
+                .collect();
+            let once = alltoall_dense(ep, parts.clone());
+            let twice = alltoall_dense(ep, once);
+            (parts, twice)
+        });
+        for (orig, back) in out {
+            prop_assert_eq!(orig, back);
+        }
+    }
+
+    #[test]
+    fn modified_adam_split_equals_whole_for_random_partitions(
+        tokens in prop::collection::vec(0u32..20, 1..15),
+        cut in 0usize..15,
+        steps in 1usize..5,
+    ) {
+        let dim = 2;
+        let mut p_whole = DenseTensor::full(20, dim, 0.5);
+        let mut p_split = p_whole.clone();
+        let mut o_whole = Adam::new(20, dim, 0.01);
+        let mut o_split = o_whole.clone();
+        for s in 0..steps {
+            let vals = DenseTensor::full(tokens.len(), dim, (s + 1) as f32 * 0.1);
+            let grad = coalesce(&RowSparse::new(tokens.clone(), vals));
+            let ids = grad.indices().to_vec();
+            let cut = cut.min(ids.len());
+            let prior = index_select(&grad, &ids[..cut]);
+            let delayed = index_select(&grad, &ids[cut..]);
+            o_whole.step_sparse(&mut p_whole, &grad, UpdatePart::Whole);
+            o_split.step_sparse(&mut p_split, &prior, UpdatePart::Prior);
+            o_split.step_sparse(&mut p_split, &delayed, UpdatePart::Delayed);
+        }
+        prop_assert!(p_whole.approx_eq(&p_split, 0.0));
+    }
+
+    #[test]
+    fn cost_model_monotone_in_payload(
+        mb in 1.0f64..2000.0,
+        extra in 0.01f64..1000.0,
+        world in 2usize..5,
+    ) {
+        let cm = CostModel::new(Cluster::rtx3090(world * 4));
+        let small = mb * 1e6;
+        let large = (mb + extra) * 1e6;
+        prop_assert!(cm.alltoall(small) <= cm.alltoall(large));
+        prop_assert!(cm.allgather(small) <= cm.allgather(large));
+        prop_assert!(cm.ring_allreduce(small) <= cm.ring_allreduce(large));
+        prop_assert!(cm.ps(small, 4) <= cm.ps(large, 4));
+    }
+}

@@ -1,0 +1,125 @@
+//! Scheduling invariants extracted from real simulator traces: the
+//! dependency structure the paper's Figs 5/6 describe must hold in every
+//! executed schedule, not just in the DAG construction code.
+
+use embrace_repro::baselines::MethodId;
+use embrace_repro::models::ModelId;
+use embrace_repro::simnet::{Cluster, Res, Trace};
+use embrace_repro::trainer::{simulate_with_trace, SimConfig};
+
+fn trace_for(method: MethodId) -> Trace {
+    let mut cfg = SimConfig::new(method, ModelId::Gnmt8, Cluster::rtx3090(16));
+    cfg.steps = 5;
+    simulate_with_trace(&cfg).1
+}
+
+/// End of the last span whose name contains `pat`; panics if absent.
+fn end(trace: &Trace, pat: &str) -> f64 {
+    trace.last_end(pat).unwrap_or_else(|| panic!("no span matching {pat}"))
+}
+
+fn start(trace: &Trace, pat: &str) -> f64 {
+    trace.first_start(pat).unwrap_or_else(|| panic!("no span matching {pat}"))
+}
+
+#[test]
+fn prior_gradients_complete_before_next_embedding_fp() {
+    // Per table: each embedding's FP waits on *its own* prior gradients.
+    let t = trace_for(MethodId::EmbRace);
+    for step in 0..4 {
+        let next = step + 1;
+        for table in ["enc_emb", "dec_emb"] {
+            let prior_done = end(&t, &format!("s{step}/prior_grad/{table}"));
+            let fp_start = start(&t, &format!("s{next}/fp/{table}"));
+            assert!(
+                prior_done <= fp_start + 1e-12,
+                "step {step}/{table}: prior grads end {prior_done} after next FP start {fp_start}"
+            );
+        }
+    }
+}
+
+#[test]
+fn delayed_gradients_overlap_the_next_step() {
+    // At least one delayed transfer must run *after* its step's marker —
+    // that is the whole point of delaying.
+    let t = trace_for(MethodId::EmbRace);
+    let step2_bp_end = end(&t, "s2/bp/enc_emb");
+    let delayed_end = end(&t, "s2/delayed_grad");
+    assert!(
+        delayed_end > step2_bp_end,
+        "delayed grads ({delayed_end}) should outlive their step's BP ({step2_bp_end})"
+    );
+}
+
+#[test]
+fn vertical_compute_runs_after_last_bp_and_before_prior() {
+    let t = trace_for(MethodId::EmbRace);
+    for step in 1..4 {
+        let last_bp = end(&t, &format!("s{step}/bp/enc_emb")); // enc_emb BP is last
+        let vert = start(&t, &format!("s{step}/vertical_sched"));
+        let prior = start(&t, &format!("s{step}/prior_grad"));
+        assert!(vert >= last_bp - 1e-12, "step {step}: vertical before last BP");
+        assert!(prior >= vert, "step {step}: prior grads before vertical compute");
+    }
+}
+
+#[test]
+fn dense_params_arrive_before_their_fp() {
+    let t = trace_for(MethodId::EmbRace);
+    for step in 1..4 {
+        for blk in ["enc_blk0", "dec_blk7"] {
+            let prev = step - 1;
+            let comm_done = end(&t, &format!("s{prev}/allreduce/{blk}"));
+            let fp_start = start(&t, &format!("s{step}/fp/{blk}"));
+            assert!(
+                comm_done <= fp_start + 1e-12,
+                "step {step}/{blk}: allreduce ends {comm_done}, FP starts {fp_start}"
+            );
+        }
+    }
+}
+
+#[test]
+fn embedding_fp_is_hoisted_under_2d_scheduling() {
+    // Hoisting puts both embedding FPs ahead of every dense-block FP.
+    // (The unscheduled variant keeps graph *launch* order, but readiness
+    // can still let an unblocked embedding FP run early, so only the
+    // hoisted property is a trace invariant.)
+    let t = trace_for(MethodId::EmbRace);
+    let dec_emb = start(&t, "s2/fp/dec_emb");
+    let enc_emb = start(&t, "s2/fp/enc_emb");
+    let first_block = start(&t, "s2/fp/enc_blk0").min(start(&t, "s2/fp/dec_blk0"));
+    assert!(enc_emb <= first_block, "enc_emb FP must be hoisted");
+    assert!(dec_emb <= first_block, "dec_emb FP {dec_emb} must be hoisted before blocks {first_block}");
+}
+
+#[test]
+fn fifo_network_never_idles_while_queue_nonempty_under_load() {
+    // Weaker sanity: total network busy time ≤ makespan, and the network
+    // is meaningfully utilised for a comm-heavy method.
+    let t = trace_for(MethodId::HorovodAllReduce);
+    let makespan = t.spans.iter().map(|s| s.end).fold(0.0, f64::max);
+    let busy = t.busy_in(Res::Comm, 0.0, makespan);
+    assert!(busy > 0.3 * makespan, "network should be busy: {busy} of {makespan}");
+    assert!(busy <= makespan * 1.0 + 1e-9);
+}
+
+#[test]
+fn compute_stream_never_overlaps_itself() {
+    for method in [MethodId::EmbRace, MethodId::BytePs, MethodId::HorovodAllGather] {
+        let t = trace_for(method);
+        let mut spans = t.on(Res::Compute).into_iter().cloned().collect::<Vec<_>>();
+        spans.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+        for w in spans.windows(2) {
+            assert!(
+                w[0].end <= w[1].start + 1e-12,
+                "{}: compute spans overlap: {} .. {} vs {} ..",
+                method.name(),
+                w[0].name,
+                w[0].end,
+                w[1].start
+            );
+        }
+    }
+}
