@@ -74,7 +74,8 @@ impl Quantized8 {
 pub fn quantize_8bit(grad: &DenseTensor) -> Quantized8 {
     let max = grad.as_slice().iter().fold(0.0_f32, |a, &x| a.max(x.abs()));
     let scale = if max == 0.0 { 1.0 } else { max / 127.0 };
-    let data = grad.as_slice().iter().map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8).collect();
+    let data =
+        grad.as_slice().iter().map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8).collect();
     Quantized8 { rows: grad.rows(), cols: grad.cols(), scale, data }
 }
 

@@ -28,8 +28,12 @@ pub enum MethodId {
 
 impl MethodId {
     /// The four baselines the paper compares in Figs 7/8.
-    pub const BASELINES: [MethodId; 4] =
-        [MethodId::BytePs, MethodId::HorovodAllReduce, MethodId::HorovodAllGather, MethodId::Parallax];
+    pub const BASELINES: [MethodId; 4] = [
+        MethodId::BytePs,
+        MethodId::HorovodAllReduce,
+        MethodId::HorovodAllGather,
+        MethodId::Parallax,
+    ];
 
     /// All end-to-end methods (EmbRace first).
     pub const ALL: [MethodId; 5] = [
@@ -56,7 +60,9 @@ impl MethodId {
     /// BytePS (via ByteScheduler) schedule with priorities.
     pub fn comm_order(&self) -> CommOrder {
         match self {
-            MethodId::EmbRace | MethodId::EmbRaceHorizontal | MethodId::BytePs => CommOrder::Priority,
+            MethodId::EmbRace | MethodId::EmbRaceHorizontal | MethodId::BytePs => {
+                CommOrder::Priority
+            }
             _ => CommOrder::Fifo,
         }
     }

@@ -11,13 +11,9 @@ use embrace_trainer::{simulate, SimConfig};
 fn bench_single_config(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulate_one");
     for method in [MethodId::EmbRace, MethodId::HorovodAllGather, MethodId::BytePs] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(method.name()),
-            &method,
-            |b, &method| {
-                b.iter(|| simulate(&SimConfig::new(method, ModelId::Gnmt8, Cluster::rtx3090(16))));
-            },
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(method.name()), &method, |b, &method| {
+            b.iter(|| simulate(&SimConfig::new(method, ModelId::Gnmt8, Cluster::rtx3090(16))));
+        });
     }
     g.finish();
 }
@@ -28,8 +24,9 @@ fn bench_fig7_subplot(c: &mut Criterion) {
             let mut total = 0.0;
             for method in MethodId::ALL {
                 for world in [4, 8, 16] {
-                    total += simulate(&SimConfig::new(method, ModelId::Gnmt8, Cluster::rtx3090(world)))
-                        .tokens_per_sec;
+                    total +=
+                        simulate(&SimConfig::new(method, ModelId::Gnmt8, Cluster::rtx3090(world)))
+                            .tokens_per_sec;
                 }
             }
             total

@@ -45,10 +45,7 @@ fn main() {
     }
     print!(
         "{}",
-        table(
-            &["model", "dense AR ms", "8-bit AR ms", "top-k AG ms", "EmbRace A2A ms"],
-            &rows
-        )
+        table(&["model", "dense AR ms", "8-bit AR ms", "top-k AG ms", "EmbRace A2A ms"], &rows)
     );
     println!("\nQuantization shaves a constant 4x off the dense transfer but still");
     println!("moves every zero; top-k matches the non-zero volume but pays AllGather's");

@@ -25,11 +25,10 @@ fn main() {
             let base = simulate(&SimConfig::new(method, model, cluster)).step_time * 1e3;
             let mut row = vec![format!("{model:?}"), format!("{base:.2}")];
             for bucket_mib in [2.0, 8.0, 32.0, 128.0, 4096.0] {
-                let t = simulate(
-                    &SimConfig::new(method, model, cluster).with_fusion(bucket_mib * mib),
-                )
-                .step_time
-                    * 1e3;
+                let t =
+                    simulate(&SimConfig::new(method, model, cluster).with_fusion(bucket_mib * mib))
+                        .step_time
+                        * 1e3;
                 row.push(format!("{t:.2}"));
             }
             rows.push(row);

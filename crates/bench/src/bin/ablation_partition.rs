@@ -39,14 +39,7 @@ fn main() {
     print!(
         "{}",
         table(
-            &[
-                "model",
-                "row imbalance",
-                "col imbalance",
-                "row-wise ms",
-                "col-wise ms",
-                "row/col"
-            ],
+            &["model", "row imbalance", "col imbalance", "row-wise ms", "col-wise ms", "row/col"],
             &rows
         )
     );

@@ -37,10 +37,7 @@ fn main() {
             ),
         ]);
     }
-    print!(
-        "{}",
-        table(&["slowdown", "step ms", "step delta", "healthy-worker util"], &rows)
-    );
+    print!("{}", table(&["slowdown", "step ms", "step delta", "healthy-worker util"], &rows));
 
     println!("\n(b) Data-induced straggler: embedding-shard service-time skew");
     println!("    (max/mean gradient bytes a shard must serve, 16 workers)\n");

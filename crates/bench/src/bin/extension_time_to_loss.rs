@@ -50,8 +50,7 @@ fn main() {
         "{}",
         table(&["method", "steps to 5% loss", "step ms (LM@16)", "time to target s"], &rows)
     );
-    let speedup =
-        (base_steps as f64 * t_allgather) / (embrace_steps as f64 * t_embrace);
+    let speedup = (base_steps as f64 * t_allgather) / (embrace_steps as f64 * t_embrace);
     println!("\nSame steps-to-quality ({base_steps} vs {embrace_steps}), faster steps:");
     println!("EmbRace reaches the loss target {speedup:.2}x sooner in wall-clock time —");
     println!("the throughput gain of Fig. 7 converts 1:1 into training-time savings");

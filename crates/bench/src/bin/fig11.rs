@@ -16,9 +16,15 @@
 //! With the modified Adam (§5.7) each pair of curves must coincide to
 //! float precision.
 
-use embrace_trainer::{train_convergence, train_lstm_lm, train_translation, ConvergenceConfig, TrainMethod};
+use embrace_trainer::{
+    train_convergence, train_lstm_lm, train_translation, ConvergenceConfig, TrainMethod,
+};
 
-fn print_curves(label: &str, base: &embrace_trainer::ConvergenceResult, embrace: &embrace_trainer::ConvergenceResult) {
+fn print_curves(
+    label: &str,
+    base: &embrace_trainer::ConvergenceResult,
+    embrace: &embrace_trainer::ConvergenceResult,
+) {
     println!("--- {label} ---");
     println!("step   AllGather-loss   EmbRace-loss");
     let n = base.losses.len();
@@ -52,7 +58,11 @@ fn main() {
     let tcfg = ConvergenceConfig { vocab: 400, tokens_per_batch: 64, lr: 0.03, ..cfg };
     let base = train_translation(TrainMethod::HorovodAllGather, &tcfg);
     let embrace = train_translation(TrainMethod::EmbRace, &tcfg);
-    print_curves("(b) translation-proxy (enc+dec embeddings): loss vs steps (BLEU analog)", &base, &embrace);
+    print_curves(
+        "(b) translation-proxy (enc+dec embeddings): loss vs steps (BLEU analog)",
+        &base,
+        &embrace,
+    );
 
     let lcfg = ConvergenceConfig { vocab: 200, dim: 8, tokens_per_batch: 80, lr: 0.06, ..cfg };
     let base = train_lstm_lm(TrainMethod::HorovodAllGather, &lcfg);

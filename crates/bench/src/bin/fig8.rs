@@ -35,7 +35,11 @@ fn main() {
             let mut row = vec![method.name().to_string()];
             for model in ModelId::ALL {
                 let m = simulate(&SimConfig::new(method, model, cluster));
-                row.push(format!("{:.2}x ({:.1} ms)", m.stall / embrace_stall[&model], m.stall * 1e3));
+                row.push(format!(
+                    "{:.2}x ({:.1} ms)",
+                    m.stall / embrace_stall[&model],
+                    m.stall * 1e3
+                ));
             }
             rows.push(row);
         }

@@ -38,14 +38,7 @@ fn main() {
         print!(
             "{}",
             table(
-                &[
-                    "model",
-                    "AllGather",
-                    "+hybrid comm",
-                    "+2D sched",
-                    "hybrid gain",
-                    "sched gain"
-                ],
+                &["model", "AllGather", "+hybrid comm", "+2D sched", "hybrid gain", "sched gain"],
                 &rows
             )
         );

@@ -29,12 +29,8 @@ fn main() {
             ]
         })
         .collect();
-    println!("Table 1: model size and embedding size (MiB); 'paper' columns are the published values\n");
-    print!(
-        "{}",
-        table(
-            &["model", "size", "paper", "emb size", "paper", "ratio", "paper"],
-            &rows
-        )
+    println!(
+        "Table 1: model size and embedding size (MiB); 'paper' columns are the published values\n"
     );
+    print!("{}", table(&["model", "size", "paper", "emb size", "paper", "ratio", "paper"], &rows));
 }

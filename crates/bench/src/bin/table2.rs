@@ -39,10 +39,7 @@ fn main() {
     }
     print!(
         "{}",
-        table(
-            &["N", "alpha", "AlltoAll ms", "AllReduce ms", "PS ms", "AllGather ms"],
-            &rows
-        )
+        table(&["N", "alpha", "AlltoAll ms", "AllReduce ms", "PS ms", "AllGather ms"], &rows)
     );
     println!("\nAs in the paper: for sparse tensors (alpha << 1) AlltoAll is fastest, and");
     println!("AllGather's time grows ~linearly with N while the others stay nearly flat.");

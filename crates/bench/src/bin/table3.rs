@@ -31,10 +31,7 @@ fn main() {
     println!("paper batch sizes on RTX3090; 'paper' columns are the published values\n");
     print!(
         "{}",
-        table(
-            &["model", "original", "paper", "coalesced", "paper", "prioritized", "paper"],
-            &rows
-        )
+        table(&["model", "original", "paper", "coalesced", "paper", "prioritized", "paper"], &rows)
     );
     println!("\nPrioritized = rows of unique(D_cur[rank]) also present in the gathered");
     println!("next-iteration data D_next (Algorithm 1's prior gradient G_p).");

@@ -81,9 +81,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(argv: I) -> Result<CliArgs, St
     let mut args = CliArgs::default();
     let mut it = argv.into_iter();
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
             "--model" => {
                 args.model = match value("--model")?.as_str() {

@@ -30,11 +30,20 @@
 //! assert_eq!(sums, vec![6.0; 4]); // 0+1+2+3 on every rank
 //! ```
 
+//! # Failure model
+//!
+//! Communication failure is typed, not fatal: every collective has a
+//! `try_` variant returning [`transport::CommError`], faults are injected
+//! deterministically through a seeded [`transport::FaultPlan`]
+//! ([`transport::mesh_with_faults`]), and [`group::run_group_with_deadline`]
+//! guards whole groups with a deadlock watchdog. See the module docs of
+//! [`ops`] and [`transport`] for the survivor guarantees.
+
 pub mod group;
-pub mod scheduler;
 pub mod ops;
+pub mod scheduler;
 pub mod transport;
 
-pub use group::run_group;
+pub use group::{run_group, run_group_with_deadline, run_group_with_faults, GroupError};
 pub use scheduler::{CommOp, CommResult, CommScheduler, Ticket};
-pub use transport::{mesh, Endpoint, Packet};
+pub use transport::{mesh, mesh_with_faults, CommError, Endpoint, FaultPlan, Packet, RetryPolicy};

@@ -4,42 +4,119 @@
 //! with its own [`Endpoint`] and the call returns the rank's share of the
 //! result. Sends are non-blocking (unbounded channels), so no algorithm
 //! here can deadlock regardless of send/recv interleaving.
+//!
+//! # Failure semantics
+//!
+//! Every collective comes in two flavours:
+//!
+//! * the plain form (`barrier`, `ring_allreduce`, …) treats communication
+//!   failure as fatal and panics — the right default for the fault-free
+//!   in-process mesh, and byte-for-byte identical to the original
+//!   implementation on the happy path;
+//! * the `try_` form returns `Result<_, CommError>`. When a rank detects a
+//!   failure locally (peer gone, deadline expired, its own injected
+//!   crash), it best-effort broadcasts [`Packet::Abort`] to every peer
+//!   before returning `Err`, so survivors blocked on it observe
+//!   [`CommError::Aborted`] on their next receive instead of hanging.
+//!   A rank that *receives* an abort does not re-broadcast (the origin
+//!   already notified everyone), which bounds abort traffic at one
+//!   message per link.
+//!
+//! After any `try_` collective returns `Err`, the mesh must be considered
+//! poisoned for that group — in-flight packets from the failed round may
+//! still be queued — matching NCCL's "abort the communicator and rebuild"
+//! contract. On `Err` from [`try_ring_allreduce`] the contents of `buf`
+//! are unspecified (partially reduced).
+//!
+//! Survivor liveness is only guaranteed when endpoints have a receive
+//! deadline (see [`crate::transport::mesh_with_faults`]): a silent-drop
+//! fault produces no disconnection edge, so a blocking receive would wait
+//! forever where a deadline turns it into [`CommError::Timeout`].
 
-use crate::transport::{Endpoint, Packet};
+use crate::transport::{CommError, Endpoint, Packet};
 use embrace_tensor::{row_partition, DenseTensor, RowSparse};
+
+/// Best-effort abort broadcast, then pass the error through. Locally
+/// detected failures notify every peer; received aborts are not
+/// re-broadcast (the origin already told everyone).
+fn fail<T>(ep: &mut Endpoint, err: CommError) -> Result<T, CommError> {
+    if !matches!(err, CommError::Aborted { .. }) {
+        let origin = ep.rank();
+        for dst in 0..ep.world() {
+            if dst != origin {
+                let _ = ep.try_send(dst, Packet::Abort { origin });
+            }
+        }
+    }
+    Err(err)
+}
 
 /// Synchronise all ranks: no rank returns before every rank has entered.
 pub fn barrier(ep: &mut Endpoint) {
+    try_barrier(ep).expect("collective failed");
+}
+
+/// Fallible [`barrier`]: rank 0 gathers one message per rank then releases
+/// everyone. A failure on any rank aborts the whole group.
+pub fn try_barrier(ep: &mut Endpoint) -> Result<(), CommError> {
     let world = ep.world();
     if world == 1 {
-        return;
+        return Ok(());
     }
     if ep.rank() == 0 {
         for src in 1..world {
-            let _ = ep.recv(src);
+            match ep.try_recv(src).and_then(Packet::try_into_empty) {
+                Ok(()) => {}
+                Err(e) => return fail(ep, e),
+            }
         }
         for dst in 1..world {
-            ep.send(dst, Packet::Empty);
+            if let Err(e) = ep.try_send(dst, Packet::Empty) {
+                return fail(ep, e);
+            }
         }
     } else {
-        ep.send(0, Packet::Empty);
-        let _ = ep.recv(0);
+        if let Err(e) = ep.try_send(0, Packet::Empty) {
+            return fail(ep, e);
+        }
+        match ep.try_recv(0).and_then(Packet::try_into_empty) {
+            Ok(()) => {}
+            Err(e) => return fail(ep, e),
+        }
     }
+    Ok(())
 }
 
 /// Broadcast `packet` from `root` to every rank; returns the packet on all.
 pub fn broadcast(ep: &mut Endpoint, root: usize, packet: Option<Packet>) -> Packet {
+    try_broadcast(ep, root, packet).expect("collective failed")
+}
+
+/// Fallible [`broadcast`]. A non-root failure does not disturb the root
+/// (it performs no receives); it surfaces on the failed rank and, via the
+/// abort notification, on any rank still blocked in a later collective.
+pub fn try_broadcast(
+    ep: &mut Endpoint,
+    root: usize,
+    packet: Option<Packet>,
+) -> Result<Packet, CommError> {
     if ep.rank() == root {
         let p = packet.expect("root must supply the payload");
         for dst in 0..ep.world() {
             if dst != root {
-                ep.send(dst, p.clone());
+                if let Err(e) = ep.try_send(dst, p.clone()) {
+                    return fail(ep, e);
+                }
             }
         }
-        p
+        Ok(p)
     } else {
         assert!(packet.is_none(), "non-root ranks must not supply a payload");
-        ep.recv(root)
+        match ep.try_recv(root) {
+            Ok(Packet::Abort { origin }) => fail(ep, CommError::Aborted { origin }),
+            Ok(p) => Ok(p),
+            Err(e) => fail(ep, e),
+        }
     }
 }
 
@@ -50,10 +127,16 @@ pub fn broadcast(ep: &mut Endpoint, root: usize, packet: Option<Packet>) -> Pack
 /// paper's Table 2 analyses: N−1 reduce-scatter steps then N−1 all-gather
 /// steps, each moving one of N near-equal chunks around the ring.
 pub fn ring_allreduce(ep: &mut Endpoint, buf: &mut [f32]) {
+    try_ring_allreduce(ep, buf).expect("collective failed");
+}
+
+/// Fallible [`ring_allreduce`]. On `Err` the contents of `buf` are
+/// unspecified (the reduction was interrupted part-way).
+pub fn try_ring_allreduce(ep: &mut Endpoint, buf: &mut [f32]) -> Result<(), CommError> {
     let world = ep.world();
     let rank = ep.rank();
     if world == 1 {
-        return;
+        return Ok(());
     }
     let chunks = row_partition(buf.len(), world);
     let next = (rank + 1) % world;
@@ -67,8 +150,15 @@ pub fn ring_allreduce(ep: &mut Endpoint, buf: &mut [f32]) {
         let send_c = (rank + world - step) % world;
         let recv_c = (rank + world - step - 1) % world;
         let payload = slice(buf, send_c);
-        ep.send(next, Packet::Dense(DenseTensor::from_vec(1, payload.len(), payload)));
-        let incoming = ep.recv(prev).into_dense();
+        if let Err(e) =
+            ep.try_send(next, Packet::Dense(DenseTensor::from_vec(1, payload.len(), payload)))
+        {
+            return fail(ep, e);
+        }
+        let incoming = match ep.try_recv(prev).and_then(Packet::try_into_dense) {
+            Ok(d) => d,
+            Err(e) => return fail(ep, e),
+        };
         let dst = &mut buf[chunks[recv_c].start..chunks[recv_c].end];
         for (d, s) in dst.iter_mut().zip(incoming.as_slice()) {
             *d += s;
@@ -79,25 +169,52 @@ pub fn ring_allreduce(ep: &mut Endpoint, buf: &mut [f32]) {
         let send_c = (rank + 1 + world - step) % world;
         let recv_c = (rank + world - step) % world;
         let payload = slice(buf, send_c);
-        ep.send(next, Packet::Dense(DenseTensor::from_vec(1, payload.len(), payload)));
-        let incoming = ep.recv(prev).into_dense();
+        if let Err(e) =
+            ep.try_send(next, Packet::Dense(DenseTensor::from_vec(1, payload.len(), payload)))
+        {
+            return fail(ep, e);
+        }
+        let incoming = match ep.try_recv(prev).and_then(Packet::try_into_dense) {
+            Ok(d) => d,
+            Err(e) => return fail(ep, e),
+        };
         buf[chunks[recv_c].start..chunks[recv_c].end].copy_from_slice(incoming.as_slice());
     }
+    Ok(())
 }
 
 /// AllGather of per-rank dense tensors; returns all ranks' tensors in rank
 /// order (own tensor included).
 pub fn allgather_dense(ep: &mut Endpoint, local: DenseTensor) -> Vec<DenseTensor> {
+    try_allgather_dense(ep, local).expect("collective failed")
+}
+
+/// Fallible [`allgather_dense`].
+pub fn try_allgather_dense(
+    ep: &mut Endpoint,
+    local: DenseTensor,
+) -> Result<Vec<DenseTensor>, CommError> {
     let world = ep.world();
     let rank = ep.rank();
     for dst in 0..world {
         if dst != rank {
-            ep.send(dst, Packet::Dense(local.clone()));
+            if let Err(e) = ep.try_send(dst, Packet::Dense(local.clone())) {
+                return fail(ep, e);
+            }
         }
     }
-    (0..world)
-        .map(|src| if src == rank { local.clone() } else { ep.recv(src).into_dense() })
-        .collect()
+    let mut out = Vec::with_capacity(world);
+    for src in 0..world {
+        if src == rank {
+            out.push(local.clone());
+        } else {
+            match ep.try_recv(src).and_then(Packet::try_into_dense) {
+                Ok(d) => out.push(d),
+                Err(e) => return fail(ep, e),
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// AllGather of row-sparse gradients — Horovod's sparse aggregation path
@@ -105,37 +222,83 @@ pub fn allgather_dense(ep: &mut Endpoint, local: DenseTensor) -> Vec<DenseTensor
 /// concatenation is *uncoalesced*; summing duplicates is the caller's job,
 /// exactly as in `horovod.torch.allreduce_` for sparse inputs.
 pub fn allgather_sparse(ep: &mut Endpoint, local: RowSparse) -> Vec<RowSparse> {
+    try_allgather_sparse(ep, local).expect("collective failed")
+}
+
+/// Fallible [`allgather_sparse`].
+pub fn try_allgather_sparse(
+    ep: &mut Endpoint,
+    local: RowSparse,
+) -> Result<Vec<RowSparse>, CommError> {
     let world = ep.world();
     let rank = ep.rank();
     for dst in 0..world {
         if dst != rank {
-            ep.send(dst, Packet::Sparse(local.clone()));
+            if let Err(e) = ep.try_send(dst, Packet::Sparse(local.clone())) {
+                return fail(ep, e);
+            }
         }
     }
-    (0..world)
-        .map(|src| if src == rank { local.clone() } else { ep.recv(src).into_sparse() })
-        .collect()
+    let mut out = Vec::with_capacity(world);
+    for src in 0..world {
+        if src == rank {
+            out.push(local.clone());
+        } else {
+            match ep.try_recv(src).and_then(Packet::try_into_sparse) {
+                Ok(s) => out.push(s),
+                Err(e) => return fail(ep, e),
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// AllGather of token-id batches; feeds `D_cur` in Algorithm 1 (every rank
 /// learns which tokens every other rank's batch contains).
 pub fn allgather_tokens(ep: &mut Endpoint, local: Vec<u32>) -> Vec<Vec<u32>> {
+    try_allgather_tokens(ep, local).expect("collective failed")
+}
+
+/// Fallible [`allgather_tokens`].
+pub fn try_allgather_tokens(
+    ep: &mut Endpoint,
+    local: Vec<u32>,
+) -> Result<Vec<Vec<u32>>, CommError> {
     let world = ep.world();
     let rank = ep.rank();
     for dst in 0..world {
         if dst != rank {
-            ep.send(dst, Packet::Tokens(local.clone()));
+            if let Err(e) = ep.try_send(dst, Packet::Tokens(local.clone())) {
+                return fail(ep, e);
+            }
         }
     }
-    (0..world)
-        .map(|src| if src == rank { local.clone() } else { ep.recv(src).into_tokens() })
-        .collect()
+    let mut out = Vec::with_capacity(world);
+    for src in 0..world {
+        if src == rank {
+            out.push(local.clone());
+        } else {
+            match ep.try_recv(src).and_then(Packet::try_into_tokens) {
+                Ok(t) => out.push(t),
+                Err(e) => return fail(ep, e),
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// AlltoAll of dense blocks: `parts[j]` goes to rank `j`; returns the
 /// blocks received, indexed by source rank (own block kept in place).
 /// This is AlltoAll #1 of §4.1.1 — redistributing embedding lookup results.
-pub fn alltoall_dense(ep: &mut Endpoint, mut parts: Vec<DenseTensor>) -> Vec<DenseTensor> {
+pub fn alltoall_dense(ep: &mut Endpoint, parts: Vec<DenseTensor>) -> Vec<DenseTensor> {
+    try_alltoall_dense(ep, parts).expect("collective failed")
+}
+
+/// Fallible [`alltoall_dense`].
+pub fn try_alltoall_dense(
+    ep: &mut Endpoint,
+    mut parts: Vec<DenseTensor>,
+) -> Result<Vec<DenseTensor>, CommError> {
     let world = ep.world();
     let rank = ep.rank();
     assert_eq!(parts.len(), world, "need one outgoing block per rank");
@@ -143,22 +306,35 @@ pub fn alltoall_dense(ep: &mut Endpoint, mut parts: Vec<DenseTensor>) -> Vec<Den
     for off in 1..world {
         let dst = (rank + off) % world;
         let block = std::mem::replace(&mut parts[dst], DenseTensor::zeros(0, 0));
-        ep.send(dst, Packet::Dense(block));
+        if let Err(e) = ep.try_send(dst, Packet::Dense(block)) {
+            return fail(ep, e);
+        }
     }
-    (0..world)
-        .map(|src| {
-            if src == rank {
-                std::mem::replace(&mut parts[rank], DenseTensor::zeros(0, 0))
-            } else {
-                ep.recv(src).into_dense()
+    let mut out = Vec::with_capacity(world);
+    for src in 0..world {
+        if src == rank {
+            out.push(std::mem::replace(&mut parts[rank], DenseTensor::zeros(0, 0)));
+        } else {
+            match ep.try_recv(src).and_then(Packet::try_into_dense) {
+                Ok(d) => out.push(d),
+                Err(e) => return fail(ep, e),
             }
-        })
-        .collect()
+        }
+    }
+    Ok(out)
 }
 
 /// AlltoAllv of row-sparse blocks: `parts[j]` goes to rank `j`. This is
 /// AlltoAll #2 of §4.1.1 — exchanging column-sharded embedding gradients.
-pub fn alltoallv_sparse(ep: &mut Endpoint, mut parts: Vec<RowSparse>) -> Vec<RowSparse> {
+pub fn alltoallv_sparse(ep: &mut Endpoint, parts: Vec<RowSparse>) -> Vec<RowSparse> {
+    try_alltoallv_sparse(ep, parts).expect("collective failed")
+}
+
+/// Fallible [`alltoallv_sparse`].
+pub fn try_alltoallv_sparse(
+    ep: &mut Endpoint,
+    mut parts: Vec<RowSparse>,
+) -> Result<Vec<RowSparse>, CommError> {
     let world = ep.world();
     let rank = ep.rank();
     assert_eq!(parts.len(), world, "need one outgoing block per rank");
@@ -166,17 +342,22 @@ pub fn alltoallv_sparse(ep: &mut Endpoint, mut parts: Vec<RowSparse>) -> Vec<Row
     for off in 1..world {
         let dst = (rank + off) % world;
         let block = std::mem::replace(&mut parts[dst], RowSparse::empty(dim0));
-        ep.send(dst, Packet::Sparse(block));
+        if let Err(e) = ep.try_send(dst, Packet::Sparse(block)) {
+            return fail(ep, e);
+        }
     }
-    (0..world)
-        .map(|src| {
-            if src == rank {
-                std::mem::replace(&mut parts[rank], RowSparse::empty(dim0))
-            } else {
-                ep.recv(src).into_sparse()
+    let mut out = Vec::with_capacity(world);
+    for src in 0..world {
+        if src == rank {
+            out.push(std::mem::replace(&mut parts[rank], RowSparse::empty(dim0)));
+        } else {
+            match ep.try_recv(src).and_then(Packet::try_into_sparse) {
+                Ok(s) => out.push(s),
+                Err(e) => return fail(ep, e),
             }
-        })
-        .collect()
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -209,9 +390,8 @@ mod tests {
                 ring_allreduce(ep, &mut buf);
                 buf
             });
-            let expect: Vec<f32> = (0..len)
-                .map(|i| (0..world).map(|r| (r * 100 + i) as f32).sum())
-                .collect();
+            let expect: Vec<f32> =
+                (0..len).map(|i| (0..world).map(|r| (r * 100 + i) as f32).sum()).collect();
             for buf in out {
                 assert_eq!(buf, expect, "world={world}");
             }
@@ -329,5 +509,129 @@ mod tests {
         assert_eq!(buf, &vec![1.0, 2.0]);
         assert_eq!(g[0].as_slice(), &[5.0]);
         assert_eq!(a[0].as_slice(), &[9.0]);
+    }
+
+    mod fault_tolerance {
+        use super::*;
+        use crate::group::run_group_with_faults;
+        use crate::transport::FaultPlan;
+        use std::time::Duration;
+
+        const DEADLINE: Duration = Duration::from_millis(250);
+
+        /// Every rank must terminate: crashed ranks with `Injected`,
+        /// survivors with either the correct result or a typed error.
+        #[test]
+        fn barrier_survives_rank_crash() {
+            let plan = FaultPlan::new(10).crash_rank_at_step(1, 0);
+            let out = run_group_with_faults(3, &plan, Some(DEADLINE), |rank, ep| {
+                if ep.begin_step().is_err() {
+                    ep.crash();
+                    return Err(CommError::Injected { rank });
+                }
+                try_barrier(ep)
+            });
+            assert_eq!(out[1], Err(CommError::Injected { rank: 1 }));
+            for (rank, r) in out.iter().enumerate() {
+                if rank != 1 {
+                    let err = r.as_ref().unwrap_err();
+                    assert!(
+                        matches!(
+                            err,
+                            CommError::PeerGone { peer: 1 }
+                                | CommError::Timeout { peer: 1, .. }
+                                | CommError::Aborted { .. }
+                        ),
+                        "rank {rank}: {err:?}"
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn ring_allreduce_survives_rank_crash() {
+            let plan = FaultPlan::new(11).crash_rank_at_step(2, 0);
+            let out = run_group_with_faults(4, &plan, Some(DEADLINE), |_rank, ep| {
+                if ep.begin_step().is_err() {
+                    ep.crash();
+                    return Err(CommError::Injected { rank: ep.rank() });
+                }
+                let mut buf = vec![1.0f32; 8];
+                try_ring_allreduce(ep, &mut buf).map(|_| buf)
+            });
+            assert!(out.iter().all(Result::is_err), "{out:?}");
+        }
+
+        #[test]
+        fn allgather_survives_silent_link_drop() {
+            // Link 0 -> 2 drops everything: rank 2 times out waiting for
+            // rank 0's contribution; everyone terminates with an error.
+            let plan = FaultPlan::new(12).drop_link_after(0, 2, 0);
+            let out = run_group_with_faults(3, &plan, Some(DEADLINE), |rank, ep| {
+                try_allgather_tokens(ep, vec![rank as u32])
+            });
+            let e2 = out[2].as_ref().unwrap_err();
+            // Timeout while rank 0 is still running, PeerGone once rank 0
+            // finished and dropped its endpoint — both are typed, neither
+            // hangs.
+            assert!(
+                matches!(e2, CommError::Timeout { peer: 0, .. } | CommError::PeerGone { peer: 0 }),
+                "{e2:?}"
+            );
+            // Ranks 0 and 1 either finished before the abort reached them
+            // (their receives were already satisfied) or observed it.
+            for (rank, r) in out.iter().enumerate().take(2) {
+                match r {
+                    Ok(all) => {
+                        assert_eq!(all.len(), 3, "rank {rank}");
+                    }
+                    Err(e) => {
+                        assert!(matches!(e, CommError::Aborted { origin: 2 }), "rank {rank}: {e:?}")
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn delayed_link_beyond_deadline_times_out() {
+            let plan = FaultPlan::new(13).delay_link(0, 1, Duration::from_secs(60));
+            let out = run_group_with_faults(2, &plan, Some(DEADLINE), |rank, ep| {
+                try_allgather_tokens(ep, vec![rank as u32])
+            });
+            let e1 = out[1].as_ref().unwrap_err();
+            assert!(matches!(e1, CommError::Timeout { peer: 0, .. }), "{e1:?}");
+        }
+
+        #[test]
+        fn delayed_link_within_deadline_is_correct() {
+            // A short delay below the deadline must not change results.
+            let plan = FaultPlan::new(14).delay_link(0, 1, Duration::from_millis(20));
+            let out = run_group_with_faults(2, &plan, Some(DEADLINE), |rank, ep| {
+                try_allgather_tokens(ep, vec![rank as u32])
+            });
+            for r in &out {
+                assert_eq!(r.as_ref().unwrap(), &vec![vec![0], vec![1]]);
+            }
+        }
+
+        #[test]
+        fn abort_is_not_rebroadcast_by_receivers() {
+            // After a failed collective, each survivor has sent at most one
+            // abort per link: origin broadcasts, receivers do not echo.
+            let plan = FaultPlan::new(15).crash_rank_at_step(0, 0);
+            let out = run_group_with_faults(3, &plan, Some(DEADLINE), |rank, ep| {
+                if ep.begin_step().is_err() {
+                    ep.crash();
+                    return (rank, ep.msgs_sent(), true);
+                }
+                let failed = try_barrier(ep).is_err();
+                (rank, ep.msgs_sent(), failed)
+            });
+            for (rank, msgs, failed) in out {
+                assert!(failed, "rank {rank} should fail");
+                // barrier sends at most 1 data message + world-1 aborts.
+                assert!(msgs <= 3, "rank {rank} sent {msgs} messages");
+            }
+        }
     }
 }

@@ -317,9 +317,7 @@ mod tests {
         let tickets: Vec<Ticket> = scheds
             .iter_mut()
             .enumerate()
-            .map(|(rank, s)| {
-                s.submit(0, "ar", CommOp::AllReduceDense(vec![rank as f32, 1.0]))
-            })
+            .map(|(rank, s)| s.submit(0, "ar", CommOp::AllReduceDense(vec![rank as f32, 1.0])))
             .collect();
         for t in tickets {
             match t.wait() {
@@ -380,7 +378,11 @@ mod tests {
         let mut pending = Vec::new();
         for (rank, s) in scheds.iter_mut().enumerate() {
             for k in 0..5 {
-                pending.push(s.submit(k, format!("op{k}"), CommOp::GatherTokens(vec![rank as u32])));
+                pending.push(s.submit(
+                    k,
+                    format!("op{k}"),
+                    CommOp::GatherTokens(vec![rank as u32]),
+                ));
             }
         }
         // flush() must only return after all 5 ops ran on both ranks.
@@ -417,7 +419,8 @@ mod more_tests {
 
     #[test]
     fn alltoall_dense_through_comm_threads() {
-        let mut scheds: Vec<CommScheduler> = mesh(3).into_iter().map(CommScheduler::spawn).collect();
+        let mut scheds: Vec<CommScheduler> =
+            mesh(3).into_iter().map(CommScheduler::spawn).collect();
         let tickets: Vec<Ticket> = scheds
             .iter_mut()
             .enumerate()
@@ -446,7 +449,8 @@ mod more_tests {
 
     #[test]
     fn many_interleaved_ops_complete() {
-        let mut scheds: Vec<CommScheduler> = mesh(4).into_iter().map(CommScheduler::spawn).collect();
+        let mut scheds: Vec<CommScheduler> =
+            mesh(4).into_iter().map(CommScheduler::spawn).collect();
         let mut tickets = Vec::new();
         for round in 0..10i64 {
             for (rank, s) in scheds.iter_mut().enumerate() {

@@ -4,9 +4,35 @@
 //! point-to-point receives are addressed by source rank and never interleave
 //! across senders — the delivery semantics collective algorithms assume
 //! from MPI/NCCL.
+//!
+//! # Failure model
+//!
+//! Failure is a first-class input, not a panic. Every send/receive has a
+//! `Result`-returning variant carrying a typed [`CommError`]:
+//!
+//! * [`Endpoint::try_send`] / [`Endpoint::try_recv`] — fallible
+//!   point-to-point operations; `try_recv` honours the endpoint's
+//!   configured deadline (none by default, i.e. blocking).
+//! * [`Endpoint::recv_timeout`] — receive with an explicit deadline.
+//! * [`Endpoint::recv_retry`] — bounded retry with multiplicative backoff
+//!   slices over the deadline.
+//! * [`Endpoint::crash`] — tears the endpoint down mid-run: its channels
+//!   disconnect, so peers observe [`CommError::PeerGone`] (or a timeout)
+//!   instead of hanging forever.
+//!
+//! Deterministic fault injection is configured through a [`FaultPlan`]
+//! (per-link delivery delay, link-drops-after-N-messages, rank-crashes-at-
+//! step-K) and attached to a mesh by [`mesh_with_faults`]. A mesh built by
+//! plain [`mesh`] carries no fault state and its fast path is unchanged.
+//!
+//! The legacy panicking [`Endpoint::send`]/[`Endpoint::recv`] remain as
+//! thin wrappers for code that treats communication failure as fatal.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use embrace_tensor::{DenseTensor, RowSparse, INDEX_BYTES};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use embrace_tensor::{DenseTensor, RowSparse, TOKEN_BYTES};
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Duration;
 
 /// One unit of data on the wire. The transport is typed rather than
 /// byte-serialised (everything is in-process), but [`Packet::nbytes`]
@@ -22,6 +48,9 @@ pub enum Packet {
     Tokens(Vec<u32>),
     /// Zero-payload control message (barrier).
     Empty,
+    /// Abort notification: `origin` observed a failure mid-collective and
+    /// is telling the remaining ranks to bail out instead of hanging.
+    Abort { origin: usize },
 }
 
 impl Packet {
@@ -30,8 +59,21 @@ impl Packet {
         match self {
             Packet::Dense(d) => d.nbytes(),
             Packet::Sparse(s) => s.nbytes(),
-            Packet::Tokens(t) => t.len() * INDEX_BYTES / 2,
+            Packet::Tokens(t) => t.len() * TOKEN_BYTES,
             Packet::Empty => 0,
+            // One rank id on the wire.
+            Packet::Abort { .. } => TOKEN_BYTES,
+        }
+    }
+
+    /// Short name of the packet kind, for error reporting.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Packet::Dense(_) => "Dense",
+            Packet::Sparse(_) => "Sparse",
+            Packet::Tokens(_) => "Tokens",
+            Packet::Empty => "Empty",
+            Packet::Abort { .. } => "Abort",
         }
     }
 
@@ -55,10 +97,271 @@ impl Packet {
             other => panic!("expected Tokens packet, got {other:?}"),
         }
     }
+
+    /// Fallible extraction: an [`Packet::Abort`] maps to
+    /// [`CommError::Aborted`], any other mismatch to [`CommError::Protocol`].
+    pub fn try_into_dense(self) -> Result<DenseTensor, CommError> {
+        match self {
+            Packet::Dense(d) => Ok(d),
+            other => Err(other.mismatch("Dense")),
+        }
+    }
+
+    /// See [`Packet::try_into_dense`].
+    pub fn try_into_sparse(self) -> Result<RowSparse, CommError> {
+        match self {
+            Packet::Sparse(s) => Ok(s),
+            other => Err(other.mismatch("Sparse")),
+        }
+    }
+
+    /// See [`Packet::try_into_dense`].
+    pub fn try_into_tokens(self) -> Result<Vec<u32>, CommError> {
+        match self {
+            Packet::Tokens(t) => Ok(t),
+            other => Err(other.mismatch("Tokens")),
+        }
+    }
+
+    /// See [`Packet::try_into_dense`], for zero-payload control packets.
+    pub fn try_into_empty(self) -> Result<(), CommError> {
+        match self {
+            Packet::Empty => Ok(()),
+            other => Err(other.mismatch("Empty")),
+        }
+    }
+
+    fn mismatch(self, expected: &'static str) -> CommError {
+        match self {
+            Packet::Abort { origin } => CommError::Aborted { origin },
+            other => CommError::Protocol { expected, got: other.kind() },
+        }
+    }
+}
+
+/// Typed communication failure. Everything a collective can observe when a
+/// peer misbehaves, with enough context to attribute the failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommError {
+    /// The peer's endpoint no longer exists (its rank crashed or returned):
+    /// the underlying channel disconnected.
+    PeerGone { peer: usize },
+    /// No message from `peer` arrived within the deadline.
+    Timeout { peer: usize, waited: Duration },
+    /// A configured fault fired on this rank itself (e.g. its
+    /// crash-at-step point was reached, or it was asked to operate after
+    /// [`Endpoint::crash`]).
+    Injected { rank: usize },
+    /// A surviving peer aborted the collective and notified us.
+    Aborted { origin: usize },
+    /// Wire protocol violation: a packet of the wrong kind arrived where a
+    /// specific kind was required.
+    Protocol { expected: &'static str, got: &'static str },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::PeerGone { peer } => write!(f, "peer rank {peer} is gone"),
+            CommError::Timeout { peer, waited } => {
+                write!(f, "timed out after {waited:?} waiting for rank {peer}")
+            }
+            CommError::Injected { rank } => write!(f, "injected fault on rank {rank}"),
+            CommError::Aborted { origin } => {
+                write!(f, "collective aborted by rank {origin}")
+            }
+            CommError::Protocol { expected, got } => {
+                write!(f, "protocol violation: expected {expected} packet, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Bounded receive retry: the deadline is consumed in `attempts` slices,
+/// each `backoff`× longer than the previous — the first slice returns fast
+/// when the peer is merely slow, the later ones absorb injected jitter.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Number of receive attempts before giving up.
+    pub attempts: u32,
+    /// Duration of the first attempt's wait slice.
+    pub base: Duration,
+    /// Multiplier applied to the slice after each failed attempt.
+    pub backoff: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { attempts: 4, base: Duration::from_millis(25), backoff: 2 }
+    }
+}
+
+impl RetryPolicy {
+    /// Total time the policy may wait before surfacing a timeout.
+    pub fn total_deadline(&self) -> Duration {
+        let mut total = Duration::ZERO;
+        let mut slice = self.base;
+        for _ in 0..self.attempts {
+            total += slice;
+            slice *= self.backoff;
+        }
+        total
+    }
+}
+
+/// A deterministic, seeded schedule of faults to inject into a mesh.
+///
+/// Three fault shapes (composable; all addressed by rank):
+/// * **link delay** — every delivery on the ordered link `(from → to)` is
+///   deferred by a fixed duration (the sender never blocks; a store-and-
+///   forward worker serialises the link, so per-link ordering is
+///   preserved and back-to-back messages accumulate delay like a
+///   one-packet-deep slow pipe);
+/// * **drop-after-N** — the ordered link delivers its first `n` messages,
+///   then silently discards everything (a dead cable: the receiver sees
+///   only a timeout);
+/// * **crash-at-step** — the rank tears its endpoint down when it begins
+///   step `k` ([`Endpoint::begin_step`]), so peers observe
+///   [`CommError::PeerGone`] or a timeout.
+///
+/// Plans are plain data: building one never touches the transport, and a
+/// mesh built from an empty plan behaves exactly like [`mesh`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    delays: HashMap<(usize, usize), Duration>,
+    drop_after: HashMap<(usize, usize), u64>,
+    crashes: HashMap<usize, u64>,
+}
+
+impl FaultPlan {
+    /// An empty plan tagged with `seed` (the seed only matters for
+    /// [`FaultPlan::random`]-style generation and for labelling runs).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, ..Default::default() }
+    }
+
+    /// Delay every delivery on the ordered link `from → to` by `delay`.
+    pub fn delay_link(mut self, from: usize, to: usize, delay: Duration) -> Self {
+        self.delays.insert((from, to), delay);
+        self
+    }
+
+    /// Deliver the first `n` messages on `from → to`, then drop the rest.
+    pub fn drop_link_after(mut self, from: usize, to: usize, n: u64) -> Self {
+        self.drop_after.insert((from, to), n);
+        self
+    }
+
+    /// Crash `rank` when it begins step `step` (0-based; see
+    /// [`Endpoint::begin_step`]).
+    pub fn crash_rank_at_step(mut self, rank: usize, step: u64) -> Self {
+        self.crashes.insert(rank, step);
+        self
+    }
+
+    /// Generate a deterministic single-fault scenario from `seed`: picks a
+    /// fault shape, a victim link/rank and a trigger point. Same seed and
+    /// world always yield the same plan.
+    pub fn random(seed: u64, world: usize, steps: u64) -> Self {
+        assert!(world > 1, "random fault plans need at least two ranks");
+        let mut state = seed ^ 0x9E3779B97F4A7C15;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let from = next() as usize % world;
+        let to_raw = next() as usize % (world - 1);
+        let to = if to_raw >= from { to_raw + 1 } else { to_raw };
+        let step = next() % steps.max(1);
+        match next() % 3 {
+            0 => FaultPlan::new(seed).crash_rank_at_step(from, step),
+            1 => FaultPlan::new(seed).drop_link_after(from, to, next() % 8),
+            _ => {
+                // A delay long enough that any sane test timeout trips.
+                FaultPlan::new(seed).delay_link(from, to, Duration::from_secs(3600))
+            }
+        }
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.delays.is_empty() && self.drop_after.is_empty() && self.crashes.is_empty()
+    }
+
+    /// The step at which `rank` is scheduled to crash, if any.
+    pub fn crash_step(&self, rank: usize) -> Option<u64> {
+        self.crashes.get(&rank).copied()
+    }
+
+    /// Ranks scheduled to crash, in ascending order.
+    pub fn crashing_ranks(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.crashes.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn link_state_for(&self, rank: usize, world: usize) -> Option<LinkFaults> {
+        let mut delays = vec![None; world];
+        let mut drop_after = vec![None; world];
+        let mut any = false;
+        for to in 0..world {
+            if let Some(&d) = self.delays.get(&(rank, to)) {
+                delays[to] = Some(d);
+                any = true;
+            }
+            if let Some(&n) = self.drop_after.get(&(rank, to)) {
+                drop_after[to] = Some(n);
+                any = true;
+            }
+        }
+        any.then_some(LinkFaults {
+            delays,
+            drop_after,
+            delivered: vec![0; world],
+            delay_tx: (0..world).map(|_| None).collect(),
+        })
+    }
+}
+
+/// Per-rank outgoing-link fault state (sender side).
+struct LinkFaults {
+    delays: Vec<Option<Duration>>,
+    drop_after: Vec<Option<u64>>,
+    delivered: Vec<u64>,
+    /// Lazily spawned store-and-forward workers for delayed links; the
+    /// worker exits once this sender half is dropped and its queue drains.
+    delay_tx: Vec<Option<Sender<Packet>>>,
+}
+
+/// Spawn the store-and-forward worker for one delayed link: it receives
+/// each packet, sleeps the link delay, then forwards — preserving per-link
+/// ordering (delays accumulate for back-to-back messages, like a
+/// one-packet-deep slow pipe). A forward failure means the destination is
+/// gone; the packet is dropped, which is indistinguishable on the wire.
+fn spawn_delay_worker(out: Sender<Packet>, delay: Duration) -> Sender<Packet> {
+    let (dtx, drx) = unbounded::<Packet>();
+    std::thread::spawn(move || {
+        while let Ok(p) = drx.recv() {
+            std::thread::sleep(delay);
+            let _ = out.send(p);
+        }
+    });
+    dtx
 }
 
 /// Per-rank handle onto the mesh. Sending never blocks (channels are
-/// unbounded); receiving blocks until the addressed peer has sent.
+/// unbounded) unless a link-delay fault is configured; receiving blocks
+/// until the addressed peer has sent, bounded by the configured deadline.
 pub struct Endpoint {
     rank: usize,
     world: usize,
@@ -66,6 +369,16 @@ pub struct Endpoint {
     rx: Vec<Receiver<Packet>>,
     bytes_sent: u64,
     msgs_sent: u64,
+    /// Default deadline for `try_recv`; `None` = block forever (the
+    /// fault-free fast path).
+    deadline: Option<Duration>,
+    /// Outgoing link faults, if any were configured for this rank.
+    faults: Option<LinkFaults>,
+    /// Step at which this rank is scheduled to crash.
+    crash_at_step: Option<u64>,
+    /// Steps begun so far (driven by [`Endpoint::begin_step`]).
+    step: u64,
+    crashed: bool,
 }
 
 impl Endpoint {
@@ -77,16 +390,140 @@ impl Endpoint {
         self.world
     }
 
-    /// Send `packet` to rank `to` (self-sends allowed and delivered).
-    pub fn send(&mut self, to: usize, packet: Packet) {
-        self.bytes_sent += packet.nbytes() as u64;
-        self.msgs_sent += 1;
-        self.tx[to].send(packet).expect("peer endpoint dropped mid-collective");
+    /// The deadline `try_recv` applies (`None` = blocking).
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
     }
 
-    /// Receive the next packet sent by rank `from`.
+    /// Set the default receive deadline (`None` restores blocking receives).
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.deadline = deadline;
+    }
+
+    /// Send `packet` to rank `to` (self-sends allowed and delivered).
+    /// Panics on failure — use [`Endpoint::try_send`] to handle it.
+    pub fn send(&mut self, to: usize, packet: Packet) {
+        self.try_send(to, packet).expect("peer endpoint dropped mid-collective");
+    }
+
+    /// Send `packet` to rank `to`, reporting failure as a typed error.
+    /// Injected link faults apply here: a delayed link defers delivery
+    /// (the sender never blocks, so abort notifications always get out),
+    /// a dropped link counts the traffic but never delivers.
+    pub fn try_send(&mut self, to: usize, packet: Packet) -> Result<(), CommError> {
+        if self.crashed {
+            return Err(CommError::Injected { rank: self.rank });
+        }
+        self.bytes_sent += packet.nbytes() as u64;
+        self.msgs_sent += 1;
+        if let Some(f) = self.faults.as_mut() {
+            let n = f.delivered[to];
+            f.delivered[to] = n + 1;
+            if let Some(cap) = f.drop_after[to] {
+                if n >= cap {
+                    return Ok(()); // silently dropped on the wire
+                }
+            }
+            if let Some(delay) = f.delays[to] {
+                let out = self.tx[to].clone();
+                let dtx = f.delay_tx[to].get_or_insert_with(|| spawn_delay_worker(out, delay));
+                // The worker holds its receiver for as long as this sender
+                // half exists, so this send cannot observe disconnection.
+                return dtx.send(packet).map_err(|_| CommError::PeerGone { peer: to });
+            }
+        }
+        self.tx[to].send(packet).map_err(|_| CommError::PeerGone { peer: to })
+    }
+
+    /// Receive the next packet sent by rank `from`. Panics on failure —
+    /// use [`Endpoint::try_recv`] to handle it.
     pub fn recv(&self, from: usize) -> Packet {
-        self.rx[from].recv().expect("peer endpoint dropped mid-collective")
+        self.try_recv(from).expect("peer endpoint dropped mid-collective")
+    }
+
+    /// Receive the next packet from `from`, honouring the endpoint's
+    /// configured deadline (blocking when none is set).
+    pub fn try_recv(&self, from: usize) -> Result<Packet, CommError> {
+        match self.deadline {
+            None => {
+                if self.crashed {
+                    return Err(CommError::Injected { rank: self.rank });
+                }
+                self.rx[from].recv().map_err(|_| CommError::PeerGone { peer: from })
+            }
+            Some(d) => self.recv_timeout(from, d),
+        }
+    }
+
+    /// Receive from `from` with an explicit deadline.
+    pub fn recv_timeout(&self, from: usize, deadline: Duration) -> Result<Packet, CommError> {
+        if self.crashed {
+            return Err(CommError::Injected { rank: self.rank });
+        }
+        self.rx[from].recv_timeout(deadline).map_err(|e| match e {
+            RecvTimeoutError::Timeout => CommError::Timeout { peer: from, waited: deadline },
+            RecvTimeoutError::Disconnected => CommError::PeerGone { peer: from },
+        })
+    }
+
+    /// Receive from `from` under a bounded retry/backoff policy: up to
+    /// `policy.attempts` waits of multiplicatively growing length. Total
+    /// wait is bounded by [`RetryPolicy::total_deadline`].
+    pub fn recv_retry(&self, from: usize, policy: &RetryPolicy) -> Result<Packet, CommError> {
+        assert!(policy.attempts > 0, "retry policy needs at least one attempt");
+        let mut slice = policy.base;
+        let mut waited = Duration::ZERO;
+        for attempt in 0..policy.attempts {
+            match self.recv_timeout(from, slice) {
+                Err(CommError::Timeout { .. }) if attempt + 1 < policy.attempts => {
+                    waited += slice;
+                    slice *= policy.backoff;
+                }
+                Err(CommError::Timeout { peer, waited: w }) => {
+                    return Err(CommError::Timeout { peer, waited: waited + w })
+                }
+                other => return other,
+            }
+        }
+        unreachable!("loop always returns on the last attempt")
+    }
+
+    /// Drain any packet already queued from `from` without blocking.
+    pub fn poll(&self, from: usize) -> Option<Packet> {
+        self.rx[from].try_recv().ok()
+    }
+
+    /// Mark the start of a training step. If the fault plan scheduled this
+    /// rank to crash at the current step, the endpoint is torn down and
+    /// [`CommError::Injected`] is returned; the caller must stop using it.
+    pub fn begin_step(&mut self) -> Result<u64, CommError> {
+        if self.crashed {
+            return Err(CommError::Injected { rank: self.rank });
+        }
+        let step = self.step;
+        if self.crash_at_step.is_some_and(|k| step >= k) {
+            self.crash();
+            return Err(CommError::Injected { rank: self.rank });
+        }
+        self.step += 1;
+        Ok(step)
+    }
+
+    /// Simulate this rank dying: all channel halves are dropped so peers'
+    /// sends and receives observe disconnection ([`CommError::PeerGone`])
+    /// instead of blocking forever, and every further operation on this
+    /// endpoint returns [`CommError::Injected`].
+    pub fn crash(&mut self) {
+        self.crashed = true;
+        self.tx.clear();
+        self.rx.clear();
+        // Dropping the delay-worker senders lets store-and-forward threads
+        // drain and exit.
+        self.faults = None;
+    }
+
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
     }
 
     /// Total bytes this endpoint has pushed onto the wire.
@@ -100,11 +537,24 @@ impl Endpoint {
     }
 }
 
-/// Construct a full mesh of `world` endpoints.
+/// Construct a full mesh of `world` endpoints with no fault state and
+/// blocking receives — the fast path, identical to the original transport.
 pub fn mesh(world: usize) -> Vec<Endpoint> {
+    mesh_with_faults(world, &FaultPlan::default(), None)
+}
+
+/// Construct a full mesh with the given fault plan attached and `deadline`
+/// as every endpoint's default receive deadline. An empty plan plus `None`
+/// deadline is exactly [`mesh`].
+pub fn mesh_with_faults(
+    world: usize,
+    plan: &FaultPlan,
+    deadline: Option<Duration>,
+) -> Vec<Endpoint> {
     assert!(world > 0, "mesh needs at least one rank");
     // channels[i][j]: i -> j
-    let mut senders: Vec<Vec<Option<Sender<Packet>>>> = (0..world).map(|_| (0..world).map(|_| None).collect()).collect();
+    let mut senders: Vec<Vec<Option<Sender<Packet>>>> =
+        (0..world).map(|_| (0..world).map(|_| None).collect()).collect();
     let mut receivers: Vec<Vec<Option<Receiver<Packet>>>> =
         (0..world).map(|_| (0..world).map(|_| None).collect()).collect();
     for (i, row) in senders.iter_mut().enumerate() {
@@ -125,6 +575,11 @@ pub fn mesh(world: usize) -> Vec<Endpoint> {
             rx: rx_row.into_iter().map(Option::unwrap).collect(),
             bytes_sent: 0,
             msgs_sent: 0,
+            deadline,
+            faults: plan.link_state_for(rank, world),
+            crash_at_step: plan.crash_step(rank),
+            step: 0,
+            crashed: false,
         })
         .collect()
 }
@@ -132,7 +587,7 @@ pub fn mesh(world: usize) -> Vec<Endpoint> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use embrace_tensor::F32_BYTES;
+    use embrace_tensor::{F32_BYTES, INDEX_BYTES};
     use std::thread;
 
     #[test]
@@ -178,6 +633,8 @@ mod tests {
     fn packet_sizes() {
         assert_eq!(Packet::Empty.nbytes(), 0);
         assert_eq!(Packet::Tokens(vec![1, 2, 3]).nbytes(), 12);
+        assert_eq!(Packet::Tokens(vec![9]).nbytes(), TOKEN_BYTES);
+        assert_eq!(Packet::Abort { origin: 0 }.nbytes(), TOKEN_BYTES);
         let s = RowSparse::new(vec![0], DenseTensor::zeros(1, 4));
         assert_eq!(Packet::Sparse(s).nbytes(), INDEX_BYTES + 4 * F32_BYTES);
     }
@@ -186,5 +643,154 @@ mod tests {
     #[should_panic(expected = "expected Dense")]
     fn wrong_packet_kind_panics() {
         Packet::Empty.into_dense();
+    }
+
+    #[test]
+    fn typed_extraction_reports_protocol_and_abort() {
+        assert_eq!(
+            Packet::Empty.try_into_dense(),
+            Err(CommError::Protocol { expected: "Dense", got: "Empty" })
+        );
+        assert_eq!(
+            Packet::Abort { origin: 3 }.try_into_tokens(),
+            Err(CommError::Aborted { origin: 3 })
+        );
+        assert_eq!(Packet::Tokens(vec![1]).try_into_tokens(), Ok(vec![1]));
+        assert_eq!(Packet::Empty.try_into_empty(), Ok(()));
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let eps = mesh(2);
+        let err = eps[0].recv_timeout(1, Duration::from_millis(20)).unwrap_err();
+        assert!(matches!(err, CommError::Timeout { peer: 1, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn dropped_peer_yields_peer_gone() {
+        let mut eps = mesh(2);
+        let b = eps.pop().unwrap();
+        drop(eps); // rank 0's endpoint dies
+        assert_eq!(b.try_recv(0), Err(CommError::PeerGone { peer: 0 }));
+    }
+
+    #[test]
+    fn crash_disconnects_peers_and_poisons_self() {
+        let mut eps = mesh(2);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.crash();
+        assert!(a.is_crashed());
+        assert_eq!(a.try_send(1, Packet::Empty), Err(CommError::Injected { rank: 0 }));
+        assert_eq!(a.try_recv(1), Err(CommError::Injected { rank: 0 }));
+        // The survivor sees disconnection, not a hang.
+        assert_eq!(b.try_recv(0), Err(CommError::PeerGone { peer: 0 }));
+        assert_eq!(b.try_send(0, Packet::Empty), Err(CommError::PeerGone { peer: 0 }));
+    }
+
+    #[test]
+    fn begin_step_triggers_scheduled_crash() {
+        let plan = FaultPlan::new(1).crash_rank_at_step(0, 2);
+        let mut eps = mesh_with_faults(2, &plan, None);
+        let mut a = eps.remove(0);
+        assert_eq!(a.begin_step(), Ok(0));
+        assert_eq!(a.begin_step(), Ok(1));
+        assert_eq!(a.begin_step(), Err(CommError::Injected { rank: 0 }));
+        assert!(a.is_crashed());
+        // Idempotent after the crash.
+        assert_eq!(a.begin_step(), Err(CommError::Injected { rank: 0 }));
+    }
+
+    #[test]
+    fn drop_after_n_silently_discards() {
+        let plan = FaultPlan::new(2).drop_link_after(0, 1, 2);
+        let mut eps = mesh_with_faults(2, &plan, Some(Duration::from_millis(30)));
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        for k in 0..4u32 {
+            a.try_send(1, Packet::Tokens(vec![k])).unwrap();
+        }
+        // First two delivered, rest dropped: receiver times out on the 3rd.
+        assert_eq!(b.try_recv(0).unwrap().into_tokens(), vec![0]);
+        assert_eq!(b.try_recv(0).unwrap().into_tokens(), vec![1]);
+        assert!(matches!(b.try_recv(0), Err(CommError::Timeout { peer: 0, .. })));
+        // Traffic accounting still counts the attempted sends.
+        assert_eq!(a.msgs_sent(), 4);
+    }
+
+    #[test]
+    fn link_delay_blocks_delivery_past_short_timeouts() {
+        let plan = FaultPlan::new(3).delay_link(0, 1, Duration::from_millis(80));
+        let mut eps = mesh_with_faults(2, &plan, None);
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        thread::scope(|s| {
+            s.spawn(move || {
+                a.try_send(1, Packet::Empty).unwrap();
+            });
+            s.spawn(move || {
+                // Too-short deadline trips...
+                assert!(matches!(
+                    b.recv_timeout(0, Duration::from_millis(5)),
+                    Err(CommError::Timeout { .. })
+                ));
+                // ...but a retry policy with enough total budget succeeds.
+                let policy =
+                    RetryPolicy { attempts: 5, base: Duration::from_millis(10), backoff: 2 };
+                assert_eq!(b.recv_retry(0, &policy).unwrap(), Packet::Empty);
+            });
+        });
+    }
+
+    #[test]
+    fn delayed_link_preserves_per_link_ordering() {
+        let plan = FaultPlan::new(4).delay_link(0, 1, Duration::from_millis(2));
+        let mut eps = mesh_with_faults(2, &plan, Some(Duration::from_secs(2)));
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        for k in 0..20u32 {
+            a.try_send(1, Packet::Tokens(vec![k])).unwrap();
+        }
+        for k in 0..20u32 {
+            assert_eq!(b.try_recv(0).unwrap().into_tokens(), vec![k]);
+        }
+    }
+
+    #[test]
+    fn retry_policy_deadline_accumulates() {
+        let policy = RetryPolicy { attempts: 3, base: Duration::from_millis(10), backoff: 2 };
+        assert_eq!(policy.total_deadline(), Duration::from_millis(10 + 20 + 40));
+        let eps = mesh(2);
+        let err = eps[0].recv_retry(1, &policy).unwrap_err();
+        match err {
+            CommError::Timeout { peer: 1, waited } => {
+                assert!(waited >= Duration::from_millis(70), "waited {waited:?}")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_and_nonempty() {
+        for seed in 0..20 {
+            let a = FaultPlan::random(seed, 4, 6);
+            let b = FaultPlan::random(seed, 4, 6);
+            assert_eq!(a, b, "seed {seed}");
+            assert!(!a.is_empty(), "seed {seed}");
+        }
+        // Different seeds explore different scenarios.
+        let distinct: std::collections::HashSet<String> =
+            (0..20).map(|s| format!("{:?}", FaultPlan::random(s, 4, 6))).collect();
+        assert!(distinct.len() > 10);
+    }
+
+    #[test]
+    fn fault_free_mesh_has_no_fault_state() {
+        let eps = mesh(3);
+        for ep in &eps {
+            assert!(ep.faults.is_none());
+            assert!(ep.crash_at_step.is_none());
+            assert!(ep.deadline().is_none());
+        }
     }
 }

@@ -17,8 +17,10 @@
 //! prior rows, once for the delayed rows — and the optimizer is told which
 //! part it is applying ([`UpdatePart`]).
 
-use embrace_collectives::ops::{alltoall_dense, alltoallv_sparse};
-use embrace_collectives::Endpoint;
+use embrace_collectives::ops::{
+    alltoall_dense, alltoallv_sparse, try_alltoall_dense, try_alltoallv_sparse,
+};
+use embrace_collectives::{CommError, Endpoint};
 use embrace_dlsim::optim::{Optimizer, UpdatePart};
 use embrace_dlsim::EmbeddingTable;
 use embrace_tensor::{coalesce, column_partition, ColumnRange, DenseTensor, RowSparse};
@@ -81,6 +83,20 @@ impl ColumnShardedEmbedding {
         Self::assemble_lookup(&received)
     }
 
+    /// Fallible [`Self::forward`]: AlltoAll #1 failures surface as typed
+    /// [`CommError`]s instead of panics (see `embrace_collectives::ops`
+    /// for the abort/poisoning contract).
+    pub fn try_forward(
+        &self,
+        ep: &mut Endpoint,
+        all_tokens: &[Vec<u32>],
+    ) -> Result<DenseTensor, CommError> {
+        assert_eq!(all_tokens.len(), ep.world(), "need every rank's tokens");
+        let outgoing = self.lookup_parts(all_tokens);
+        let received = try_alltoall_dense(ep, outgoing)?;
+        Ok(Self::assemble_lookup(&received))
+    }
+
     /// The local half of the forward pass: look up each destination
     /// rank's batch against my column shard, producing one outgoing dense
     /// block per rank (the payload of AlltoAll #1). Split out so callers
@@ -99,7 +115,12 @@ impl ColumnShardedEmbedding {
     /// `my_tokens`) into per-shard column blocks and run AlltoAll #2;
     /// returns the coalesced gradient for *this* worker's shard
     /// (full-vocab row ids, shard-width values).
-    pub fn backward(&self, ep: &mut Endpoint, my_tokens: &[u32], grad_out: &DenseTensor) -> RowSparse {
+    pub fn backward(
+        &self,
+        ep: &mut Endpoint,
+        my_tokens: &[u32],
+        grad_out: &DenseTensor,
+    ) -> RowSparse {
         assert_eq!(my_tokens.len(), grad_out.rows(), "one grad row per token");
         assert_eq!(grad_out.cols(), self.dim_total, "grad must be full width");
         let outgoing: Vec<RowSparse> = self
@@ -111,6 +132,24 @@ impl ColumnShardedEmbedding {
         coalesce(&RowSparse::concat(&received))
     }
 
+    /// Fallible [`Self::backward`].
+    pub fn try_backward(
+        &self,
+        ep: &mut Endpoint,
+        my_tokens: &[u32],
+        grad_out: &DenseTensor,
+    ) -> Result<RowSparse, CommError> {
+        assert_eq!(my_tokens.len(), grad_out.rows(), "one grad row per token");
+        assert_eq!(grad_out.cols(), self.dim_total, "grad must be full width");
+        let outgoing: Vec<RowSparse> = self
+            .ranges
+            .iter()
+            .map(|r| RowSparse::new(my_tokens.to_vec(), grad_out.slice_columns(r.start, r.end)))
+            .collect();
+        let received = try_alltoallv_sparse(ep, outgoing)?;
+        Ok(coalesce(&RowSparse::concat(&received)))
+    }
+
     /// Backward for an already-split gradient part (Vertical Scheduling):
     /// same exchange, but the caller passes per-destination row-sparse
     /// blocks built from `G_p` or `G_d` instead of the raw output grad.
@@ -118,6 +157,17 @@ impl ColumnShardedEmbedding {
         let outgoing = self.grad_parts(part);
         let received = alltoallv_sparse(ep, outgoing);
         Self::merge_grad_shards(&received)
+    }
+
+    /// Fallible [`Self::exchange_grad_part`].
+    pub fn try_exchange_grad_part(
+        &self,
+        ep: &mut Endpoint,
+        part: &RowSparse,
+    ) -> Result<RowSparse, CommError> {
+        let outgoing = self.grad_parts(part);
+        let received = try_alltoallv_sparse(ep, outgoing)?;
+        Ok(Self::merge_grad_shards(&received))
     }
 
     /// The local half of a gradient exchange: slice a full-width gradient

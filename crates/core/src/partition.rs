@@ -8,7 +8,7 @@
 //! feed `embrace_simnet::CostModel::alltoallv` to quantify that difference
 //! (the `ablation_partition` bench).
 
-use embrace_tensor::{owner_of_row, row_partition, column_partition, INDEX_BYTES, F32_BYTES};
+use embrace_tensor::{column_partition, owner_of_row, row_partition, F32_BYTES, INDEX_BYTES};
 
 /// How an embedding table is split across workers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -8,7 +8,9 @@
 //! priority, before the next embedding FP); the rest are *delayed* and
 //! communicated at lowest priority, overlapped with the next iteration.
 
-use embrace_tensor::{coalesce, difference, index_select, intersect, unique_sorted, IndexSet, RowSparse};
+use embrace_tensor::{
+    coalesce, difference, index_select, intersect, unique_sorted, IndexSet, RowSparse,
+};
 
 /// Result of Algorithm 1: the prior/delayed gradient split.
 #[derive(Clone, Debug)]
@@ -50,7 +52,11 @@ impl VerticalSplit {
 ///
 /// Returns `{G_p, G_d}` plus the index sets. `G_p ∪ G_d` carries exactly
 /// the coalesced gradient, with disjoint row sets (tested below).
-pub fn vertical_split(grad: &RowSparse, d_cur_rank: &[u32], d_next_gathered: &[u32]) -> VerticalSplit {
+pub fn vertical_split(
+    grad: &RowSparse,
+    d_cur_rank: &[u32],
+    d_next_gathered: &[u32],
+) -> VerticalSplit {
     // Line 2: coalesce duplicate rows.
     let g_coalesced = coalesce(grad);
     // Line 3: Du ← UNIQUE(D_cur[n]).

@@ -85,10 +85,9 @@ impl Tape {
     /// The gradient of a node after [`Tape::backward`]; panics if the node
     /// did not require (or receive) a gradient.
     pub fn grad(&self, id: NodeId) -> &DenseTensor {
-        self.nodes[id]
-            .grad
-            .as_ref()
-            .unwrap_or_else(|| panic!("node {id} has no gradient (requires_grad or backward missing)"))
+        self.nodes[id].grad.as_ref().unwrap_or_else(|| {
+            panic!("node {id} has no gradient (requires_grad or backward missing)")
+        })
     }
 
     /// Matrix product node.
@@ -243,7 +242,8 @@ impl Tape {
                     if self.nodes[a].requires_grad {
                         // d tanh(x) = 1 - tanh(x)^2, and we stored tanh(x).
                         let mut da = grad.clone();
-                        for (d, &y) in da.as_mut_slice().iter_mut().zip(self.nodes[id].value.as_slice())
+                        for (d, &y) in
+                            da.as_mut_slice().iter_mut().zip(self.nodes[id].value.as_slice())
                         {
                             *d *= 1.0 - y * y;
                         }
@@ -255,7 +255,8 @@ impl Tape {
                     if self.nodes[a].requires_grad {
                         // d sigmoid(x) = y(1-y), and we stored y.
                         let mut da = grad.clone();
-                        for (d, &y) in da.as_mut_slice().iter_mut().zip(self.nodes[id].value.as_slice())
+                        for (d, &y) in
+                            da.as_mut_slice().iter_mut().zip(self.nodes[id].value.as_slice())
                         {
                             *d *= y * (1.0 - y);
                         }
@@ -266,14 +267,18 @@ impl Tape {
                     let (a, b) = (*a, *b);
                     if self.nodes[a].requires_grad {
                         let mut da = grad.clone();
-                        for (d, &y) in da.as_mut_slice().iter_mut().zip(self.nodes[b].value.as_slice()) {
+                        for (d, &y) in
+                            da.as_mut_slice().iter_mut().zip(self.nodes[b].value.as_slice())
+                        {
                             *d *= y;
                         }
                         self.accumulate(a, &da);
                     }
                     if self.nodes[b].requires_grad {
                         let mut db = grad.clone();
-                        for (d, &y) in db.as_mut_slice().iter_mut().zip(self.nodes[a].value.as_slice()) {
+                        for (d, &y) in
+                            db.as_mut_slice().iter_mut().zip(self.nodes[a].value.as_slice())
+                        {
                             *d *= y;
                         }
                         self.accumulate(b, &db);

@@ -53,7 +53,7 @@ pub mod queue;
 pub use autograd::{NodeId, Tape};
 pub use embedding::EmbeddingTable;
 pub use fusion::{assign_buckets, Bucket};
-pub use graph::{Module, ModuleKind, ModelGraph};
+pub use graph::{ModelGraph, Module, ModuleKind};
 pub use hooks::HookRegistry;
 pub use optim::{Adagrad, Adam, Optimizer, Sgd, UpdatePart};
 pub use prefetch::Prefetcher;

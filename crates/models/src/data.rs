@@ -62,7 +62,12 @@ pub struct BatchGen {
 }
 
 impl BatchGen {
-    pub fn new(sampler: ZipfSampler, tokens_per_batch: usize, pad_fraction: f64, seed: u64) -> Self {
+    pub fn new(
+        sampler: ZipfSampler,
+        tokens_per_batch: usize,
+        pad_fraction: f64,
+        seed: u64,
+    ) -> Self {
         BatchGen { sampler, tokens_per_batch, pad_fraction, rng: StdRng::seed_from_u64(seed) }
     }
 
@@ -72,7 +77,12 @@ impl BatchGen {
     pub fn from_spec(spec: &ModelSpec, gpu: GpuKind, rank: usize, seed: u64) -> Self {
         let vocab: usize = spec.embeddings.iter().map(|e| e.vocab).sum();
         let sampler = ZipfSampler::new(vocab, spec.zipf_s);
-        BatchGen::new(sampler, spec.tokens_per_batch(gpu), spec.pad_fraction, seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        BatchGen::new(
+            sampler,
+            spec.tokens_per_batch(gpu),
+            spec.pad_fraction,
+            seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )
     }
 
     pub fn tokens_per_batch(&self) -> usize {
@@ -146,7 +156,13 @@ impl GradStats {
 /// averaged over `steps` steps. Implements exactly Algorithm 1's set
 /// algebra: `Du = UNIQUE(D_cur[rank])`, `i_prior = Du ∩ D_next` where
 /// `D_next` is the *gathered* (all-worker) next-iteration data.
-pub fn grad_stats(spec: &ModelSpec, gpu: GpuKind, world: usize, steps: usize, seed: u64) -> GradStats {
+pub fn grad_stats(
+    spec: &ModelSpec,
+    gpu: GpuKind,
+    world: usize,
+    steps: usize,
+    seed: u64,
+) -> GradStats {
     assert!(steps > 0 && world > 0);
     let mut gens: Vec<BatchGen> =
         (0..world).map(|r| BatchGen::from_spec(spec, gpu, r, seed)).collect();

@@ -8,8 +8,8 @@
 //! workload knobs (Zipf exponent, padding fraction) are tuned only against
 //! the *gradient-size statistics* of Table 3.
 
-use embrace_simnet::GpuKind;
 use embrace_dlsim::graph::{ModelGraph, Module, ModuleKind};
+use embrace_simnet::GpuKind;
 use embrace_tensor::{F32_BYTES, INDEX_BYTES};
 
 const MIB: f64 = 1024.0 * 1024.0;
@@ -50,7 +50,8 @@ pub enum ModelId {
 }
 
 impl ModelId {
-    pub const ALL: [ModelId; 4] = [ModelId::Lm, ModelId::Gnmt8, ModelId::Transformer, ModelId::BertBase];
+    pub const ALL: [ModelId; 4] =
+        [ModelId::Lm, ModelId::Gnmt8, ModelId::Transformer, ModelId::BertBase];
 }
 
 /// Full specification of one benchmark model.
@@ -262,11 +263,8 @@ impl ModelSpec {
     pub fn graph_for(&self, gpu: GpuKind, cpu_embeddings: bool) -> ModelGraph {
         let total = self.compute_time(gpu);
         let (fp_total, bp_total) = (total / 3.0, total * 2.0 / 3.0);
-        let cpu_factor = if cpu_embeddings && gpu == GpuKind::Rtx2080 {
-            self.cpu_emb_penalty_2080
-        } else {
-            1.0
-        };
+        let cpu_factor =
+            if cpu_embeddings && gpu == GpuKind::Rtx2080 { self.cpu_emb_penalty_2080 } else { 1.0 };
         let emb_share = self.emb_compute_share / self.embeddings.len() as f64;
         let emb_fp = fp_total * emb_share * cpu_factor;
         let emb_bp = bp_total * emb_share * cpu_factor;

@@ -105,7 +105,8 @@ impl ShardedStore {
         // Split the gradient by owning shard, then run the sync protocol
         // independently per shard (empty pushes still participate so the
         // barrier count reaches `world` on every shard).
-        let mut per_shard: Vec<(Vec<u32>, Vec<u32>)> = vec![(Vec::new(), Vec::new()); self.shards.len()];
+        let mut per_shard: Vec<(Vec<u32>, Vec<u32>)> =
+            vec![(Vec::new(), Vec::new()); self.shards.len()];
         for (pos, &row) in grad.indices().iter().enumerate() {
             let s = self.shard_of(row);
             per_shard[s].0.push(pos as u32);
@@ -148,11 +149,8 @@ impl ShardedStore {
 
     /// Snapshot the full table (test/inspection helper).
     pub fn snapshot(&self) -> DenseTensor {
-        let blocks: Vec<DenseTensor> = self
-            .shards
-            .iter()
-            .map(|s| s.state.lock().table.clone())
-            .collect();
+        let blocks: Vec<DenseTensor> =
+            self.shards.iter().map(|s| s.state.lock().table.clone()).collect();
         DenseTensor::concat_rows(&blocks)
     }
 }

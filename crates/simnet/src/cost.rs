@@ -101,7 +101,8 @@ impl CostModel {
         let w = self.cluster.gpus_per_node as f64;
         let msg = total_bytes / n;
         // Per-GPU bytes to local peers, over the intra link.
-        let intra = if w > 1.0 { msg * (w - 1.0) / self.eff(self.cluster.net.intra_bw, msg) } else { 0.0 };
+        let intra =
+            if w > 1.0 { msg * (w - 1.0) / self.eff(self.cluster.net.intra_bw, msg) } else { 0.0 };
         // Per-NIC bytes to remote GPUs: w local senders × (N−w) remote peers.
         let inter = if self.cluster.nodes > 1 {
             msg * w * (n - w) / self.eff(self.cluster.net.inter_bw, msg)
@@ -247,7 +248,8 @@ impl CostModel {
         // Inter phase: ring over n node leaders on 1/w of the data each.
         let inter_bytes = dense_bytes / w.max(1.0);
         let inter_unit = inter_bytes / nodes;
-        let inter = 2.0 * (nodes - 1.0)
+        let inter = 2.0
+            * (nodes - 1.0)
             * (self.beta() + inter_unit / self.eff(self.cluster.net.inter_bw, inter_unit));
         intra + inter
     }
@@ -277,7 +279,13 @@ impl CostModel {
 
     /// Dispatch by collective kind; `bytes` is the sparse payload for
     /// AlltoAll/AllGather/PS/OmniReduce and the dense size for AllReduce.
-    pub fn collective(&self, kind: CollectiveKind, bytes: f64, dense_bytes: f64, servers: usize) -> f64 {
+    pub fn collective(
+        &self,
+        kind: CollectiveKind,
+        bytes: f64,
+        dense_bytes: f64,
+        servers: usize,
+    ) -> f64 {
         match kind {
             CollectiveKind::AlltoAll => self.alltoall(bytes),
             CollectiveKind::RingAllReduce => self.ring_allreduce(dense_bytes),

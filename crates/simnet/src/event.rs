@@ -50,17 +50,38 @@ pub struct Task {
 
 impl Task {
     pub fn compute(name: impl Into<String>, dur: f64) -> Self {
-        Task { name: name.into(), dur, res: Res::Compute, deps: vec![], priority: 0, model_compute: true }
+        Task {
+            name: name.into(),
+            dur,
+            res: Res::Compute,
+            deps: vec![],
+            priority: 0,
+            model_compute: true,
+        }
     }
 
     /// A compute-stream task that is *not* useful model work (e.g. the
     /// Vertical Sparse Scheduling set computation).
     pub fn overhead(name: impl Into<String>, dur: f64) -> Self {
-        Task { name: name.into(), dur, res: Res::Compute, deps: vec![], priority: 0, model_compute: false }
+        Task {
+            name: name.into(),
+            dur,
+            res: Res::Compute,
+            deps: vec![],
+            priority: 0,
+            model_compute: false,
+        }
     }
 
     pub fn comm(name: impl Into<String>, dur: f64, priority: i64) -> Self {
-        Task { name: name.into(), dur, res: Res::Comm, deps: vec![], priority, model_compute: false }
+        Task {
+            name: name.into(),
+            dur,
+            res: Res::Comm,
+            deps: vec![],
+            priority,
+            model_compute: false,
+        }
     }
 
     pub fn after(mut self, deps: impl IntoIterator<Item = TaskId>) -> Self {
@@ -222,7 +243,8 @@ impl Sim {
                                 end: now,
                             });
                         }
-                        ready_comm.push(CommEntry { key: (self.tasks[id].priority, ready_seq, id) });
+                        ready_comm
+                            .push(CommEntry { key: (self.tasks[id].priority, ready_seq, id) });
                         ready_seq += 1;
                         run_comm = None;
                     }
@@ -259,12 +281,24 @@ impl Sim {
                     if t.model_compute {
                         model_busy += end - start;
                     }
-                    spans.push(Span { task: id, name: t.name.clone(), res: Res::Compute, start, end });
+                    spans.push(Span {
+                        task: id,
+                        name: t.name.clone(),
+                        res: Res::Compute,
+                        start,
+                        end,
+                    });
                     done += 1;
                     for &s in &succs[id] {
                         indegree[s] -= 1;
                         if indegree[s] == 0 {
-                            push_ready(s, &mut ready_seq, &mut ready_compute, &mut ready_comm, &self.tasks);
+                            push_ready(
+                                s,
+                                &mut ready_seq,
+                                &mut ready_compute,
+                                &mut ready_comm,
+                                &self.tasks,
+                            );
                         }
                     }
                     run_compute = None;
@@ -279,7 +313,13 @@ impl Sim {
                     for &s in &succs[id] {
                         indegree[s] -= 1;
                         if indegree[s] == 0 {
-                            push_ready(s, &mut ready_seq, &mut ready_compute, &mut ready_comm, &self.tasks);
+                            push_ready(
+                                s,
+                                &mut ready_seq,
+                                &mut ready_compute,
+                                &mut ready_comm,
+                                &self.tasks,
+                            );
                         }
                     }
                     run_comm = None;
@@ -455,13 +495,8 @@ mod preemptive_tests {
     fn preempted_task_total_time_is_preserved() {
         let pre = scenario(CommOrder::Preemptive);
         // "bulk" executed in two spans totalling its full duration.
-        let total: f64 = pre
-            .trace
-            .spans
-            .iter()
-            .filter(|sp| sp.name == "bulk")
-            .map(|sp| sp.dur())
-            .sum();
+        let total: f64 =
+            pre.trace.spans.iter().filter(|sp| sp.name == "bulk").map(|sp| sp.dur()).sum();
         assert!((total - 10.0).abs() < 1e-9, "split spans must sum to dur, got {total}");
         let n_spans = pre.trace.spans.iter().filter(|sp| sp.name == "bulk").count();
         assert_eq!(n_spans, 2, "expected exactly one preemption");

@@ -1,0 +1,421 @@
+//! Failure events in the discrete-event engine, and a recovery cost model.
+//!
+//! The transport layer injects faults into *real* communication
+//! ([`embrace-collectives`]'s `FaultPlan`); this module injects the same
+//! fault shapes into *simulated time*, so the price of a failure — work
+//! lost, detection latency, recovery strategy — can be studied at cluster
+//! scales the in-process mesh cannot reach.
+//!
+//! Two pieces:
+//!
+//! * [`MultiSim::run_with_faults`] — executes the step DAG under a list of
+//!   [`FaultEvent`]s. A crashed worker kills its running task and never
+//!   schedules another; when the DAG can make no further progress (a
+//!   collective barrier waits on the dead worker forever), the job aborts
+//!   `detect_timeout` later — the simulated analogue of survivors
+//!   observing `PeerGone`/`Timeout` on the real transport.
+//! * [`RecoveryModel`] — prices the two standard responses to losing a
+//!   rank: **checkpoint/restart** (pay a rollback to the last checkpoint
+//!   plus restart overhead, keep full throughput) versus **group shrink**
+//!   (pay a one-off re-form, then run every remaining step slower on
+//!   fewer workers).
+
+use crate::event::Res;
+use crate::multiworker::{MultiSim, MwKind};
+use crate::trace::{Span, Trace};
+
+/// A fault injected into simulated time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// Worker `worker` dies at time `at`: its running task is killed and
+    /// it never schedules another.
+    WorkerCrash { worker: usize, at: f64 },
+    /// From time `at` on, every collective that *starts* takes
+    /// `factor`× its nominal duration (congestion, flaky NIC, failover to
+    /// a slower path). Later events override earlier ones.
+    LinkDegrade { at: f64, factor: f64 },
+}
+
+impl FaultEvent {
+    fn at(&self) -> f64 {
+        match *self {
+            FaultEvent::WorkerCrash { at, .. } | FaultEvent::LinkDegrade { at, .. } => at,
+        }
+    }
+}
+
+/// Outcome of [`MultiSim::run_with_faults`].
+#[derive(Clone, Debug)]
+pub struct FaultOutcome {
+    /// Tasks that ran to completion.
+    pub completed: usize,
+    /// Tasks in the DAG.
+    pub total: usize,
+    /// `Some(t)` if the job aborted at time `t` (stall detected
+    /// `detect_timeout` after the last possible progress); `None` if every
+    /// task completed.
+    pub aborted_at: Option<f64>,
+    /// End of the run: last span end, or the abort time.
+    pub makespan: f64,
+    /// Spans of the tasks that completed (killed tasks leave no span).
+    pub trace: Trace,
+}
+
+impl FaultOutcome {
+    pub fn is_clean(&self) -> bool {
+        self.aborted_at.is_none() && self.completed == self.total
+    }
+}
+
+impl MultiSim {
+    /// Execute the DAG under injected faults. Semantics:
+    ///
+    /// * scheduling is identical to [`MultiSim::run`] until a fault fires;
+    /// * a [`FaultEvent::WorkerCrash`] kills the worker's running task
+    ///   (no span is recorded for it) and removes the worker from service;
+    /// * a [`FaultEvent::LinkDegrade`] scales the duration of collectives
+    ///   that start after it;
+    /// * when no task is running and none can become ready (dependencies
+    ///   died with a crashed worker), survivors are deemed to detect the
+    ///   failure `detect_timeout` after the stall and the job aborts.
+    ///
+    /// With an empty fault list this reproduces [`MultiSim::run`] exactly.
+    pub fn run_with_faults(&self, events: &[FaultEvent], detect_timeout: f64) -> FaultOutcome {
+        let n = self.tasks.len();
+        let mut pending: Vec<FaultEvent> = events.to_vec();
+        pending.sort_by(|a, b| a.at().total_cmp(&b.at()));
+        let mut pending = std::collections::VecDeque::from(pending);
+
+        let mut indegree: Vec<usize> = self.tasks.iter().map(|t| t.deps.len()).collect();
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (id, t) in self.tasks.iter().enumerate() {
+            for &d in &t.deps {
+                succs[d].push(id);
+            }
+        }
+
+        let mut ready_w: Vec<Vec<usize>> = vec![Vec::new(); self.workers];
+        let mut ready_net: std::collections::VecDeque<usize> = Default::default();
+        let push_ready =
+            |id: usize, rw: &mut Vec<Vec<usize>>, rn: &mut std::collections::VecDeque<usize>| {
+                match self.tasks[id].kind {
+                    MwKind::Compute(w) => {
+                        let pos = rw[w].partition_point(|&x| x < id);
+                        rw[w].insert(pos, id);
+                    }
+                    MwKind::Collective => rn.push_back(id),
+                }
+            };
+        for (id, &deg) in indegree.iter().enumerate() {
+            if deg == 0 {
+                push_ready(id, &mut ready_w, &mut ready_net);
+            }
+        }
+
+        let mut now = 0.0_f64;
+        let mut crashed = vec![false; self.workers];
+        let mut degrade = 1.0_f64;
+        // One running slot per worker + one for the network: (end, id, start).
+        let mut running: Vec<Option<(f64, usize, f64)>> = vec![None; self.workers + 1];
+        let net = self.workers;
+        let mut spans: Vec<Span> = Vec::new();
+        let mut done = 0usize;
+
+        loop {
+            // Apply fault events due at or before `now`.
+            while pending.front().is_some_and(|e| e.at() <= now) {
+                match pending.pop_front().unwrap() {
+                    FaultEvent::WorkerCrash { worker, .. } => {
+                        assert!(worker < self.workers, "crashing unknown worker {worker}");
+                        crashed[worker] = true;
+                        running[worker] = None; // running task killed, no span
+                        ready_w[worker].clear();
+                    }
+                    FaultEvent::LinkDegrade { factor, .. } => degrade = factor,
+                }
+            }
+
+            // Fill free slots (crashed workers excluded).
+            for w in 0..self.workers {
+                if !crashed[w] && running[w].is_none() {
+                    if let Some(&id) = ready_w[w].first() {
+                        ready_w[w].remove(0);
+                        running[w] = Some((now + self.tasks[id].dur, id, now));
+                    }
+                }
+            }
+            if running[net].is_none() {
+                if let Some(id) = ready_net.pop_front() {
+                    running[net] = Some((now + self.tasks[id].dur * degrade, id, now));
+                }
+            }
+
+            // Next event: earliest task completion or fault firing.
+            let next_end =
+                running.iter().flatten().map(|&(e, _, _)| e).fold(f64::INFINITY, f64::min);
+            let next_fault = pending.front().map_or(f64::INFINITY, |e| e.at());
+            if !next_end.is_finite() && done == n {
+                break; // all tasks completed; any later fault is moot
+            }
+            if !next_end.is_finite() && !next_fault.is_finite() {
+                // Nothing running, nothing can become ready. Tasks stranded
+                // on the crashed worker itself are merely *lost*; a task
+                // stranded on a surviving worker or the network means
+                // survivors are blocked on the dead rank — that is the
+                // failure they detect `detect_timeout` later.
+                let mut finished = vec![false; n];
+                for s in &spans {
+                    finished[s.task] = true;
+                }
+                let survivor_stuck = self.tasks.iter().enumerate().any(|(id, t)| {
+                    !finished[id] && !matches!(t.kind, MwKind::Compute(w) if crashed[w])
+                });
+                if !survivor_stuck {
+                    break; // clean finish for every surviving resource
+                }
+                let makespan = now + detect_timeout;
+                return FaultOutcome {
+                    completed: done,
+                    total: n,
+                    aborted_at: Some(makespan),
+                    makespan,
+                    trace: Trace { spans },
+                };
+            }
+            now = next_end.min(next_fault);
+
+            for (slot, r) in running.iter_mut().enumerate() {
+                if let Some((end, id, start)) = *r {
+                    if end <= now {
+                        let t = &self.tasks[id];
+                        let res = if slot == net { Res::Comm } else { Res::Compute };
+                        spans.push(Span { task: id, name: t.name.clone(), res, start, end });
+                        done += 1;
+                        for &s in &succs[id] {
+                            indegree[s] -= 1;
+                            if indegree[s] == 0 {
+                                push_ready(s, &mut ready_w, &mut ready_net);
+                            }
+                        }
+                        *r = None;
+                    }
+                }
+            }
+        }
+
+        let makespan = spans.iter().map(|s| s.end).fold(0.0, f64::max);
+        FaultOutcome {
+            completed: done,
+            total: n,
+            aborted_at: None,
+            makespan,
+            trace: Trace { spans },
+        }
+    }
+}
+
+/// Which recovery strategy to take after losing a rank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Recovery {
+    /// Roll back to the last checkpoint, restart the full group.
+    CheckpointRestart,
+    /// Re-form the group without the lost rank and keep going slower.
+    GroupShrink,
+}
+
+/// Prices the recovery choice after a worker loss.
+///
+/// All times in seconds; `step_time` is the fault-free synchronous step
+/// time of the full group (e.g. a [`crate::synchronous_step`] makespan).
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryModel {
+    /// Fault-free time of one training step on the full group.
+    pub step_time: f64,
+    /// Wall-clock cost of writing one checkpoint.
+    pub checkpoint_write: f64,
+    /// Steps between checkpoints.
+    pub checkpoint_interval: u64,
+    /// Time to reschedule + reload + rebuild communicators on restart.
+    pub restart_overhead: f64,
+    /// Time to re-form the communicator excluding the lost rank.
+    pub shrink_overhead: f64,
+    /// Per-step slowdown factor once the group has shrunk (≥ 1).
+    pub shrink_slowdown: f64,
+}
+
+impl RecoveryModel {
+    /// A model whose shrink slowdown comes from pure data-parallel
+    /// arithmetic: losing one of `workers` ranks leaves `workers − 1`
+    /// ranks doing the same total work, so each step slows by
+    /// `workers / (workers − 1)`.
+    pub fn data_parallel(
+        step_time: f64,
+        checkpoint_write: f64,
+        checkpoint_interval: u64,
+        restart_overhead: f64,
+        shrink_overhead: f64,
+        workers: usize,
+    ) -> Self {
+        assert!(workers > 1, "cannot shrink a single-worker group");
+        RecoveryModel {
+            step_time,
+            checkpoint_write,
+            checkpoint_interval,
+            restart_overhead,
+            shrink_overhead,
+            shrink_slowdown: workers as f64 / (workers - 1) as f64,
+        }
+    }
+
+    /// Steady-state checkpointing tax added to every step.
+    pub fn checkpoint_overhead_per_step(&self) -> f64 {
+        self.checkpoint_write / self.checkpoint_interval as f64
+    }
+
+    /// Total time to finish the job via checkpoint/restart, given the
+    /// crash happened `steps_since_checkpoint` steps after the last
+    /// checkpoint with `remaining_steps` still to run. Lost steps are
+    /// re-executed at full speed.
+    pub fn checkpoint_restart_cost(
+        &self,
+        steps_since_checkpoint: u64,
+        remaining_steps: u64,
+    ) -> f64 {
+        self.restart_overhead + (steps_since_checkpoint + remaining_steps) as f64 * self.step_time
+    }
+
+    /// Total time to finish the job via group shrink: nothing is lost or
+    /// re-run, but every remaining step pays the slowdown.
+    pub fn group_shrink_cost(&self, remaining_steps: u64) -> f64 {
+        self.shrink_overhead + remaining_steps as f64 * self.step_time * self.shrink_slowdown
+    }
+
+    /// The cheaper strategy for this crash point (ties go to shrink,
+    /// which also preserves the job's memory footprint headroom).
+    pub fn cheaper(&self, steps_since_checkpoint: u64, remaining_steps: u64) -> Recovery {
+        let restart = self.checkpoint_restart_cost(steps_since_checkpoint, remaining_steps);
+        let shrink = self.group_shrink_cost(remaining_steps);
+        if restart < shrink {
+            Recovery::CheckpointRestart
+        } else {
+            Recovery::GroupShrink
+        }
+    }
+}
+
+/// One synchronous data-parallel step (as [`crate::synchronous_step`])
+/// with worker `crash_worker` dying at `crash_at`; survivors detect the
+/// failure `detect_timeout` after the DAG stalls.
+pub fn synchronous_step_with_crash(
+    compute_scale: &[f64],
+    bp: f64,
+    comm: f64,
+    fp: f64,
+    crash_worker: usize,
+    crash_at: f64,
+    detect_timeout: f64,
+) -> FaultOutcome {
+    use crate::multiworker::MwTask;
+    let workers = compute_scale.len();
+    let mut sim = MultiSim::new(workers);
+    let mut bp_ids = Vec::with_capacity(workers);
+    for (w, &scale) in compute_scale.iter().enumerate() {
+        bp_ids.push(sim.add(MwTask::compute(w, format!("w{w}/bp"), bp * scale)));
+    }
+    let coll = sim.add(MwTask::collective("allreduce", comm).after(bp_ids));
+    for (w, &scale) in compute_scale.iter().enumerate() {
+        sim.add(MwTask::compute(w, format!("w{w}/fp"), fp * scale).after([coll]));
+    }
+    sim.run_with_faults(
+        &[FaultEvent::WorkerCrash { worker: crash_worker, at: crash_at }],
+        detect_timeout,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multiworker::{synchronous_step, MwTask};
+
+    #[test]
+    fn empty_fault_list_matches_plain_run() {
+        let clean = synchronous_step(&[1.0, 1.2, 1.0], 2.0, 1.0, 1.0);
+        let mut sim = MultiSim::new(3);
+        let mut bp = Vec::new();
+        for (w, s) in [1.0, 1.2, 1.0].iter().enumerate() {
+            bp.push(sim.add(MwTask::compute(w, format!("w{w}/bp"), 2.0 * s)));
+        }
+        let c = sim.add(MwTask::collective("allreduce", 1.0).after(bp));
+        for (w, s) in [1.0f64, 1.2, 1.0].iter().enumerate() {
+            sim.add(MwTask::compute(w, format!("w{w}/fp"), *s).after([c]));
+        }
+        let faulty = sim.run_with_faults(&[], 10.0);
+        assert!(faulty.is_clean());
+        assert!((faulty.makespan - clean.makespan).abs() < 1e-12);
+        assert_eq!(faulty.trace.spans.len(), clean.trace.spans.len());
+    }
+
+    #[test]
+    fn crash_before_barrier_aborts_after_detect_timeout() {
+        // bp takes 2s; worker 1 dies at t=1 mid-bp. Survivors finish bp at
+        // t=2, the collective never becomes ready, stall detected, abort
+        // at 2 + detect.
+        let out = synchronous_step_with_crash(&[1.0; 4], 2.0, 1.0, 1.0, 1, 1.0, 5.0);
+        assert_eq!(out.aborted_at, Some(7.0));
+        assert!((out.makespan - 7.0).abs() < 1e-12);
+        // 3 surviving bp tasks completed, nothing else.
+        assert_eq!(out.completed, 3);
+        assert_eq!(out.total, 4 + 1 + 4);
+    }
+
+    #[test]
+    fn crash_after_last_dependency_still_completes_rest() {
+        // Worker 3 dies after its bp finished and after the collective's
+        // dependencies are satisfied: the collective and the other
+        // workers' fp still run; only w3/fp is lost.
+        let out = synchronous_step_with_crash(&[1.0; 4], 2.0, 1.0, 1.0, 3, 2.5, 5.0);
+        assert_eq!(out.aborted_at, None, "{out:?}");
+        assert_eq!(out.completed, out.total - 1);
+        assert!((out.makespan - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_degradation_slows_collectives_started_after_it() {
+        let mut sim = MultiSim::new(1);
+        sim.add(MwTask::collective("early", 1.0));
+        sim.add(MwTask::collective("late", 1.0));
+        // Degrade fires at t=0.5: "early" (started at 0) is unaffected,
+        // "late" (starts at 1.0) takes 3x.
+        let out = sim.run_with_faults(&[FaultEvent::LinkDegrade { at: 0.5, factor: 3.0 }], 10.0);
+        assert!(out.is_clean());
+        assert!((out.makespan - 4.0).abs() < 1e-12, "{}", out.makespan);
+    }
+
+    #[test]
+    fn recovery_model_prefers_shrink_near_the_end() {
+        // Expensive restart, mild slowdown: with few steps left, shrink
+        // wins; with a whole job left and a fresh checkpoint, restart wins.
+        let m = RecoveryModel::data_parallel(1.0, 5.0, 100, 120.0, 10.0, 16);
+        assert_eq!(m.cheaper(99, 10), Recovery::GroupShrink);
+        assert_eq!(m.cheaper(0, 10_000), Recovery::CheckpointRestart);
+    }
+
+    #[test]
+    fn recovery_costs_are_consistent() {
+        let m = RecoveryModel::data_parallel(2.0, 4.0, 50, 60.0, 5.0, 4);
+        assert!((m.checkpoint_overhead_per_step() - 0.08).abs() < 1e-12);
+        // Restart re-runs lost steps at full speed.
+        assert!((m.checkpoint_restart_cost(10, 100) - (60.0 + 110.0 * 2.0)).abs() < 1e-12);
+        // Shrink runs remaining steps at 4/3 the step time.
+        let shrink = m.group_shrink_cost(100);
+        assert!((shrink - (5.0 + 100.0 * 2.0 * (4.0 / 3.0))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crash_at_time_zero_kills_everything_downstream() {
+        let out = synchronous_step_with_crash(&[1.0, 1.0], 1.0, 1.0, 1.0, 0, 0.0, 2.0);
+        // Worker 1's bp completes at t=1; stall; abort at 3.
+        assert_eq!(out.completed, 1);
+        assert_eq!(out.aborted_at, Some(3.0));
+    }
+}

@@ -34,12 +34,14 @@
 
 pub mod cost;
 pub mod event;
+pub mod failure;
 pub mod multiworker;
 pub mod topology;
 pub mod trace;
 
 pub use cost::{CollectiveKind, CostModel};
 pub use event::{CommOrder, Res, Sim, SimResult, Task, TaskId};
+pub use failure::{synchronous_step_with_crash, FaultEvent, FaultOutcome, Recovery, RecoveryModel};
 pub use multiworker::{synchronous_step, MultiSim, MwKind, MwResult, MwTask, MwTaskId};
 pub use topology::{Cluster, GpuKind, NetworkParams};
 pub use trace::{Span, Trace};

@@ -10,8 +10,8 @@
 //! exposes straggler effects: one slow worker stalls every synchronous
 //! collective behind it.
 
-use crate::trace::{Span, Trace};
 use crate::event::Res;
+use crate::trace::{Span, Trace};
 
 /// Identifier of a task inside one [`MultiSim`].
 pub type MwTaskId = usize;
@@ -63,8 +63,8 @@ pub struct MwResult {
 /// A DAG of per-worker compute tasks and barrier collectives.
 #[derive(Clone, Debug)]
 pub struct MultiSim {
-    workers: usize,
-    tasks: Vec<MwTask>,
+    pub(crate) workers: usize,
+    pub(crate) tasks: Vec<MwTask>,
 }
 
 impl MultiSim {
@@ -104,7 +104,9 @@ impl MultiSim {
         // Ready queues: per worker (sorted by id) + network FIFO.
         let mut ready_w: Vec<Vec<MwTaskId>> = vec![Vec::new(); self.workers];
         let mut ready_net: std::collections::VecDeque<MwTaskId> = Default::default();
-        let push_ready = |id: usize, rw: &mut Vec<Vec<MwTaskId>>, rn: &mut std::collections::VecDeque<MwTaskId>| {
+        let push_ready = |id: usize,
+                          rw: &mut Vec<Vec<MwTaskId>>,
+                          rn: &mut std::collections::VecDeque<MwTaskId>| {
             match self.tasks[id].kind {
                 MwKind::Compute(w) => {
                     let pos = rw[w].partition_point(|&x| x < id);

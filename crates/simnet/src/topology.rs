@@ -107,12 +107,22 @@ impl Cluster {
 
     /// Fig. 4a topology: 2 nodes × 4 RTX3090.
     pub fn fig4a() -> Self {
-        Cluster { nodes: 2, gpus_per_node: 4, gpu: GpuKind::Rtx3090, net: NetworkParams::infiniband_pcie4() }
+        Cluster {
+            nodes: 2,
+            gpus_per_node: 4,
+            gpu: GpuKind::Rtx3090,
+            net: NetworkParams::infiniband_pcie4(),
+        }
     }
 
     /// Fig. 4b topology: 4 nodes × 1 RTX3090.
     pub fn fig4b() -> Self {
-        Cluster { nodes: 4, gpus_per_node: 1, gpu: GpuKind::Rtx3090, net: NetworkParams::infiniband_pcie4() }
+        Cluster {
+            nodes: 4,
+            gpus_per_node: 1,
+            gpu: GpuKind::Rtx3090,
+            net: NetworkParams::infiniband_pcie4(),
+        }
     }
 
     fn packed(world: usize, per_node: usize, gpu: GpuKind, net: NetworkParams) -> Self {

@@ -185,11 +185,7 @@ impl DenseTensor {
     /// Maximum absolute element-wise difference to `other`.
     pub fn max_abs_diff(&self, other: &DenseTensor) -> f32 {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0_f32, f32::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0_f32, f32::max)
     }
 
     /// True when all elements differ from `other` by at most `tol`.

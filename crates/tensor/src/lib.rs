@@ -54,3 +54,19 @@ pub const F32_BYTES: usize = 4;
 
 /// Bytes used to encode one COO row index on the wire (PyTorch uses i64).
 pub const INDEX_BYTES: usize = 8;
+
+/// Bytes used to encode one token id on the wire (`u32`, as token
+/// vocabularies fit comfortably in 32 bits).
+pub const TOKEN_BYTES: usize = 4;
+
+#[cfg(test)]
+mod wire_size_tests {
+    use super::{F32_BYTES, INDEX_BYTES, TOKEN_BYTES};
+
+    #[test]
+    fn wire_sizes_match_element_types() {
+        assert_eq!(F32_BYTES, std::mem::size_of::<f32>());
+        assert_eq!(INDEX_BYTES, std::mem::size_of::<i64>());
+        assert_eq!(TOKEN_BYTES, std::mem::size_of::<u32>());
+    }
+}

@@ -14,6 +14,7 @@
 //! * [`report`] — plain-text table formatting shared by the bench
 //!   binaries.
 
+pub mod chaos;
 pub mod lstm;
 pub mod real;
 pub mod report;
@@ -22,6 +23,7 @@ pub mod sim;
 pub mod timeline;
 pub mod translation;
 
+pub use chaos::{run_chaos, standard_scenarios, ChaosConfig, RankOutcome};
 pub use lstm::train_lstm_lm;
 pub use real::{train_convergence, ConvergenceConfig, ConvergenceResult, TrainMethod};
 pub use scheduled::train_convergence_scheduled;

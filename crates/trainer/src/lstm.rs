@@ -29,10 +29,10 @@ use rand::SeedableRng;
 const SEQ_LEN: usize = 4;
 
 struct LstmParams {
-    wx: DenseTensor,     // dim × 4·dim
-    wh: DenseTensor,     // dim × 4·dim
-    bias: DenseTensor,   // 1 × 4·dim
-    w_out: DenseTensor,  // dim × dim
+    wx: DenseTensor,    // dim × 4·dim
+    wh: DenseTensor,    // dim × 4·dim
+    bias: DenseTensor,  // 1 × 4·dim
+    w_out: DenseTensor, // dim × dim
 }
 
 struct LstmOpts {
@@ -198,7 +198,10 @@ fn apply_dense(ep: &mut Endpoint, params: &mut LstmParams, opts: &mut LstmOpts, 
 }
 
 fn global_loss(ep: &mut Endpoint, local: f64) -> f64 {
-    let all = embrace_collectives::ops::allgather_dense(ep, DenseTensor::from_vec(1, 1, vec![local as f32]));
+    let all = embrace_collectives::ops::allgather_dense(
+        ep,
+        DenseTensor::from_vec(1, 1, vec![local as f32]),
+    );
     all.iter().map(|t| t.as_slice()[0] as f64).sum()
 }
 

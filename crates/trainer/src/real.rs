@@ -72,11 +72,7 @@ impl ConvergenceResult {
 
     /// Largest per-step absolute difference to another run's curve.
     pub fn max_curve_diff(&self, other: &ConvergenceResult) -> f64 {
-        self.losses
-            .iter()
-            .zip(&other.losses)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.losses.iter().zip(&other.losses).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 }
 
@@ -190,7 +186,7 @@ pub fn train_convergence(method: TrainMethod, cfg: &ConvergenceConfig) -> Conver
     ConvergenceResult { losses: losses.into_iter().next().expect("at least one worker") }
 }
 
-fn batch_stream(cfg: &ConvergenceConfig, rank: usize) -> Prefetcher<Vec<u32>, BatchGen> {
+pub(crate) fn batch_stream(cfg: &ConvergenceConfig, rank: usize) -> Prefetcher<Vec<u32>, BatchGen> {
     let sampler = ZipfSampler::new(cfg.vocab, cfg.zipf_s);
     let gen = BatchGen::new(sampler, cfg.tokens_per_batch, 0.0, cfg.seed ^ ((rank as u64) << 32));
     Prefetcher::new(gen)
@@ -267,10 +263,7 @@ mod tests {
             assert_eq!(r.losses.len(), 60);
             let early: f64 = r.losses[..5].iter().sum();
             let late: f64 = r.losses[55..].iter().sum();
-            assert!(
-                late < early * 0.5,
-                "{method:?} failed to learn: early {early}, late {late}"
-            );
+            assert!(late < early * 0.5, "{method:?} failed to learn: early {early}, late {late}");
         }
     }
 

@@ -158,12 +158,7 @@ mod tests {
         let cfg = ConvergenceConfig { world: 3, steps: 30, ..Default::default() };
         let r = train_convergence_scheduled(&cfg);
         assert_eq!(r.losses.len(), 30);
-        assert!(
-            r.losses[29] < r.losses[0] * 0.5,
-            "first {} last {}",
-            r.losses[0],
-            r.losses[29]
-        );
+        assert!(r.losses[29] < r.losses[0] * 0.5, "first {} last {}", r.losses[0], r.losses[29]);
     }
 
     #[test]

@@ -47,7 +47,15 @@ pub struct SimConfig {
 
 impl SimConfig {
     pub fn new(method: MethodId, model: ModelId, cluster: Cluster) -> Self {
-        SimConfig { method, model, cluster, steps: 8, seed: 42, comm_order: None, fusion_bucket: None }
+        SimConfig {
+            method,
+            model,
+            cluster,
+            steps: 8,
+            seed: 42,
+            comm_order: None,
+            fusion_bucket: None,
+        }
     }
 
     /// Builder-style communication-order override.
@@ -189,11 +197,8 @@ pub fn simulate_with_trace(cfg: &SimConfig) -> (StepMetrics, embrace_simnet::Tra
 
     for step in 0..cfg.steps {
         // ---------------- Forward pass ----------------
-        let fp_order: Vec<usize> = if hoist {
-            graph.hoisted_fp_order()
-        } else {
-            graph.fp_order().collect()
-        };
+        let fp_order: Vec<usize> =
+            if hoist { graph.hoisted_fp_order() } else { graph.fp_order().collect() };
         // EmbRace: lookup-result AlltoAll tasks created after embedding FP;
         // dense-consumer FP additionally depends on them.
         let mut emb_data_comm: Vec<Option<TaskId>> = vec![None; n];
@@ -217,20 +222,26 @@ pub fn simulate_with_trace(cfg: &SimConfig) -> (StepMetrics, embrace_simnet::Tra
             // Host-staged embeddings: CPU lookup time precedes the kernel.
             if cpu_extra > 0.0 && module.is_embedding() {
                 let stage = sim.add(
-                    Task::overhead(format!("s{step}/cpu_fp/{}", module.name), module.fp_time * cpu_extra)
-                        .after(deps.clone()),
+                    Task::overhead(
+                        format!("s{step}/cpu_fp/{}", module.name),
+                        module.fp_time * cpu_extra,
+                    )
+                    .after(deps.clone()),
                 );
                 deps = vec![stage];
             }
-            let fp = sim.add(Task::compute(format!("s{step}/fp/{}", module.name), module.fp_time).after(deps));
+            let fp = sim.add(
+                Task::compute(format!("s{step}/fp/{}", module.name), module.fp_time).after(deps),
+            );
             fp_done[m] = Some(fp);
 
             if is_embrace && module.is_embedding() {
                 // AlltoAll #1: redistribute this batch's lookup results.
                 let dur = cm.alltoall(sizes.emb_data_bytes);
                 let pr = if hoist { prio.of(CommKind::EmbData(m)) } else { 0 };
-                let t = sim
-                    .add(Task::comm(format!("s{step}/emb_data/{}", module.name), dur, pr).after([fp]));
+                let t = sim.add(
+                    Task::comm(format!("s{step}/emb_data/{}", module.name), dur, pr).after([fp]),
+                );
                 emb_data_comm[m] = Some(t);
             }
         }
@@ -250,12 +261,17 @@ pub fn simulate_with_trace(cfg: &SimConfig) -> (StepMetrics, embrace_simnet::Tra
                     deps.push(*t);
                 }
             }
-            let mut bp = sim.add(Task::compute(format!("s{step}/bp/{}", module.name), module.bp_time).after(deps));
+            let mut bp = sim.add(
+                Task::compute(format!("s{step}/bp/{}", module.name), module.bp_time).after(deps),
+            );
             if cpu_extra > 0.0 && module.is_embedding() {
                 // CPU-side gradient staging after the kernel.
                 bp = sim.add(
-                    Task::overhead(format!("s{step}/cpu_bp/{}", module.name), module.bp_time * cpu_extra)
-                        .after([bp]),
+                    Task::overhead(
+                        format!("s{step}/cpu_bp/{}", module.name),
+                        module.bp_time * cpu_extra,
+                    )
+                    .after([bp]),
                 );
             }
             bp_done[m] = Some(bp);
@@ -270,7 +286,9 @@ pub fn simulate_with_trace(cfg: &SimConfig) -> (StepMetrics, embrace_simnet::Tra
         // last BP (the prototype registers it on the last BP hook, §5.1).
         let vertical = if vertical_enabled {
             let dur = VERTICAL_SCHED_BASE + sizes.rows_coalesced * VERTICAL_SCHED_PER_ROW;
-            Some(sim.add(Task::overhead(format!("s{step}/vertical_sched"), dur).after([prev_bp.unwrap()])))
+            Some(sim.add(
+                Task::overhead(format!("s{step}/vertical_sched"), dur).after([prev_bp.unwrap()]),
+            ))
         } else {
             None
         };
@@ -313,7 +331,8 @@ pub fn simulate_with_trace(cfg: &SimConfig) -> (StepMetrics, embrace_simnet::Tra
                         // belongs to Vertical Sparse Scheduling (§4.2.2).
                         let dur = cm.alltoall(sizes.grad_original);
                         let t = sim.add(
-                            Task::comm(format!("s{step}/grad_whole/{}", module.name), dur, 0).after([bp]),
+                            Task::comm(format!("s{step}/grad_whole/{}", module.name), dur, 0)
+                                .after([bp]),
                         );
                         param_ready[m].push(t);
                     }
@@ -333,7 +352,8 @@ pub fn simulate_with_trace(cfg: &SimConfig) -> (StepMetrics, embrace_simnet::Tra
                         param_ready[m].push(t);
                     }
                     MethodId::HorovodAllReduce => {
-                        let dur = cm.ring_allreduce(sizes.emb_dense_bytes[embedding_pos(&graph, m)]);
+                        let dur =
+                            cm.ring_allreduce(sizes.emb_dense_bytes[embedding_pos(&graph, m)]);
                         let t = sim.add(
                             Task::comm(format!("s{step}/emb_allreduce/{}", module.name), dur, 0)
                                 .after([bp]),
@@ -355,11 +375,17 @@ pub fn simulate_with_trace(cfg: &SimConfig) -> (StepMetrics, embrace_simnet::Tra
                         // ByteScheduler; FP-order priority (embeddings are
                         // needed first, so chunks get the lowest values).
                         let bytes = sizes.emb_dense_bytes[embedding_pos(&graph, m)];
-                        for (c, chunk) in partition_tensor(bytes, DEFAULT_CHUNK_BYTES).iter().enumerate() {
+                        for (c, chunk) in
+                            partition_tensor(bytes, DEFAULT_CHUNK_BYTES).iter().enumerate()
+                        {
                             let dur = cm.ps_hierarchical(*chunk, servers) * BYTEPS_RAM_PENALTY;
                             let t = sim.add(
-                                Task::comm(format!("s{step}/ps_emb{c}/{}", module.name), dur, m as i64)
-                                    .after([bp]),
+                                Task::comm(
+                                    format!("s{step}/ps_emb{c}/{}", module.name),
+                                    dur,
+                                    m as i64,
+                                )
+                                .after([bp]),
                             );
                             param_ready[m].push(t);
                         }
@@ -372,7 +398,8 @@ pub fn simulate_with_trace(cfg: &SimConfig) -> (StepMetrics, embrace_simnet::Tra
                         let one_way = 0.5 * (sizes.grad_original + sizes.grad_coalesced);
                         let dur = cm.ps(one_way, servers) * PARALLAX_HOSTCOPY_PENALTY;
                         let t = sim.add(
-                            Task::comm(format!("s{step}/ps_sparse/{}", module.name), dur, 0).after([bp]),
+                            Task::comm(format!("s{step}/ps_sparse/{}", module.name), dur, 0)
+                                .after([bp]),
                         );
                         param_ready[m].push(t);
                     }
@@ -383,13 +410,18 @@ pub fn simulate_with_trace(cfg: &SimConfig) -> (StepMetrics, embrace_simnet::Tra
                 // Dense block gradients.
                 match cfg.method {
                     MethodId::BytePs => {
-                        for (c, chunk) in
-                            partition_tensor(sizes.block_bytes, DEFAULT_CHUNK_BYTES).iter().enumerate()
+                        for (c, chunk) in partition_tensor(sizes.block_bytes, DEFAULT_CHUNK_BYTES)
+                            .iter()
+                            .enumerate()
                         {
                             let dur = cm.ps_hierarchical(*chunk, servers) * BYTEPS_RAM_PENALTY;
                             let t = sim.add(
-                                Task::comm(format!("s{step}/ps_blk{c}/{}", module.name), dur, m as i64)
-                                    .after([bp]),
+                                Task::comm(
+                                    format!("s{step}/ps_blk{c}/{}", module.name),
+                                    dur,
+                                    m as i64,
+                                )
+                                .after([bp]),
                             );
                             param_ready[m].push(t);
                         }
@@ -430,7 +462,8 @@ pub fn simulate_with_trace(cfg: &SimConfig) -> (StepMetrics, embrace_simnet::Tra
                 } else {
                     0
                 };
-                let t = sim.add(Task::comm(format!("s{step}/fused_allreduce{b}"), dur, pr).after([gate]));
+                let t = sim
+                    .add(Task::comm(format!("s{step}/fused_allreduce{b}"), dur, pr).after([gate]));
                 for &m in &bucket.modules {
                     param_ready[m].push(t);
                 }
@@ -593,9 +626,10 @@ mod tests {
             let m = run(MethodId::EmbRace, ModelId::Gnmt8, Cluster::rtx3090(world));
             let single_ideal = m.tokens_per_sec / world as f64;
             // Efficiency must stay sane (not super-linear, not collapsed).
-            let per_gpu_compute_bound =
-                ModelSpec::get(ModelId::Gnmt8).rows_per_batch(embrace_simnet::GpuKind::Rtx3090) as f64
-                    / ModelSpec::get(ModelId::Gnmt8).compute_time(embrace_simnet::GpuKind::Rtx3090);
+            let per_gpu_compute_bound = ModelSpec::get(ModelId::Gnmt8)
+                .rows_per_batch(embrace_simnet::GpuKind::Rtx3090)
+                as f64
+                / ModelSpec::get(ModelId::Gnmt8).compute_time(embrace_simnet::GpuKind::Rtx3090);
             assert!(single_ideal <= per_gpu_compute_bound * 1.001);
             assert!(single_ideal >= per_gpu_compute_bound * 0.3);
         }
@@ -613,7 +647,12 @@ mod knob_tests {
         let prio = simulate(&base);
         let fifo = simulate(&base.with_comm_order(CommOrder::Fifo));
         // EmbRace forced to FIFO must degrade toward the no-priority case.
-        assert!(fifo.step_time >= prio.step_time * 0.999, "fifo {} prio {}", fifo.step_time, prio.step_time);
+        assert!(
+            fifo.step_time >= prio.step_time * 0.999,
+            "fifo {} prio {}",
+            fifo.step_time,
+            prio.step_time
+        );
     }
 
     #[test]
@@ -629,7 +668,8 @@ mod knob_tests {
     #[test]
     fn extreme_fusion_hurts() {
         // One giant bucket serialises all dense comm behind the last BP.
-        let base = SimConfig::new(MethodId::HorovodAllReduce, ModelId::Transformer, Cluster::rtx3090(16));
+        let base =
+            SimConfig::new(MethodId::HorovodAllReduce, ModelId::Transformer, Cluster::rtx3090(16));
         let per_block = simulate(&base);
         let fused = simulate(&base.with_fusion(1e12));
         assert!(
@@ -665,7 +705,12 @@ mod knob_tests {
         let gather = simulate(&SimConfig::new(MethodId::HorovodAllGather, ModelId::Lm, cluster));
         let embrace = simulate(&SimConfig::new(MethodId::EmbRace, ModelId::Lm, cluster));
         // The replicated method pays the host-staging overhead as stall.
-        assert!(gather.stall > embrace.stall * 5.0, "gather {} embrace {}", gather.stall, embrace.stall);
+        assert!(
+            gather.stall > embrace.stall * 5.0,
+            "gather {} embrace {}",
+            gather.stall,
+            embrace.stall
+        );
         // Useful compute is identical (same model, same GPU).
         assert!((gather.compute_time - embrace.compute_time).abs() < 1e-9);
     }

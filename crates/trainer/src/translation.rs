@@ -104,16 +104,27 @@ fn step_tape(
 
 /// Per-rank batch streams for the encoder and decoder sides (different
 /// sub-corpora, same batch length).
-fn streams(cfg: &ConvergenceConfig, rank: usize) -> (Prefetcher<Vec<u32>, BatchGen>, Prefetcher<Vec<u32>, BatchGen>) {
+fn streams(
+    cfg: &ConvergenceConfig,
+    rank: usize,
+) -> (Prefetcher<Vec<u32>, BatchGen>, Prefetcher<Vec<u32>, BatchGen>) {
     let sampler = ZipfSampler::new(cfg.vocab, cfg.zipf_s);
-    let enc = BatchGen::new(sampler.clone(), cfg.tokens_per_batch, 0.0, cfg.seed ^ ((rank as u64) << 32));
-    let dec =
-        BatchGen::new(sampler, cfg.tokens_per_batch, 0.0, cfg.seed ^ ((rank as u64) << 32) ^ 0xDEC0);
+    let enc =
+        BatchGen::new(sampler.clone(), cfg.tokens_per_batch, 0.0, cfg.seed ^ ((rank as u64) << 32));
+    let dec = BatchGen::new(
+        sampler,
+        cfg.tokens_per_batch,
+        0.0,
+        cfg.seed ^ ((rank as u64) << 32) ^ 0xDEC0,
+    );
     (Prefetcher::new(enc), Prefetcher::new(dec))
 }
 
 fn global_loss(ep: &mut Endpoint, local: f64) -> f64 {
-    let all = embrace_collectives::ops::allgather_dense(ep, DenseTensor::from_vec(1, 1, vec![local as f32]));
+    let all = embrace_collectives::ops::allgather_dense(
+        ep,
+        DenseTensor::from_vec(1, 1, vec![local as f32]),
+    );
     all.iter().map(|t| t.as_slice()[0] as f64).sum()
 }
 
@@ -126,7 +137,12 @@ pub fn train_translation(method: TrainMethod, cfg: &ConvergenceConfig) -> Conver
     ConvergenceResult { losses: losses.into_iter().next().expect("at least one worker") }
 }
 
-fn apply_dense(ep: &mut Endpoint, params: &mut DenseParams, opts: &mut DenseOpts, grads: (DenseTensor, DenseTensor, DenseTensor)) {
+fn apply_dense(
+    ep: &mut Endpoint,
+    params: &mut DenseParams,
+    opts: &mut DenseOpts,
+    grads: (DenseTensor, DenseTensor, DenseTensor),
+) {
     let (mut ge, mut gd, mut go) = grads;
     allreduce_dense_grad(ep, &mut ge);
     allreduce_dense_grad(ep, &mut gd);
@@ -194,14 +210,22 @@ fn worker_embrace(rank: usize, ep: &mut Endpoint, cfg: &ConvergenceConfig) -> Ve
 
         // Per-table vertical split and split-Adam updates.
         let next_enc_gathered: Vec<u32> = allgather_tokens(ep, enc_next).concat();
-        let split = vertical_split(&RowSparse::new(enc_tokens.clone(), g_enc_rows), &enc_tokens, &next_enc_gathered);
+        let split = vertical_split(
+            &RowSparse::new(enc_tokens.clone(), g_enc_rows),
+            &enc_tokens,
+            &next_enc_gathered,
+        );
         let prior = enc_emb.exchange_grad_part(ep, &split.prior);
         enc_emb.apply_grad(&prior, &mut opt_enc, UpdatePart::Prior);
         let delayed = enc_emb.exchange_grad_part(ep, &split.delayed);
         enc_emb.apply_grad(&delayed, &mut opt_enc, UpdatePart::Delayed);
 
         let next_dec_gathered: Vec<u32> = allgather_tokens(ep, dec_next).concat();
-        let split = vertical_split(&RowSparse::new(dec_tokens.clone(), g_dec_rows), &dec_tokens, &next_dec_gathered);
+        let split = vertical_split(
+            &RowSparse::new(dec_tokens.clone(), g_dec_rows),
+            &dec_tokens,
+            &next_dec_gathered,
+        );
         let prior = dec_emb.exchange_grad_part(ep, &split.prior);
         dec_emb.apply_grad(&prior, &mut opt_dec, UpdatePart::Prior);
         let delayed = dec_emb.exchange_grad_part(ep, &split.delayed);
@@ -217,7 +241,16 @@ mod tests {
     use super::*;
 
     fn cfg() -> ConvergenceConfig {
-        ConvergenceConfig { world: 4, vocab: 150, dim: 12, tokens_per_batch: 48, steps: 40, lr: 0.03, zipf_s: 0.9, seed: 21 }
+        ConvergenceConfig {
+            world: 4,
+            vocab: 150,
+            dim: 12,
+            tokens_per_batch: 48,
+            steps: 40,
+            lr: 0.03,
+            zipf_s: 0.9,
+            seed: 21,
+        }
     }
 
     #[test]

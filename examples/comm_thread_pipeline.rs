@@ -75,14 +75,12 @@ fn main() {
 
                 for (name, t) in tickets {
                     match t.wait() {
-                        CommResult::AllReduceDense(buf)
-                            if rank == 0 => {
-                                println!("{name:<16} -> summed[0] = {}", buf[0]);
-                            }
-                        CommResult::AlltoAllSparse(shards)
-                            if rank == 0 => {
-                                println!("{name:<16} -> {} shard blocks", shards.len());
-                            }
+                        CommResult::AllReduceDense(buf) if rank == 0 => {
+                            println!("{name:<16} -> summed[0] = {}", buf[0]);
+                        }
+                        CommResult::AlltoAllSparse(shards) if rank == 0 => {
+                            println!("{name:<16} -> {} shard blocks", shards.len());
+                        }
                         _ => {}
                     }
                 }

@@ -67,9 +67,7 @@ fn main() {
     // exactly the touched rows.
     let shards: Vec<&ColumnShardedEmbedding> = results.iter().collect();
     let updated = ColumnShardedEmbedding::assemble_full(&shards);
-    let touched: usize = (0..VOCAB)
-        .filter(|&r| updated.row(r) != full.row(r))
-        .count();
+    let touched: usize = (0..VOCAB).filter(|&r| updated.row(r) != full.row(r)).count();
     println!("\nupdated {touched} of {VOCAB} vocabulary rows (the union of all batches)");
     assert_eq!(touched, 8); // unique tokens across the four batches
     println!("quickstart OK");

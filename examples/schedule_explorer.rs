@@ -30,7 +30,9 @@ fn build(order: CommOrder) -> Sim {
 }
 
 fn main() {
-    for (label, order) in [("FIFO (Fig. 6a)", CommOrder::Fifo), ("priority queue (Fig. 6b)", CommOrder::Priority)] {
+    for (label, order) in
+        [("FIFO (Fig. 6a)", CommOrder::Fifo), ("priority queue (Fig. 6b)", CommOrder::Priority)]
+    {
         let result = build(order).run();
         println!("=== {label} ===");
         println!("{}", result.trace.render_ascii(72));

@@ -1,0 +1,145 @@
+//! Seeded chaos suite: the EmbRace hybrid step under the full fault-plan
+//! matrix. The invariant under test, end to end: **every scenario
+//! terminates within its deadline, and every rank ends with either the
+//! bitwise-correct training result or a typed `CommError` — never a hang,
+//! never a panic.**
+//!
+//! All scenarios are deterministic (seeded fault plans, seeded batches),
+//! so this suite runs as part of the normal `cargo test` gate.
+
+use embrace_repro::collectives::ops::try_allgather_tokens;
+use embrace_repro::collectives::{run_group_with_faults, CommError, FaultPlan, GroupError};
+use embrace_repro::trainer::real::{train_convergence, TrainMethod};
+use embrace_repro::trainer::{run_chaos, standard_scenarios, ChaosConfig, RankOutcome};
+use std::time::Duration;
+
+/// Workhorse: run one scenario, assert global termination guarantees,
+/// return the per-rank outcomes.
+fn run_scenario(name: &str, plan: FaultPlan) -> Vec<RankOutcome> {
+    let cfg = ChaosConfig::quick(plan);
+    match run_chaos(&cfg) {
+        Ok(outcomes) => outcomes,
+        Err(GroupError::DeadlineExceeded { stuck, .. }) => {
+            panic!("scenario {name}: watchdog fired, stuck ranks {stuck:?}")
+        }
+        Err(GroupError::WorkerPanicked { rank }) => {
+            panic!("scenario {name}: rank {rank} panicked")
+        }
+    }
+}
+
+#[test]
+fn every_standard_scenario_terminates_with_typed_outcomes() {
+    let scenarios = standard_scenarios(4, 5);
+    assert!(scenarios.len() >= 8, "need at least 8 seeded fault scenarios");
+    for (name, plan) in scenarios {
+        let outcomes = run_scenario(&name, plan.clone());
+        assert_eq!(outcomes.len(), 4, "{name}");
+        for (rank, o) in outcomes.iter().enumerate() {
+            match o {
+                RankOutcome::Completed { losses } => {
+                    assert!(
+                        losses.iter().all(|l| l.is_finite()),
+                        "{name}: rank {rank} produced non-finite losses"
+                    );
+                }
+                RankOutcome::Failed { step, error } => {
+                    assert!(*step < 5, "{name}: rank {rank} failed out of range");
+                    // The error must be a *communication* failure, never a
+                    // protocol violation (that would mean corruption).
+                    assert!(
+                        !matches!(error, CommError::Protocol { .. }),
+                        "{name}: rank {rank} hit protocol violation {error:?}"
+                    );
+                }
+            }
+        }
+        if plan.is_empty() {
+            assert!(
+                outcomes.iter().all(RankOutcome::is_completed),
+                "{name}: fault-free plan must complete on every rank"
+            );
+        }
+    }
+}
+
+#[test]
+fn fault_free_and_sub_deadline_delay_are_bitwise_identical() {
+    let reference =
+        train_convergence(TrainMethod::EmbRace, &ChaosConfig::quick(FaultPlan::new(0)).train);
+    for (name, plan) in standard_scenarios(4, 5) {
+        if name != "fault-free" && name != "delay-below-deadline" {
+            continue;
+        }
+        let outcomes = run_scenario(&name, plan);
+        for (rank, o) in outcomes.iter().enumerate() {
+            let losses = o.losses().unwrap_or_else(|| panic!("{name}: rank {rank}: {o:?}"));
+            assert_eq!(losses, &reference.losses[..], "{name}: rank {rank}");
+        }
+    }
+}
+
+#[test]
+fn crashed_ranks_report_injected_survivors_report_peer_failures() {
+    let plan = FaultPlan::new(77).crash_rank_at_step(1, 2);
+    let outcomes = run_scenario("crash-rank1-step2", plan);
+    match &outcomes[1] {
+        RankOutcome::Failed { step: 2, error: CommError::Injected { rank: 1 } } => {}
+        other => panic!("crashed rank: {other:?}"),
+    }
+    for (rank, o) in outcomes.iter().enumerate() {
+        if rank == 1 {
+            continue;
+        }
+        // Survivors completed 2 full steps, then observed the failure.
+        // The error may name the crashed rank directly, or — once another
+        // survivor has already bailed out and dropped its endpoint — any
+        // rank in the resulting failure cascade; what it must never be is
+        // a protocol violation or an injected fault (survivors have none).
+        match o {
+            RankOutcome::Failed { step: 2, error } => {
+                assert!(
+                    matches!(
+                        error,
+                        CommError::PeerGone { .. }
+                            | CommError::Timeout { .. }
+                            | CommError::Aborted { .. }
+                    ),
+                    "rank {rank}: {error:?}"
+                );
+            }
+            other => panic!("rank {rank}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn random_plans_terminate_across_many_seeds() {
+    // A broad sweep of generated single-fault scenarios; each must
+    // terminate with typed outcomes like the curated matrix.
+    for seed in 0..6 {
+        let plan = FaultPlan::random(seed, 4, 5);
+        let outcomes = run_scenario(&format!("random-{seed}"), plan);
+        assert_eq!(outcomes.len(), 4);
+    }
+}
+
+#[test]
+fn survivors_observe_peer_gone_within_deadline_not_forever() {
+    // Direct transport-level guarantee: with a receive deadline set, a
+    // group where one rank vanishes resolves within bounded time.
+    let plan = FaultPlan::new(5).crash_rank_at_step(0, 0);
+    let start = std::time::Instant::now();
+    let out = run_group_with_faults(3, &plan, Some(Duration::from_millis(300)), |rank, ep| {
+        if ep.begin_step().is_err() {
+            return Err(CommError::Injected { rank });
+        }
+        try_allgather_tokens(ep, vec![rank as u32]).map(|_| ())
+    });
+    assert!(out.iter().all(Result::is_err));
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "survivors took {:?} to observe the crash",
+        start.elapsed()
+    );
+}

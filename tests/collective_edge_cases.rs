@@ -1,0 +1,97 @@
+//! Degenerate-shape collectives: single-rank worlds, zero-length buffers,
+//! and empty sparse payloads must all round-trip exactly — these are the
+//! shapes real workloads hit at the edges (last uneven batch, a shard
+//! with no touched rows, debugging on one worker).
+
+use embrace_repro::collectives::ops::{
+    allgather_tokens, alltoallv_sparse, barrier, broadcast, ring_allreduce, try_barrier,
+    try_ring_allreduce,
+};
+use embrace_repro::collectives::{run_group, Packet};
+use embrace_repro::tensor::{DenseTensor, RowSparse};
+
+#[test]
+fn world_of_one_short_circuits_every_collective() {
+    let out = run_group(1, |rank, ep| {
+        barrier(ep);
+        try_barrier(ep).unwrap();
+        let b = broadcast(ep, 0, Some(Packet::Tokens(vec![9]))).into_tokens();
+        let mut buf = vec![2.5f32, -1.0];
+        ring_allreduce(ep, &mut buf);
+        let toks = allgather_tokens(ep, vec![rank as u32]);
+        let sparse =
+            alltoallv_sparse(ep, vec![RowSparse::new(vec![3], DenseTensor::full(1, 2, 4.0))]);
+        (b, buf, toks, sparse)
+    });
+    let (b, buf, toks, sparse) = &out[0];
+    assert_eq!(b, &vec![9]);
+    assert_eq!(buf, &vec![2.5, -1.0]); // untouched: nothing to reduce with
+    assert_eq!(toks, &vec![vec![0]]);
+    assert_eq!(sparse[0].indices(), &[3]);
+    // No messages should have crossed the wire for the pure self-world
+    // collectives above (broadcast/barrier/allreduce/gather all
+    // early-return or keep data local).
+}
+
+#[test]
+fn zero_length_ring_allreduce_is_a_noop_on_data() {
+    // Empty gradient buffers occur when a worker owns a zero-width shard;
+    // the ring still runs its 2(N-1) rounds with empty chunks and must
+    // neither panic nor deadlock.
+    for world in [2, 3, 5] {
+        let out = run_group(world, |_rank, ep| {
+            let mut buf: Vec<f32> = Vec::new();
+            ring_allreduce(ep, &mut buf);
+            let mut buf2: Vec<f32> = Vec::new();
+            try_ring_allreduce(ep, &mut buf2).unwrap();
+            (buf, buf2)
+        });
+        for (buf, buf2) in out {
+            assert!(buf.is_empty() && buf2.is_empty());
+        }
+    }
+}
+
+#[test]
+fn empty_row_sparse_flows_through_alltoallv() {
+    // A rank whose batch touched no rows of some shard sends a 0-row
+    // block; every receiver must get back a well-formed empty tensor with
+    // the right width.
+    let dim = 3;
+    let out = run_group(3, move |rank, ep| {
+        // Rank 1 has nothing for anyone; others send one row to each.
+        let parts: Vec<RowSparse> = (0..3)
+            .map(|_| {
+                if rank == 1 {
+                    RowSparse::empty(dim)
+                } else {
+                    RowSparse::new(vec![rank as u32], DenseTensor::full(1, dim, rank as f32))
+                }
+            })
+            .collect();
+        alltoallv_sparse(ep, parts)
+    });
+    for received in &out {
+        assert_eq!(received.len(), 3);
+        for (src, block) in received.iter().enumerate() {
+            assert_eq!(block.dim(), dim, "width preserved even when empty");
+            if src == 1 {
+                assert_eq!(block.nnz_rows(), 0);
+            } else {
+                assert_eq!(block.indices(), &[src as u32]);
+            }
+        }
+    }
+}
+
+#[test]
+fn mixed_empty_and_nonempty_token_gathers() {
+    let out = run_group(4, |rank, ep| {
+        // Even ranks contribute no tokens.
+        let mine = if rank % 2 == 0 { vec![] } else { vec![rank as u32] };
+        allgather_tokens(ep, mine)
+    });
+    for all in out {
+        assert_eq!(all, vec![vec![], vec![1], vec![], vec![3]]);
+    }
+}

@@ -14,10 +14,7 @@ fn tput(method: MethodId, model: ModelId, cluster: Cluster) -> f64 {
 }
 
 fn best_baseline(model: ModelId, cluster: Cluster) -> f64 {
-    MethodId::BASELINES
-        .iter()
-        .map(|&m| tput(m, model, cluster))
-        .fold(0.0, f64::max)
+    MethodId::BASELINES.iter().map(|&m| tput(m, model, cluster)).fold(0.0, f64::max)
 }
 
 #[test]
@@ -39,8 +36,7 @@ fn fig7_embrace_wins_everywhere_at_16_gpus() {
 fn fig7_lm_speedup_is_the_largest() {
     // LM has the largest sparse ratio (97%), so its speedup leads.
     let cluster = Cluster::rtx3090(16);
-    let speedup =
-        |model| tput(MethodId::EmbRace, model, cluster) / best_baseline(model, cluster);
+    let speedup = |model| tput(MethodId::EmbRace, model, cluster) / best_baseline(model, cluster);
     let lm = speedup(ModelId::Lm);
     for other in [ModelId::Gnmt8, ModelId::Transformer, ModelId::BertBase] {
         assert!(lm > speedup(other), "LM speedup must dominate {other:?}");
@@ -62,8 +58,11 @@ fn fig7_dense_methods_collapse_on_lm() {
     // 3.1 GiB of embeddings in dense format: Horovod AllReduce and BytePS
     // must be far behind every sparse-aware method.
     let cluster = Cluster::rtx3090(16);
-    let dense_best = tput(MethodId::HorovodAllReduce, ModelId::Lm, cluster)
-        .max(tput(MethodId::BytePs, ModelId::Lm, cluster));
+    let dense_best = tput(MethodId::HorovodAllReduce, ModelId::Lm, cluster).max(tput(
+        MethodId::BytePs,
+        ModelId::Lm,
+        cluster,
+    ));
     for sparse in [MethodId::EmbRace, MethodId::HorovodAllGather, MethodId::Parallax] {
         let t = tput(sparse, ModelId::Lm, cluster);
         assert!(

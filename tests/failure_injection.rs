@@ -71,7 +71,8 @@ fn comm_scheduler_drains_cleanly_on_drop() {
             s.spawn(move || {
                 let mut comm = CommScheduler::spawn(ep);
                 for k in 0..3 {
-                    let _ = comm.submit(k, format!("op{k}"), CommOp::GatherTokens(vec![rank as u32]));
+                    let _ =
+                        comm.submit(k, format!("op{k}"), CommOp::GatherTokens(vec![rank as u32]));
                 }
                 // Implicit drop — no flush.
             });

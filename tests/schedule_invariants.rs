@@ -91,7 +91,10 @@ fn embedding_fp_is_hoisted_under_2d_scheduling() {
     let enc_emb = start(&t, "s2/fp/enc_emb");
     let first_block = start(&t, "s2/fp/enc_blk0").min(start(&t, "s2/fp/dec_blk0"));
     assert!(enc_emb <= first_block, "enc_emb FP must be hoisted");
-    assert!(dec_emb <= first_block, "dec_emb FP {dec_emb} must be hoisted before blocks {first_block}");
+    assert!(
+        dec_emb <= first_block,
+        "dec_emb FP {dec_emb} must be hoisted before blocks {first_block}"
+    );
 }
 
 #[test]

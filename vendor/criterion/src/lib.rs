@@ -1,0 +1,203 @@
+//! Offline shim for the subset of `criterion` 0.5 this workspace uses.
+//!
+//! Provides just enough API surface for the `harness = false` bench
+//! binaries to build and run: `Criterion`, `benchmark_group`,
+//! `bench_with_input`/`bench_function`, `Bencher::iter`, `Throughput`,
+//! `BenchmarkId` and the `criterion_group!`/`criterion_main!` macros.
+//! Timing is a simple mean over `sample_size` iterations printed to
+//! stdout — no statistics, plots or comparisons.
+
+use std::fmt;
+use std::time::Instant;
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark case within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Throughput annotation; recorded but only echoed in the report line.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+    BytesDecimal(u64),
+}
+
+/// Runs the closure under timing.
+pub struct Bencher {
+    iters: u64,
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    last_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up, then the timed batch.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.last_ns = start.elapsed().as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+/// Top-level driver, handed to each bench target.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl fmt::Display, mut f: F) {
+        let mut b = Bencher { iters: self.sample_size, last_ns: 0.0 };
+        f(&mut b);
+        report(&name.to_string(), b.last_ns, None);
+    }
+}
+
+/// A named group of related benchmark cases.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1) as u64;
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher { iters: self.criterion.sample_size, last_ns: 0.0 };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), b.last_ns, self.throughput);
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        let mut b = Bencher { iters: self.criterion.sample_size, last_ns: 0.0 };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.last_ns, self.throughput);
+    }
+
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, ns: f64, throughput: Option<Throughput>) {
+    let time = if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    };
+    match throughput {
+        Some(Throughput::Bytes(b) | Throughput::BytesDecimal(b)) if ns > 0.0 => {
+            let gbs = b as f64 / ns; // bytes/ns == GB/s
+            println!("{name:<48} {time:>12}  {gbs:>8.3} GB/s");
+        }
+        Some(Throughput::Elements(e)) if ns > 0.0 => {
+            let meps = e as f64 * 1e3 / ns; // elements/ns -> M elem/s
+            println!("{name:<48} {time:>12}  {meps:>8.3} Melem/s");
+        }
+        _ => println!("{name:<48} {time:>12}"),
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Bytes(1024));
+        let mut ran = 0u32;
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4usize, |b, &n| {
+            b.iter(|| {
+                ran += 1;
+                (0..n).sum::<usize>()
+            });
+        });
+        g.finish();
+        assert!(ran >= 3);
+    }
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut hits = 0;
+        c.bench_function("plain", |b| b.iter(|| hits += 1));
+        assert!(hits >= 2);
+    }
+}
