@@ -1,0 +1,34 @@
+//! `embrace-lint`: workspace lint pass for the collective stack.
+//!
+//! Usage: `embrace-lint [workspace-root]` (default `.`). Prints findings
+//! as `path:line: [rule] message` and exits non-zero if any finding is
+//! not suppressed by `lint-allow.txt`. See [`embrace_analyzer::lint`]
+//! for the rules.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(|| PathBuf::from("."));
+    let report = match embrace_analyzer::lint::run_lint(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("embrace-lint: error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for f in &report.findings {
+        println!("{f}");
+    }
+    println!(
+        "embrace-lint: {} files scanned, {} finding(s), {} allowlisted",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressed
+    );
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,36 @@
+//! Static analysis for the EmbRace collective stack.
+//!
+//! Three engines, none of which execute the real transport:
+//!
+//! * [`plan`] — a per-rank communication-plan IR ([`plan::P2pPlan`] for
+//!   point-to-point send/recv sequences, [`plan::SchedulePlan`] for
+//!   prioritised collective submissions) plus generators that mirror the
+//!   algorithms in `embrace_collectives::ops` and the 2D schedule from
+//!   `embrace_core::horizontal`.
+//! * [`verify`] — the static verifier: SPMD multiset/priority
+//!   consistency, send/recv pairing (orphan sends, static deadlocks),
+//!   byte conservation, exact-once partition coverage, and priority
+//!   monotonicity, reported as structured [`verify::Diagnostic`]s with
+//!   rank/op provenance. [`verify::PlanMutation`] seeds single defects
+//!   for testing that each is caught with the right diagnostic kind.
+//! * [`model_check`] — a deterministic interleaving model checker that
+//!   exhaustively enumerates message-delivery orders for small worlds,
+//!   proving deadlock-freedom, bitwise determinism, and abort
+//!   termination.
+//!
+//! The [`lint`] module (and the `embrace-lint` binary) is the workspace
+//! lint pass enforcing repo rules on comm-path code.
+
+#![forbid(unsafe_code)]
+
+pub mod lint;
+pub mod model_check;
+pub mod plan;
+pub mod verify;
+
+pub use model_check::{check, check_collective, CheckConfig, CheckReport, Collective};
+pub use plan::{P2pOp, P2pPlan, PlannedCollective, RecordingEndpoint, SchedulePlan};
+pub use verify::{
+    verify_horizontal, verify_p2p, verify_partition, verify_schedule, Diagnostic, DiagnosticKind,
+    PlanMutation,
+};

@@ -1,0 +1,730 @@
+//! Workspace lint pass for the collective stack (`embrace-lint`).
+//!
+//! Text-level checks that enforce repo rules the compiler cannot:
+//!
+//! * **comm-unwrap** — no `.unwrap()` in non-test code of the comm-path
+//!   crates (`collectives`, `core`, `trainer`): communication failures
+//!   are typed [`CommError`]s and must propagate, not panic. Invariants
+//!   may use `.expect("why this cannot fail")`.
+//! * **comm-infallible** — no calls to the legacy infallible
+//!   `ep.send(..)` / `ep.recv(..)` endpoint methods outside tests; real
+//!   comm paths use `try_send` / `try_recv` / `recv_retry`.
+//! * **packet-match** — every non-test `match` with `Packet::` arms
+//!   handles all `Packet` variants or carries a catch-all arm, so adding
+//!   a packet kind cannot silently fall through.
+//! * **commop-match** — the same for `CommOp`: every scheduler match
+//!   covers every submitted operation kind.
+//! * **forbid-unsafe** — every workspace crate root declares
+//!   `#![forbid(unsafe_code)]`.
+//!
+//! Findings can be suppressed via an allowlist file (`lint-allow.txt` at
+//! the workspace root): each line is `rule path-substring line-substring`
+//! (whitespace-separated; `#` starts a comment). The variant inventories
+//! for `packet-match` / `commop-match` are extracted from the enum
+//! definitions in `transport.rs` / `scheduler.rs` at lint time, so the
+//! lint tracks the code rather than a hardcoded list.
+//!
+//! The pass is deliberately text-based (no `syn` available in this
+//! offline workspace); it masks comments and string literals and tracks
+//! `#[cfg(test)]` brace regions, which is exact for rustfmt-formatted
+//! code like this repo's.
+//!
+//! [`CommError`]: embrace_collectives::CommError
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Crates whose `src/` is subject to the comm-path rules.
+const COMM_PATH_CRATES: &[&str] = &["crates/collectives", "crates/core", "crates/trainer"];
+
+/// One lint violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-indexed line number.
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+/// One allowlist entry: suppresses findings whose rule matches and whose
+/// path / flagged line contain the given substrings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub path_substr: String,
+    pub line_substr: String,
+}
+
+/// Parse `lint-allow.txt` content: `rule path-substring line-substring`
+/// per line, `#` comments, blank lines ignored. The line-substring is
+/// the remainder of the line so it may contain spaces.
+pub fn parse_allowlist(text: &str) -> Vec<AllowEntry> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let mut parts = l.splitn(3, char::is_whitespace);
+            let rule = parts.next()?.to_string();
+            let path_substr = parts.next()?.to_string();
+            let line_substr = parts.next().unwrap_or("").trim().to_string();
+            Some(AllowEntry { rule, path_substr, line_substr })
+        })
+        .collect()
+}
+
+fn allowed(entry: &AllowEntry, finding: &Finding, flagged_line: &str) -> bool {
+    entry.rule == finding.rule
+        && finding.path.contains(&entry.path_substr)
+        && (entry.line_substr.is_empty() || flagged_line.contains(&entry.line_substr))
+}
+
+/// Result of a full lint pass.
+#[derive(Clone, Debug)]
+pub struct LintReport {
+    pub files_scanned: usize,
+    pub findings: Vec<Finding>,
+    pub suppressed: usize,
+}
+
+impl LintReport {
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Replace the contents of comments, string literals, and char literals
+/// with spaces (newlines preserved) so structural scans see only code.
+/// Handles nested block comments and the lifetime-vs-char-literal
+/// ambiguity (a `'` not closed within a short escape window is treated
+/// as a lifetime).
+pub fn mask_comments_and_strings(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 0usize;
+                while i < b.len() {
+                    if b[i] == b'\n' {
+                        out.push(b'\n');
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                out.push(b'"');
+                i += 1;
+                while i < b.len() && b[i] != b'"' {
+                    if b[i] == b'\\' && i + 1 < b.len() {
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else {
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+                if i < b.len() {
+                    out.push(b'"');
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char literal iff it closes within the escape window;
+                // otherwise it is a lifetime and passes through.
+                let lit_end = if i + 2 < b.len() && b[i + 1] == b'\\' {
+                    (i + 2..(i + 5).min(b.len())).find(|&j| b[j] == b'\'')
+                } else if i + 2 < b.len() && b[i + 2] == b'\'' && b[i + 1] != b'\'' {
+                    Some(i + 2)
+                } else {
+                    None
+                };
+                if let Some(end) = lit_end {
+                    out.push(b'\'');
+                    out.extend(std::iter::repeat_n(b' ', end - i - 1));
+                    out.push(b'\'');
+                    i = end + 1;
+                } else {
+                    out.push(b'\'');
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).expect("masking only substitutes ASCII spaces")
+}
+
+/// Per-line flags: is this line inside a `#[cfg(test)]`-gated item?
+/// Tracks the brace region of the item following each `#[cfg(test)]`
+/// attribute (works on comment/string-masked source).
+pub fn test_region_lines(masked: &str) -> Vec<bool> {
+    let lines: Vec<&str> = masked.lines().collect();
+    let mut in_test = vec![false; lines.len()];
+    let mut idx = 0;
+    while idx < lines.len() {
+        if lines[idx].trim_start().starts_with("#[cfg(test)]") {
+            // Mark from the attribute to the close of the item's braces.
+            let mut depth = 0i64;
+            let mut opened = false;
+            let mut j = idx;
+            while j < lines.len() {
+                in_test[j] = true;
+                for ch in lines[j].bytes() {
+                    match ch {
+                        b'{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        b'}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            idx = j + 1;
+        } else {
+            idx += 1;
+        }
+    }
+    in_test
+}
+
+/// Extract the variant names of `pub enum <name>` from (unmasked)
+/// source. Returns `None` if the enum is not found.
+pub fn enum_variants(src: &str, name: &str) -> Option<Vec<String>> {
+    let masked = mask_comments_and_strings(src);
+    let needle = format!("pub enum {name} ");
+    let start = masked.find(&needle).or_else(|| {
+        let alt = format!("pub enum {name}{{");
+        masked.find(&alt)
+    })?;
+    let body_start = masked[start..].find('{')? + start + 1;
+    let mut depth = 1i64;
+    let mut end = body_start;
+    for (off, ch) in masked[body_start..].char_indices() {
+        match ch {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = body_start + off;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    // Split the body at top-level commas; each piece's leading identifier
+    // is a variant name (payloads in `(..)` / `{..}` stay inside pieces).
+    let mut pieces = Vec::new();
+    let mut depth = 0i64;
+    let mut cur = String::new();
+    for ch in masked[body_start..end].chars() {
+        match ch {
+            '{' | '(' | '[' => {
+                depth += 1;
+                cur.push(ch);
+            }
+            '}' | ')' | ']' => {
+                depth -= 1;
+                cur.push(ch);
+            }
+            ',' if depth == 0 => pieces.push(std::mem::take(&mut cur)),
+            _ => cur.push(ch),
+        }
+    }
+    pieces.push(cur);
+    let variants = pieces
+        .iter()
+        .filter_map(|p| {
+            let name: String =
+                p.trim_start().chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+            if name.is_empty() {
+                None
+            } else {
+                Some(name)
+            }
+        })
+        .collect();
+    Some(variants)
+}
+
+/// Does `haystack` contain `Name::` as a path whose first segment is
+/// exactly `Name` (not a suffix of a longer identifier, e.g. `VPacket::`
+/// must not count as `Packet::`)?
+fn contains_path_of(haystack: &str, name: &str) -> bool {
+    find_path_of(haystack, name).is_some()
+}
+
+fn find_path_of(haystack: &str, name: &str) -> Option<usize> {
+    let pat = format!("{name}::");
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(&pat) {
+        let abs = from + pos;
+        let preceded_by_ident = abs > 0
+            && haystack[..abs].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if !preceded_by_ident {
+            return Some(abs);
+        }
+        from = abs + pat.len();
+    }
+    None
+}
+
+/// A `match` expression found in masked source: the byte span of its
+/// body and the 1-indexed line it starts on.
+struct MatchBlock {
+    line: usize,
+    body: String,
+}
+
+/// Find all `match ... { ... }` expressions in masked source.
+fn match_blocks(masked: &str) -> Vec<MatchBlock> {
+    let b = masked.as_bytes();
+    let mut blocks = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = masked[from..].find("match ") {
+        let abs = from + pos;
+        let is_word_start = abs == 0
+            || !(b[abs - 1].is_ascii_alphanumeric() || b[abs - 1] == b'_' || b[abs - 1] == b'.');
+        from = abs + "match ".len();
+        if !is_word_start {
+            continue;
+        }
+        // The match body is the first `{` at brace-depth zero relative to
+        // the scrutinee (the scrutinee may contain method-call parens).
+        let mut i = abs + "match ".len();
+        let mut paren = 0i64;
+        let mut bracket = 0i64;
+        while i < b.len() {
+            match b[i] {
+                b'(' => paren += 1,
+                b')' => paren -= 1,
+                b'[' => bracket += 1,
+                b']' => bracket -= 1,
+                b'{' if paren == 0 && bracket == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        if i >= b.len() {
+            break;
+        }
+        let body_start = i + 1;
+        let mut depth = 1i64;
+        let mut end = body_start;
+        while end < b.len() {
+            match b[end] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        let line = masked[..abs].bytes().filter(|&c| c == b'\n').count() + 1;
+        blocks.push(MatchBlock { line, body: masked[body_start..end.min(b.len())].to_string() });
+        from = body_start;
+    }
+    blocks
+}
+
+fn is_bare_binding(head: &str) -> bool {
+    !head.is_empty()
+        && head.chars().all(|c| c.is_alphanumeric() || c == '_')
+        && head.chars().next().is_some_and(|c| c.is_lowercase() || c == '_')
+}
+
+/// Does a match body contain a catch-all arm (`_ =>`, `_ if ... =>`, or a
+/// bare binding like `other =>`, possibly inside one constructor such as
+/// `Ok(p) =>`) at arm level?
+fn has_catch_all(body: &str) -> bool {
+    for line in body.lines() {
+        let t = line.trim_start();
+        if let Some((pat, _)) = t.split_once("=>") {
+            let pat = pat.trim();
+            let mut head = pat.split(" if ").next().unwrap_or(pat).trim();
+            // See through one constructor wrapper: in a match on
+            // `Result<Packet>` the arm `Ok(p) =>` catches every packet.
+            if let Some((ctor, rest)) = head.split_once('(') {
+                let plain_ctor = ctor.chars().all(|c| c.is_alphanumeric() || c == '_');
+                if plain_ctor {
+                    if let Some(inner) = rest.strip_suffix(')') {
+                        head = inner.trim();
+                    }
+                }
+            }
+            if head == "_" || is_bare_binding(head) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Inventory of enum variants that exhaustiveness rules check against.
+#[derive(Clone, Debug)]
+pub struct VariantInventory {
+    pub packet: Vec<String>,
+    pub comm_op: Vec<String>,
+}
+
+impl VariantInventory {
+    /// Extract from the workspace sources under `root`.
+    pub fn from_workspace(root: &Path) -> Result<VariantInventory, String> {
+        let transport = std::fs::read_to_string(root.join("crates/collectives/src/transport.rs"))
+            .map_err(|e| format!("read transport.rs: {e}"))?;
+        let scheduler = std::fs::read_to_string(root.join("crates/collectives/src/scheduler.rs"))
+            .map_err(|e| format!("read scheduler.rs: {e}"))?;
+        let packet =
+            enum_variants(&transport, "Packet").ok_or("enum Packet not found in transport.rs")?;
+        let comm_op =
+            enum_variants(&scheduler, "CommOp").ok_or("enum CommOp not found in scheduler.rs")?;
+        if packet.is_empty() || comm_op.is_empty() {
+            return Err("extracted an empty variant inventory".into());
+        }
+        Ok(VariantInventory { packet, comm_op })
+    }
+}
+
+/// Lint a single file's source. `rel` is the workspace-relative path
+/// (used for rule scoping and reporting).
+pub fn lint_source(rel: &str, src: &str, inv: &VariantInventory) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let masked = mask_comments_and_strings(src);
+    let in_test = test_region_lines(&masked);
+    let masked_lines: Vec<&str> = masked.lines().collect();
+    let comm_path = COMM_PATH_CRATES.iter().any(|c| rel.starts_with(c))
+        && rel.contains("/src/")
+        && !rel.contains("/tests/");
+
+    if comm_path {
+        for (i, line) in masked_lines.iter().enumerate() {
+            if in_test.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            if line.contains(".unwrap()") {
+                findings.push(Finding {
+                    rule: "comm-unwrap",
+                    path: rel.to_string(),
+                    line: i + 1,
+                    message: "`.unwrap()` on a comm path: propagate a typed CommError or use \
+                              `.expect(\"invariant\")`"
+                        .to_string(),
+                });
+            }
+            if line.contains("ep.send(") || line.contains("ep.recv(") {
+                findings.push(Finding {
+                    rule: "comm-infallible",
+                    path: rel.to_string(),
+                    line: i + 1,
+                    message: "infallible endpoint send/recv outside tests: use try_send/try_recv \
+                              or recv_retry"
+                        .to_string(),
+                });
+            }
+        }
+    }
+
+    // Exhaustiveness rules apply to all non-test workspace code.
+    for (enum_name, variants, rule) in
+        [("Packet", &inv.packet, "packet-match"), ("CommOp", &inv.comm_op, "commop-match")]
+    {
+        for blk in match_blocks(&masked) {
+            if in_test.get(blk.line - 1).copied().unwrap_or(false) {
+                continue;
+            }
+            if !contains_path_of(&blk.body, enum_name) || has_catch_all(&blk.body) {
+                continue;
+            }
+            let missing: Vec<&String> = variants
+                .iter()
+                .filter(|v| !blk.body.contains(&format!("{enum_name}::{v}")))
+                .collect();
+            if !missing.is_empty() {
+                let names: Vec<&str> = missing.iter().map(|s| s.as_str()).collect();
+                findings.push(Finding {
+                    rule,
+                    path: rel.to_string(),
+                    line: blk.line,
+                    message: format!(
+                        "match on {enum_name} has no catch-all and misses variant(s): {}",
+                        names.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+
+    findings
+}
+
+/// Check that a crate-root file forbids unsafe code.
+fn lint_crate_root(rel: &str, src: &str) -> Option<Finding> {
+    if src.contains("#![forbid(unsafe_code)]") {
+        None
+    } else {
+        Some(Finding {
+            rule: "forbid-unsafe",
+            path: rel.to_string(),
+            line: 1,
+            message: "crate root must declare #![forbid(unsafe_code)]".to_string(),
+        })
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            collect_rs_files(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// All crate-root files subject to `forbid-unsafe`: the workspace lib,
+/// every `crates/*` root, and every vendored shim.
+fn crate_roots(root: &Path) -> Vec<PathBuf> {
+    let mut roots = vec![root.join("src/lib.rs")];
+    for dir in ["crates", "vendor"] {
+        let Ok(entries) = std::fs::read_dir(root.join(dir)) else { continue };
+        let mut members: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+        members.sort();
+        for m in members {
+            for candidate in ["src/lib.rs", "src/main.rs"] {
+                let p = m.join(candidate);
+                if p.exists() {
+                    roots.push(p);
+                }
+            }
+        }
+    }
+    roots.retain(|p| p.exists());
+    roots
+}
+
+/// Run the full lint pass over the workspace at `root`, applying the
+/// allowlist (if `lint-allow.txt` exists at `root`).
+pub fn run_lint(root: &Path) -> Result<LintReport, String> {
+    let inv = VariantInventory::from_workspace(root)?;
+    let allow = match std::fs::read_to_string(root.join("lint-allow.txt")) {
+        Ok(text) => parse_allowlist(&text),
+        Err(_) => Vec::new(),
+    };
+
+    let mut files = Vec::new();
+    let Ok(entries) = std::fs::read_dir(root.join("crates")) else {
+        return Err(format!("no crates/ directory under {}", root.display()));
+    };
+    let mut members: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    members.sort();
+    for m in members {
+        collect_rs_files(&m.join("src"), &mut files);
+    }
+    collect_rs_files(&root.join("src"), &mut files);
+
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    let mut scanned = 0usize;
+    for path in &files {
+        let Ok(src) = std::fs::read_to_string(path) else { continue };
+        scanned += 1;
+        let rel = path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/");
+        let lines: Vec<&str> = src.lines().collect();
+        for f in lint_source(&rel, &src, &inv) {
+            let flagged = lines.get(f.line - 1).copied().unwrap_or("");
+            if allow.iter().any(|e| allowed(e, &f, flagged)) {
+                suppressed += 1;
+            } else {
+                findings.push(f);
+            }
+        }
+    }
+
+    for path in crate_roots(root) {
+        let Ok(src) = std::fs::read_to_string(&path) else { continue };
+        scanned += 1;
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+        if let Some(f) = lint_crate_root(&rel, &src) {
+            if allow.iter().any(|e| allowed(e, &f, "")) {
+                suppressed += 1;
+            } else {
+                findings.push(f);
+            }
+        }
+    }
+
+    Ok(LintReport { files_scanned: scanned, findings, suppressed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inv() -> VariantInventory {
+        VariantInventory {
+            packet: ["Dense", "Sparse", "Tokens", "Empty", "Abort"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            comm_op: ["AllreduceDense", "Flush"].iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn masking_hides_comments_strings_and_char_literals() {
+        let src = "let x = \"match { .unwrap() }\"; // .unwrap()\nlet c = '{'; let l: &'a str;";
+        let m = mask_comments_and_strings(src);
+        assert!(!m.contains(".unwrap()"));
+        assert!(!m.contains('{'), "braces in literals must be masked: {m}");
+        assert!(m.contains("&'a str"), "lifetimes must survive: {m}");
+        assert_eq!(m.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_modules() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap(); }\n}\nfn c() {}";
+        let mask = test_region_lines(src);
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn unwrap_outside_tests_is_flagged_inside_tests_is_not() {
+        let src =
+            "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn b() { y.unwrap(); }\n}";
+        let f = lint_source("crates/collectives/src/x.rs", src, &inv());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "comm-unwrap");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn unwrap_outside_comm_path_crates_is_ignored() {
+        let src = "fn a() { x.unwrap(); }";
+        let f = lint_source("crates/dlsim/src/x.rs", src, &inv());
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn infallible_send_recv_flagged() {
+        let src = "fn a(ep: &mut Endpoint) {\n    ep.send(0, p);\n    let q = ep.recv(1);\n}";
+        let f = lint_source("crates/core/src/x.rs", src, &inv());
+        assert_eq!(f.iter().filter(|f| f.rule == "comm-infallible").count(), 2, "{f:?}");
+    }
+
+    #[test]
+    fn non_exhaustive_packet_match_flagged() {
+        let src = "fn a(p: Packet) { match p { Packet::Dense(d) => use_it(d), \
+                   Packet::Empty => {} } }";
+        let f = lint_source("crates/simnet/src/x.rs", src, &inv());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "packet-match");
+        assert!(f[0].message.contains("Sparse"), "{}", f[0].message);
+        assert!(f[0].message.contains("Abort"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn catch_all_match_is_exhaustive() {
+        let src = "fn a(p: Packet) { match p {\n    Packet::Dense(d) => use_it(d),\n    \
+                   other => drop(other),\n} }";
+        let f = lint_source("crates/simnet/src/x.rs", src, &inv());
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn vpacket_paths_do_not_count_as_packet() {
+        let src = "fn a(p: VPacket) { match p { VPacket::Data(d) => use_it(d), _ => {} } }";
+        let f = lint_source("crates/simnet/src/x.rs", src, &inv());
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn enum_variants_extracts_names_with_payloads() {
+        let src = "pub enum Packet {\n    Dense(DenseTensor),\n    Sparse(RowSparse),\n    \
+                   Tokens(Vec<u32>),\n    Empty,\n    Abort { origin: usize },\n}";
+        assert_eq!(
+            enum_variants(src, "Packet").unwrap(),
+            vec!["Dense", "Sparse", "Tokens", "Empty", "Abort"]
+        );
+    }
+
+    #[test]
+    fn allowlist_parsing_and_matching() {
+        let allow = parse_allowlist(
+            "# comment\n\ncomm-unwrap crates/trainer/src/sim.rs bp_done[m]\n\
+             forbid-unsafe vendor/rand \n",
+        );
+        assert_eq!(allow.len(), 2);
+        let f = Finding {
+            rule: "comm-unwrap",
+            path: "crates/trainer/src/sim.rs".into(),
+            line: 3,
+            message: String::new(),
+        };
+        assert!(allowed(&allow[0], &f, "let x = bp_done[m].unwrap();"));
+        assert!(!allowed(&allow[0], &f, "let x = other.unwrap();"));
+        assert!(!allowed(&allow[1], &f, ""));
+    }
+
+    #[test]
+    fn forbid_unsafe_rule() {
+        assert!(lint_crate_root("crates/x/src/lib.rs", "fn a() {}").is_some());
+        assert!(
+            lint_crate_root("crates/x/src/lib.rs", "#![forbid(unsafe_code)]\nfn a() {}").is_none()
+        );
+    }
+
+    #[test]
+    fn workspace_is_lint_clean() {
+        // The analyzer's own repo must pass its own lint. CARGO_MANIFEST_DIR
+        // is crates/analyzer; the workspace root is two levels up.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let report = run_lint(&root).expect("lint pass runs");
+        assert!(report.files_scanned > 20, "scanned {}", report.files_scanned);
+        let msgs: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+        assert!(report.clean(), "lint findings:\n{}", msgs.join("\n"));
+    }
+}

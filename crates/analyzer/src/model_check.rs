@@ -1,0 +1,674 @@
+//! Deterministic interleaving model checker ("loom-lite").
+//!
+//! Replaces the threaded mesh with a virtual single-threaded scheduler
+//! for small worlds (2–4 ranks) and exhaustively enumerates every
+//! schedule of the collective algorithms in `embrace_collectives::ops`:
+//!
+//! * **Choice points** are blocking receives: a scheduled step picks one
+//!   rank whose pending receive is resolvable, completes it, then runs
+//!   that rank forward through its (non-blocking) sends to its next
+//!   receive or termination.
+//! * **Partial-order reduction**: sends never block and are invisible to
+//!   every rank except their consumer, so they are executed eagerly as
+//!   part of the step that enables them rather than scheduled separately.
+//!   Receives addressed to distinct ranks are the only operations whose
+//!   order matters, and all of their orders are explored.
+//! * The state graph is acyclic (every step advances some program
+//!   counter); states are deduplicated and the number of *interleavings*
+//!   (paths from the initial state to a terminal state) is computed by
+//!   dynamic programming over the DAG in `u128`.
+//!
+//! Checked properties:
+//!
+//! * **deadlock-freedom** — no reachable state has running ranks but no
+//!   enabled step;
+//! * **determinism** — every terminal state carries bitwise-identical
+//!   per-rank results (f32 payloads are tracked as bit patterns);
+//! * **abort termination** — with a crashed rank injected, every
+//!   interleaving still terminates: PR 1's abort broadcast reaches every
+//!   survivor in every ordering.
+//!
+//! The virtual programs mirror `ops.rs` exactly — same peers, same
+//! send/receive order, same chunking ([`row_partition`]), same abort
+//! protocol (origin broadcasts [`Packet::Abort`]-equivalents, receivers
+//! of an abort do not re-broadcast). Terminal results are cross-checked
+//! against the real threaded implementation in this crate's tests.
+//!
+//! [`Packet::Abort`]: embrace_collectives::Packet::Abort
+
+use embrace_tensor::row_partition;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Which collective algorithm to model-check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Collective {
+    Barrier,
+    Broadcast { root: usize },
+    RingAllreduce { elems: usize },
+    AllgatherTokens,
+    Alltoallv,
+}
+
+impl Collective {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Collective::Barrier => "barrier",
+            Collective::Broadcast { .. } => "broadcast",
+            Collective::RingAllreduce { .. } => "ring_allreduce",
+            Collective::AllgatherTokens => "allgather",
+            Collective::Alltoallv => "alltoallv",
+        }
+    }
+
+    /// The five collectives at their default check sizes.
+    pub fn all(world: usize) -> Vec<Collective> {
+        vec![
+            Collective::Barrier,
+            Collective::Broadcast { root: 0 },
+            Collective::RingAllreduce { elems: 2 * world + 1 },
+            Collective::AllgatherTokens,
+            Collective::Alltoallv,
+        ]
+    }
+}
+
+/// One model-checking run: a collective, a world size, and optionally a
+/// rank that is crashed from the start (to prove abort termination).
+#[derive(Clone, Copy, Debug)]
+pub struct CheckConfig {
+    pub world: usize,
+    pub collective: Collective,
+    /// Rank that is dead before the collective begins (its endpoint
+    /// dropped): peers observe `PeerGone` and must abort-terminate.
+    pub crash: Option<usize>,
+}
+
+/// Virtual communication failure (the model's `CommError` subset).
+#[derive(Clone, Copy, Debug, Hash, PartialEq, Eq, PartialOrd, Ord)]
+pub enum VErr {
+    PeerGone {
+        peer: usize,
+    },
+    Aborted {
+        origin: usize,
+    },
+    /// This rank was the injected crash victim.
+    Crashed,
+}
+
+/// A packet on a virtual link. f32 payloads are carried as bit patterns so
+/// states hash and results compare bitwise.
+#[derive(Clone, Debug, Hash, PartialEq, Eq)]
+enum VPacket {
+    Data(Vec<u32>),
+    Empty,
+    Abort { origin: usize },
+}
+
+#[derive(Clone, Debug, Hash, PartialEq, Eq)]
+enum Status {
+    Running,
+    Done(Result<(), VErr>),
+}
+
+#[derive(Clone, Debug, Hash, PartialEq, Eq)]
+struct RankState {
+    pc: u32,
+    /// Working buffer (ring-allreduce accumulator, as f32 bit patterns).
+    buf: Vec<u32>,
+    /// Collected results, indexed by source rank where applicable.
+    out: Vec<Vec<u32>>,
+    status: Status,
+}
+
+/// The whole virtual world. `queues[to][from]` is the FIFO link
+/// `from → to`, exactly the transport's per-ordered-pair channel.
+#[derive(Clone, Debug, Hash, PartialEq, Eq)]
+struct World {
+    ranks: Vec<RankState>,
+    queues: Vec<Vec<VecDeque<VPacket>>>,
+}
+
+/// What a rank's next instruction is (computed from its pc).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Action {
+    Send(usize),
+    Recv(usize),
+    Finish,
+}
+
+/// Peers of `rank` in ascending order (the iteration order of `ops.rs`
+/// gather loops).
+fn peers(world: usize, rank: usize) -> impl Iterator<Item = usize> {
+    (0..world).filter(move |&p| p != rank)
+}
+
+fn action(cfg: &CheckConfig, rank: usize, pc: u32) -> Action {
+    let w = cfg.world;
+    let pc = pc as usize;
+    match cfg.collective {
+        Collective::Barrier => {
+            if w == 1 {
+                return Action::Finish;
+            }
+            if rank == 0 {
+                if pc < w - 1 {
+                    Action::Recv(pc + 1)
+                } else if pc < 2 * (w - 1) {
+                    Action::Send(pc - (w - 1) + 1)
+                } else {
+                    Action::Finish
+                }
+            } else {
+                match pc {
+                    0 => Action::Send(0),
+                    1 => Action::Recv(0),
+                    _ => Action::Finish,
+                }
+            }
+        }
+        Collective::Broadcast { root } => {
+            if rank == root {
+                match peers(w, root).nth(pc) {
+                    Some(dst) => Action::Send(dst),
+                    None => Action::Finish,
+                }
+            } else {
+                match pc {
+                    0 => Action::Recv(root),
+                    _ => Action::Finish,
+                }
+            }
+        }
+        Collective::RingAllreduce { .. } => {
+            if w == 1 || pc >= 4 * (w - 1) {
+                return Action::Finish;
+            }
+            let next = (rank + 1) % w;
+            let prev = (rank + w - 1) % w;
+            if pc.is_multiple_of(2) {
+                Action::Send(next)
+            } else {
+                Action::Recv(prev)
+            }
+        }
+        Collective::AllgatherTokens | Collective::Alltoallv => {
+            if pc < w - 1 {
+                let dst = match cfg.collective {
+                    // Alltoall sends in the rotated order of `ops.rs`.
+                    Collective::Alltoallv => (rank + pc + 1) % w,
+                    _ => peers(w, rank).nth(pc).expect("peer index in range"),
+                };
+                Action::Send(dst)
+            } else if pc < 2 * (w - 1) {
+                Action::Recv(peers(w, rank).nth(pc - (w - 1)).expect("peer index in range"))
+            } else {
+                Action::Finish
+            }
+        }
+    }
+}
+
+/// This rank's initial local payload for the allgather model. Values are
+/// distinct per rank and lengths vary to exercise variable payloads;
+/// public so tests can replay the identical inputs through the real
+/// threaded collectives and compare results bitwise.
+pub fn gather_local(rank: usize) -> Vec<u32> {
+    (0..=rank as u32).map(|i| (rank as u32) * 16 + i).collect()
+}
+
+/// Rank `rank`'s part destined for `dst` in the alltoallv model (see
+/// [`gather_local`] for why this is public).
+pub fn alltoallv_part(rank: usize, dst: usize) -> Vec<u32> {
+    let len = (rank + dst) % 2 + 1;
+    vec![(rank as u32) * 16 + dst as u32; len]
+}
+
+/// Rank `rank`'s initial buffer in the ring-allreduce model, as f32 bit
+/// patterns (see [`gather_local`] for why this is public).
+pub fn ring_init(rank: usize, elems: usize) -> Vec<u32> {
+    (0..elems).map(|i| ((rank * 100 + i) as f32).to_bits()).collect()
+}
+
+/// The payload the broadcast model's root transmits (see
+/// [`gather_local`] for why this is public).
+pub fn broadcast_payload(world: usize) -> Vec<u32> {
+    vec![7, 42, world as u32]
+}
+
+fn ring_chunks(cfg: &CheckConfig) -> Vec<embrace_tensor::RowRange> {
+    let elems = match cfg.collective {
+        Collective::RingAllreduce { elems } => elems,
+        _ => unreachable!("ring chunks queried for non-ring collective"),
+    };
+    row_partition(elems, cfg.world)
+}
+
+/// The payload of the send at `pc` (computed from current state, since
+/// ring-allreduce payloads depend on received data).
+fn send_payload(cfg: &CheckConfig, rank: usize, st: &RankState) -> VPacket {
+    let w = cfg.world;
+    match cfg.collective {
+        Collective::Barrier => VPacket::Empty,
+        Collective::Broadcast { .. } => VPacket::Data(broadcast_payload(w)),
+        Collective::AllgatherTokens => VPacket::Data(gather_local(rank)),
+        Collective::Alltoallv => {
+            let dst = (rank + st.pc as usize + 1) % w;
+            VPacket::Data(alltoallv_part(rank, dst))
+        }
+        Collective::RingAllreduce { .. } => {
+            let chunks = ring_chunks(cfg);
+            let step = (st.pc / 2) as usize;
+            let send_c = if step < w - 1 {
+                (rank + w - step) % w
+            } else {
+                let s2 = step - (w - 1);
+                (rank + 1 + w - s2) % w
+            };
+            VPacket::Data(st.buf[chunks[send_c].start..chunks[send_c].end].to_vec())
+        }
+    }
+}
+
+/// Fold a received packet into the rank's state (the recv at `pc`).
+fn handle_recv(cfg: &CheckConfig, rank: usize, st: &mut RankState, from: usize, p: VPacket) {
+    let w = cfg.world;
+    match (cfg.collective, p) {
+        (Collective::Barrier, VPacket::Empty) => {}
+        (Collective::Broadcast { .. }, VPacket::Data(d)) => st.out = vec![d],
+        (Collective::AllgatherTokens, VPacket::Data(d))
+        | (Collective::Alltoallv, VPacket::Data(d)) => st.out[from] = d,
+        (Collective::RingAllreduce { .. }, VPacket::Data(d)) => {
+            let chunks = ring_chunks(cfg);
+            let step = (st.pc / 2) as usize;
+            if step < w - 1 {
+                // Reduce-scatter: accumulate into the receiving chunk,
+                // bit-exactly as the real implementation does.
+                let recv_c = (rank + w - step - 1) % w;
+                let dst = &mut st.buf[chunks[recv_c].start..chunks[recv_c].end];
+                for (acc, inc) in dst.iter_mut().zip(&d) {
+                    *acc = (f32::from_bits(*acc) + f32::from_bits(*inc)).to_bits();
+                }
+            } else {
+                let s2 = step - (w - 1);
+                let recv_c = (rank + w - s2) % w;
+                st.buf[chunks[recv_c].start..chunks[recv_c].end].copy_from_slice(&d);
+            }
+        }
+        (c, p) => unreachable!("model protocol violation: {c:?} received {p:?}"),
+    }
+}
+
+impl World {
+    fn new(cfg: &CheckConfig) -> World {
+        let w = cfg.world;
+        let ranks = (0..w)
+            .map(|rank| {
+                let (buf, out, status) = match cfg.collective {
+                    Collective::RingAllreduce { elems } => {
+                        (ring_init(rank, elems), Vec::new(), Status::Running)
+                    }
+                    Collective::AllgatherTokens | Collective::Alltoallv => {
+                        (Vec::new(), vec![Vec::new(); w], Status::Running)
+                    }
+                    _ => (Vec::new(), Vec::new(), Status::Running),
+                };
+                let status =
+                    if cfg.crash == Some(rank) { Status::Done(Err(VErr::Crashed)) } else { status };
+                RankState { pc: 0, buf, out, status }
+            })
+            .collect();
+        let queues = (0..w).map(|_| (0..w).map(|_| VecDeque::new()).collect()).collect();
+        World { ranks, queues }
+    }
+
+    fn running(&self, r: usize) -> bool {
+        self.ranks[r].status == Status::Running
+    }
+
+    /// Abort broadcast + terminate with `err` — mirrors `ops::fail`:
+    /// locally detected failures notify every live peer; received aborts
+    /// (handled at the recv site) are not re-broadcast.
+    fn fail(&mut self, r: usize, err: VErr) {
+        if !matches!(err, VErr::Aborted { .. }) {
+            for dst in 0..self.ranks.len() {
+                if dst != r && self.running(dst) {
+                    self.queues[dst][r].push_back(VPacket::Abort { origin: r });
+                }
+            }
+        }
+        self.finish(r, Err(err));
+    }
+
+    /// Terminate rank `r`: its endpoint drops, so in-flight packets to it
+    /// are discarded (crossbeam disconnect semantics) — also keeps states
+    /// canonical for deduplication.
+    fn finish(&mut self, r: usize, result: Result<(), VErr>) {
+        self.ranks[r].status = Status::Done(result);
+        for q in &mut self.queues[r] {
+            q.clear();
+        }
+    }
+
+    /// Run rank `r` forward: complete up to `recv_budget` receives, then
+    /// keep executing non-blocking sends until the next receive choice
+    /// point or termination. With budget 0 this is the normalisation pass
+    /// (flush initial sends).
+    fn advance(&mut self, cfg: &CheckConfig, r: usize, mut recv_budget: u32) {
+        while self.running(r) {
+            match action(cfg, r, self.ranks[r].pc) {
+                Action::Finish => {
+                    let outcome = finish_payload(cfg, r);
+                    if let Some(out) = outcome {
+                        self.ranks[r].out = out_merge(std::mem::take(&mut self.ranks[r].out), out);
+                    }
+                    self.finish(r, Ok(()));
+                    return;
+                }
+                Action::Send(to) => {
+                    if !self.running(to) {
+                        // Peer's endpoint is gone: typed failure + abort.
+                        self.fail(r, VErr::PeerGone { peer: to });
+                        return;
+                    }
+                    let payload = send_payload(cfg, r, &self.ranks[r]);
+                    self.queues[to][r].push_back(payload);
+                    self.ranks[r].pc += 1;
+                }
+                Action::Recv(from) => {
+                    if recv_budget == 0 {
+                        return; // choice point: wait to be scheduled
+                    }
+                    match self.queues[r][from].pop_front() {
+                        Some(VPacket::Abort { origin }) => {
+                            // Received abort: terminate, do NOT re-broadcast.
+                            self.fail(r, VErr::Aborted { origin });
+                            return;
+                        }
+                        Some(p) => {
+                            let mut st = std::mem::replace(
+                                &mut self.ranks[r],
+                                RankState {
+                                    pc: 0,
+                                    buf: Vec::new(),
+                                    out: Vec::new(),
+                                    status: Status::Running,
+                                },
+                            );
+                            handle_recv(cfg, r, &mut st, from, p);
+                            st.pc += 1;
+                            self.ranks[r] = st;
+                            recv_budget -= 1;
+                        }
+                        None => {
+                            if self.running(from) {
+                                return; // genuinely blocked
+                            }
+                            // Sender finished/crashed with nothing queued.
+                            self.fail(r, VErr::PeerGone { peer: from });
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Is completing rank `r`'s pending receive possible right now?
+    fn enabled(&self, cfg: &CheckConfig, r: usize) -> bool {
+        if !self.running(r) {
+            return false;
+        }
+        match action(cfg, r, self.ranks[r].pc) {
+            Action::Recv(from) => !self.queues[r][from].is_empty() || !self.running(from),
+            // After normalisation a running rank always sits at a recv;
+            // anything else would be a driver bug.
+            other => unreachable!("running rank {r} scheduled at {other:?}"),
+        }
+    }
+}
+
+/// What a rank's own contribution to its gather output is (merged at
+/// finish so the result matches the real collectives, which keep the
+/// local part in place).
+fn finish_payload(cfg: &CheckConfig, rank: usize) -> Option<Vec<(usize, Vec<u32>)>> {
+    match cfg.collective {
+        Collective::AllgatherTokens => Some(vec![(rank, gather_local(rank))]),
+        Collective::Alltoallv => Some(vec![(rank, alltoallv_part(rank, rank))]),
+        Collective::Broadcast { root } if rank == root => {
+            Some(vec![(0, broadcast_payload(cfg.world))])
+        }
+        _ => None,
+    }
+}
+
+fn out_merge(mut out: Vec<Vec<u32>>, own: Vec<(usize, Vec<u32>)>) -> Vec<Vec<u32>> {
+    for (i, v) in own {
+        if out.len() <= i {
+            out.resize(i + 1, Vec::new());
+        }
+        out[i] = v;
+    }
+    out
+}
+
+/// One rank's terminal result.
+#[derive(Clone, Debug, Hash, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RankOutcome {
+    /// Completed: gather outputs (by source rank) and/or the final buffer
+    /// (ring-allreduce, as f32 bit patterns).
+    Ok {
+        out: Vec<Vec<u32>>,
+        buf: Vec<u32>,
+    },
+    Err(VErr),
+}
+
+fn outcome(w: &World) -> Vec<RankOutcome> {
+    w.ranks
+        .iter()
+        .map(|st| match &st.status {
+            Status::Done(Ok(())) => RankOutcome::Ok { out: st.out.clone(), buf: st.buf.clone() },
+            Status::Done(Err(e)) => RankOutcome::Err(*e),
+            Status::Running => unreachable!("outcome of a non-terminal world"),
+        })
+        .collect()
+}
+
+/// The result of exhaustively exploring one [`CheckConfig`].
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    pub world: usize,
+    pub collective: &'static str,
+    pub crash: Option<usize>,
+    /// Distinct states visited (after partial-order reduction).
+    pub states: usize,
+    /// Total schedules (paths through the state DAG), counted exactly.
+    pub interleavings: u128,
+    /// Reachable states with running ranks but no enabled step.
+    pub deadlock_states: usize,
+    /// Distinct terminal results (sorted).
+    pub outcomes: Vec<Vec<RankOutcome>>,
+}
+
+impl CheckReport {
+    /// No interleaving gets stuck: every schedule terminates.
+    pub fn deadlock_free(&self) -> bool {
+        self.deadlock_states == 0
+    }
+
+    /// Every interleaving produced the same bitwise result, with every
+    /// rank succeeding.
+    pub fn deterministic_success(&self) -> bool {
+        self.deadlock_free()
+            && self.outcomes.len() == 1
+            && self.outcomes[0].iter().all(|o| matches!(o, RankOutcome::Ok { .. }))
+    }
+
+    /// The unique all-ranks-ok outcome, if there is one.
+    pub fn unique_outcome(&self) -> Option<&[RankOutcome]> {
+        if self.outcomes.len() == 1 {
+            Some(&self.outcomes[0])
+        } else {
+            None
+        }
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} w={}{}: {} states, {} interleavings, {} deadlocks, {} distinct outcomes",
+            self.collective,
+            self.world,
+            self.crash.map(|c| format!(" crash={c}")).unwrap_or_default(),
+            self.states,
+            self.interleavings,
+            self.deadlock_states,
+            self.outcomes.len()
+        )
+    }
+}
+
+struct Explorer<'a> {
+    cfg: &'a CheckConfig,
+    /// state → number of schedules from it to any terminal.
+    memo: HashMap<World, u128>,
+    terminals: HashSet<Vec<RankOutcome>>,
+    deadlocks: usize,
+}
+
+impl Explorer<'_> {
+    fn paths(&mut self, w: World) -> u128 {
+        if let Some(&p) = self.memo.get(&w) {
+            return p;
+        }
+        let enabled: Vec<usize> = (0..w.ranks.len()).filter(|&r| w.enabled(self.cfg, r)).collect();
+        let p = if enabled.is_empty() {
+            if w.ranks.iter().any(|st| st.status == Status::Running) {
+                self.deadlocks += 1;
+            } else {
+                self.terminals.insert(outcome(&w));
+            }
+            1
+        } else {
+            let mut total: u128 = 0;
+            for r in enabled {
+                let mut next = w.clone();
+                next.advance(self.cfg, r, 1);
+                total += self.paths(next);
+            }
+            total
+        };
+        self.memo.insert(w, p);
+        p
+    }
+}
+
+/// Exhaustively model-check one configuration.
+pub fn check(cfg: &CheckConfig) -> CheckReport {
+    assert!(cfg.world >= 1, "world must be positive");
+    assert!(cfg.crash.is_none_or(|c| c < cfg.world), "crash rank out of range");
+    let mut init = World::new(cfg);
+    for r in 0..cfg.world {
+        if init.running(r) {
+            init.advance(cfg, r, 0);
+        }
+    }
+    let mut ex = Explorer { cfg, memo: HashMap::new(), terminals: HashSet::new(), deadlocks: 0 };
+    let interleavings = ex.paths(init);
+    let mut outcomes: Vec<Vec<RankOutcome>> = ex.terminals.into_iter().collect();
+    outcomes.sort();
+    CheckReport {
+        world: cfg.world,
+        collective: cfg.collective.name(),
+        crash: cfg.crash,
+        states: ex.memo.len(),
+        interleavings,
+        deadlock_states: ex.deadlocks,
+        outcomes,
+    }
+}
+
+/// Fault-free convenience wrapper.
+pub fn check_collective(world: usize, collective: Collective) -> CheckReport {
+    check(&CheckConfig { world, collective, crash: None })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_is_deterministic_and_deadlock_free() {
+        for world in 2..=4 {
+            let r = check_collective(world, Collective::Barrier);
+            assert!(r.deterministic_success(), "{}", r.summary());
+            assert!(r.interleavings >= 1);
+        }
+    }
+
+    #[test]
+    fn all_collectives_worlds_2_to_4() {
+        for world in 2..=4 {
+            for c in Collective::all(world) {
+                let r = check_collective(world, c);
+                assert!(r.deterministic_success(), "{}", r.summary());
+            }
+        }
+    }
+
+    #[test]
+    fn interleaving_counts_grow_with_world() {
+        let w2 = check_collective(2, Collective::AllgatherTokens);
+        let w4 = check_collective(4, Collective::AllgatherTokens);
+        assert!(w4.interleavings > w2.interleavings, "{} vs {}", w4.summary(), w2.summary());
+        // w=4 allgather: 12 addressed receives, 3 per rank, every order:
+        // 12! / (3!)^4 schedules.
+        assert_eq!(w4.interleavings, 369_600);
+    }
+
+    #[test]
+    fn ring_allreduce_result_is_the_sum() {
+        let elems = 5;
+        let r = check_collective(3, Collective::RingAllreduce { elems });
+        let out = r.unique_outcome().expect("deterministic");
+        for o in out {
+            let RankOutcome::Ok { buf, .. } = o else { panic!("rank failed") };
+            let vals: Vec<f32> = buf.iter().map(|&b| f32::from_bits(b)).collect();
+            // Sum over ranks of (rank*100 + i).
+            let expect: Vec<f32> =
+                (0..elems).map(|i| (0..3).map(|r| (r * 100 + i) as f32).sum()).collect();
+            assert_eq!(vals, expect);
+        }
+    }
+
+    #[test]
+    fn crashed_rank_aborts_terminate_in_every_ordering() {
+        for world in 2..=4 {
+            for c in Collective::all(world) {
+                for crash in 0..world {
+                    let r = check(&CheckConfig { world, collective: c, crash: Some(crash) });
+                    assert!(
+                        r.deadlock_free(),
+                        "{}: {} deadlocked orderings",
+                        r.summary(),
+                        r.deadlock_states
+                    );
+                    // The victim reports the injection; no rank hangs.
+                    for out in &r.outcomes {
+                        assert_eq!(out[crash], RankOutcome::Err(VErr::Crashed));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_world_trivially_terminates() {
+        for c in Collective::all(1) {
+            let r = check_collective(1, c);
+            assert!(r.deterministic_success(), "{}", r.summary());
+            assert_eq!(r.interleavings, 1);
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! The communication-plan IR.
+//!
+//! A *plan* is what a collective (or a whole training step) intends to do
+//! on the wire, extracted without executing any transport. Two levels:
+//!
+//! * **Point-to-point plans** ([`P2pPlan`]): per rank, the ordered
+//!   send/recv records — peer and byte count — a collective will perform.
+//!   The generators here mirror `embrace_collectives::ops` *exactly*
+//!   (same peers, same order, same payload sizes); the `recording`
+//!   cross-validation tests in this crate run the real generic algorithms
+//!   over a [`RecordingEndpoint`] and diff the trace against the plan, so
+//!   the mirror cannot silently drift.
+//! * **Schedule plans** ([`SchedulePlan`]): per rank, the ordered
+//!   collective submissions — tag, kind, priority, payload bytes — either
+//!   built statically from `embrace_core::Priorities::schedule_ops` or
+//!   harvested from a live `CommScheduler`'s [`SubmittedOp`] log.
+//!
+//! `verify` consumes both levels; `model_check` executes the same
+//! collectives under a virtual scheduler.
+
+use embrace_collectives::{Comm, CommError, Packet, SubmittedOp};
+use embrace_core::{CommKind, Priorities};
+use embrace_tensor::{column_partition, row_partition, F32_BYTES, INDEX_BYTES};
+
+/// One point-to-point record in a rank's plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum P2pOp {
+    /// This rank sends `bytes` to rank `to`.
+    Send { to: usize, bytes: u64 },
+    /// This rank receives `bytes` from rank `from`.
+    Recv { from: usize, bytes: u64 },
+}
+
+/// A whole group's point-to-point plan for one collective: `ranks[r]` is
+/// rank `r`'s ordered op list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct P2pPlan {
+    /// Which collective this plan describes (diagnostic provenance).
+    pub kind: &'static str,
+    pub world: usize,
+    pub ranks: Vec<Vec<P2pOp>>,
+}
+
+impl P2pPlan {
+    fn new(kind: &'static str, world: usize) -> Self {
+        P2pPlan { kind, world, ranks: vec![Vec::new(); world] }
+    }
+
+    /// Total bytes rank `r` plans to send.
+    pub fn bytes_sent(&self, r: usize) -> u64 {
+        self.ranks[r]
+            .iter()
+            .map(|op| if let P2pOp::Send { bytes, .. } = op { *bytes } else { 0 })
+            .sum()
+    }
+
+    /// Total bytes rank `r` plans to receive.
+    pub fn bytes_received(&self, r: usize) -> u64 {
+        self.ranks[r]
+            .iter()
+            .map(|op| if let P2pOp::Recv { bytes, .. } = op { *bytes } else { 0 })
+            .sum()
+    }
+
+    /// Planned (messages, bytes) on the ordered link `from → to`.
+    pub fn link_traffic(&self, from: usize, to: usize) -> (u64, u64) {
+        let mut msgs = 0;
+        let mut bytes = 0;
+        for op in &self.ranks[from] {
+            if let P2pOp::Send { to: t, bytes: b } = op {
+                if *t == to {
+                    msgs += 1;
+                    bytes += b;
+                }
+            }
+        }
+        (msgs, bytes)
+    }
+}
+
+fn empty_bytes() -> u64 {
+    0
+}
+
+/// Plan of [`embrace_collectives::ops::barrier`]: rank 0 gathers one empty
+/// packet per rank, then releases everyone.
+pub fn barrier_plan(world: usize) -> P2pPlan {
+    let mut plan = P2pPlan::new("barrier", world);
+    if world == 1 {
+        return plan;
+    }
+    for src in 1..world {
+        plan.ranks[0].push(P2pOp::Recv { from: src, bytes: empty_bytes() });
+    }
+    for dst in 1..world {
+        plan.ranks[0].push(P2pOp::Send { to: dst, bytes: empty_bytes() });
+    }
+    for r in 1..world {
+        plan.ranks[r].push(P2pOp::Send { to: 0, bytes: empty_bytes() });
+        plan.ranks[r].push(P2pOp::Recv { from: 0, bytes: empty_bytes() });
+    }
+    plan
+}
+
+/// Plan of [`embrace_collectives::ops::broadcast`] of a `bytes`-sized
+/// payload from `root`.
+pub fn broadcast_plan(world: usize, root: usize, bytes: u64) -> P2pPlan {
+    let mut plan = P2pPlan::new("broadcast", world);
+    for dst in 0..world {
+        if dst != root {
+            plan.ranks[root].push(P2pOp::Send { to: dst, bytes });
+            plan.ranks[dst].push(P2pOp::Recv { from: root, bytes });
+        }
+    }
+    plan
+}
+
+/// Plan of [`embrace_collectives::ops::ring_allreduce`] over a buffer of
+/// `elems` f32 values: N−1 reduce-scatter steps then N−1 all-gather steps,
+/// each moving one [`row_partition`] chunk to the next rank on the ring.
+pub fn ring_allreduce_plan(world: usize, elems: usize) -> P2pPlan {
+    let mut plan = P2pPlan::new("ring_allreduce", world);
+    if world == 1 {
+        return plan;
+    }
+    let chunks = row_partition(elems, world);
+    let chunk_bytes = |c: usize| (chunks[c].len() * F32_BYTES) as u64;
+    for rank in 0..world {
+        let next = (rank + 1) % world;
+        let prev = (rank + world - 1) % world;
+        for step in 0..world - 1 {
+            let send_c = (rank + world - step) % world;
+            let recv_c = (rank + world - step - 1) % world;
+            plan.ranks[rank].push(P2pOp::Send { to: next, bytes: chunk_bytes(send_c) });
+            plan.ranks[rank].push(P2pOp::Recv { from: prev, bytes: chunk_bytes(recv_c) });
+        }
+        for step in 0..world - 1 {
+            let send_c = (rank + 1 + world - step) % world;
+            let recv_c = (rank + world - step) % world;
+            plan.ranks[rank].push(P2pOp::Send { to: next, bytes: chunk_bytes(send_c) });
+            plan.ranks[rank].push(P2pOp::Recv { from: prev, bytes: chunk_bytes(recv_c) });
+        }
+    }
+    plan
+}
+
+/// Plan of the allgather family: rank `r` sends `local_bytes[r]` to every
+/// peer in rank order, then receives every peer's contribution in rank
+/// order (own kept locally). Covers `allgather_dense`, `allgather_sparse`
+/// and `allgather_tokens`, which share the communication structure.
+pub fn allgather_plan(world: usize, local_bytes: &[u64]) -> P2pPlan {
+    assert_eq!(local_bytes.len(), world, "one payload size per rank");
+    let mut plan = P2pPlan::new("allgather", world);
+    for rank in 0..world {
+        for dst in 0..world {
+            if dst != rank {
+                plan.ranks[rank].push(P2pOp::Send { to: dst, bytes: local_bytes[rank] });
+            }
+        }
+        for (src, &bytes) in local_bytes.iter().enumerate() {
+            if src != rank {
+                plan.ranks[rank].push(P2pOp::Recv { from: src, bytes });
+            }
+        }
+    }
+    plan
+}
+
+/// Plan of the alltoall family: `bytes[i][j]` is what rank `i` sends rank
+/// `j`. Sends go out in the rotated order the implementation uses
+/// (destination `(rank + off) % world` for `off` in `1..world`); receives
+/// drain in source-rank order. Covers `alltoall_dense` and
+/// `alltoallv_sparse` (pass a per-pair byte matrix for the latter).
+pub fn alltoall_plan(kind: &'static str, bytes: &[Vec<u64>]) -> P2pPlan {
+    let world = bytes.len();
+    assert!(bytes.iter().all(|row| row.len() == world), "square byte matrix");
+    let mut plan = P2pPlan::new(kind, world);
+    for (rank, row) in bytes.iter().enumerate() {
+        for off in 1..world {
+            let dst = (rank + off) % world;
+            plan.ranks[rank].push(P2pOp::Send { to: dst, bytes: row[dst] });
+        }
+        for (src, srow) in bytes.iter().enumerate() {
+            if src != rank {
+                plan.ranks[rank].push(P2pOp::Recv { from: src, bytes: srow[rank] });
+            }
+        }
+    }
+    plan
+}
+
+/// Byte matrix of EmbRace's **AlltoAll #1** (lookup-result redistribution,
+/// §4.1.1): rank `i` sends rank `j` the lookup of `j`'s batch against
+/// `i`'s column shard — a dense block of `batch_rows[j] × shard_dim(i)`
+/// f32 values.
+pub fn lookup_alltoall_bytes(batch_rows: &[usize], dim_total: usize) -> Vec<Vec<u64>> {
+    let world = batch_rows.len();
+    let cols = column_partition(dim_total, world);
+    (0..world)
+        .map(|i| (0..world).map(|j| (batch_rows[j] * cols[i].width() * F32_BYTES) as u64).collect())
+        .collect()
+}
+
+/// Byte matrix of EmbRace's **AlltoAll #2** (gradient exchange): rank `i`
+/// sends rank `j` its gradient rows sliced to `j`'s column range — a
+/// row-sparse block of `grad_rows[i]` rows, each `shard_dim(j)` wide plus
+/// one COO index.
+pub fn grad_alltoall_bytes(grad_rows: &[usize], dim_total: usize) -> Vec<Vec<u64>> {
+    let world = grad_rows.len();
+    let cols = column_partition(dim_total, world);
+    (0..world)
+        .map(|i| {
+            (0..world)
+                .map(|j| (grad_rows[i] * (cols[j].width() * F32_BYTES + INDEX_BYTES)) as u64)
+                .collect()
+        })
+        .collect()
+}
+
+/// One collective in a rank's schedule plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlannedCollective {
+    /// Cross-rank consistency tag.
+    pub tag: String,
+    /// Operation kind (`CommOp::kind_str` vocabulary).
+    pub kind: &'static str,
+    /// Queue priority (lower = sooner).
+    pub priority: i64,
+    /// This rank's outgoing payload bytes (may differ across ranks).
+    pub bytes: u64,
+}
+
+/// A whole group's schedule plan: `ranks[r]` is rank `r`'s submissions in
+/// submission order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SchedulePlan {
+    pub world: usize,
+    pub ranks: Vec<Vec<PlannedCollective>>,
+}
+
+impl SchedulePlan {
+    /// Harvest a schedule plan from live `CommScheduler` submission logs
+    /// (one log per rank, via `CommScheduler::submitted`).
+    pub fn from_logs(logs: &[Vec<SubmittedOp>]) -> Self {
+        SchedulePlan {
+            world: logs.len(),
+            ranks: logs
+                .iter()
+                .map(|log| {
+                    log.iter()
+                        .map(|op| PlannedCollective {
+                            tag: op.tag.clone(),
+                            kind: op.kind,
+                            priority: op.priority,
+                            bytes: op.bytes,
+                        })
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Stable tag and scheduler kind of a horizontal-schedule operation.
+fn comm_kind_planned(kind: CommKind, priority: i64) -> PlannedCollective {
+    let (tag, op_kind) = match kind {
+        CommKind::DenseBlock(m) => (format!("dense_block/{m}"), "allreduce_dense"),
+        CommKind::EmbData(m) => (format!("emb_data/{m}"), "alltoall_dense"),
+        CommKind::PriorGrad(m) => (format!("prior_grad/{m}"), "alltoallv_sparse"),
+        CommKind::DelayedGrad(m) => (format!("delayed_grad/{m}"), "alltoallv_sparse"),
+    };
+    // Payload bytes are model-dependent; the horizontal plan checks
+    // ordering and SPMD shape, so they are recorded as 0 here.
+    PlannedCollective { tag, kind: op_kind, priority, bytes: 0 }
+}
+
+/// Build the static SPMD schedule plan of one training step from the
+/// horizontal priority assignment: every rank submits the same ops with
+/// the same priorities (the EmbRace guarantee the verifier then checks).
+pub fn horizontal_schedule_plan(priorities: &Priorities, world: usize) -> SchedulePlan {
+    let ops: Vec<PlannedCollective> =
+        priorities.schedule_ops().into_iter().map(|(k, p)| comm_kind_planned(k, p)).collect();
+    SchedulePlan { world, ranks: vec![ops; world] }
+}
+
+/// A [`Comm`] endpoint that performs no communication but records the
+/// point-to-point trace as plan ops. Receives are satisfied from a queue
+/// of scripted packets (typically produced by a paired in-process run);
+/// when the script runs dry the recv still records and yields
+/// [`Packet::Empty`], which is fine for plan extraction of send-shapes.
+pub struct RecordingEndpoint {
+    rank: usize,
+    world: usize,
+    trace: Vec<P2pOp>,
+    scripted: Vec<std::collections::VecDeque<Packet>>,
+}
+
+impl RecordingEndpoint {
+    pub fn new(rank: usize, world: usize) -> Self {
+        RecordingEndpoint {
+            rank,
+            world,
+            trace: Vec::new(),
+            scripted: (0..world).map(|_| std::collections::VecDeque::new()).collect(),
+        }
+    }
+
+    /// Queue a packet to be returned by a later `try_recv(from)`.
+    pub fn script(&mut self, from: usize, packet: Packet) {
+        self.scripted[from].push_back(packet);
+    }
+
+    /// The point-to-point trace recorded so far.
+    pub fn trace(&self) -> &[P2pOp] {
+        &self.trace
+    }
+
+    pub fn into_trace(self) -> Vec<P2pOp> {
+        self.trace
+    }
+}
+
+impl Comm for RecordingEndpoint {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn world(&self) -> usize {
+        self.world
+    }
+
+    fn try_send(&mut self, to: usize, packet: Packet) -> Result<(), CommError> {
+        self.trace.push(P2pOp::Send { to, bytes: packet.nbytes() as u64 });
+        Ok(())
+    }
+
+    fn try_recv(&mut self, from: usize) -> Result<Packet, CommError> {
+        let packet = self.scripted[from].pop_front().unwrap_or(Packet::Empty);
+        self.trace.push(P2pOp::Recv { from, bytes: packet.nbytes() as u64 });
+        Ok(packet)
+    }
+}
+
+/// Scheduler token-gather priority used by the trainer (kept in sync with
+/// `embrace-trainer`; the verifier only needs relative order).
+pub const TOKEN_GATHER_PRIORITY: i64 = -4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embrace_tensor::TOKEN_BYTES;
+
+    #[test]
+    fn barrier_plan_shape() {
+        let p = barrier_plan(3);
+        assert_eq!(p.ranks[0].len(), 4); // 2 recvs + 2 sends
+        assert_eq!(
+            p.ranks[1],
+            vec![P2pOp::Send { to: 0, bytes: 0 }, P2pOp::Recv { from: 0, bytes: 0 },]
+        );
+        assert_eq!(barrier_plan(1).ranks[0], vec![]);
+    }
+
+    #[test]
+    fn ring_plan_conserves_bytes_per_rank() {
+        for world in [2, 3, 4] {
+            // Evenly divisible chunks: per-rank symmetry holds exactly.
+            let p = ring_allreduce_plan(world, 12);
+            for r in 0..world {
+                assert_eq!(p.bytes_sent(r), p.bytes_received(r), "rank {r}");
+                assert_eq!(p.ranks[r].len(), 4 * (world - 1));
+            }
+            // Uneven chunks: conservation holds globally.
+            let p = ring_allreduce_plan(world, 11);
+            let sent: u64 = (0..world).map(|r| p.bytes_sent(r)).sum();
+            let recv: u64 = (0..world).map(|r| p.bytes_received(r)).sum();
+            assert_eq!(sent, recv);
+        }
+    }
+
+    #[test]
+    fn alltoall_plan_links_match_matrix() {
+        let bytes = vec![vec![0, 10, 20], vec![30, 0, 40], vec![50, 60, 0]];
+        let p = alltoall_plan("alltoall_dense", &bytes);
+        assert_eq!(p.link_traffic(0, 1), (1, 10));
+        assert_eq!(p.link_traffic(2, 1), (1, 60));
+        assert_eq!(p.link_traffic(1, 1), (0, 0));
+    }
+
+    #[test]
+    fn lookup_bytes_depend_on_dest_batch_and_own_shard() {
+        let m = lookup_alltoall_bytes(&[2, 5], 8);
+        // rank 0 shard is 4 cols wide; to rank 1 it sends 5 rows × 4 cols.
+        assert_eq!(m[0][1], (5 * 4 * F32_BYTES) as u64);
+        assert_eq!(m[1][0], (2 * 4 * F32_BYTES) as u64);
+    }
+
+    #[test]
+    fn tokens_plan_roundtrip_constant() {
+        let p = allgather_plan(2, &[(3 * TOKEN_BYTES) as u64, TOKEN_BYTES as u64]);
+        assert_eq!(p.bytes_sent(0), (3 * TOKEN_BYTES) as u64);
+        assert_eq!(p.bytes_received(0), TOKEN_BYTES as u64);
+    }
+}

@@ -34,6 +34,8 @@
 //! assert!(dequantize_8bit(&q).max_abs_diff(&g) <= q.scale / 2.0 + 1e-6);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bytescheduler;
 pub mod compression;
 pub mod horovod;

@@ -13,6 +13,17 @@ use embrace_trainer::report::table;
 use embrace_trainer::{simulate, SimConfig};
 
 fn main() {
+    // `embrace_sim verify-plan`: static comm-plan verification + model
+    // checking instead of simulation.
+    if std::env::args().nth(1).as_deref() == Some("verify-plan") {
+        match embrace_bench::verify_plan::run() {
+            Ok(()) => return,
+            Err(msg) => {
+                eprintln!("verify-plan FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
     let args = match parse_args(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(msg) => {

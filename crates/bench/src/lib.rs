@@ -10,7 +10,10 @@
 //!   substrate itself (real thread collectives, coalescing/Algorithm 1
 //!   throughput, the discrete-event simulator, the cost model sweeps).
 
+#![forbid(unsafe_code)]
+
 pub mod cli;
+pub mod verify_plan;
 
 use embrace_simnet::Cluster;
 

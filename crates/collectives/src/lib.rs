@@ -39,11 +39,15 @@
 //! guards whole groups with a deadlock watchdog. See the module docs of
 //! [`ops`] and [`transport`] for the survivor guarantees.
 
+#![forbid(unsafe_code)]
+
 pub mod group;
 pub mod ops;
 pub mod scheduler;
 pub mod transport;
 
 pub use group::{run_group, run_group_with_deadline, run_group_with_faults, GroupError};
-pub use scheduler::{CommOp, CommResult, CommScheduler, Ticket};
-pub use transport::{mesh, mesh_with_faults, CommError, Endpoint, FaultPlan, Packet, RetryPolicy};
+pub use scheduler::{CommOp, CommResult, CommScheduler, SubmittedOp, Ticket};
+pub use transport::{
+    mesh, mesh_with_faults, Comm, CommError, Endpoint, FaultPlan, Packet, RetryPolicy,
+};

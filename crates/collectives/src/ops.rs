@@ -1,9 +1,13 @@
 //! The collective algorithms themselves.
 //!
 //! All functions are SPMD: every rank of a group calls the same function
-//! with its own [`Endpoint`] and the call returns the rank's share of the
-//! result. Sends are non-blocking (unbounded channels), so no algorithm
-//! here can deadlock regardless of send/recv interleaving.
+//! with its own transport handle and the call returns the rank's share of
+//! the result. Every algorithm is generic over [`Comm`] — the production
+//! mesh [`crate::transport::Endpoint`] on the fast path, or the recording
+//! and virtual endpoints `embrace-analyzer` uses to extract communication
+//! plans and model-check interleavings. Sends are non-blocking (unbounded
+//! channels), so no algorithm here can deadlock regardless of send/recv
+//! interleaving.
 //!
 //! # Failure semantics
 //!
@@ -33,13 +37,13 @@
 //! fault produces no disconnection edge, so a blocking receive would wait
 //! forever where a deadline turns it into [`CommError::Timeout`].
 
-use crate::transport::{CommError, Endpoint, Packet};
+use crate::transport::{Comm, CommError, Packet};
 use embrace_tensor::{row_partition, DenseTensor, RowSparse};
 
 /// Best-effort abort broadcast, then pass the error through. Locally
 /// detected failures notify every peer; received aborts are not
 /// re-broadcast (the origin already told everyone).
-fn fail<T>(ep: &mut Endpoint, err: CommError) -> Result<T, CommError> {
+fn fail<T, C: Comm>(ep: &mut C, err: CommError) -> Result<T, CommError> {
     if !matches!(err, CommError::Aborted { .. }) {
         let origin = ep.rank();
         for dst in 0..ep.world() {
@@ -52,13 +56,13 @@ fn fail<T>(ep: &mut Endpoint, err: CommError) -> Result<T, CommError> {
 }
 
 /// Synchronise all ranks: no rank returns before every rank has entered.
-pub fn barrier(ep: &mut Endpoint) {
+pub fn barrier<C: Comm>(ep: &mut C) {
     try_barrier(ep).expect("collective failed");
 }
 
 /// Fallible [`barrier`]: rank 0 gathers one message per rank then releases
 /// everyone. A failure on any rank aborts the whole group.
-pub fn try_barrier(ep: &mut Endpoint) -> Result<(), CommError> {
+pub fn try_barrier<C: Comm>(ep: &mut C) -> Result<(), CommError> {
     let world = ep.world();
     if world == 1 {
         return Ok(());
@@ -88,15 +92,15 @@ pub fn try_barrier(ep: &mut Endpoint) -> Result<(), CommError> {
 }
 
 /// Broadcast `packet` from `root` to every rank; returns the packet on all.
-pub fn broadcast(ep: &mut Endpoint, root: usize, packet: Option<Packet>) -> Packet {
+pub fn broadcast<C: Comm>(ep: &mut C, root: usize, packet: Option<Packet>) -> Packet {
     try_broadcast(ep, root, packet).expect("collective failed")
 }
 
 /// Fallible [`broadcast`]. A non-root failure does not disturb the root
 /// (it performs no receives); it surfaces on the failed rank and, via the
 /// abort notification, on any rank still blocked in a later collective.
-pub fn try_broadcast(
-    ep: &mut Endpoint,
+pub fn try_broadcast<C: Comm>(
+    ep: &mut C,
     root: usize,
     packet: Option<Packet>,
 ) -> Result<Packet, CommError> {
@@ -126,13 +130,13 @@ pub fn try_broadcast(
 /// Implements the classic two-phase algorithm (Patarasuk & Yuan 2009) the
 /// paper's Table 2 analyses: N−1 reduce-scatter steps then N−1 all-gather
 /// steps, each moving one of N near-equal chunks around the ring.
-pub fn ring_allreduce(ep: &mut Endpoint, buf: &mut [f32]) {
+pub fn ring_allreduce<C: Comm>(ep: &mut C, buf: &mut [f32]) {
     try_ring_allreduce(ep, buf).expect("collective failed");
 }
 
 /// Fallible [`ring_allreduce`]. On `Err` the contents of `buf` are
 /// unspecified (the reduction was interrupted part-way).
-pub fn try_ring_allreduce(ep: &mut Endpoint, buf: &mut [f32]) -> Result<(), CommError> {
+pub fn try_ring_allreduce<C: Comm>(ep: &mut C, buf: &mut [f32]) -> Result<(), CommError> {
     let world = ep.world();
     let rank = ep.rank();
     if world == 1 {
@@ -185,13 +189,13 @@ pub fn try_ring_allreduce(ep: &mut Endpoint, buf: &mut [f32]) -> Result<(), Comm
 
 /// AllGather of per-rank dense tensors; returns all ranks' tensors in rank
 /// order (own tensor included).
-pub fn allgather_dense(ep: &mut Endpoint, local: DenseTensor) -> Vec<DenseTensor> {
+pub fn allgather_dense<C: Comm>(ep: &mut C, local: DenseTensor) -> Vec<DenseTensor> {
     try_allgather_dense(ep, local).expect("collective failed")
 }
 
 /// Fallible [`allgather_dense`].
-pub fn try_allgather_dense(
-    ep: &mut Endpoint,
+pub fn try_allgather_dense<C: Comm>(
+    ep: &mut C,
     local: DenseTensor,
 ) -> Result<Vec<DenseTensor>, CommError> {
     let world = ep.world();
@@ -221,13 +225,13 @@ pub fn try_allgather_dense(
 /// (§2.2): every rank receives every other rank's COO tensor. The returned
 /// concatenation is *uncoalesced*; summing duplicates is the caller's job,
 /// exactly as in `horovod.torch.allreduce_` for sparse inputs.
-pub fn allgather_sparse(ep: &mut Endpoint, local: RowSparse) -> Vec<RowSparse> {
+pub fn allgather_sparse<C: Comm>(ep: &mut C, local: RowSparse) -> Vec<RowSparse> {
     try_allgather_sparse(ep, local).expect("collective failed")
 }
 
 /// Fallible [`allgather_sparse`].
-pub fn try_allgather_sparse(
-    ep: &mut Endpoint,
+pub fn try_allgather_sparse<C: Comm>(
+    ep: &mut C,
     local: RowSparse,
 ) -> Result<Vec<RowSparse>, CommError> {
     let world = ep.world();
@@ -255,13 +259,13 @@ pub fn try_allgather_sparse(
 
 /// AllGather of token-id batches; feeds `D_cur` in Algorithm 1 (every rank
 /// learns which tokens every other rank's batch contains).
-pub fn allgather_tokens(ep: &mut Endpoint, local: Vec<u32>) -> Vec<Vec<u32>> {
+pub fn allgather_tokens<C: Comm>(ep: &mut C, local: Vec<u32>) -> Vec<Vec<u32>> {
     try_allgather_tokens(ep, local).expect("collective failed")
 }
 
 /// Fallible [`allgather_tokens`].
-pub fn try_allgather_tokens(
-    ep: &mut Endpoint,
+pub fn try_allgather_tokens<C: Comm>(
+    ep: &mut C,
     local: Vec<u32>,
 ) -> Result<Vec<Vec<u32>>, CommError> {
     let world = ep.world();
@@ -290,13 +294,13 @@ pub fn try_allgather_tokens(
 /// AlltoAll of dense blocks: `parts[j]` goes to rank `j`; returns the
 /// blocks received, indexed by source rank (own block kept in place).
 /// This is AlltoAll #1 of §4.1.1 — redistributing embedding lookup results.
-pub fn alltoall_dense(ep: &mut Endpoint, parts: Vec<DenseTensor>) -> Vec<DenseTensor> {
+pub fn alltoall_dense<C: Comm>(ep: &mut C, parts: Vec<DenseTensor>) -> Vec<DenseTensor> {
     try_alltoall_dense(ep, parts).expect("collective failed")
 }
 
 /// Fallible [`alltoall_dense`].
-pub fn try_alltoall_dense(
-    ep: &mut Endpoint,
+pub fn try_alltoall_dense<C: Comm>(
+    ep: &mut C,
     mut parts: Vec<DenseTensor>,
 ) -> Result<Vec<DenseTensor>, CommError> {
     let world = ep.world();
@@ -326,13 +330,13 @@ pub fn try_alltoall_dense(
 
 /// AlltoAllv of row-sparse blocks: `parts[j]` goes to rank `j`. This is
 /// AlltoAll #2 of §4.1.1 — exchanging column-sharded embedding gradients.
-pub fn alltoallv_sparse(ep: &mut Endpoint, parts: Vec<RowSparse>) -> Vec<RowSparse> {
+pub fn alltoallv_sparse<C: Comm>(ep: &mut C, parts: Vec<RowSparse>) -> Vec<RowSparse> {
     try_alltoallv_sparse(ep, parts).expect("collective failed")
 }
 
 /// Fallible [`alltoallv_sparse`].
-pub fn try_alltoallv_sparse(
-    ep: &mut Endpoint,
+pub fn try_alltoallv_sparse<C: Comm>(
+    ep: &mut C,
     mut parts: Vec<RowSparse>,
 ) -> Result<Vec<RowSparse>, CommError> {
     let world = ep.world();

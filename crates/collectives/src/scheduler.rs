@@ -11,10 +11,14 @@
 //! thread reaches it. Correctness therefore requires all ranks to enqueue
 //! the same multiset of operations with the same priorities — which the
 //! EmbRace algorithm guarantees (priorities are a pure function of the
-//! model graph) and a debug assertion cross-checks via an op tag.
+//! model graph) and an always-on cross-rank fingerprint check enforces:
+//! divergent enqueues surface as [`CommResult::Failed`] carrying
+//! [`CommError::Protocol`] instead of deadlocking inside a collective.
+//! The same submissions are recorded in a per-scheduler [`SubmittedOp`]
+//! log that `embrace-analyzer`'s static plan verifier consumes.
 
 use crate::ops::{allgather_tokens, alltoall_dense, alltoallv_sparse, ring_allreduce};
-use crate::transport::Endpoint;
+use crate::transport::{CommError, Endpoint};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use embrace_tensor::RowSparse;
 use std::thread::JoinHandle;
@@ -34,6 +38,32 @@ pub enum CommOp {
     Flush,
 }
 
+impl CommOp {
+    /// Short name of the operation kind — part of the cross-rank SPMD
+    /// fingerprint and of [`SubmittedOp`] records.
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            CommOp::AllReduceDense(_) => "allreduce_dense",
+            CommOp::AlltoAllDense(_) => "alltoall_dense",
+            CommOp::AlltoAllSparse(_) => "alltoallv_sparse",
+            CommOp::GatherTokens(_) => "gather_tokens",
+            CommOp::Flush => "flush",
+        }
+    }
+
+    /// Wire bytes of this rank's outgoing payload (plan accounting; the
+    /// per-rank value may legitimately differ across ranks for gathers).
+    pub fn payload_bytes(&self) -> u64 {
+        match self {
+            CommOp::AllReduceDense(buf) => (buf.len() * embrace_tensor::F32_BYTES) as u64,
+            CommOp::AlltoAllDense(parts) => parts.iter().map(|p| p.nbytes() as u64).sum(),
+            CommOp::AlltoAllSparse(parts) => parts.iter().map(|p| p.nbytes() as u64).sum(),
+            CommOp::GatherTokens(toks) => (toks.len() * embrace_tensor::TOKEN_BYTES) as u64,
+            CommOp::Flush => 0,
+        }
+    }
+}
+
 /// The result of a completed [`CommOp`].
 #[derive(Debug)]
 pub enum CommResult {
@@ -42,6 +72,25 @@ pub enum CommResult {
     AlltoAllSparse(Vec<RowSparse>),
     GatherTokens(Vec<Vec<u32>>),
     Flush,
+    /// The operation was not executed: the cross-rank SPMD consistency
+    /// check failed (divergent enqueues) and the scheduler shut down
+    /// instead of deadlocking.
+    Failed(CommError),
+}
+
+/// One record of the submission log: everything the static plan verifier
+/// needs to cross-check SPMD consistency of a live scheduler's enqueues
+/// (`embrace-analyzer` consumes these via its schedule-plan IR).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubmittedOp {
+    /// Queue priority (lower = sooner).
+    pub priority: i64,
+    /// Cross-rank consistency tag.
+    pub tag: String,
+    /// Operation kind (see [`CommOp::kind_str`]).
+    pub kind: &'static str,
+    /// Outgoing payload bytes on this rank.
+    pub bytes: u64,
 }
 
 /// Ticket redeemable for the operation's result (blocks until the
@@ -76,6 +125,7 @@ pub struct CommScheduler {
     tx: Sender<Msg>,
     seq: u64,
     handle: Option<JoinHandle<()>>,
+    log: Vec<SubmittedOp>,
 }
 
 impl CommScheduler {
@@ -86,17 +136,31 @@ impl CommScheduler {
             .name(format!("embrace-comm-{}", ep.rank()))
             .spawn(move || comm_thread(&mut ep, rx))
             .expect("failed to spawn communication thread");
-        CommScheduler { tx, seq: 0, handle: Some(handle) }
+        CommScheduler { tx, seq: 0, handle: Some(handle), log: Vec::new() }
     }
 
     /// Enqueue `op` with `priority` (lower = sooner). `tag` names the
     /// operation for cross-rank consistency checking. Returns a ticket.
     pub fn submit(&mut self, priority: i64, tag: impl Into<String>, op: CommOp) -> Ticket {
         let (done, rx) = bounded(1);
-        let job = Job { priority, tag: tag.into(), op, done };
+        let tag = tag.into();
+        self.log.push(SubmittedOp {
+            priority,
+            tag: tag.clone(),
+            kind: op.kind_str(),
+            bytes: op.payload_bytes(),
+        });
+        let job = Job { priority, tag, op, done };
         self.seq += 1;
         self.tx.send(Msg::Submit(job)).expect("communication thread gone");
         Ticket { rx }
+    }
+
+    /// Every operation submitted so far, in submission order — the raw
+    /// material of the static SPMD plan check (identical multiset of
+    /// `(tag, kind, priority)` required on every rank).
+    pub fn submitted(&self) -> &[SubmittedOp] {
+        &self.log
     }
 
     /// Block until all previously submitted operations have executed.
@@ -149,13 +213,18 @@ fn comm_thread(ep: &mut Endpoint, rx: Receiver<Msg>) {
             }
             if let Some((_, job)) = queue.pop() {
                 broadcast_tag(ep, &job.tag);
-                execute(ep, job);
+                if execute(ep, job).is_err() {
+                    // Divergent enqueue detected: fail fast. Pending
+                    // tickets are dropped, so waiters observe the
+                    // shutdown instead of deadlocking on a collective
+                    // that can never complete.
+                    return;
+                }
             }
         }
         broadcast_tag(ep, SHUTDOWN_TAG);
     } else {
-        loop {
-            let tag = recv_tag(ep);
+        while let Some(tag) = recv_tag(ep) {
             if tag == SHUTDOWN_TAG {
                 break;
             }
@@ -173,7 +242,9 @@ fn comm_thread(ep: &mut Endpoint, rx: Receiver<Msg>) {
                     ),
                 }
             };
-            execute(ep, job);
+            if execute(ep, job).is_err() {
+                return;
+            }
         }
     }
 }
@@ -184,19 +255,28 @@ fn broadcast_tag(ep: &mut Endpoint, tag: &str) {
     use crate::transport::Packet;
     let bytes: Vec<u32> = tag.bytes().map(u32::from).collect();
     for dst in 1..ep.world() {
-        ep.send(dst, Packet::Tokens(bytes.clone()));
+        // A peer whose comm thread already failed fast is gone; that is
+        // its own typed failure, not a reason to panic here.
+        let _ = ep.try_send(dst, Packet::Tokens(bytes.clone()));
     }
 }
 
-fn recv_tag(ep: &Endpoint) -> String {
-    let bytes = ep.recv(0).into_tokens();
-    bytes.into_iter().map(|b| b as u8 as char).collect()
+fn recv_tag(ep: &mut Endpoint) -> Option<String> {
+    // `None` (rank 0's endpoint is gone) means the controller shut down —
+    // possibly via the fail-fast path — so this thread must exit too.
+    let bytes = ep.try_recv(0).ok()?.try_into_tokens().ok()?;
+    Some(bytes.into_iter().map(|b| b as u8 as char).collect())
 }
 
-fn execute(ep: &mut Endpoint, job: Job) {
-    // Cross-rank consistency: all ranks must run collectives in the same
-    // order. Exchange the op tag with rank 0 in debug builds.
-    debug_assert!(verify_tag(ep, &job.tag), "ranks disagree on collective order: {}", job.tag);
+fn execute(ep: &mut Endpoint, job: Job) -> Result<(), CommError> {
+    // Cross-rank consistency: all ranks must run the same op, in the same
+    // order, with the same priority. Always on (not just a debug assert):
+    // a divergent enqueue in a release build would otherwise surface as a
+    // silent deadlock inside a collective.
+    if let Err(err) = verify_spmd_fingerprint(ep, &job) {
+        let _ = job.done.send(CommResult::Failed(err.clone()));
+        return Err(err);
+    }
     let result = match job.op {
         CommOp::AllReduceDense(mut buf) => {
             ring_allreduce(ep, &mut buf);
@@ -210,22 +290,39 @@ fn execute(ep: &mut Endpoint, job: Job) {
     // The submitter may have dropped the ticket (fire-and-forget delayed
     // gradients) — that's fine.
     let _ = job.done.send(result);
+    Ok(())
 }
 
-#[cfg(debug_assertions)]
-fn verify_tag(ep: &mut Endpoint, tag: &str) -> bool {
-    use crate::transport::Packet;
-    // Fingerprint the tag; gather everyone's and compare. Uses the same
-    // mesh, so it also enforces the ordering it checks.
-    let fp = tag.bytes().fold(0u32, |a, b| a.wrapping_mul(31).wrapping_add(b as u32));
-    let all = allgather_tokens(ep, vec![fp]);
-    let _ = Packet::Empty;
-    all.iter().all(|v| v == &vec![fp])
-}
-
-#[cfg(not(debug_assertions))]
-fn verify_tag(_ep: &mut Endpoint, _tag: &str) -> bool {
-    true
+/// Fingerprint the `(tag, priority, kind)` triple of the op this rank is
+/// about to run; allgather everyone's and compare. Uses the same mesh, so
+/// it also enforces the ordering it checks. Payload bytes are deliberately
+/// *not* part of the fingerprint: per-rank payload sizes legitimately
+/// differ (variable-length gathers).
+fn verify_spmd_fingerprint(ep: &mut Endpoint, job: &Job) -> Result<(), CommError> {
+    let mut fp = 0xcbf29ce484222325u64; // FNV-1a
+    let mut mix = |byte: u8| {
+        fp ^= byte as u64;
+        fp = fp.wrapping_mul(0x100000001b3);
+    };
+    for b in job.tag.bytes() {
+        mix(b);
+    }
+    for b in job.priority.to_le_bytes() {
+        mix(b);
+    }
+    for b in job.op.kind_str().bytes() {
+        mix(b);
+    }
+    let local = vec![fp as u32, (fp >> 32) as u32];
+    let all = allgather_tokens(ep, local.clone());
+    if all.iter().all(|v| v == &local) {
+        Ok(())
+    } else {
+        Err(CommError::Protocol {
+            expected: "identical (tag, priority, kind) on every rank",
+            got: "divergent SPMD op fingerprint",
+        })
+    }
 }
 
 /// Minimal internal shim so this crate does not depend on `embrace-dlsim`
@@ -445,6 +542,55 @@ mod more_tests {
         let CommResult::AllReduceDense(buf) = t.wait() else { panic!("wrong kind") };
         assert_eq!(buf, vec![4.0]);
         s.flush();
+    }
+
+    #[test]
+    fn divergent_priorities_fail_fast_with_protocol_error() {
+        // Both ranks submit the same tag but disagree on its priority: the
+        // always-on SPMD fingerprint check must reject the op on every
+        // rank instead of letting the mismatch fester into a deadlock.
+        let mut scheds: Vec<CommScheduler> =
+            mesh(2).into_iter().map(CommScheduler::spawn).collect();
+        let tickets: Vec<Ticket> = scheds
+            .iter_mut()
+            .enumerate()
+            .map(|(rank, s)| {
+                s.submit(rank as i64, "skewed", CommOp::GatherTokens(vec![rank as u32]))
+            })
+            .collect();
+        for t in tickets {
+            match t.wait() {
+                CommResult::Failed(crate::transport::CommError::Protocol { .. }) => {}
+                other => panic!("expected Failed(Protocol), got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn submission_log_records_everything() {
+        let mut scheds: Vec<CommScheduler> =
+            mesh(2).into_iter().map(CommScheduler::spawn).collect();
+        for (rank, s) in scheds.iter_mut().enumerate() {
+            s.submit(3, "g", CommOp::GatherTokens(vec![rank as u32, 9]));
+            s.submit(-1, "ar", CommOp::AllReduceDense(vec![0.0; 4]));
+        }
+        std::thread::scope(|sc| {
+            for s in scheds.iter_mut() {
+                sc.spawn(move || s.flush());
+            }
+        });
+        for s in &scheds {
+            let log = s.submitted();
+            assert_eq!(log.len(), 3); // two ops + the flush fence
+            assert_eq!(
+                (log[0].tag.as_str(), log[0].kind, log[0].priority),
+                ("g", "gather_tokens", 3)
+            );
+            assert_eq!(log[0].bytes, 2 * embrace_tensor::TOKEN_BYTES as u64);
+            assert_eq!((log[1].tag.as_str(), log[1].kind), ("ar", "allreduce_dense"));
+            assert_eq!(log[1].bytes, 4 * embrace_tensor::F32_BYTES as u64);
+            assert_eq!(log[2].kind, "flush");
+        }
     }
 
     #[test]

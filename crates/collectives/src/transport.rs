@@ -34,6 +34,42 @@ use std::collections::HashMap;
 use std::fmt;
 use std::time::Duration;
 
+/// The transport capability the collective algorithms actually need:
+/// addressed fallible point-to-point send/receive plus the rank/world
+/// identity. [`Endpoint`] is the production implementation (threaded
+/// in-memory mesh); `embrace-analyzer` provides recording and virtual
+/// implementations so the *same* collective code can be traced for the
+/// static plan verifier or replayed under a model checker without
+/// touching any real channel.
+pub trait Comm {
+    /// This rank's id within the group.
+    fn rank(&self) -> usize;
+    /// Number of ranks in the group.
+    fn world(&self) -> usize;
+    /// Send `packet` to rank `to`, reporting failure as a typed error.
+    fn try_send(&mut self, to: usize, packet: Packet) -> Result<(), CommError>;
+    /// Receive the next packet from rank `from`.
+    fn try_recv(&mut self, from: usize) -> Result<Packet, CommError>;
+}
+
+impl Comm for Endpoint {
+    fn rank(&self) -> usize {
+        Endpoint::rank(self)
+    }
+
+    fn world(&self) -> usize {
+        Endpoint::world(self)
+    }
+
+    fn try_send(&mut self, to: usize, packet: Packet) -> Result<(), CommError> {
+        Endpoint::try_send(self, to, packet)
+    }
+
+    fn try_recv(&mut self, from: usize) -> Result<Packet, CommError> {
+        Endpoint::try_recv(self, from)
+    }
+}
+
 /// One unit of data on the wire. The transport is typed rather than
 /// byte-serialised (everything is in-process), but [`Packet::nbytes`]
 /// reports the size the payload would occupy on a real wire so traffic
@@ -369,6 +405,9 @@ pub struct Endpoint {
     rx: Vec<Receiver<Packet>>,
     bytes_sent: u64,
     msgs_sent: u64,
+    /// Per-destination (messages, bytes) pushed onto the wire; feeds the
+    /// static plan verifier's cross-validation against extracted plans.
+    sent_per_peer: Vec<(u64, u64)>,
     /// Default deadline for `try_recv`; `None` = block forever (the
     /// fault-free fast path).
     deadline: Option<Duration>,
@@ -416,6 +455,8 @@ impl Endpoint {
         }
         self.bytes_sent += packet.nbytes() as u64;
         self.msgs_sent += 1;
+        self.sent_per_peer[to].0 += 1;
+        self.sent_per_peer[to].1 += packet.nbytes() as u64;
         if let Some(f) = self.faults.as_mut() {
             let n = f.delivered[to];
             f.delivered[to] = n + 1;
@@ -535,6 +576,16 @@ impl Endpoint {
     pub fn msgs_sent(&self) -> u64 {
         self.msgs_sent
     }
+
+    /// Messages this endpoint has sent to `peer`.
+    pub fn msgs_sent_to(&self, peer: usize) -> u64 {
+        self.sent_per_peer[peer].0
+    }
+
+    /// Bytes this endpoint has sent to `peer`.
+    pub fn bytes_sent_to(&self, peer: usize) -> u64 {
+        self.sent_per_peer[peer].1
+    }
 }
 
 /// Construct a full mesh of `world` endpoints with no fault state and
@@ -575,6 +626,7 @@ pub fn mesh_with_faults(
             rx: rx_row.into_iter().map(Option::unwrap).collect(),
             bytes_sent: 0,
             msgs_sent: 0,
+            sent_per_peer: vec![(0, 0); world],
             deadline,
             faults: plan.link_state_for(rank, world),
             crash_at_step: plan.crash_step(rank),

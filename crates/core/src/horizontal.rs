@@ -40,20 +40,55 @@ pub enum CommKind {
 pub struct Priorities {
     /// Dense-block priority by module index (0 = first in FP order).
     dense: Vec<Option<i64>>,
+    /// Embedding module indices, in FP order.
+    embeddings: Vec<usize>,
 }
 
 impl Priorities {
     /// Assign priorities per §4.2.1: dense blocks numbered in FP order.
     pub fn assign(graph: &ModelGraph) -> Self {
         let mut dense = vec![None; graph.len()];
+        let mut embeddings = Vec::new();
         let mut next = 0i64;
         for i in graph.fp_order() {
-            if !graph.modules[i].is_embedding() {
+            if graph.modules[i].is_embedding() {
+                embeddings.push(i);
+            } else {
                 dense[i] = Some(next);
                 next += 1;
             }
         }
-        Priorities { dense }
+        Priorities { dense, embeddings }
+    }
+
+    /// Embedding module indices in FP order.
+    pub fn embedding_modules(&self) -> &[usize] {
+        &self.embeddings
+    }
+
+    /// The full horizontal schedule of one training step: every
+    /// communication operation the 2D schedule emits, paired with its
+    /// priority, in ascending priority order (the order the scheduler's
+    /// queue would drain them when all are pending). This is the schedule
+    /// plan `embrace-analyzer`'s static verifier checks for priority
+    /// monotonicity and SPMD consistency — built without touching any
+    /// transport.
+    pub fn schedule_ops(&self) -> Vec<(CommKind, i64)> {
+        let mut ops = Vec::new();
+        for &e in &self.embeddings {
+            ops.push((CommKind::PriorGrad(e), self.of(CommKind::PriorGrad(e))));
+            ops.push((CommKind::EmbData(e), self.of(CommKind::EmbData(e))));
+        }
+        for (m, p) in self.dense.iter().enumerate() {
+            if p.is_some() {
+                ops.push((CommKind::DenseBlock(m), self.of(CommKind::DenseBlock(m))));
+            }
+        }
+        for &e in &self.embeddings {
+            ops.push((CommKind::DelayedGrad(e), self.of(CommKind::DelayedGrad(e))));
+        }
+        ops.sort_by_key(|&(_, p)| p);
+        ops
     }
 
     /// Priority value of a communication operation.
@@ -102,6 +137,18 @@ mod tests {
         assert!(prior < data, "prior gradients beat embedding data");
         assert!(data < first_dense, "embedding data beats all dense blocks");
         assert!(last_dense < delayed, "delayed gradients come last");
+    }
+
+    #[test]
+    fn schedule_ops_is_sorted_and_complete() {
+        let p = Priorities::assign(&graph());
+        let ops = p.schedule_ops();
+        // 2 embeddings × 3 sparse ops + 4 dense blocks = 10 ops.
+        assert_eq!(ops.len(), 10);
+        assert!(ops.windows(2).all(|w| w[0].1 <= w[1].1), "ascending priorities");
+        assert!(matches!(ops[0].0, CommKind::PriorGrad(_)));
+        assert!(matches!(ops.last().unwrap().0, CommKind::DelayedGrad(_)));
+        assert_eq!(p.embedding_modules(), &[0, 3]);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 use embrace_collectives::ops::{
     alltoall_dense, alltoallv_sparse, try_alltoall_dense, try_alltoallv_sparse,
 };
-use embrace_collectives::{CommError, Endpoint};
+use embrace_collectives::{Comm, CommError};
 use embrace_dlsim::optim::{Optimizer, UpdatePart};
 use embrace_dlsim::EmbeddingTable;
 use embrace_tensor::{coalesce, column_partition, ColumnRange, DenseTensor, RowSparse};
@@ -75,7 +75,7 @@ impl ColumnShardedEmbedding {
     /// Forward: given every rank's batch tokens (`all_tokens[r]`), perform
     /// the local lookups and AlltoAll #1; returns this rank's full-width
     /// lookup output for its own batch.
-    pub fn forward(&self, ep: &mut Endpoint, all_tokens: &[Vec<u32>]) -> DenseTensor {
+    pub fn forward<C: Comm>(&self, ep: &mut C, all_tokens: &[Vec<u32>]) -> DenseTensor {
         assert_eq!(all_tokens.len(), ep.world(), "need every rank's tokens");
         let outgoing = self.lookup_parts(all_tokens);
         // AlltoAll #1: receive my batch's column blocks from every shard.
@@ -86,9 +86,9 @@ impl ColumnShardedEmbedding {
     /// Fallible [`Self::forward`]: AlltoAll #1 failures surface as typed
     /// [`CommError`]s instead of panics (see `embrace_collectives::ops`
     /// for the abort/poisoning contract).
-    pub fn try_forward(
+    pub fn try_forward<C: Comm>(
         &self,
-        ep: &mut Endpoint,
+        ep: &mut C,
         all_tokens: &[Vec<u32>],
     ) -> Result<DenseTensor, CommError> {
         assert_eq!(all_tokens.len(), ep.world(), "need every rank's tokens");
@@ -115,9 +115,9 @@ impl ColumnShardedEmbedding {
     /// `my_tokens`) into per-shard column blocks and run AlltoAll #2;
     /// returns the coalesced gradient for *this* worker's shard
     /// (full-vocab row ids, shard-width values).
-    pub fn backward(
+    pub fn backward<C: Comm>(
         &self,
-        ep: &mut Endpoint,
+        ep: &mut C,
         my_tokens: &[u32],
         grad_out: &DenseTensor,
     ) -> RowSparse {
@@ -133,9 +133,9 @@ impl ColumnShardedEmbedding {
     }
 
     /// Fallible [`Self::backward`].
-    pub fn try_backward(
+    pub fn try_backward<C: Comm>(
         &self,
-        ep: &mut Endpoint,
+        ep: &mut C,
         my_tokens: &[u32],
         grad_out: &DenseTensor,
     ) -> Result<RowSparse, CommError> {
@@ -153,16 +153,16 @@ impl ColumnShardedEmbedding {
     /// Backward for an already-split gradient part (Vertical Scheduling):
     /// same exchange, but the caller passes per-destination row-sparse
     /// blocks built from `G_p` or `G_d` instead of the raw output grad.
-    pub fn exchange_grad_part(&self, ep: &mut Endpoint, part: &RowSparse) -> RowSparse {
+    pub fn exchange_grad_part<C: Comm>(&self, ep: &mut C, part: &RowSparse) -> RowSparse {
         let outgoing = self.grad_parts(part);
         let received = alltoallv_sparse(ep, outgoing);
         Self::merge_grad_shards(&received)
     }
 
     /// Fallible [`Self::exchange_grad_part`].
-    pub fn try_exchange_grad_part(
+    pub fn try_exchange_grad_part<C: Comm>(
         &self,
-        ep: &mut Endpoint,
+        ep: &mut C,
         part: &RowSparse,
     ) -> Result<RowSparse, CommError> {
         let outgoing = self.grad_parts(part);

@@ -31,6 +31,8 @@
 //! assert_eq!(split.i_delayed, vec![4]);  // idle until step after next
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod horizontal;
 pub mod hybrid;
 pub mod partition;

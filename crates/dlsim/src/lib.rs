@@ -41,6 +41,8 @@
 //! assert_eq!(q.pop().unwrap().1, "prior");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod autograd;
 pub mod embedding;
 pub mod fusion;

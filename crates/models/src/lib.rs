@@ -26,6 +26,8 @@
 //! assert!(lm.embedding_ratio() > 0.97);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod data;
 pub mod spec;
 

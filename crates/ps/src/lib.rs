@@ -19,6 +19,8 @@
 //! assert_eq!(store.pull_rows(&[3]).row(0), &[-0.5, -0.5]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod store;
 
 pub use store::ShardedStore;

@@ -32,6 +32,8 @@
 //! assert!((result.makespan - 3e-3).abs() < 1e-9);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cost;
 pub mod event;
 pub mod failure;

@@ -35,6 +35,8 @@
 //! assert_eq!(prior.indices(), &[7]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod proptests;
 
 pub mod coalesce;

@@ -14,6 +14,8 @@
 //! * [`report`] — plain-text table formatting shared by the bench
 //!   binaries.
 
+#![forbid(unsafe_code)]
+
 pub mod chaos;
 pub mod lstm;
 pub mod real;
@@ -26,6 +28,6 @@ pub mod translation;
 pub use chaos::{run_chaos, standard_scenarios, ChaosConfig, RankOutcome};
 pub use lstm::train_lstm_lm;
 pub use real::{train_convergence, ConvergenceConfig, ConvergenceResult, TrainMethod};
-pub use scheduled::train_convergence_scheduled;
+pub use scheduled::{train_convergence_scheduled, train_convergence_traced};
 pub use sim::{simulate, simulate_with_trace, SimConfig, StepMetrics};
 pub use translation::train_translation;

@@ -9,7 +9,7 @@
 //! changes performance, never semantics.
 
 use crate::real::{fwd_bwd_toy, init_toy_state, ConvergenceConfig, ConvergenceResult};
-use embrace_collectives::{mesh, CommOp, CommResult, CommScheduler};
+use embrace_collectives::{mesh, CommOp, CommResult, CommScheduler, SubmittedOp};
 use embrace_core::horizontal::{DELAYED_GRAD_PRIORITY, EMB_DATA_PRIORITY, PRIOR_GRAD_PRIORITY};
 use embrace_core::{vertical_split, ColumnShardedEmbedding};
 use embrace_dlsim::optim::{Adam, Optimizer, UpdatePart};
@@ -26,22 +26,38 @@ const DENSE_PRIORITY: i64 = 0;
 /// Train the toy convergence model with the full scheduled pipeline.
 /// Semantically identical to `train_convergence(TrainMethod::EmbRace, _)`.
 pub fn train_convergence_scheduled(cfg: &ConvergenceConfig) -> ConvergenceResult {
+    train_convergence_traced(cfg).0
+}
+
+/// Like [`train_convergence_scheduled`], but also returns every rank's
+/// communication submission log (in submission order), so static
+/// analysis — `embrace_analyzer`'s SPMD schedule verifier — can check
+/// the live pipeline's comm plan without re-instrumenting it.
+pub fn train_convergence_traced(
+    cfg: &ConvergenceConfig,
+) -> (ConvergenceResult, Vec<Vec<SubmittedOp>>) {
     let endpoints = mesh(cfg.world);
     let mut losses_per_rank: Vec<Option<Vec<f64>>> = (0..cfg.world).map(|_| None).collect();
+    let mut logs_per_rank: Vec<Vec<SubmittedOp>> = (0..cfg.world).map(|_| Vec::new()).collect();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (rank, ep) in endpoints.into_iter().enumerate() {
             handles.push(scope.spawn(move || (rank, worker(rank, ep, cfg))));
         }
         for h in handles {
-            let (rank, losses) = h.join().expect("worker panicked");
+            let (rank, (losses, log)) = h.join().expect("worker panicked");
             losses_per_rank[rank] = Some(losses);
+            logs_per_rank[rank] = log;
         }
     });
-    ConvergenceResult { losses: losses_per_rank.remove(0).expect("rank 0 losses") }
+    (ConvergenceResult { losses: losses_per_rank.remove(0).expect("rank 0 losses") }, logs_per_rank)
 }
 
-fn worker(rank: usize, ep: embrace_collectives::Endpoint, cfg: &ConvergenceConfig) -> Vec<f64> {
+fn worker(
+    rank: usize,
+    ep: embrace_collectives::Endpoint,
+    cfg: &ConvergenceConfig,
+) -> (Vec<f64>, Vec<SubmittedOp>) {
     let mut comm = CommScheduler::spawn(ep);
     let (emb_init, w_init, targets) = init_toy_state(cfg);
     let mut emb = ColumnShardedEmbedding::new(&emb_init, rank, cfg.world);
@@ -145,7 +161,8 @@ fn worker(rank: usize, ep: embrace_collectives::Endpoint, cfg: &ConvergenceConfi
         emb.apply_grad(&delayed, &mut opt_e, UpdatePart::Delayed);
     }
     comm.flush();
-    losses
+    let log = comm.submitted().to_vec();
+    (losses, log)
 }
 
 #[cfg(test)]

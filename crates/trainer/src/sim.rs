@@ -286,9 +286,12 @@ pub fn simulate_with_trace(cfg: &SimConfig) -> (StepMetrics, embrace_simnet::Tra
         // last BP (the prototype registers it on the last BP hook, §5.1).
         let vertical = if vertical_enabled {
             let dur = VERTICAL_SCHED_BASE + sizes.rows_coalesced * VERTICAL_SCHED_PER_ROW;
-            Some(sim.add(
-                Task::overhead(format!("s{step}/vertical_sched"), dur).after([prev_bp.unwrap()]),
-            ))
+            Some(
+                sim.add(
+                    Task::overhead(format!("s{step}/vertical_sched"), dur)
+                        .after([prev_bp.expect("backward pass emitted at least one module")]),
+                ),
+            )
         } else {
             None
         };
@@ -299,13 +302,14 @@ pub fn simulate_with_trace(cfg: &SimConfig) -> (StepMetrics, embrace_simnet::Tra
 
         for m in 0..n {
             let module = &graph.modules[m];
-            let bp = bp_done[m].unwrap();
+            let bp = bp_done[m].expect("backward task recorded for every module");
             if module.is_embedding() {
                 match cfg.method {
                     MethodId::EmbRace => {
                         let prior_dur = cm.alltoall(sizes.grad_prior);
                         let delayed_dur = cm.alltoall(sizes.grad_coalesced - sizes.grad_prior);
-                        let v = vertical.unwrap();
+                        let v =
+                            vertical.expect("EmbRace method always schedules the vertical split");
                         let p = sim.add(
                             Task::comm(
                                 format!("s{step}/prior_grad/{}", module.name),
@@ -450,7 +454,8 @@ pub fn simulate_with_trace(cfg: &SimConfig) -> (StepMetrics, embrace_simnet::Tra
                 // The bucket flushes when its last-produced gradient is
                 // ready; it inherits the urgency of its earliest-needed
                 // member.
-                let gate = bp_done[bucket.ready_after()].unwrap();
+                let gate =
+                    bp_done[bucket.ready_after()].expect("backward task recorded for every module");
                 let dur = cm.ring_allreduce(bucket.bytes);
                 let pr = if hoist {
                     bucket
@@ -470,7 +475,7 @@ pub fn simulate_with_trace(cfg: &SimConfig) -> (StepMetrics, embrace_simnet::Tra
             }
         }
 
-        markers.push(prev_bp.unwrap());
+        markers.push(prev_bp.expect("backward pass emitted at least one module"));
         // Delayed gradients of step s gate the FP of step s+2, not s+1:
         // Algorithm 1 guarantees rows reused by step s+1 are in the prior
         // part, so only the *previous* step's delayed comm joins the

@@ -43,6 +43,8 @@
 //! assert_eq!(split.prior.values().row(0), &[1.5, 1.5]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use embrace_baselines as baselines;
 pub use embrace_collectives as collectives;
 pub use embrace_core as core;

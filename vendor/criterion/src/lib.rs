@@ -7,6 +7,8 @@
 //! Timing is a simple mean over `sample_size` iterations printed to
 //! stdout — no statistics, plots or comparisons.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::time::Instant;
 

@@ -4,6 +4,8 @@
 //! provide the same semantics the workspace relies on (MPSC channels whose
 //! `recv` observes disconnection, blocking bounded sends, scoped spawns).
 
+#![forbid(unsafe_code)]
+
 pub mod channel {
     use std::fmt;
     use std::sync::mpsc;

@@ -3,6 +3,8 @@
 //! and `Condvar` (`wait(&mut guard)`). Backed by `std::sync`; poisoning is
 //! swallowed, matching parking_lot's behaviour of never poisoning.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Deref, DerefMut};
 use std::sync::PoisonError;
 

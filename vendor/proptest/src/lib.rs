@@ -8,6 +8,8 @@
 //! still runs its configured number of random cases; on failure the panic
 //! message carries the case index so the deterministic seed reproduces it.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Deterministic SplitMix64 generator driving all strategies.

@@ -8,6 +8,8 @@
 //! provided: `SeedableRng::seed_from_u64`, `Rng::gen_range` over integer
 //! and float ranges, and `Rng::gen_bool`.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Core source of randomness: a stream of `u64` words.
