@@ -24,6 +24,16 @@ fn main() {
             }
         }
     }
+    // `embrace_sim trace`: export a Chrome trace_event timeline.
+    if std::env::args().nth(1).as_deref() == Some("trace") {
+        match embrace_bench::trace_cmd::run(std::env::args().skip(2)) {
+            Ok(()) => return,
+            Err(msg) => {
+                eprintln!("trace FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
     let args = match parse_args(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(msg) => {

@@ -61,6 +61,14 @@ embrace-sim — simulate one training configuration of the EmbRace reproduction
 
 USAGE:
   embrace-sim [OPTIONS]
+  embrace-sim verify-plan
+  embrace-sim trace [OPTIONS] [--smoke] [--out <file>] [--out-dir <dir>]
+
+SUBCOMMANDS:
+  verify-plan   static comm-plan verification + interleaving model check
+  trace         export the simulated timeline as Chrome trace_event JSON
+                (open in Perfetto); --smoke sweeps the four method
+                families and validates each export against the makespan
 
 OPTIONS:
   --model <lm|gnmt8|transformer|bert>   benchmark model        [default: gnmt8]

@@ -1,0 +1,187 @@
+//! The `trace` subcommand of `embrace_sim`: simulate one configuration
+//! and write its discrete-event timeline as Chrome `trace_event` JSON
+//! (load in `chrome://tracing` or <https://ui.perfetto.dev>).
+//!
+//! ```text
+//! embrace_sim trace --model gnmt8 --method embrace --gpus 16 --out trace.json
+//! embrace_sim trace --smoke --out-dir traces/
+//! ```
+//!
+//! `--smoke` sweeps one model across the four representative methods
+//! (EmbRace, Horovod AllReduce, Parallax, BytePS), writes one trace per
+//! method, and *validates* each: the JSON must re-parse and the latest
+//! span end must reconcile with the DES makespan to within 1%. This is
+//! the CI gate for the exporter.
+
+use crate::cli::{parse_args, CliArgs};
+use embrace_baselines::MethodId;
+use embrace_trainer::{chrome_export, ChromeExport};
+use std::path::{Path, PathBuf};
+
+/// Methods the smoke sweep exercises: EmbRace plus one representative of
+/// each baseline family (collective, sparse PS, chunked PS).
+const SMOKE_METHODS: [MethodId; 4] =
+    [MethodId::EmbRace, MethodId::HorovodAllReduce, MethodId::Parallax, MethodId::BytePs];
+
+/// Parsed `trace` arguments: the shared simulator flags plus the
+/// trace-specific output controls.
+pub struct TraceArgs {
+    pub smoke: bool,
+    pub out: Option<PathBuf>,
+    pub out_dir: PathBuf,
+    pub cli: CliArgs,
+}
+
+/// Split off `trace`-specific flags, delegating the rest to the shared
+/// CLI parser.
+pub fn parse_trace_args<I: IntoIterator<Item = String>>(argv: I) -> Result<TraceArgs, String> {
+    let mut smoke = false;
+    let mut out = None;
+    let mut out_dir = PathBuf::from("traces");
+    let mut rest = Vec::new();
+    let mut it = argv.into_iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out = Some(PathBuf::from(it.next().ok_or("--out requires a path")?));
+            }
+            "--out-dir" => {
+                out_dir = PathBuf::from(it.next().ok_or("--out-dir requires a path")?);
+            }
+            _ => rest.push(flag),
+        }
+    }
+    Ok(TraceArgs { smoke, out, out_dir, cli: parse_args(rest)? })
+}
+
+/// Validate an exported trace: parse the JSON back and check that the
+/// latest `X`-event end reconciles with the DES makespan to within 1%.
+/// Returns `(n_events, relative_error)`.
+pub fn validate_export(exp: &ChromeExport) -> Result<(usize, f64), String> {
+    let v = embrace_obs::json::parse(&exp.json).map_err(|e| format!("invalid JSON: {e}"))?;
+    let events =
+        v.get("traceEvents").and_then(|e| e.as_arr()).ok_or("missing traceEvents array")?;
+    let mut horizon_us = 0.0f64;
+    let mut n_spans = 0usize;
+    for e in events {
+        if e.get("ph").and_then(|p| p.as_str()) != Some("X") {
+            continue;
+        }
+        let ts = e.get("ts").and_then(|t| t.as_f64()).ok_or("X event without ts")?;
+        let dur = e.get("dur").and_then(|d| d.as_f64()).ok_or("X event without dur")?;
+        horizon_us = horizon_us.max(ts + dur);
+        n_spans += 1;
+    }
+    if n_spans == 0 {
+        return Err("trace has no X events".into());
+    }
+    let makespan_us = exp.makespan * 1e6;
+    let rel = (horizon_us - makespan_us).abs() / makespan_us;
+    if rel >= 0.01 {
+        return Err(format!(
+            "span horizon {horizon_us:.1} µs does not reconcile with makespan \
+             {makespan_us:.1} µs (relative error {:.3}%)",
+            rel * 100.0
+        ));
+    }
+    Ok((events.len(), rel))
+}
+
+fn write_trace(path: &Path, exp: &ChromeExport) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(path, &exp.json).map_err(|e| format!("write {}: {e}", path.display()))
+}
+
+fn report(label: &str, path: &Path, exp: &ChromeExport, n_events: usize, rel: f64) {
+    println!(
+        "{label:<24} {:>6} events  makespan {:>9.3} ms  network busy {:>9.3} ms  \
+         reconciliation {:.4}%  -> {}",
+        n_events,
+        exp.makespan * 1e3,
+        exp.network_busy * 1e3,
+        rel * 100.0,
+        path.display()
+    );
+}
+
+/// Entry point for `embrace_sim trace`.
+pub fn run<I: IntoIterator<Item = String>>(argv: I) -> Result<(), String> {
+    let args = parse_trace_args(argv)?;
+    if args.smoke {
+        run_smoke(&args)
+    } else {
+        let cfg = args.cli.sim_config();
+        let exp = chrome_export(&cfg);
+        let (n_events, rel) = validate_export(&exp)?;
+        let path = args.out.unwrap_or_else(|| PathBuf::from("trace.json"));
+        write_trace(&path, &exp)?;
+        report(args.cli.method.name(), &path, &exp, n_events, rel);
+        Ok(())
+    }
+}
+
+fn run_smoke(args: &TraceArgs) -> Result<(), String> {
+    println!(
+        "smoke: {:?} x {} GPUs across {} methods",
+        args.cli.model,
+        args.cli.gpus,
+        SMOKE_METHODS.len()
+    );
+    for method in SMOKE_METHODS {
+        let mut cli = args.cli.clone();
+        cli.method = method;
+        let cfg = cli.sim_config();
+        let exp = chrome_export(&cfg);
+        let (n_events, rel) =
+            validate_export(&exp).map_err(|e| format!("{}: {e}", method.name()))?;
+        let path = args.out_dir.join(format!("trace_{}.json", method.name().replace(' ', "_")));
+        write_trace(&path, &exp)?;
+        report(method.name(), &path, &exp, n_events, rel);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embrace_models::ModelId;
+    use embrace_trainer::SimConfig;
+
+    #[test]
+    fn trace_flags_parse_alongside_cli_flags() {
+        let a = parse_trace_args(
+            ["--smoke", "--out-dir", "/tmp/t", "--model", "lm", "--gpus", "8"].map(String::from),
+        )
+        .expect("valid args");
+        assert!(a.smoke);
+        assert_eq!(a.out_dir, PathBuf::from("/tmp/t"));
+        assert_eq!(a.cli.model, ModelId::Lm);
+        assert_eq!(a.cli.gpus, 8);
+    }
+
+    #[test]
+    fn every_smoke_method_exports_a_valid_trace() {
+        for method in SMOKE_METHODS {
+            let mut cfg =
+                SimConfig::new(method, ModelId::Gnmt8, embrace_simnet::Cluster::rtx3090(8));
+            cfg.steps = 4;
+            let exp = chrome_export(&cfg);
+            let (n_events, rel) =
+                validate_export(&exp).unwrap_or_else(|e| panic!("{}: {e}", method.name()));
+            assert!(n_events > 0);
+            assert!(rel < 0.01);
+        }
+    }
+
+    #[test]
+    fn validation_rejects_garbage() {
+        let exp =
+            ChromeExport { json: "{\"traceEvents\":[]}".into(), makespan: 1.0, network_busy: 0.5 };
+        assert!(validate_export(&exp).is_err());
+    }
+}

@@ -47,7 +47,9 @@ pub mod scheduler;
 pub mod transport;
 
 pub use group::{run_group, run_group_with_deadline, run_group_with_faults, GroupError};
-pub use scheduler::{CommOp, CommResult, CommScheduler, SubmittedOp, Ticket};
+pub use scheduler::{
+    scheduler_metrics, CommOp, CommResult, CommScheduler, OpTiming, SubmittedOp, Ticket,
+};
 pub use transport::{
     mesh, mesh_with_faults, Comm, CommError, Endpoint, FaultPlan, Packet, RetryPolicy,
 };

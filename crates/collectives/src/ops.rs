@@ -38,6 +38,7 @@
 //! forever where a deadline turns it into [`CommError::Timeout`].
 
 use crate::transport::{Comm, CommError, Packet};
+use embrace_obs::recorder;
 use embrace_tensor::{row_partition, DenseTensor, RowSparse};
 
 /// Best-effort abort broadcast, then pass the error through. Locally
@@ -63,6 +64,7 @@ pub fn barrier<C: Comm>(ep: &mut C) {
 /// Fallible [`barrier`]: rank 0 gathers one message per rank then releases
 /// everyone. A failure on any rank aborts the whole group.
 pub fn try_barrier<C: Comm>(ep: &mut C) -> Result<(), CommError> {
+    let _span = recorder::span("barrier", "collective");
     let world = ep.world();
     if world == 1 {
         return Ok(());
@@ -104,6 +106,7 @@ pub fn try_broadcast<C: Comm>(
     root: usize,
     packet: Option<Packet>,
 ) -> Result<Packet, CommError> {
+    let _span = recorder::span("broadcast", "collective");
     if ep.rank() == root {
         let p = packet.expect("root must supply the payload");
         for dst in 0..ep.world() {
@@ -137,6 +140,7 @@ pub fn ring_allreduce<C: Comm>(ep: &mut C, buf: &mut [f32]) {
 /// Fallible [`ring_allreduce`]. On `Err` the contents of `buf` are
 /// unspecified (the reduction was interrupted part-way).
 pub fn try_ring_allreduce<C: Comm>(ep: &mut C, buf: &mut [f32]) -> Result<(), CommError> {
+    let _span = recorder::span("ring_allreduce", "collective");
     let world = ep.world();
     let rank = ep.rank();
     if world == 1 {
@@ -198,6 +202,7 @@ pub fn try_allgather_dense<C: Comm>(
     ep: &mut C,
     local: DenseTensor,
 ) -> Result<Vec<DenseTensor>, CommError> {
+    let _span = recorder::span("allgather_dense", "collective");
     let world = ep.world();
     let rank = ep.rank();
     for dst in 0..world {
@@ -234,6 +239,7 @@ pub fn try_allgather_sparse<C: Comm>(
     ep: &mut C,
     local: RowSparse,
 ) -> Result<Vec<RowSparse>, CommError> {
+    let _span = recorder::span("allgather_sparse", "collective");
     let world = ep.world();
     let rank = ep.rank();
     for dst in 0..world {
@@ -268,6 +274,7 @@ pub fn try_allgather_tokens<C: Comm>(
     ep: &mut C,
     local: Vec<u32>,
 ) -> Result<Vec<Vec<u32>>, CommError> {
+    let _span = recorder::span("allgather_tokens", "collective");
     let world = ep.world();
     let rank = ep.rank();
     for dst in 0..world {
@@ -303,6 +310,7 @@ pub fn try_alltoall_dense<C: Comm>(
     ep: &mut C,
     mut parts: Vec<DenseTensor>,
 ) -> Result<Vec<DenseTensor>, CommError> {
+    let _span = recorder::span("alltoall_dense", "collective");
     let world = ep.world();
     let rank = ep.rank();
     assert_eq!(parts.len(), world, "need one outgoing block per rank");
@@ -339,6 +347,7 @@ pub fn try_alltoallv_sparse<C: Comm>(
     ep: &mut C,
     mut parts: Vec<RowSparse>,
 ) -> Result<Vec<RowSparse>, CommError> {
+    let _span = recorder::span("alltoallv_sparse", "collective");
     let world = ep.world();
     let rank = ep.rank();
     assert_eq!(parts.len(), world, "need one outgoing block per rank");
@@ -374,6 +383,31 @@ mod tests {
         for world in [1, 2, 3, 5, 8] {
             run_group(world, |_r, ep| barrier(ep));
         }
+    }
+
+    #[test]
+    fn collectives_record_spans_when_observed() {
+        let structures = run_group(3, |rank, ep| {
+            recorder::install(&format!("rank{rank}"));
+            let mut buf = vec![rank as f32; 8];
+            ring_allreduce(ep, &mut buf);
+            let _ = allgather_tokens(ep, vec![rank as u32]);
+            let set = recorder::take().expect("recorder installed");
+            set.check_well_nested().expect("spans closed");
+            // Strip the per-rank track name: op sequence must be SPMD.
+            set.structure()
+                .into_iter()
+                .map(|s| s.split_once('|').map(|(_, rest)| rest.to_string()).unwrap_or(s))
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(
+            structures[0],
+            vec![
+                "d0|collective|ring_allreduce".to_string(),
+                "d0|collective|allgather_tokens".to_string()
+            ]
+        );
+        assert!(structures.iter().all(|s| s == &structures[0]));
     }
 
     #[test]

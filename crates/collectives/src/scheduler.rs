@@ -20,8 +20,12 @@
 use crate::ops::{allgather_tokens, alltoall_dense, alltoallv_sparse, ring_allreduce};
 use crate::transport::{CommError, Endpoint};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use embrace_obs::{ClockDomain, Metrics, SpanSet, TrackId, WallClock};
 use embrace_tensor::RowSparse;
+use parking_lot::Mutex;
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// One communication request.
 pub enum CommOp {
@@ -107,11 +111,68 @@ impl Ticket {
     }
 }
 
+/// Wall-clock timing of one executed operation, from an *observed*
+/// scheduler ([`CommScheduler::spawn_observed`]). All times are seconds
+/// on the scheduler's own [`WallClock`] (anchored at spawn), so
+/// `started_s - submitted_s` is the queue wait and
+/// `finished_s - started_s` the transfer (wire) time — the §5.1
+/// decomposition of where a collective's latency goes.
+#[derive(Clone, Debug)]
+pub struct OpTiming {
+    pub tag: String,
+    pub kind: &'static str,
+    pub priority: i64,
+    /// Outgoing payload bytes on this rank.
+    pub bytes: u64,
+    /// When the worker enqueued the op.
+    pub submitted_s: f64,
+    /// When the communication thread started executing it.
+    pub started_s: f64,
+    /// When execution (including the SPMD fingerprint round) finished.
+    pub finished_s: f64,
+}
+
+impl OpTiming {
+    /// Time spent queued behind other collectives.
+    pub fn queue_wait(&self) -> f64 {
+        self.started_s - self.submitted_s
+    }
+
+    /// Time spent on the wire (executing the collective).
+    pub fn exec_time(&self) -> f64 {
+        self.finished_s - self.started_s
+    }
+}
+
+/// Fold a timing log into an [`embrace_obs::Metrics`] registry:
+/// `sched.queue_wait_s` / `sched.exec_s` histograms plus op/byte
+/// counters. Mergeable across ranks.
+pub fn scheduler_metrics(timings: &[OpTiming]) -> Metrics {
+    let mut m = Metrics::new();
+    for t in timings {
+        m.inc("sched.ops_executed", 1);
+        m.inc("sched.bytes_submitted", t.bytes);
+        m.observe("sched.queue_wait_s", t.queue_wait());
+        m.observe("sched.exec_s", t.exec_time());
+    }
+    m
+}
+
+/// Shared between an observed scheduler handle and its comm thread.
+struct SchedObs {
+    spans: SpanSet,
+    track: TrackId,
+    clock: WallClock,
+    timings: Vec<OpTiming>,
+}
+
 struct Job {
     priority: i64,
     tag: String,
     op: CommOp,
     done: Sender<CommResult>,
+    /// Submission instant, for queue-wait accounting under observation.
+    submitted_at: Instant,
 }
 
 enum Msg {
@@ -126,17 +187,48 @@ pub struct CommScheduler {
     seq: u64,
     handle: Option<JoinHandle<()>>,
     log: Vec<SubmittedOp>,
+    obs: Option<Arc<Mutex<SchedObs>>>,
 }
 
 impl CommScheduler {
     /// Spawn the communication thread, taking ownership of the endpoint.
-    pub fn spawn(mut ep: Endpoint) -> Self {
+    pub fn spawn(ep: Endpoint) -> Self {
+        Self::spawn_inner(ep, None)
+    }
+
+    /// Like [`CommScheduler::spawn`], but the communication thread records
+    /// a wall-clock span per executed op plus an [`OpTiming`] log, both
+    /// harvested with [`CommScheduler::observation`].
+    pub fn spawn_observed(ep: Endpoint) -> Self {
+        let mut spans = SpanSet::new(ClockDomain::Wall);
+        let track = spans.add_track(&format!("comm-{}", ep.rank()));
+        let obs = Arc::new(Mutex::new(SchedObs {
+            spans,
+            track,
+            clock: WallClock::new(),
+            timings: Vec::new(),
+        }));
+        Self::spawn_inner(ep, Some(obs))
+    }
+
+    fn spawn_inner(mut ep: Endpoint, obs: Option<Arc<Mutex<SchedObs>>>) -> Self {
         let (tx, rx) = unbounded::<Msg>();
+        let thread_obs = obs.clone();
         let handle = std::thread::Builder::new()
             .name(format!("embrace-comm-{}", ep.rank()))
-            .spawn(move || comm_thread(&mut ep, rx))
+            .spawn(move || comm_thread(&mut ep, rx, thread_obs))
             .expect("failed to spawn communication thread");
-        CommScheduler { tx, seq: 0, handle: Some(handle), log: Vec::new() }
+        CommScheduler { tx, seq: 0, handle: Some(handle), log: Vec::new(), obs }
+    }
+
+    /// Snapshot the spans and timings recorded so far (observed schedulers
+    /// only; `None` for [`CommScheduler::spawn`]). Call after
+    /// [`CommScheduler::flush`] for a quiescent view.
+    pub fn observation(&self) -> Option<(SpanSet, Vec<OpTiming>)> {
+        self.obs.as_ref().map(|o| {
+            let g = o.lock();
+            (g.spans.clone(), g.timings.clone())
+        })
     }
 
     /// Enqueue `op` with `priority` (lower = sooner). `tag` names the
@@ -150,7 +242,7 @@ impl CommScheduler {
             kind: op.kind_str(),
             bytes: op.payload_bytes(),
         });
-        let job = Job { priority, tag, op, done };
+        let job = Job { priority, tag, op, done, submitted_at: Instant::now() };
         self.seq += 1;
         self.tx.send(Msg::Submit(job)).expect("communication thread gone");
         Ticket { rx }
@@ -185,7 +277,7 @@ impl Drop for CommScheduler {
 /// every other rank executes the matching job from its local queue. This
 /// makes the cross-rank collective order deterministic even when ranks'
 /// submissions race.
-fn comm_thread(ep: &mut Endpoint, rx: Receiver<Msg>) {
+fn comm_thread(ep: &mut Endpoint, rx: Receiver<Msg>, obs: Option<Arc<Mutex<SchedObs>>>) {
     use embrace_dlsim_queue_shim::StablePriorityQueue;
     let mut queue: StablePriorityQueue<Job> = StablePriorityQueue::new();
     if ep.rank() == 0 {
@@ -213,7 +305,7 @@ fn comm_thread(ep: &mut Endpoint, rx: Receiver<Msg>) {
             }
             if let Some((_, job)) = queue.pop() {
                 broadcast_tag(ep, &job.tag);
-                if execute(ep, job).is_err() {
+                if execute(ep, job, &obs).is_err() {
                     // Divergent enqueue detected: fail fast. Pending
                     // tickets are dropped, so waiters observe the
                     // shutdown instead of deadlocking on a collective
@@ -242,7 +334,7 @@ fn comm_thread(ep: &mut Endpoint, rx: Receiver<Msg>) {
                     ),
                 }
             };
-            if execute(ep, job).is_err() {
+            if execute(ep, job, &obs).is_err() {
                 return;
             }
         }
@@ -268,11 +360,30 @@ fn recv_tag(ep: &mut Endpoint) -> Option<String> {
     Some(bytes.into_iter().map(|b| b as u8 as char).collect())
 }
 
-fn execute(ep: &mut Endpoint, job: Job) -> Result<(), CommError> {
+fn execute(
+    ep: &mut Endpoint,
+    job: Job,
+    obs: &Option<Arc<Mutex<SchedObs>>>,
+) -> Result<(), CommError> {
     // Cross-rank consistency: all ranks must run the same op, in the same
     // order, with the same priority. Always on (not just a debug assert):
     // a divergent enqueue in a release build would otherwise surface as a
     // silent deadlock inside a collective.
+    // Capture metadata before the op's payload is consumed below. The exec
+    // window includes the fingerprint round: it runs on the same mesh, so
+    // it is genuine wire time attributable to this op. (Ops rejected by the
+    // fingerprint check are not timed — the scheduler is shutting down.)
+    let timing = obs.as_ref().map(|o| {
+        let g = o.lock();
+        (
+            g.clock.at(job.submitted_at),
+            g.clock.now(),
+            job.tag.clone(),
+            job.op.kind_str(),
+            job.priority,
+            job.op.payload_bytes(),
+        )
+    });
     if let Err(err) = verify_spmd_fingerprint(ep, &job) {
         let _ = job.done.send(CommResult::Failed(err.clone()));
         return Err(err);
@@ -287,6 +398,15 @@ fn execute(ep: &mut Endpoint, job: Job) -> Result<(), CommError> {
         CommOp::GatherTokens(tokens) => CommResult::GatherTokens(allgather_tokens(ep, tokens)),
         CommOp::Flush => CommResult::Flush,
     };
+    if let (Some(o), Some((submitted_s, started_s, tag, kind, priority, bytes))) =
+        (obs.as_ref(), timing)
+    {
+        let mut g = o.lock();
+        let finished_s = g.clock.now();
+        let track = g.track;
+        g.spans.record(track, &tag, kind, started_s, finished_s);
+        g.timings.push(OpTiming { tag, kind, priority, bytes, submitted_s, started_s, finished_s });
+    }
     // The submitter may have dropped the ticket (fire-and-forget delayed
     // gradients) — that's fine.
     let _ = job.done.send(result);
@@ -591,6 +711,46 @@ mod more_tests {
             assert_eq!(log[1].bytes, 4 * embrace_tensor::F32_BYTES as u64);
             assert_eq!(log[2].kind, "flush");
         }
+    }
+
+    #[test]
+    fn observed_scheduler_times_queue_wait_and_transfer() {
+        let mut scheds: Vec<CommScheduler> =
+            mesh(2).into_iter().map(CommScheduler::spawn_observed).collect();
+        let mut tickets = Vec::new();
+        for (rank, s) in scheds.iter_mut().enumerate() {
+            tickets.push(s.submit(1, "g0", CommOp::GatherTokens(vec![rank as u32])));
+            tickets.push(s.submit(0, "ar", CommOp::AllReduceDense(vec![1.0; 8])));
+        }
+        std::thread::scope(|sc| {
+            for s in scheds.iter_mut() {
+                sc.spawn(move || s.flush());
+            }
+        });
+        for t in tickets {
+            assert!(!matches!(t.wait(), CommResult::Failed(_)));
+        }
+        for (rank, s) in scheds.iter().enumerate() {
+            let (spans, timings) = s.observation().expect("spawn_observed records timings");
+            // Two ops + the flush fence, each spanned on this rank's track.
+            assert_eq!(timings.len(), 3);
+            assert_eq!(spans.len(), 3);
+            assert_eq!(spans.track_name(0), format!("comm-{rank}"));
+            spans.check_well_nested().expect("serial comm-thread spans nest");
+            for t in &timings {
+                assert!(t.queue_wait() >= 0.0, "{}: negative queue wait", t.tag);
+                assert!(t.exec_time() >= 0.0, "{}: negative exec time", t.tag);
+            }
+            let ar = timings.iter().find(|t| t.tag == "ar").expect("ar timed");
+            assert_eq!(ar.kind, "allreduce_dense");
+            assert_eq!(ar.bytes, 8 * embrace_tensor::F32_BYTES as u64);
+            let m = scheduler_metrics(&timings);
+            assert_eq!(m.counter("sched.ops_executed"), 3);
+            assert_eq!(m.histogram("sched.exec_s").expect("exec histogram").count(), 3);
+        }
+        // Plain spawn records nothing.
+        let s = mesh(1).into_iter().map(CommScheduler::spawn).next().expect("one scheduler");
+        assert!(s.observation().is_none());
     }
 
     #[test]

@@ -30,6 +30,7 @@
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use embrace_tensor::{DenseTensor, RowSparse, TOKEN_BYTES};
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
 use std::time::Duration;
@@ -408,6 +409,13 @@ pub struct Endpoint {
     /// Per-destination (messages, bytes) pushed onto the wire; feeds the
     /// static plan verifier's cross-validation against extracted plans.
     sent_per_peer: Vec<(u64, u64)>,
+    /// Receive-side counters. `Cell` because every receive path takes
+    /// `&self`; endpoints are owned by one worker thread (`Send`, not
+    /// shared), so interior mutability is safe here.
+    bytes_recv: Cell<u64>,
+    msgs_recv: Cell<u64>,
+    /// Timed-out receive attempts that were retried by [`Endpoint::recv_retry`].
+    retries: Cell<u64>,
     /// Default deadline for `try_recv`; `None` = block forever (the
     /// fault-free fast path).
     deadline: Option<Duration>,
@@ -490,7 +498,13 @@ impl Endpoint {
                 if self.crashed {
                     return Err(CommError::Injected { rank: self.rank });
                 }
-                self.rx[from].recv().map_err(|_| CommError::PeerGone { peer: from })
+                match self.rx[from].recv() {
+                    Ok(p) => {
+                        self.note_recv(&p);
+                        Ok(p)
+                    }
+                    Err(_) => Err(CommError::PeerGone { peer: from }),
+                }
             }
             Some(d) => self.recv_timeout(from, d),
         }
@@ -501,10 +515,16 @@ impl Endpoint {
         if self.crashed {
             return Err(CommError::Injected { rank: self.rank });
         }
-        self.rx[from].recv_timeout(deadline).map_err(|e| match e {
-            RecvTimeoutError::Timeout => CommError::Timeout { peer: from, waited: deadline },
-            RecvTimeoutError::Disconnected => CommError::PeerGone { peer: from },
-        })
+        match self.rx[from].recv_timeout(deadline) {
+            Ok(p) => {
+                self.note_recv(&p);
+                Ok(p)
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                Err(CommError::Timeout { peer: from, waited: deadline })
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(CommError::PeerGone { peer: from }),
+        }
     }
 
     /// Receive from `from` under a bounded retry/backoff policy: up to
@@ -517,6 +537,7 @@ impl Endpoint {
         for attempt in 0..policy.attempts {
             match self.recv_timeout(from, slice) {
                 Err(CommError::Timeout { .. }) if attempt + 1 < policy.attempts => {
+                    self.retries.set(self.retries.get() + 1);
                     waited += slice;
                     slice *= policy.backoff;
                 }
@@ -531,7 +552,17 @@ impl Endpoint {
 
     /// Drain any packet already queued from `from` without blocking.
     pub fn poll(&self, from: usize) -> Option<Packet> {
-        self.rx[from].try_recv().ok()
+        let p = self.rx[from].try_recv().ok();
+        if let Some(p) = &p {
+            self.note_recv(p);
+        }
+        p
+    }
+
+    /// Count a successfully received packet.
+    fn note_recv(&self, p: &Packet) {
+        self.bytes_recv.set(self.bytes_recv.get() + p.nbytes() as u64);
+        self.msgs_recv.set(self.msgs_recv.get() + 1);
     }
 
     /// Mark the start of a training step. If the fault plan scheduled this
@@ -586,6 +617,32 @@ impl Endpoint {
     pub fn bytes_sent_to(&self, peer: usize) -> u64 {
         self.sent_per_peer[peer].1
     }
+
+    /// Total bytes this endpoint has received off the wire.
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_recv.get()
+    }
+
+    /// Total messages this endpoint has received off the wire.
+    pub fn msgs_received(&self) -> u64 {
+        self.msgs_recv.get()
+    }
+
+    /// Timed-out receive attempts that [`Endpoint::recv_retry`] retried.
+    pub fn recv_retries(&self) -> u64 {
+        self.retries.get()
+    }
+
+    /// Export this endpoint's transport counters into an
+    /// [`embrace_obs::Metrics`] registry under `transport.*` names.
+    /// Counters *add*, so merging per-rank registries yields mesh totals.
+    pub fn export_metrics(&self, m: &mut embrace_obs::Metrics) {
+        m.inc("transport.bytes_sent", self.bytes_sent);
+        m.inc("transport.msgs_sent", self.msgs_sent);
+        m.inc("transport.bytes_received", self.bytes_recv.get());
+        m.inc("transport.msgs_received", self.msgs_recv.get());
+        m.inc("transport.recv_retries", self.retries.get());
+    }
 }
 
 /// Construct a full mesh of `world` endpoints with no fault state and
@@ -627,6 +684,9 @@ pub fn mesh_with_faults(
             bytes_sent: 0,
             msgs_sent: 0,
             sent_per_peer: vec![(0, 0); world],
+            bytes_recv: Cell::new(0),
+            msgs_recv: Cell::new(0),
+            retries: Cell::new(0),
             deadline,
             faults: plan.link_state_for(rank, world),
             crash_at_step: plan.crash_step(rank),
@@ -657,6 +717,15 @@ mod tests {
                 assert_eq!(b.recv(1), Packet::Empty);
             });
         });
+        // Receive-side counters mirror the sender's view.
+        assert_eq!(b.msgs_received(), 2);
+        assert_eq!(b.bytes_received(), a.bytes_sent());
+        assert_eq!(a.msgs_received(), 0);
+        let mut m = embrace_obs::Metrics::new();
+        a.export_metrics(&mut m);
+        b.export_metrics(&mut m);
+        assert_eq!(m.counter("transport.msgs_sent"), 2);
+        assert_eq!(m.counter("transport.msgs_received"), 2);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! trainer: hooks are keyed by module index and fired as each module's
 //! backward completes.
 
+use embrace_obs::recorder;
+
 /// A boxed backward-hook callback.
 type Hook<E> = Box<dyn FnMut(&mut E) + Send>;
 
@@ -15,16 +17,28 @@ type Hook<E> = Box<dyn FnMut(&mut E) + Send>;
 /// event payload (typically the per-module gradient context).
 pub struct HookRegistry<E> {
     hooks: Vec<Vec<Hook<E>>>,
+    /// Optional per-module labels for observability spans; falls back to
+    /// `m{index}` when unset.
+    labels: Vec<Option<String>>,
 }
 
 impl<E> HookRegistry<E> {
     /// Registry for a model of `n_modules` modules.
     pub fn new(n_modules: usize) -> Self {
-        HookRegistry { hooks: (0..n_modules).map(|_| Vec::new()).collect() }
+        HookRegistry {
+            hooks: (0..n_modules).map(|_| Vec::new()).collect(),
+            labels: (0..n_modules).map(|_| None).collect(),
+        }
     }
 
     pub fn n_modules(&self) -> usize {
         self.hooks.len()
+    }
+
+    /// Name `module` for observability: its hook firings record spans
+    /// `hooks/<label>` instead of the positional `hooks/m{index}`.
+    pub fn set_label(&mut self, module: usize, label: impl Into<String>) {
+        self.labels[module] = Some(label.into());
     }
 
     /// Register `hook` on the BP of `module`.
@@ -40,8 +54,19 @@ impl<E> HookRegistry<E> {
         self.hooks[module].len()
     }
 
-    /// Fire all hooks of `module` in registration order.
+    /// Fire all hooks of `module` in registration order. When an
+    /// `embrace_obs` recorder is installed on this thread, the firing is
+    /// wrapped in a per-layer span (`cat = "hook"`) so traces show which
+    /// module's backward triggered which communication submissions.
     pub fn fire(&mut self, module: usize, event: &mut E) {
+        if self.hooks[module].is_empty() {
+            return;
+        }
+        let name = match &self.labels[module] {
+            Some(l) => format!("hooks/{l}"),
+            None => format!("hooks/m{module}"),
+        };
+        let _span = recorder::span(&name, "hook");
         for h in &mut self.hooks[module] {
             h(event);
         }
@@ -70,6 +95,31 @@ mod tests {
         reg.fire(2, &mut ev);
         assert_eq!(ev, 0);
         assert_eq!(reg.count(2), 0);
+    }
+
+    #[test]
+    fn firing_records_per_layer_spans_when_observed() {
+        // Run on a dedicated thread: the recorder is thread-local and
+        // other tests in this binary must not see it.
+        std::thread::spawn(|| {
+            embrace_obs::recorder::install("w0");
+            let mut reg: HookRegistry<u32> = HookRegistry::new(3);
+            reg.set_label(1, "dec_emb");
+            reg.register(0, |_| {});
+            reg.register(1, |_| {});
+            let mut ev = 0;
+            reg.fire(0, &mut ev);
+            reg.fire(1, &mut ev);
+            reg.fire(2, &mut ev); // no hooks: no span
+            let set = embrace_obs::recorder::take().expect("recorder installed");
+            set.check_well_nested().expect("hook spans nest");
+            assert_eq!(
+                set.structure(),
+                vec!["w0|d0|hook|hooks/m0".to_string(), "w0|d0|hook|hooks/dec_emb".to_string()]
+            );
+        })
+        .join()
+        .expect("observed-hooks thread");
     }
 
     #[test]

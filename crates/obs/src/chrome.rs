@@ -1,0 +1,180 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! Emits the JSON Object Format (`{"traceEvents": [...]}`) understood
+//! by Perfetto (ui.perfetto.dev) and `chrome://tracing`:
+//!
+//! * one `M` (metadata) event naming the process and each track
+//!   (tracks map to threads: `pid` 1, `tid` = track index + 1);
+//! * one `X` (complete) event per span, with `ts`/`dur` in microseconds;
+//! * `C` (counter) events for sampled series such as the DES
+//!   per-priority communication queue depth.
+
+use crate::json::escape;
+use crate::span::SpanSet;
+use std::fmt::Write as _;
+
+/// A sampled counter series: `(time in seconds, value)` points, emitted
+/// as Chrome `C` events so the viewer draws them as a filled graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CounterSeries {
+    pub name: String,
+    pub points: Vec<(f64, f64)>,
+}
+
+impl CounterSeries {
+    pub fn new(name: &str) -> Self {
+        CounterSeries { name: name.to_string(), points: Vec::new() }
+    }
+
+    pub fn push(&mut self, t: f64, v: f64) {
+        self.points.push((t, v));
+    }
+}
+
+/// Seconds → trace microseconds, with enough precision to round-trip
+/// sub-microsecond DES durations.
+fn us(t: f64) -> String {
+    format!("{:.3}", t * 1e6)
+}
+
+/// Serialize `set` (plus optional counter series) as a Chrome
+/// trace_event JSON document.
+pub fn chrome_trace(set: &SpanSet, counters: &[CounterSeries]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock\":\"");
+    out.push_str(set.domain().label());
+    out.push_str("\"},\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push = |out: &mut String, ev: String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&ev);
+    };
+
+    push(
+        &mut out,
+        "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,\"args\":{\"name\":\"embrace\"}}"
+            .to_string(),
+    );
+    for (i, name) in set.tracks().iter().enumerate() {
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+                i + 1,
+                escape(name)
+            ),
+        );
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"M\",\"name\":\"thread_sort_index\",\"pid\":1,\"tid\":{},\"args\":{{\"sort_index\":{}}}}}",
+                i + 1,
+                i
+            ),
+        );
+    }
+    for s in set.spans() {
+        if !s.end.is_finite() {
+            continue;
+        }
+        let mut ev = String::new();
+        let _ = write!(
+            ev,
+            "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{}}}",
+            escape(&s.name),
+            escape(&s.cat),
+            s.track + 1,
+            us(s.start),
+            us(s.dur())
+        );
+        push(&mut out, ev);
+    }
+    for series in counters {
+        for &(t, v) in &series.points {
+            let mut ev = String::new();
+            let _ = write!(
+                ev,
+                "{{\"ph\":\"C\",\"name\":\"{}\",\"pid\":1,\"ts\":{},\"args\":{{\"value\":{}}}}}",
+                escape(&series.name),
+                us(t),
+                v
+            );
+            push(&mut out, ev);
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ClockDomain;
+    use crate::json::{parse, Value};
+
+    fn demo_set() -> SpanSet {
+        let mut set = SpanSet::new(ClockDomain::Virtual);
+        let t = set.add_track("gpu0 compute");
+        set.begin(t, "s0/fp", "fp", 0.0);
+        set.end(t, 1.5e-3);
+        set.record(t, "s0/bp \"quoted\"", "bp", 1.5e-3, 4e-3);
+        set
+    }
+
+    #[test]
+    fn trace_is_valid_json_with_expected_events() {
+        let mut counters = CounterSeries::new("queue_depth(p=0)");
+        counters.push(0.0, 0.0);
+        counters.push(1e-3, 3.0);
+        let doc = chrome_trace(&demo_set(), &[counters]);
+        let v = parse(&doc).expect("valid JSON");
+        let events = v.get("traceEvents").and_then(Value::as_arr).expect("traceEvents");
+        let xs: Vec<_> =
+            events.iter().filter(|e| e.get("ph").and_then(Value::as_str) == Some("X")).collect();
+        assert_eq!(xs.len(), 2);
+        assert_eq!(xs[0].get("name").and_then(Value::as_str), Some("s0/fp"));
+        assert_eq!(xs[0].get("ts").and_then(Value::as_f64), Some(0.0));
+        assert_eq!(xs[0].get("dur").and_then(Value::as_f64), Some(1500.0));
+        assert_eq!(xs[1].get("name").and_then(Value::as_str), Some("s0/bp \"quoted\""));
+        let cs: Vec<_> =
+            events.iter().filter(|e| e.get("ph").and_then(Value::as_str) == Some("C")).collect();
+        assert_eq!(cs.len(), 2);
+        assert_eq!(
+            cs[1].get("args").and_then(|a| a.get("value")).and_then(Value::as_f64),
+            Some(3.0)
+        );
+        assert_eq!(
+            v.get("otherData").and_then(|o| o.get("clock")).and_then(Value::as_str),
+            Some("virtual")
+        );
+    }
+
+    #[test]
+    fn thread_metadata_names_each_track() {
+        let doc = chrome_trace(&demo_set(), &[]);
+        let v = parse(&doc).expect("valid JSON");
+        let events = v.get("traceEvents").and_then(Value::as_arr).expect("traceEvents");
+        let names: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some("thread_name"))
+            .map(|e| {
+                e.get("args").and_then(|a| a.get("name")).and_then(Value::as_str).map(String::from)
+            })
+            .collect();
+        assert_eq!(names, vec![Some("gpu0 compute".to_string())]);
+    }
+
+    #[test]
+    fn open_spans_are_skipped() {
+        let mut set = SpanSet::new(ClockDomain::Wall);
+        let t = set.add_track("w");
+        set.begin(t, "open", "x", 0.0);
+        let doc = chrome_trace(&set, &[]);
+        let v = parse(&doc).expect("valid JSON");
+        let events = v.get("traceEvents").and_then(Value::as_arr).expect("traceEvents");
+        assert!(events.iter().all(|e| e.get("ph").and_then(Value::as_str) != Some("X")));
+    }
+}

@@ -1,0 +1,88 @@
+//! Clock domains.
+//!
+//! The workspace has two time bases that must never be mixed on one
+//! track: the discrete-event simulator advances a *virtual* f64-second
+//! clock (deterministic, starts at 0.0), while the threaded collectives
+//! run on the host's *wall* clock. Every [`crate::SpanSet`] is tagged
+//! with its domain so exporters and tests can tell which they are
+//! looking at.
+
+use std::time::Instant;
+
+/// Which clock a span set's timestamps come from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ClockDomain {
+    /// Host monotonic time, in seconds since some fixed epoch
+    /// (typically [`WallClock`] creation).
+    Wall,
+    /// The DES virtual clock: f64 seconds since simulation start.
+    Virtual,
+}
+
+impl ClockDomain {
+    /// Short label for exporters and summaries.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ClockDomain::Wall => "wall",
+            ClockDomain::Virtual => "virtual",
+        }
+    }
+}
+
+/// A wall-clock anchored at its creation instant, read as f64 seconds.
+/// Spans in the `Wall` domain use one `WallClock` per recorder so all
+/// timestamps share an epoch.
+#[derive(Clone, Copy, Debug)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    pub fn new() -> Self {
+        WallClock { epoch: Instant::now() }
+    }
+
+    /// Seconds elapsed since this clock's epoch.
+    pub fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Convert an externally captured [`Instant`] to this clock's
+    /// seconds-since-epoch (0.0 if it predates the epoch).
+    pub fn at(&self, t: Instant) -> f64 {
+        t.saturating_duration_since(self.epoch).as_secs_f64()
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let c = WallClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a && a >= 0.0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ClockDomain::Wall.label(), "wall");
+        assert_eq!(ClockDomain::Virtual.label(), "virtual");
+    }
+
+    #[test]
+    fn at_clamps_pre_epoch_instants() {
+        let before = Instant::now();
+        let c = WallClock::new();
+        assert_eq!(c.at(before), 0.0);
+        assert!(c.at(Instant::now()) >= 0.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Plain-text roll-up of a span set + metric registry, for terminal
+//! output alongside (or instead of) the Chrome trace artifact.
+
+use crate::metrics::Metrics;
+use crate::span::SpanSet;
+use std::collections::BTreeMap;
+
+/// Left-align `rows` under `headers`, two spaces between columns.
+fn align(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let joined = cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ");
+        format!("{}\n", joined.trim_end())
+    };
+    out.push_str(&fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(), &widths));
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+fn ms(t: f64) -> String {
+    format!("{:.3}", t * 1e3)
+}
+
+/// Render a summary: span time grouped by (track, category), then
+/// counters, gauges and histogram quantiles.
+pub fn summary(set: &SpanSet, metrics: &Metrics) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== spans ({} clock, {} spans, horizon {} ms) ==\n",
+        set.domain().label(),
+        set.len(),
+        ms(set.max_end())
+    ));
+    // (track, cat) -> (count, total). BTreeMap keeps output deterministic.
+    let mut groups: BTreeMap<(usize, String), (usize, f64)> = BTreeMap::new();
+    for s in set.spans() {
+        if !s.end.is_finite() {
+            continue;
+        }
+        let e = groups.entry((s.track, s.cat.clone())).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += s.dur();
+    }
+    let horizon = set.max_end().max(f64::MIN_POSITIVE);
+    let rows: Vec<Vec<String>> = groups
+        .iter()
+        .map(|((track, cat), (count, total))| {
+            vec![
+                set.track_name(*track).to_string(),
+                cat.clone(),
+                count.to_string(),
+                ms(*total),
+                format!("{:.1}%", 100.0 * total / horizon),
+            ]
+        })
+        .collect();
+    out.push_str(&align(&["track", "category", "count", "total ms", "of horizon"], &rows));
+
+    if metrics.counters().next().is_some() {
+        out.push_str("\n== counters ==\n");
+        let rows: Vec<Vec<String>> =
+            metrics.counters().map(|(k, v)| vec![k.to_string(), v.to_string()]).collect();
+        out.push_str(&align(&["name", "value"], &rows));
+    }
+    if metrics.gauges().next().is_some() {
+        out.push_str("\n== gauges ==\n");
+        let rows: Vec<Vec<String>> =
+            metrics.gauges().map(|(k, v)| vec![k.to_string(), format!("{v:.6}")]).collect();
+        out.push_str(&align(&["name", "value"], &rows));
+    }
+    if metrics.histograms().next().is_some() {
+        out.push_str("\n== histograms (ms) ==\n");
+        let rows: Vec<Vec<String>> = metrics
+            .histograms()
+            .map(|(k, h)| {
+                vec![
+                    k.to_string(),
+                    h.count().to_string(),
+                    ms(h.p50()),
+                    ms(h.p95()),
+                    ms(h.p99()),
+                    ms(h.max()),
+                ]
+            })
+            .collect();
+        out.push_str(&align(&["name", "count", "p50", "p95", "p99", "max"], &rows));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ClockDomain;
+
+    #[test]
+    fn summary_mentions_tracks_categories_and_metrics() {
+        let mut set = SpanSet::new(ClockDomain::Virtual);
+        let t = set.add_track("gpu0");
+        set.record(t, "s0/fp", "fp", 0.0, 0.002);
+        set.record(t, "s0/bp", "bp", 0.002, 0.006);
+        let mut m = Metrics::new();
+        m.inc("comm.bytes_sent", 4096);
+        m.set_gauge("occupancy.comm", 0.5);
+        m.observe("sched.queue_wait_s", 1e-3);
+        let text = summary(&set, &m);
+        for needle in
+            ["gpu0", "fp", "bp", "comm.bytes_sent", "4096", "occupancy.comm", "sched.queue_wait_s"]
+        {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn empty_metrics_sections_are_omitted() {
+        let set = SpanSet::new(ClockDomain::Wall);
+        let text = summary(&set, &Metrics::new());
+        assert!(!text.contains("counters"));
+        assert!(!text.contains("histograms"));
+        assert!(text.contains("== spans"));
+    }
+}

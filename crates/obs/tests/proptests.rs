@@ -1,0 +1,187 @@
+//! Property tests for the observability layer (ISSUE 3 satellite):
+//! span trees are well-nested per track, histogram quantiles are
+//! monotone, counter merges are associative, and Chrome trace output
+//! round-trips through the crate's minimal JSON parser.
+
+use embrace_obs::json::{parse, Value};
+use embrace_obs::{chrome_trace, ClockDomain, CounterSeries, LogHistogram, Metrics, SpanSet};
+use proptest::prelude::*;
+
+/// A small palette of span names exercising JSON escaping.
+const NAMES: [&str; 6] =
+    ["plain", "qu\"ote", "back\\slash", "new\nline", "tab\there", "uni→code 😀"];
+
+fn name_of(i: u32) -> &'static str {
+    NAMES[i as usize % NAMES.len()]
+}
+
+/// Build a span set from a random walk of begin/end commands: `true`
+/// opens a span (name picked by index), `false` closes the innermost
+/// one if any. Time advances by `dts[i]` before each command, so spans
+/// produced this way are well-nested by construction.
+fn walk_spans(cmds: &[(bool, u32)], dts: &[f64]) -> SpanSet {
+    let mut set = SpanSet::new(ClockDomain::Virtual);
+    let t0 = set.add_track("walk");
+    let mut now = 0.0;
+    for (i, &(open, name)) in cmds.iter().enumerate() {
+        now += dts[i % dts.len().max(1)].max(0.0);
+        if open {
+            set.begin(t0, name_of(name), "cat", now);
+        } else if set.open_depth(t0) > 0 {
+            set.end(t0, now);
+        }
+    }
+    while set.open_depth(t0) > 0 {
+        now += 1e-6;
+        set.end(t0, now);
+    }
+    set
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn begin_end_walks_are_well_nested(
+        cmds in prop::collection::vec(((0u32..2).prop_map(|b| b == 0), 0u32..8), 0..60),
+        dts in prop::collection::vec(0.0f64..1e-3, 1..16),
+    ) {
+        let set = walk_spans(&cmds, &dts);
+        prop_assert!(set.check_well_nested().is_ok(), "{:?}", set.check_well_nested());
+        // Structure is a pure projection: same length as span count.
+        prop_assert_eq!(set.structure().len(), set.len());
+    }
+
+    #[test]
+    fn partial_overlap_is_always_caught(
+        a_end in 1.0f64..10.0,
+        cut in 0.01f64..0.99,
+        extra in 0.1f64..5.0,
+    ) {
+        // Span B starts strictly inside A and ends strictly after it.
+        let mut set = SpanSet::new(ClockDomain::Virtual);
+        let t = set.add_track("w");
+        set.record(t, "a", "x", 0.0, a_end);
+        set.record(t, "b", "x", a_end * cut, a_end + extra);
+        prop_assert!(set.check_well_nested().is_err());
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone_and_bracketed(
+        values in prop::collection::vec(1e-9f64..1e4, 1..200),
+        qs in prop::collection::vec(0.0f64..1.0, 2..20),
+    ) {
+        let mut h = LogHistogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        let mut qs = qs;
+        qs.sort_by(f64::total_cmp);
+        let mut prev = f64::NEG_INFINITY;
+        for &q in &qs {
+            let est = h.quantile(q);
+            prop_assert!(est >= prev, "quantile({q}) = {est} < {prev}");
+            prop_assert!(est >= h.min() && est <= h.max());
+            prev = est;
+        }
+        // The estimate is the upper bound of the bucket holding the
+        // ⌈q·n⌉-th observation, so it brackets the exact order statistic
+        // from above by at most one sub-bucket width (2^(1/4) ≈ 19%).
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        let target = ((0.5 * sorted.len() as f64).ceil() as usize).max(1);
+        let exact = sorted[target - 1];
+        let est = h.quantile(0.5);
+        prop_assert!(est >= exact * (1.0 - 1e-9) && est <= exact * 1.2,
+            "p50 {est} vs exact order statistic {exact}");
+    }
+
+    #[test]
+    fn counter_merge_is_associative_and_commutative(
+        a in prop::collection::vec((0u32..6, 0u64..u64::MAX), 0..12),
+        b in prop::collection::vec((0u32..6, 0u64..u64::MAX), 0..12),
+        c in prop::collection::vec((0u32..6, 0u64..u64::MAX), 0..12),
+    ) {
+        let build = |items: &[(u32, u64)]| {
+            let mut m = Metrics::new();
+            for &(k, v) in items {
+                m.inc(&format!("c{k}"), v);
+                m.observe(&format!("h{}", k % 3), (v % 1000) as f64 * 1e-4);
+            }
+            m
+        };
+        let (ma, mb, mc) = (build(&a), build(&b), build(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = ma.clone();
+        left.merge(&mb);
+        left.merge(&mc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = mb.clone();
+        bc.merge(&mc);
+        let mut right = ma.clone();
+        right.merge(&bc);
+        for k in 0..6u32 {
+            let name = format!("c{k}");
+            prop_assert_eq!(left.counter(&name), right.counter(&name), "{}", name);
+        }
+        // Histogram bucket counts merge associatively too.
+        for k in 0..3u32 {
+            let name = format!("h{k}");
+            match (left.histogram(&name), right.histogram(&name)) {
+                (None, None) => {}
+                (Some(lh), Some(rh)) => {
+                    prop_assert_eq!(lh.count(), rh.count());
+                    for q in [0.1, 0.5, 0.9, 0.99] {
+                        prop_assert_eq!(lh.quantile(q), rh.quantile(q));
+                    }
+                }
+                _ => prop_assert!(false, "histogram {} present on one side only", name),
+            }
+        }
+        // Commutative on counters: b ⊕ a == a ⊕ b.
+        let mut ab = ma.clone();
+        ab.merge(&mb);
+        let mut ba = mb.clone();
+        ba.merge(&ma);
+        for k in 0..6u32 {
+            let name = format!("c{k}");
+            prop_assert_eq!(ab.counter(&name), ba.counter(&name));
+        }
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_json(
+        cmds in prop::collection::vec(((0u32..2).prop_map(|b| b == 0), 0u32..8), 0..40),
+        dts in prop::collection::vec(1e-6f64..1e-3, 1..8),
+        counter_pts in prop::collection::vec((0.0f64..1.0, 0.0f64..100.0), 0..10),
+    ) {
+        let set = walk_spans(&cmds, &dts);
+        let mut series = CounterSeries::new("depth \"q\"");
+        for &(t, v) in &counter_pts {
+            series.push(t, v);
+        }
+        let doc = chrome_trace(&set, &[series]);
+        let v = parse(&doc).expect("exporter output must be valid JSON");
+        let events = v.get("traceEvents").and_then(Value::as_arr).expect("traceEvents array");
+        let xs: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .collect();
+        prop_assert_eq!(xs.len(), set.len());
+        for (ev, span) in xs.iter().zip(set.spans()) {
+            // Names round-trip exactly (escaping is lossless)...
+            prop_assert_eq!(ev.get("name").and_then(Value::as_str), Some(span.name.as_str()));
+            // ...and times survive to within the exporter's 1e-3 µs
+            // print precision.
+            let ts = ev.get("ts").and_then(Value::as_f64).expect("ts");
+            let dur = ev.get("dur").and_then(Value::as_f64).expect("dur");
+            prop_assert!((ts - span.start * 1e6).abs() <= 5e-3, "ts {ts} vs {}", span.start * 1e6);
+            prop_assert!((dur - span.dur() * 1e6).abs() <= 5e-3);
+        }
+        let ncounters = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("C"))
+            .count();
+        prop_assert_eq!(ncounters, counter_pts.len());
+    }
+}

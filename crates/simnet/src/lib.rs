@@ -42,7 +42,7 @@ pub mod topology;
 pub mod trace;
 
 pub use cost::{CollectiveKind, CostModel};
-pub use event::{CommOrder, Res, Sim, SimResult, Task, TaskId};
+pub use event::{CommOrder, QueueSample, Res, Sim, SimResult, Task, TaskId};
 pub use failure::{synchronous_step_with_crash, FaultEvent, FaultOutcome, Recovery, RecoveryModel};
 pub use multiworker::{synchronous_step, MultiSim, MwKind, MwResult, MwTask, MwTaskId};
 pub use topology::{Cluster, GpuKind, NetworkParams};

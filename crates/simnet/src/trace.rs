@@ -2,7 +2,8 @@
 //! `fig6_timeline` bench binary to reproduce the paper's Figure 2/6
 //! execution-timeline comparisons.
 
-use crate::event::{Res, TaskId};
+use crate::event::{QueueSample, Res, TaskId};
+use embrace_obs::{ClockDomain, CounterSeries, SpanSet};
 
 /// One executed task occurrence.
 #[derive(Clone, Debug, PartialEq)]
@@ -71,6 +72,48 @@ impl Trace {
             .and_then(|seg| seg.chars().next())
             .or_else(|| name.chars().next())
             .unwrap_or('#')
+    }
+
+    /// Category of a span for the observability layer: the second
+    /// `/`-segment of its name (`s0/fp/enc_emb` → `fp`), or the whole
+    /// name when it has no step prefix.
+    fn span_cat(name: &str) -> &str {
+        name.split('/').nth(1).filter(|s| !s.is_empty()).unwrap_or(name)
+    }
+
+    /// Convert to an [`embrace_obs::SpanSet`] in the `Virtual` clock
+    /// domain: one track per stream (`gpu compute` / `network`), flat
+    /// spans (a DES stream runs one task at a time), categories derived
+    /// from the `s{step}/<kind>/<module>` naming convention. This is the
+    /// bridge the Chrome-trace exporter (`embrace_sim trace`) rides on.
+    pub fn to_spans(&self) -> SpanSet {
+        let mut set = SpanSet::new(ClockDomain::Virtual);
+        let compute = set.add_track("gpu compute");
+        let network = set.add_track("network");
+        for (track, res) in [(compute, Res::Compute), (network, Res::Comm)] {
+            for s in self.on(res) {
+                set.record(track, &s.name, Self::span_cat(&s.name), s.start, s.end);
+            }
+        }
+        set
+    }
+
+    /// Per-priority queue-depth counter series (one per priority class)
+    /// from DES [`QueueSample`]s, for Chrome `C` events.
+    pub fn queue_depth_series(samples: &[QueueSample]) -> Vec<CounterSeries> {
+        let mut prios: Vec<i64> = samples.iter().map(|q| q.priority).collect();
+        prios.sort_unstable();
+        prios.dedup();
+        prios
+            .into_iter()
+            .map(|p| {
+                let mut s = CounterSeries::new(&format!("comm queue depth (prio {p})"));
+                for q in samples.iter().filter(|q| q.priority == p) {
+                    s.push(q.t, q.depth as f64);
+                }
+                s
+            })
+            .collect()
     }
 
     /// Render both streams as a two-row ASCII Gantt chart, `width`
@@ -147,6 +190,35 @@ mod tests {
     fn empty_trace_renders_placeholder() {
         let t = Trace::default();
         assert_eq!(t.render_ascii(10), "(empty trace)\n");
+    }
+
+    #[test]
+    fn to_spans_preserves_times_and_streams() {
+        let t = sample();
+        let set = t.to_spans();
+        assert_eq!(set.domain(), embrace_obs::ClockDomain::Virtual);
+        assert_eq!(set.tracks(), &["gpu compute".to_string(), "network".to_string()]);
+        assert_eq!(set.len(), t.spans.len());
+        set.check_well_nested().expect("DES streams are serial, hence trivially nested");
+        assert!((set.max_end() - 4.0).abs() < 1e-12);
+        let beta = set.spans().iter().find(|s| s.name == "beta").expect("beta span");
+        assert_eq!(set.track_name(beta.track), "network");
+        assert!((beta.start - 1.0).abs() < 1e-12 && (beta.end - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_series_split_by_priority() {
+        use crate::event::QueueSample;
+        let samples = [
+            QueueSample { t: 0.0, priority: 0, depth: 1 },
+            QueueSample { t: 0.5, priority: 2, depth: 1 },
+            QueueSample { t: 1.0, priority: 0, depth: 0 },
+        ];
+        let series = Trace::queue_depth_series(&samples);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].name, "comm queue depth (prio 0)");
+        assert_eq!(series[0].points, vec![(0.0, 1.0), (1.0, 0.0)]);
+        assert_eq!(series[1].points, vec![(0.5, 1.0)]);
     }
 }
 

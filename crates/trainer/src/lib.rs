@@ -27,7 +27,11 @@ pub mod translation;
 
 pub use chaos::{run_chaos, standard_scenarios, ChaosConfig, RankOutcome};
 pub use lstm::train_lstm_lm;
-pub use real::{train_convergence, ConvergenceConfig, ConvergenceResult, TrainMethod};
+pub use real::{
+    train_convergence, train_convergence_observed, ConvergenceConfig, ConvergenceResult,
+    TrainMethod,
+};
 pub use scheduled::{train_convergence_scheduled, train_convergence_traced};
-pub use sim::{simulate, simulate_with_trace, SimConfig, StepMetrics};
+pub use sim::{simulate, simulate_full, simulate_with_trace, SimConfig, StepMetrics};
+pub use timeline::{chrome_export, ChromeExport};
 pub use translation::train_translation;

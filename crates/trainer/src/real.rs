@@ -16,6 +16,7 @@ use embrace_core::{vertical_split, ColumnShardedEmbedding};
 use embrace_dlsim::optim::{Adam, Optimizer, UpdatePart};
 use embrace_dlsim::{EmbeddingTable, Prefetcher};
 use embrace_models::{BatchGen, ZipfSampler};
+use embrace_obs::{recorder, SpanSet};
 use embrace_tensor::{DenseTensor, RowSparse};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -186,6 +187,37 @@ pub fn train_convergence(method: TrainMethod, cfg: &ConvergenceConfig) -> Conver
     ConvergenceResult { losses: losses.into_iter().next().expect("at least one worker") }
 }
 
+/// Like [`train_convergence`], but with the observability recorder
+/// installed on every worker thread: each step opens a `train` span and
+/// every collective inside records a nested `collective` span. Returns
+/// the loss curve plus one wall-clock [`SpanSet`] per rank.
+///
+/// Training is unchanged — the recorder is passive — so losses are
+/// bitwise-identical to an unobserved run with the same config, and the
+/// span *structure* (not timing) is identical across ranks and across
+/// repeat runs: both are asserted by `tests/schedule_invariants.rs`.
+pub fn train_convergence_observed(
+    method: TrainMethod,
+    cfg: &ConvergenceConfig,
+) -> (ConvergenceResult, Vec<SpanSet>) {
+    let per_rank = run_group(cfg.world, |rank, ep| {
+        recorder::install(&format!("rank{rank}"));
+        let losses = match method {
+            TrainMethod::HorovodAllGather => train_allgather(rank, ep, cfg),
+            TrainMethod::EmbRace => train_embrace(rank, ep, cfg),
+        };
+        let spans = recorder::take().expect("recorder installed at worker start");
+        (losses, spans)
+    });
+    let mut losses = None;
+    let mut spans = Vec::with_capacity(per_rank.len());
+    for (l, s) in per_rank {
+        losses.get_or_insert(l);
+        spans.push(s);
+    }
+    (ConvergenceResult { losses: losses.expect("at least one worker") }, spans)
+}
+
 pub(crate) fn batch_stream(cfg: &ConvergenceConfig, rank: usize) -> Prefetcher<Vec<u32>, BatchGen> {
     let sampler = ZipfSampler::new(cfg.vocab, cfg.zipf_s);
     let gen = BatchGen::new(sampler, cfg.tokens_per_batch, 0.0, cfg.seed ^ ((rank as u64) << 32));
@@ -201,7 +233,8 @@ fn train_allgather(rank: usize, ep: &mut Endpoint, cfg: &ConvergenceConfig) -> V
     let mut stream = batch_stream(cfg, rank);
 
     let mut losses = Vec::with_capacity(cfg.steps);
-    for _ in 0..cfg.steps {
+    for step in 0..cfg.steps {
+        let _span = recorder::span(&format!("step{step}"), "train");
         let tokens = stream.advance().expect("infinite stream");
         let lookup = emb.lookup(&tokens);
         let (loss, mut grad_w, grad_rows) = fwd_bwd_toy(&lookup, &tokens, &w, &targets);
@@ -228,7 +261,8 @@ fn train_embrace(rank: usize, ep: &mut Endpoint, cfg: &ConvergenceConfig) -> Vec
     let mut stream = batch_stream(cfg, rank);
 
     let mut losses = Vec::with_capacity(cfg.steps);
-    for _ in 0..cfg.steps {
+    for step in 0..cfg.steps {
+        let _span = recorder::span(&format!("step{step}"), "train");
         let tokens = stream.advance().expect("infinite stream");
         let next_local = stream.peek_next().expect("infinite stream").clone();
         // Hybrid FP: gather all batches, AlltoAll lookup results.

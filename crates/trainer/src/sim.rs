@@ -152,6 +152,14 @@ pub fn simulate(cfg: &SimConfig) -> StepMetrics {
 /// Like [`simulate`], but also return the full discrete-event trace
 /// (per-task execution spans) for timeline rendering and inspection.
 pub fn simulate_with_trace(cfg: &SimConfig) -> (StepMetrics, embrace_simnet::Trace) {
+    let (m, r) = simulate_full(cfg);
+    (m, r.trace)
+}
+
+/// Like [`simulate`], but return the complete [`SimResult`] — trace spans
+/// plus the per-priority comm-queue depth samples and stream occupancy
+/// that the observability exporters consume.
+pub fn simulate_full(cfg: &SimConfig) -> (StepMetrics, SimResult) {
     let spec = ModelSpec::get(cfg.model);
     let stats = cached_stats(cfg);
     // Replicated-table methods must host full embedding tables in CPU
@@ -491,7 +499,7 @@ pub fn simulate_with_trace(cfg: &SimConfig) -> (StepMetrics, embrace_simnet::Tra
 
     let result = sim.run();
     let metrics = metrics_from(&result, &markers, &graph, &sizes, world, sizes.n_blocks);
-    (metrics, result.trace)
+    (metrics, result)
 }
 
 /// Position of embedding module `m` among the graph's embeddings (to pick

@@ -5,10 +5,10 @@
 //! (Fig. 6b) and full 2D Communication Scheduling (Fig. 6c) — all over
 //! Sparsity-aware Hybrid Communication, as in the paper's figure.
 
-use crate::sim::{simulate, simulate_with_trace, SimConfig};
+use crate::sim::{simulate, simulate_full, simulate_with_trace, SimConfig};
 use embrace_baselines::MethodId;
 use embrace_models::ModelId;
-use embrace_simnet::Cluster;
+use embrace_simnet::{Cluster, Trace};
 
 /// One scheme's rendered timeline plus its steady step time.
 #[derive(Clone, Debug)]
@@ -67,6 +67,30 @@ pub fn render_step_gantt(
     embrace_simnet::Trace { spans: windowed }.render_ascii(width)
 }
 
+/// A simulated step timeline exported for the Chrome/Perfetto trace
+/// viewer: the DES span set (virtual-clock domain), the per-priority
+/// comm-queue depth counters, and the makespan the spans must reconcile
+/// against.
+pub struct ChromeExport {
+    pub json: String,
+    pub makespan: f64,
+    /// Sum of network-stream span durations (for reconciliation checks).
+    pub network_busy: f64,
+}
+
+/// Simulate `cfg` and export the full discrete-event timeline as Chrome
+/// `trace_event` JSON (load in `chrome://tracing` or Perfetto). Spans land
+/// on the "gpu compute" / "network" tracks; comm-queue depth per priority
+/// class is emitted as counter series.
+pub fn chrome_export(cfg: &SimConfig) -> ChromeExport {
+    let (_, result) = simulate_full(cfg);
+    let spans = result.trace.to_spans();
+    let counters = Trace::queue_depth_series(&result.comm_queue);
+    let json = embrace_obs::chrome_trace(&spans, &counters);
+    let network_busy = result.trace.on(embrace_simnet::Res::Comm).iter().map(|s| s.dur()).sum();
+    ChromeExport { json, makespan: result.makespan, network_busy }
+}
+
 /// Render the Fig. 6 comparison as text (used by the `fig6_timeline` bench
 /// binary): per scheme, the step time, the stall, and the speedup over the
 /// default FIFO schedule.
@@ -107,6 +131,34 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains('f') || lines[0].contains('b'), "compute row: {g}");
         assert!(lines[1].contains('a'), "network row should show allreduce: {g}");
+    }
+
+    #[test]
+    fn chrome_export_parses_and_reconciles() {
+        let mut cfg = SimConfig::new(MethodId::EmbRace, ModelId::Gnmt8, Cluster::rtx3090(8));
+        cfg.steps = 4;
+        let exp = chrome_export(&cfg);
+        let v = embrace_obs::json::parse(&exp.json).expect("valid JSON");
+        let events = v.get("traceEvents").and_then(|e| e.as_arr()).expect("traceEvents array");
+        assert!(!events.is_empty());
+        // Max span end (µs) must reconcile with the DES makespan: the
+        // makespan IS the end of the last task on either stream.
+        let max_end_us = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .map(|e| {
+                e.get("ts").and_then(|t| t.as_f64()).expect("ts")
+                    + e.get("dur").and_then(|d| d.as_f64()).expect("dur")
+            })
+            .fold(0.0, f64::max);
+        let rel = (max_end_us - exp.makespan * 1e6).abs() / (exp.makespan * 1e6);
+        assert!(rel < 0.01, "span horizon {} vs makespan {} µs", max_end_us, exp.makespan * 1e6);
+        assert!(exp.network_busy > 0.0 && exp.network_busy <= exp.makespan * 1.0001);
+        // Queue-depth counters present for a priority method.
+        assert!(
+            events.iter().any(|e| e.get("ph").and_then(|p| p.as_str()) == Some("C")),
+            "expected counter events"
+        );
     }
 
     #[test]

@@ -22,7 +22,10 @@
 //! * [`baselines`] — Horovod AllReduce/AllGather, BytePS(+ByteScheduler),
 //!   Parallax, OmniReduce;
 //! * [`trainer`] — the end-to-end step simulator and the functional
-//!   convergence trainer.
+//!   convergence trainer;
+//! * [`obs`] — the observability layer: hierarchical spans (wall +
+//!   virtual clock domains), metric registry, and Chrome `trace_event`
+//!   export (see `embrace_sim trace`).
 //!
 //! ## Quick taste
 //!
@@ -50,6 +53,7 @@ pub use embrace_collectives as collectives;
 pub use embrace_core as core;
 pub use embrace_dlsim as dlsim;
 pub use embrace_models as models;
+pub use embrace_obs as obs;
 pub use embrace_ps as ps;
 pub use embrace_simnet as simnet;
 pub use embrace_tensor as tensor;

@@ -4,8 +4,12 @@
 
 use embrace_repro::baselines::MethodId;
 use embrace_repro::models::ModelId;
+use embrace_repro::obs::SpanSet;
 use embrace_repro::simnet::{Cluster, Res, Trace};
-use embrace_repro::trainer::{simulate_with_trace, SimConfig};
+use embrace_repro::trainer::{
+    simulate_with_trace, train_convergence, train_convergence_observed, ConvergenceConfig,
+    SimConfig, TrainMethod,
+};
 
 fn trace_for(method: MethodId) -> Trace {
     let mut cfg = SimConfig::new(method, ModelId::Gnmt8, Cluster::rtx3090(16));
@@ -106,6 +110,46 @@ fn fifo_network_never_idles_while_queue_nonempty_under_load() {
     let busy = t.busy_in(Res::Comm, 0.0, makespan);
     assert!(busy > 0.3 * makespan, "network should be busy: {busy} of {makespan}");
     assert!(busy <= makespan * 1.0 + 1e-9);
+}
+
+/// A span-structure line with its track prefix stripped, so structures
+/// can be compared across ranks (tracks are named per rank).
+fn rankless_structure(set: &SpanSet) -> Vec<String> {
+    set.structure()
+        .iter()
+        .map(|line| line.split_once('|').expect("track|rest structure line").1.to_string())
+        .collect()
+}
+
+#[test]
+fn observed_training_is_deterministic_in_losses_and_span_structure() {
+    // Tracing must be passive: two observed seeded runs (and an
+    // unobserved one) produce bitwise-identical loss curves, and the span
+    // structure is identical across runs AND across ranks — the SPMD
+    // program order is the same everywhere.
+    let cfg = ConvergenceConfig { steps: 12, ..Default::default() };
+    let (run_a, spans_a) = train_convergence_observed(TrainMethod::EmbRace, &cfg);
+    let (run_b, spans_b) = train_convergence_observed(TrainMethod::EmbRace, &cfg);
+    let plain = train_convergence(TrainMethod::EmbRace, &cfg);
+    assert_eq!(run_a.losses, run_b.losses, "observed runs must match bitwise");
+    assert_eq!(run_a.losses, plain.losses, "tracing must not perturb training");
+
+    assert_eq!(spans_a.len(), cfg.world);
+    assert_eq!(spans_b.len(), cfg.world);
+    let reference = rankless_structure(&spans_a[0]);
+    assert!(!reference.is_empty(), "observed run recorded no spans");
+    assert!(
+        reference.iter().any(|l| l == "d0|train|step0"),
+        "per-step spans missing: {reference:?}"
+    );
+    for (rank, set) in spans_a.iter().chain(spans_b.iter()).enumerate() {
+        set.check_well_nested().expect("spans well nested");
+        assert_eq!(
+            rankless_structure(set),
+            reference,
+            "span structure diverged (rank/run index {rank})"
+        );
+    }
 }
 
 #[test]
