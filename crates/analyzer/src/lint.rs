@@ -14,6 +14,11 @@
 //!   a packet kind cannot silently fall through.
 //! * **commop-match** — the same for `CommOp`: every scheduler match
 //!   covers every submitted operation kind.
+//! * **payload-clone** — no `Packet::…(x.clone())` constructor at send
+//!   sites outside `transport.rs`: tensor payloads are `Arc`-backed, so
+//!   fan-out sends must use the O(1) `share()` (dense/sparse) instead of
+//!   deep-copying; deliberate deep copies (e.g. `Vec<u32>` token buffers)
+//!   are allowlisted individually.
 //! * **forbid-unsafe** — every workspace crate root declares
 //!   `#![forbid(unsafe_code)]`.
 //!
@@ -465,6 +470,28 @@ pub fn lint_source(rel: &str, src: &str, inv: &VariantInventory) -> Vec<Finding>
         }
     }
 
+    // payload-clone: constructing a Packet from a `.clone()` deep-copies
+    // the payload once per link; Arc-backed tensors make `share()` free.
+    // transport.rs itself (the Packet definition and loopback paths) is
+    // exempt — the rule targets send sites.
+    if !rel.ends_with("collectives/src/transport.rs") {
+        for (i, line) in masked_lines.iter().enumerate() {
+            if in_test.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            if contains_path_of(line, "Packet") && line.contains(".clone()") {
+                findings.push(Finding {
+                    rule: "payload-clone",
+                    path: rel.to_string(),
+                    line: i + 1,
+                    message: "Packet built from `.clone()`: use `share()` for O(1) fan-out \
+                              (allowlist deliberate deep copies)"
+                        .to_string(),
+                });
+            }
+        }
+    }
+
     // Exhaustiveness rules apply to all non-test workspace code.
     for (enum_name, variants, rule) in
         [("Packet", &inv.packet, "packet-match"), ("CommOp", &inv.comm_op, "commop-match")]
@@ -679,6 +706,28 @@ mod tests {
         let src = "fn a(p: VPacket) { match p { VPacket::Data(d) => use_it(d), _ => {} } }";
         let f = lint_source("crates/simnet/src/x.rs", src, &inv());
         assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn payload_clone_flagged_outside_transport() {
+        let src = "fn a(ep: &mut E, t: DenseTensor) {\n    \
+                   let _ = ep.try_send(1, Packet::Dense(t.clone()));\n}";
+        let f = lint_source("crates/collectives/src/ops.rs", src, &inv());
+        assert_eq!(f.iter().filter(|f| f.rule == "payload-clone").count(), 1, "{f:?}");
+        // transport.rs itself is exempt.
+        let f = lint_source("crates/collectives/src/transport.rs", src, &inv());
+        assert!(f.iter().all(|f| f.rule != "payload-clone"), "{f:?}");
+    }
+
+    #[test]
+    fn payload_share_and_packet_clone_are_clean() {
+        // share() fan-out and cloning a whole Packet (O(1) for Arc-backed
+        // payloads, no constructor involved) must not be flagged.
+        let src = "fn a(ep: &mut E, t: DenseTensor, p: Packet) {\n    \
+                   let _ = ep.try_send(1, Packet::Dense(t.share()));\n    \
+                   let _ = ep.try_send(2, p.clone());\n}";
+        let f = lint_source("crates/simnet/src/x.rs", src, &inv());
+        assert!(f.iter().all(|f| f.rule != "payload-clone"), "{f:?}");
     }
 
     #[test]

@@ -148,23 +148,21 @@ fn action(cfg: &CheckConfig, rank: usize, pc: u32) -> Action {
     let pc = pc as usize;
     match cfg.collective {
         Collective::Barrier => {
+            // Dissemination barrier: round k (k = 0, 1, ...) sends a signal
+            // at distance 2^k and waits for one from the same distance the
+            // other way; ⌈log₂ w⌉ rounds total. Mirrors `ops::try_barrier`
+            // and `plan::barrier_plan`.
             if w == 1 {
                 return Action::Finish;
             }
-            if rank == 0 {
-                if pc < w - 1 {
-                    Action::Recv(pc + 1)
-                } else if pc < 2 * (w - 1) {
-                    Action::Send(pc - (w - 1) + 1)
-                } else {
-                    Action::Finish
-                }
+            let round = pc / 2;
+            let dist = 1usize << round;
+            if dist >= w {
+                Action::Finish
+            } else if pc.is_multiple_of(2) {
+                Action::Send((rank + dist) % w)
             } else {
-                match pc {
-                    0 => Action::Send(0),
-                    1 => Action::Recv(0),
-                    _ => Action::Finish,
-                }
+                Action::Recv((rank + w - dist) % w)
             }
         }
         Collective::Broadcast { root } => {

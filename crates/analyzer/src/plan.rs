@@ -82,22 +82,23 @@ fn empty_bytes() -> u64 {
     0
 }
 
-/// Plan of [`embrace_collectives::ops::barrier`]: rank 0 gathers one empty
-/// packet per rank, then releases everyone.
+/// Plan of [`embrace_collectives::ops::barrier`]: the dissemination
+/// barrier — in round `k` (distance `2^k`) every rank sends one empty
+/// packet to `(rank + 2^k) mod N` and receives one from
+/// `(rank − 2^k) mod N`, for ⌈log₂ N⌉ rounds. Mirrors `try_barrier`
+/// op-for-op.
 pub fn barrier_plan(world: usize) -> P2pPlan {
     let mut plan = P2pPlan::new("barrier", world);
     if world == 1 {
         return plan;
     }
-    for src in 1..world {
-        plan.ranks[0].push(P2pOp::Recv { from: src, bytes: empty_bytes() });
-    }
-    for dst in 1..world {
-        plan.ranks[0].push(P2pOp::Send { to: dst, bytes: empty_bytes() });
-    }
-    for r in 1..world {
-        plan.ranks[r].push(P2pOp::Send { to: 0, bytes: empty_bytes() });
-        plan.ranks[r].push(P2pOp::Recv { from: 0, bytes: empty_bytes() });
+    for (r, ops) in plan.ranks.iter_mut().enumerate() {
+        let mut dist = 1;
+        while dist < world {
+            ops.push(P2pOp::Send { to: (r + dist) % world, bytes: empty_bytes() });
+            ops.push(P2pOp::Recv { from: (r + world - dist) % world, bytes: empty_bytes() });
+            dist *= 2;
+        }
     }
     plan
 }
@@ -352,11 +353,20 @@ mod tests {
 
     #[test]
     fn barrier_plan_shape() {
+        // Dissemination barrier: ⌈log₂ world⌉ rounds, one send + one recv
+        // per rank per round, distances 1, 2, 4, ...
         let p = barrier_plan(3);
-        assert_eq!(p.ranks[0].len(), 4); // 2 recvs + 2 sends
+        for r in 0..3 {
+            assert_eq!(p.ranks[r].len(), 4); // 2 rounds × (send + recv)
+        }
         assert_eq!(
             p.ranks[1],
-            vec![P2pOp::Send { to: 0, bytes: 0 }, P2pOp::Recv { from: 0, bytes: 0 },]
+            vec![
+                P2pOp::Send { to: 2, bytes: 0 },
+                P2pOp::Recv { from: 0, bytes: 0 },
+                P2pOp::Send { to: 0, bytes: 0 },
+                P2pOp::Recv { from: 2, bytes: 0 },
+            ]
         );
         assert_eq!(barrier_plan(1).ranks[0], vec![]);
     }

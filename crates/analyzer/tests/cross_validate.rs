@@ -137,12 +137,12 @@ fn recorded_barrier_trace_equals_plan() {
     let plan = barrier_plan(world);
     for rank in 0..world {
         let mut rec = RecordingEndpoint::new(rank, world);
-        if rank == 0 {
-            for src in 1..world {
-                rec.script(src, Packet::Empty);
-            }
-        } else {
-            rec.script(0, Packet::Empty);
+        // Dissemination rounds at distances 1 and 2: with world = 3 each
+        // rank receives exactly one signal from every other rank.
+        let mut dist = 1;
+        while dist < world {
+            rec.script((rank + world - dist) % world, Packet::Empty);
+            dist *= 2;
         }
         embrace_collectives::ops::barrier(&mut rec);
         assert_eq!(rec.trace(), &plan.ranks[rank][..], "rank {rank} trace vs plan");

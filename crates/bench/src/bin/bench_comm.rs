@@ -1,0 +1,326 @@
+//! `bench_comm` — wall-clock microbenchmarks for the *real* threaded
+//! collectives, persisted as a machine-readable perf trajectory.
+//!
+//! ```text
+//! bench_comm                        # full sweep, label "current"
+//! bench_comm --quick --label before # CI-sized sweep (2 sizes)
+//! bench_comm --out BENCH_collectives.json
+//! ```
+//!
+//! Each invocation times every (op × world × payload) cell, then merges
+//! the run into the output JSON under its `--label` (replacing a previous
+//! run with the same label, keeping all others) — so the file accumulates
+//! a before/after trajectory across commits. The written file is
+//! re-parsed with `embrace-obs`'s JSON parser before the process exits;
+//! an unparseable file is a hard error, which is what the CI
+//! `bench-smoke` job relies on.
+//!
+//! Schema (`BENCH_collectives.json`, documented in DESIGN.md):
+//!
+//! ```text
+//! { "schema": "bench-collectives-v1",
+//!   "runs": [ { "label": "...", "mode": "quick|full",
+//!               "entries": [ { "op", "world", "bytes",
+//!                              "iters", "ns_per_iter", "gb_per_s" } ] } ] }
+//! ```
+//!
+//! `bytes` is the per-rank logical payload (the buffer being reduced /
+//! gathered / exchanged); `gb_per_s` is that payload divided by wall time
+//! per iteration — a *goodput* number comparable across ops, not a wire
+//! bandwidth.
+
+use embrace_collectives::group::run_group;
+use embrace_collectives::ops::{
+    allgather_dense, alltoallv_sparse, broadcast, ring_allreduce, ring_allreduce_pipelined,
+};
+use embrace_collectives::transport::Packet;
+use embrace_obs::json;
+use embrace_tensor::{DenseTensor, RowSparse, F32_BYTES};
+use std::time::Instant;
+
+const WORLDS: [usize; 3] = [2, 4, 8];
+const QUICK_BYTES: [usize; 2] = [64 << 10, 4 << 20];
+const FULL_BYTES: [usize; 5] = [1 << 10, 64 << 10, 1 << 20, 4 << 20, 16 << 20];
+/// Column width used to shape sparse payloads (embedding-dim scale).
+const SPARSE_DIM: usize = 64;
+/// Segment size (elements) for the pipelined ring variant.
+const PIPELINE_SEG: usize = 64 << 10;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Quick,
+    Full,
+}
+
+struct Entry {
+    op: &'static str,
+    world: usize,
+    bytes: usize,
+    iters: u64,
+    ns_per_iter: u64,
+    gb_per_s: f64,
+}
+
+/// Time `f` (already holding its inputs) over `iters` iterations inside a
+/// running group; returns the slowest rank's per-iteration nanoseconds.
+/// Every rank runs the same closure, so the max over ranks is the
+/// completion time of the collective, not one rank's early exit.
+fn time_group<F>(world: usize, iters: u64, f: F) -> u64
+where
+    F: Fn(usize, &mut embrace_collectives::transport::Endpoint) + Sync,
+{
+    let per_rank_ns = run_group(world, |rank, ep| {
+        // Warm-up: populate channel internals and fault-free fast paths.
+        f(rank, ep);
+        embrace_collectives::ops::barrier(ep);
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f(rank, ep);
+        }
+        let elapsed = t0.elapsed().as_nanos() as u64;
+        embrace_collectives::ops::barrier(ep);
+        elapsed
+    });
+    per_rank_ns.into_iter().max().unwrap_or(0) / iters
+}
+
+/// Iteration count scaled so big payloads don't dominate wall time.
+fn iters_for(bytes: usize, mode: Mode) -> u64 {
+    let budget: usize = match mode {
+        Mode::Quick => 32 << 20,
+        Mode::Full => 128 << 20,
+    };
+    ((budget / bytes.max(1)) as u64).clamp(3, 200)
+}
+
+fn dense_payload(bytes: usize) -> DenseTensor {
+    DenseTensor::full(1, bytes / F32_BYTES, 1.0)
+}
+
+/// A sparse block sized so each rank's total outgoing payload ≈ `bytes`.
+fn sparse_parts(world: usize, bytes: usize) -> Vec<RowSparse> {
+    let rows_total = (bytes / F32_BYTES / SPARSE_DIM).max(world);
+    let rows_per_part = (rows_total / world).max(1);
+    (0..world)
+        .map(|_| {
+            let indices: Vec<u32> = (0..rows_per_part as u32).collect();
+            RowSparse::new(indices, DenseTensor::full(rows_per_part, SPARSE_DIM, 1.0))
+        })
+        .collect()
+}
+
+fn bench_cell(op: &'static str, world: usize, bytes: usize, mode: Mode) -> Entry {
+    let iters = iters_for(bytes, mode);
+    let elems = bytes / F32_BYTES;
+    let ns = match op {
+        "ring_allreduce" => time_group(world, iters, |_r, ep| {
+            let mut buf = vec![1.0f32; elems];
+            ring_allreduce(ep, &mut buf);
+            std::hint::black_box(&buf);
+        }),
+        "ring_allreduce_pipelined" => time_group(world, iters, |_r, ep| {
+            let mut buf = vec![1.0f32; elems];
+            ring_allreduce_pipelined(ep, &mut buf, PIPELINE_SEG);
+            std::hint::black_box(&buf);
+        }),
+        "allgather_dense" => {
+            let local = dense_payload(bytes);
+            time_group(world, iters, move |_r, ep| {
+                let all = allgather_dense(ep, local.clone());
+                std::hint::black_box(&all);
+            })
+        }
+        "alltoallv_sparse" => {
+            let parts = sparse_parts(world, bytes);
+            time_group(world, iters, move |_r, ep| {
+                let out = alltoallv_sparse(ep, parts.clone());
+                std::hint::black_box(&out);
+            })
+        }
+        "broadcast_dense" => {
+            let local = dense_payload(bytes);
+            time_group(world, iters, move |rank, ep| {
+                let payload = (rank == 0).then(|| Packet::Dense(local.share()));
+                let p = broadcast(ep, 0, payload);
+                std::hint::black_box(&p);
+            })
+        }
+        other => panic!("unknown op {other}"),
+    };
+    let gb_per_s = if ns == 0 { 0.0 } else { bytes as f64 / ns as f64 };
+    Entry { op, world, bytes, iters, ns_per_iter: ns, gb_per_s }
+}
+
+fn run_sweep(mode: Mode) -> Vec<Entry> {
+    let sizes: &[usize] = match mode {
+        Mode::Quick => &QUICK_BYTES,
+        Mode::Full => &FULL_BYTES,
+    };
+    let ops = [
+        "ring_allreduce",
+        "ring_allreduce_pipelined",
+        "allgather_dense",
+        "alltoallv_sparse",
+        "broadcast_dense",
+    ];
+    let mut entries = Vec::new();
+    for &op in &ops {
+        for &world in &WORLDS {
+            for &bytes in sizes {
+                let e = bench_cell(op, world, bytes, mode);
+                println!(
+                    "{:<26} world={world} {:>9} B  {:>12} ns/iter  {:>8.3} GB/s  ({} iters)",
+                    e.op, e.bytes, e.ns_per_iter, e.gb_per_s, e.iters
+                );
+                entries.push(e);
+            }
+        }
+    }
+    entries
+}
+
+fn fmt_entry(e: &Entry) -> String {
+    format!(
+        "{{\"op\":\"{}\",\"world\":{},\"bytes\":{},\"iters\":{},\
+         \"ns_per_iter\":{},\"gb_per_s\":{:.6}}}",
+        e.op, e.world, e.bytes, e.iters, e.ns_per_iter, e.gb_per_s
+    )
+}
+
+/// Serialise one run object.
+fn fmt_run(label: &str, mode: Mode, entries: &[Entry]) -> String {
+    let mode_s = if mode == Mode::Quick { "quick" } else { "full" };
+    let body: Vec<String> = entries.iter().map(fmt_entry).collect();
+    format!(
+        "{{\"label\":\"{}\",\"mode\":\"{mode_s}\",\"entries\":[{}]}}",
+        json::escape(label),
+        body.join(",")
+    )
+}
+
+/// Merge the new run into an existing trajectory file: runs with other
+/// labels are preserved verbatim (re-serialised), a run with the same
+/// label is replaced.
+fn merge_into_file(path: &str, label: &str, new_run: String) -> Result<String, String> {
+    let mut kept: Vec<String> = Vec::new();
+    if let Ok(prev) = std::fs::read_to_string(path) {
+        let v = json::parse(&prev).map_err(|e| format!("existing {path} unparseable: {e}"))?;
+        if let Some(runs) = v.get("runs").and_then(|r| r.as_arr()) {
+            for run in runs {
+                let run_label = run.get("label").and_then(|l| l.as_str()).unwrap_or("");
+                if run_label != label {
+                    kept.push(reserialise(run));
+                }
+            }
+        }
+    }
+    kept.push(new_run);
+    Ok(format!("{{\"schema\":\"bench-collectives-v1\",\"runs\":[{}]}}\n", kept.join(",")))
+}
+
+/// Re-emit a parsed JSON value (the parser keeps object key order).
+fn reserialise(v: &json::Value) -> String {
+    if let Some(obj) = v.as_obj() {
+        let fields: Vec<String> = obj
+            .iter()
+            .map(|(k, val)| format!("\"{}\":{}", json::escape(k), reserialise(val)))
+            .collect();
+        return format!("{{{}}}", fields.join(","));
+    }
+    if let Some(arr) = v.as_arr() {
+        let items: Vec<String> = arr.iter().map(reserialise).collect();
+        return format!("[{}]", items.join(","));
+    }
+    if let Some(s) = v.as_str() {
+        return format!("\"{}\"", json::escape(s));
+    }
+    if let Some(n) = v.as_f64() {
+        if n.fract() == 0.0 && n.abs() < 9e15 {
+            return format!("{}", n as i64);
+        }
+        return format!("{n}");
+    }
+    // Null / bool fall back to the f64/str accessors above in this
+    // parser; anything else is outside the bench schema.
+    "null".to_string()
+}
+
+/// Print per-cell deltas of `label` against the stored "before" run.
+fn report_delta(doc: &json::Value, label: &str) {
+    let Some(runs) = doc.get("runs").and_then(|r| r.as_arr()) else { return };
+    let find = |l: &str| runs.iter().find(|r| r.get("label").and_then(|v| v.as_str()) == Some(l));
+    let (Some(before), Some(after)) = (find("before"), find(label)) else { return };
+    if label == "before" {
+        return;
+    }
+    let entries = |r: &json::Value| -> Vec<(String, usize, usize, f64)> {
+        r.get("entries")
+            .and_then(|e| e.as_arr())
+            .map(|es| {
+                es.iter()
+                    .filter_map(|e| {
+                        Some((
+                            e.get("op")?.as_str()?.to_string(),
+                            e.get("world")?.as_f64()? as usize,
+                            e.get("bytes")?.as_f64()? as usize,
+                            e.get("gb_per_s")?.as_f64()?,
+                        ))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let base = entries(before);
+    println!("\ndelta vs \"before\":");
+    for (op, world, bytes, gbs) in entries(after) {
+        if let Some((.., b)) =
+            base.iter().find(|(o, w, by, _)| *o == op && *w == world && *by == bytes)
+        {
+            if *b > 0.0 {
+                println!("{op:<26} world={world} {bytes:>9} B  {:>6.2}x", gbs / b);
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut label = "current".to_string();
+    let mut out = "BENCH_collectives.json".to_string();
+    let mut mode = Mode::Full;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => mode = Mode::Quick,
+            "--label" => label = args.next().expect("--label requires a value"),
+            "--out" => out = args.next().expect("--out requires a path"),
+            other => {
+                eprintln!(
+                    "unknown flag {other}; usage: bench_comm [--quick] [--label L] [--out F]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    println!(
+        "bench_comm: label={label} mode={}",
+        if mode == Mode::Quick { "quick" } else { "full" }
+    );
+    let entries = run_sweep(mode);
+    let new_run = fmt_run(&label, mode, &entries);
+    let doc = merge_into_file(&out, &label, new_run).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    std::fs::write(&out, &doc).unwrap_or_else(|e| {
+        eprintln!("write {out}: {e}");
+        std::process::exit(1);
+    });
+    // Self-validation gate: the trajectory must stay machine-readable.
+    let parsed = json::parse(&doc).unwrap_or_else(|e| {
+        eprintln!("written {out} does not re-parse: {e}");
+        std::process::exit(1);
+    });
+    let n_runs = parsed.get("runs").and_then(|r| r.as_arr()).map_or(0, <[json::Value]>::len);
+    println!("\nwrote {out} ({n_runs} run(s)); re-parse OK");
+    report_delta(&parsed, &label);
+}

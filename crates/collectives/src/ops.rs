@@ -61,34 +61,31 @@ pub fn barrier<C: Comm>(ep: &mut C) {
     try_barrier(ep).expect("collective failed");
 }
 
-/// Fallible [`barrier`]: rank 0 gathers one message per rank then releases
-/// everyone. A failure on any rank aborts the whole group.
+/// Fallible [`barrier`]: a dissemination barrier (Hensgen/Finkel/Manber).
+/// In round `k` every rank signals `(rank + 2^k) mod N` and waits on
+/// `(rank − 2^k) mod N`; after ⌈log₂ N⌉ rounds each rank has transitively
+/// heard from all others. The critical path is O(log N) rounds, versus
+/// the O(N) serial gather-then-release through rank 0 it replaces, and no
+/// rank is a hotspot. A failure on any rank aborts the whole group.
 pub fn try_barrier<C: Comm>(ep: &mut C) -> Result<(), CommError> {
     let _span = recorder::span("barrier", "collective");
     let world = ep.world();
     if world == 1 {
         return Ok(());
     }
-    if ep.rank() == 0 {
-        for src in 1..world {
-            match ep.try_recv(src).and_then(Packet::try_into_empty) {
-                Ok(()) => {}
-                Err(e) => return fail(ep, e),
-            }
-        }
-        for dst in 1..world {
-            if let Err(e) = ep.try_send(dst, Packet::Empty) {
-                return fail(ep, e);
-            }
-        }
-    } else {
-        if let Err(e) = ep.try_send(0, Packet::Empty) {
+    let rank = ep.rank();
+    let mut dist = 1;
+    while dist < world {
+        let to = (rank + dist) % world;
+        let from = (rank + world - dist) % world;
+        if let Err(e) = ep.try_send(to, Packet::Empty) {
             return fail(ep, e);
         }
-        match ep.try_recv(0).and_then(Packet::try_into_empty) {
+        match ep.try_recv(from).and_then(Packet::try_into_empty) {
             Ok(()) => {}
             Err(e) => return fail(ep, e),
         }
+        dist *= 2;
     }
     Ok(())
 }
@@ -139,6 +136,20 @@ pub fn ring_allreduce<C: Comm>(ep: &mut C, buf: &mut [f32]) {
 
 /// Fallible [`ring_allreduce`]. On `Err` the contents of `buf` are
 /// unspecified (the reduction was interrupted part-way).
+///
+/// # Allocation discipline
+///
+/// One staging buffer of max-chunk capacity is allocated per call and then
+/// *circulates*: each step stages the outgoing chunk into it (a memcpy
+/// into existing capacity), moves it into the channel, and adopts the
+/// received buffer — whose sole owner we now are — as the next step's
+/// staging buffer. Every buffer in flight started as some rank's max-chunk
+/// scratch, so capacity always suffices and the 2·(N−1) steps perform zero
+/// heap allocations (asserted by `ring_allreduce_steady_state` tests via
+/// [`embrace_tensor::alloc_counter`]). The wire protocol — packet shapes,
+/// sizes and send/recv order — is byte-identical to the previous
+/// allocate-per-step implementation, so extracted plans and the model
+/// checker are unaffected.
 pub fn try_ring_allreduce<C: Comm>(ep: &mut C, buf: &mut [f32]) -> Result<(), CommError> {
     let _span = recorder::span("ring_allreduce", "collective");
     let world = ep.world();
@@ -149,7 +160,8 @@ pub fn try_ring_allreduce<C: Comm>(ep: &mut C, buf: &mut [f32]) -> Result<(), Co
     let chunks = row_partition(buf.len(), world);
     let next = (rank + 1) % world;
     let prev = (rank + world - 1) % world;
-    let slice = |buf: &[f32], c: usize| buf[chunks[c].start..chunks[c].end].to_vec();
+    let max_chunk = chunks.iter().map(|c| c.end - c.start).max().unwrap_or(0);
+    let mut scratch = DenseTensor::zeros(1, max_chunk);
 
     // Phase 1: reduce-scatter. After step s, chunk (rank−s) has been
     // accumulated over s+1 ranks; after N−1 steps each rank owns the fully
@@ -157,10 +169,9 @@ pub fn try_ring_allreduce<C: Comm>(ep: &mut C, buf: &mut [f32]) -> Result<(), Co
     for step in 0..world - 1 {
         let send_c = (rank + world - step) % world;
         let recv_c = (rank + world - step - 1) % world;
-        let payload = slice(buf, send_c);
-        if let Err(e) =
-            ep.try_send(next, Packet::Dense(DenseTensor::from_vec(1, payload.len(), payload)))
-        {
+        scratch.stage_row(&buf[chunks[send_c].start..chunks[send_c].end]);
+        let outgoing = std::mem::replace(&mut scratch, DenseTensor::zeros(0, 0));
+        if let Err(e) = ep.try_send(next, Packet::Dense(outgoing)) {
             return fail(ep, e);
         }
         let incoming = match ep.try_recv(prev).and_then(Packet::try_into_dense) {
@@ -171,15 +182,15 @@ pub fn try_ring_allreduce<C: Comm>(ep: &mut C, buf: &mut [f32]) -> Result<(), Co
         for (d, s) in dst.iter_mut().zip(incoming.as_slice()) {
             *d += s;
         }
+        scratch = incoming;
     }
     // Phase 2: all-gather the reduced chunks around the same ring.
     for step in 0..world - 1 {
         let send_c = (rank + 1 + world - step) % world;
         let recv_c = (rank + world - step) % world;
-        let payload = slice(buf, send_c);
-        if let Err(e) =
-            ep.try_send(next, Packet::Dense(DenseTensor::from_vec(1, payload.len(), payload)))
-        {
+        scratch.stage_row(&buf[chunks[send_c].start..chunks[send_c].end]);
+        let outgoing = std::mem::replace(&mut scratch, DenseTensor::zeros(0, 0));
+        if let Err(e) = ep.try_send(next, Packet::Dense(outgoing)) {
             return fail(ep, e);
         }
         let incoming = match ep.try_recv(prev).and_then(Packet::try_into_dense) {
@@ -187,6 +198,87 @@ pub fn try_ring_allreduce<C: Comm>(ep: &mut C, buf: &mut [f32]) -> Result<(), Co
             Err(e) => return fail(ep, e),
         };
         buf[chunks[recv_c].start..chunks[recv_c].end].copy_from_slice(incoming.as_slice());
+        scratch = incoming;
+    }
+    Ok(())
+}
+
+/// [`ring_allreduce`] with the reduce-scatter and all-gather phases
+/// segmented for pipelining; panics on communication failure.
+pub fn ring_allreduce_pipelined<C: Comm>(ep: &mut C, buf: &mut [f32], seg_elems: usize) {
+    try_ring_allreduce_pipelined(ep, buf, seg_elems).expect("collective failed");
+}
+
+/// Fallible segmented/pipelined ring AllReduce for large buffers: each of
+/// the 2·(N−1) ring steps splits its chunk into `seg_elems`-element
+/// segments and posts *all* of them before receiving any, so (sends being
+/// non-blocking) the reduction of segment k on this rank overlaps the
+/// transfer of segments k+1… from its neighbour, instead of serialising a
+/// full-chunk transfer against a full-chunk reduction.
+///
+/// Bitwise-identical to [`try_ring_allreduce`]: the reduction applies the
+/// same `dst[i] += src[i]` operations in the same element order, only the
+/// wire framing differs (several small packets per step instead of one —
+/// empty chunks send zero packets). Staging buffers come from a small
+/// pool that is refilled with received segments, so steady-state steps
+/// allocate nothing. On `Err` the contents of `buf` are unspecified.
+pub fn try_ring_allreduce_pipelined<C: Comm>(
+    ep: &mut C,
+    buf: &mut [f32],
+    seg_elems: usize,
+) -> Result<(), CommError> {
+    assert!(seg_elems > 0, "segment size must be positive");
+    let _span = recorder::span("ring_allreduce_pipelined", "collective");
+    let world = ep.world();
+    let rank = ep.rank();
+    if world == 1 {
+        return Ok(());
+    }
+    let chunks = row_partition(buf.len(), world);
+    let next = (rank + 1) % world;
+    let prev = (rank + world - 1) % world;
+    let max_chunk = chunks.iter().map(|c| c.end - c.start).max().unwrap_or(0);
+    let pool_size = max_chunk.div_ceil(seg_elems).max(1);
+    let mut pool: Vec<DenseTensor> =
+        (0..pool_size).map(|_| DenseTensor::zeros(1, seg_elems.min(max_chunk))).collect();
+
+    for phase in 0..2 {
+        for step in 0..world - 1 {
+            let (send_c, recv_c) = if phase == 0 {
+                ((rank + world - step) % world, (rank + world - step - 1) % world)
+            } else {
+                ((rank + 1 + world - step) % world, (rank + world - step) % world)
+            };
+            let send = chunks[send_c];
+            for seg_start in (send.start..send.end).step_by(seg_elems) {
+                let seg_end = (seg_start + seg_elems).min(send.end);
+                // Chunk sizes differ by at most one element across ranks,
+                // so the pool can transiently run dry at a segment
+                // boundary; the replacement grows on first use (counted).
+                let mut staging = pool.pop().unwrap_or_else(|| DenseTensor::zeros(0, 0));
+                staging.stage_row(&buf[seg_start..seg_end]);
+                if let Err(e) = ep.try_send(next, Packet::Dense(staging)) {
+                    return fail(ep, e);
+                }
+            }
+            let recv = chunks[recv_c];
+            for seg_start in (recv.start..recv.end).step_by(seg_elems) {
+                let seg_end = (seg_start + seg_elems).min(recv.end);
+                let incoming = match ep.try_recv(prev).and_then(Packet::try_into_dense) {
+                    Ok(d) => d,
+                    Err(e) => return fail(ep, e),
+                };
+                let dst = &mut buf[seg_start..seg_end];
+                if phase == 0 {
+                    for (d, s) in dst.iter_mut().zip(incoming.as_slice()) {
+                        *d += s;
+                    }
+                } else {
+                    dst.copy_from_slice(incoming.as_slice());
+                }
+                pool.push(incoming);
+            }
+        }
     }
     Ok(())
 }
@@ -205,24 +297,25 @@ pub fn try_allgather_dense<C: Comm>(
     let _span = recorder::span("allgather_dense", "collective");
     let world = ep.world();
     let rank = ep.rank();
+    // Fan-out sends share one buffer (O(1) Arc bumps, 0 copied bytes).
     for dst in 0..world {
         if dst != rank {
-            if let Err(e) = ep.try_send(dst, Packet::Dense(local.clone())) {
+            if let Err(e) = ep.try_send(dst, Packet::Dense(local.share())) {
                 return fail(ep, e);
             }
         }
     }
     let mut out = Vec::with_capacity(world);
     for src in 0..world {
-        if src == rank {
-            out.push(local.clone());
-        } else {
+        if src != rank {
             match ep.try_recv(src).and_then(Packet::try_into_dense) {
                 Ok(d) => out.push(d),
                 Err(e) => return fail(ep, e),
             }
         }
     }
+    // Move the local contribution into its rank slot last — no clone.
+    out.insert(rank, local);
     Ok(out)
 }
 
@@ -242,24 +335,25 @@ pub fn try_allgather_sparse<C: Comm>(
     let _span = recorder::span("allgather_sparse", "collective");
     let world = ep.world();
     let rank = ep.rank();
+    // Fan-out sends share one buffer (O(1) Arc bumps, 0 copied bytes).
     for dst in 0..world {
         if dst != rank {
-            if let Err(e) = ep.try_send(dst, Packet::Sparse(local.clone())) {
+            if let Err(e) = ep.try_send(dst, Packet::Sparse(local.share())) {
                 return fail(ep, e);
             }
         }
     }
     let mut out = Vec::with_capacity(world);
     for src in 0..world {
-        if src == rank {
-            out.push(local.clone());
-        } else {
+        if src != rank {
             match ep.try_recv(src).and_then(Packet::try_into_sparse) {
                 Ok(s) => out.push(s),
                 Err(e) => return fail(ep, e),
             }
         }
     }
+    // Move the local contribution into its rank slot last — no clone.
+    out.insert(rank, local);
     Ok(out)
 }
 
@@ -279,6 +373,9 @@ pub fn try_allgather_tokens<C: Comm>(
     let rank = ep.rank();
     for dst in 0..world {
         if dst != rank {
+            // Token batches are small control-plane payloads with no
+            // shared-storage representation; the per-link copy is
+            // deliberate (allowlisted for the payload-clone lint).
             if let Err(e) = ep.try_send(dst, Packet::Tokens(local.clone())) {
                 return fail(ep, e);
             }
@@ -286,15 +383,15 @@ pub fn try_allgather_tokens<C: Comm>(
     }
     let mut out = Vec::with_capacity(world);
     for src in 0..world {
-        if src == rank {
-            out.push(local.clone());
-        } else {
+        if src != rank {
             match ep.try_recv(src).and_then(Packet::try_into_tokens) {
                 Ok(t) => out.push(t),
                 Err(e) => return fail(ep, e),
             }
         }
     }
+    // Move the local contribution into its rank slot last — no clone.
+    out.insert(rank, local);
     Ok(out)
 }
 
@@ -450,6 +547,95 @@ mod tests {
     }
 
     #[test]
+    fn ring_allreduce_steady_state_allocates_once_per_call() {
+        // The scratch buffer circulates: per call exactly one staging
+        // allocation, independent of world size, step count and payload
+        // length — i.e. zero heap allocations per ring *step*.
+        for world in [2, 4, 8] {
+            let calls = 3u64;
+            let counts = run_group(world, move |rank, ep| {
+                let mut buf = vec![rank as f32; 4096];
+                ring_allreduce(ep, &mut buf); // warm-up outside the window
+                barrier(ep);
+                embrace_tensor::alloc_counter::reset();
+                for _ in 0..calls {
+                    ring_allreduce(ep, &mut buf);
+                }
+                embrace_tensor::alloc_counter::events()
+            });
+            for (rank, events) in counts.into_iter().enumerate() {
+                assert_eq!(
+                    events, calls,
+                    "world={world} rank={rank}: expected one scratch allocation per call"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_ring_matches_unsegmented_bitwise() {
+        for world in [2, 3, 4, 5] {
+            for len in [0, 1, 7, 64, 257] {
+                for seg in [1, 3, 16, 1024] {
+                    let mk = move |rank: usize| -> Vec<f32> {
+                        (0..len).map(|i| ((rank * 31 + i) as f32).sin()).collect()
+                    };
+                    let plain = run_group(world, move |rank, ep| {
+                        let mut buf = mk(rank);
+                        ring_allreduce(ep, &mut buf);
+                        buf
+                    });
+                    let piped = run_group(world, move |rank, ep| {
+                        let mut buf = mk(rank);
+                        ring_allreduce_pipelined(ep, &mut buf, seg);
+                        buf
+                    });
+                    // Bitwise, not approximate: identical add order.
+                    for (p, q) in plain.iter().zip(&piped) {
+                        let pb: Vec<u32> = p.iter().map(|x| x.to_bits()).collect();
+                        let qb: Vec<u32> = q.iter().map(|x| x.to_bits()).collect();
+                        assert_eq!(pb, qb, "world={world} len={len} seg={seg}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_ring_steady_state_reuses_pool() {
+        let out = run_group(4, |rank, ep| {
+            let mut buf = vec![rank as f32; 4096];
+            ring_allreduce_pipelined(ep, &mut buf, 256); // warm-up
+            barrier(ep);
+            embrace_tensor::alloc_counter::reset();
+            ring_allreduce_pipelined(ep, &mut buf, 256);
+            embrace_tensor::alloc_counter::events()
+        });
+        // Per call: the pool (⌈1024/256⌉ = 4 buffers) is allocated once;
+        // no per-step or per-segment allocations on top.
+        for events in out {
+            assert!(events <= 5, "pool should be the only allocation, saw {events} events");
+        }
+    }
+
+    #[test]
+    fn allgather_fanout_sends_share_storage() {
+        // world-1 sends of a 1 MiB-scale tensor must copy zero payload
+        // bytes: each link's packet shares the caller's buffer.
+        let out = run_group(4, |rank, ep| {
+            let local = DenseTensor::full(64, 64, rank as f32);
+            let before = (ep.bytes_sent(), ep.bytes_copied());
+            let all = allgather_dense(ep, local);
+            (ep.bytes_sent() - before.0, ep.bytes_copied() - before.1, all.len())
+        });
+        for (sent, copied, n) in out {
+            assert_eq!(n, 4);
+            assert_eq!(sent, 3 * 64 * 64 * 4, "logical bytes: world-1 full tensors");
+            assert_eq!(copied, 0, "fan-out must not copy payload bytes");
+        }
+    }
+
+    #[test]
     fn allgather_dense_collects_in_rank_order() {
         let out = run_group(3, |rank, ep| {
             let local = DenseTensor::full(1, 2, rank as f32);
@@ -572,12 +758,16 @@ mod tests {
             assert_eq!(out[1], Err(CommError::Injected { rank: 1 }));
             for (rank, r) in out.iter().enumerate() {
                 if rank != 1 {
+                    // In the dissemination barrier every rank talks to every
+                    // other within ⌈log₂ 3⌉ rounds, so a survivor may observe
+                    // either the crashed rank directly or the *other*
+                    // survivor's abort-and-exit — all typed, none hang.
                     let err = r.as_ref().unwrap_err();
                     assert!(
                         matches!(
                             err,
-                            CommError::PeerGone { peer: 1 }
-                                | CommError::Timeout { peer: 1, .. }
+                            CommError::PeerGone { .. }
+                                | CommError::Timeout { .. }
                                 | CommError::Aborted { .. }
                         ),
                         "rank {rank}: {err:?}"
@@ -667,8 +857,9 @@ mod tests {
             });
             for (rank, msgs, failed) in out {
                 assert!(failed, "rank {rank} should fail");
-                // barrier sends at most 1 data message + world-1 aborts.
-                assert!(msgs <= 3, "rank {rank} sent {msgs} messages");
+                // The dissemination barrier sends at most ⌈log₂ 3⌉ = 2
+                // signals, plus world-1 aborts from the failure origin.
+                assert!(msgs <= 4, "rank {rank} sent {msgs} messages");
             }
         }
     }

@@ -103,6 +103,28 @@ impl Packet {
         }
     }
 
+    /// Bytes of this packet's payload that were *materialised* for it —
+    /// i.e. whose backing buffer this packet owns exclusively — as opposed
+    /// to shared zero-copy storage. A fan-out send of a
+    /// [`DenseTensor::share`]/[`RowSparse::share`] handle reports 0; a
+    /// staged ring chunk (copied into a reused scratch buffer) or a token
+    /// batch reports its full wire size. `bytes_sent − bytes_copied` over
+    /// a run is the transport's copy-elimination win.
+    pub fn copied_nbytes(&self) -> usize {
+        match self {
+            Packet::Dense(d) => {
+                if d.is_shared() {
+                    0
+                } else {
+                    d.nbytes()
+                }
+            }
+            Packet::Sparse(s) => s.copied_nbytes(),
+            Packet::Tokens(t) => t.len() * TOKEN_BYTES,
+            Packet::Empty | Packet::Abort { .. } => 0,
+        }
+    }
+
     /// Short name of the packet kind, for error reporting.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -406,6 +428,9 @@ pub struct Endpoint {
     rx: Vec<Receiver<Packet>>,
     bytes_sent: u64,
     msgs_sent: u64,
+    /// Bytes of sent payloads that were exclusively owned (materialised)
+    /// rather than shared; see [`Packet::copied_nbytes`].
+    bytes_copied: u64,
     /// Per-destination (messages, bytes) pushed onto the wire; feeds the
     /// static plan verifier's cross-validation against extracted plans.
     sent_per_peer: Vec<(u64, u64)>,
@@ -462,6 +487,7 @@ impl Endpoint {
             return Err(CommError::Injected { rank: self.rank });
         }
         self.bytes_sent += packet.nbytes() as u64;
+        self.bytes_copied += packet.copied_nbytes() as u64;
         self.msgs_sent += 1;
         self.sent_per_peer[to].0 += 1;
         self.sent_per_peer[to].1 += packet.nbytes() as u64;
@@ -608,6 +634,24 @@ impl Endpoint {
         self.msgs_sent
     }
 
+    /// Bytes of sent payloads that were materialised (deep-copied or
+    /// staged) rather than shared zero-copy storage. Always ≤
+    /// [`Endpoint::bytes_sent`]; the difference is traffic that moved
+    /// without touching memory bandwidth.
+    pub fn bytes_copied(&self) -> u64 {
+        self.bytes_copied
+    }
+
+    /// Fraction of logical sent bytes that were *not* copied — the
+    /// copy-elimination ratio in [0, 1]. An endpoint that has sent
+    /// nothing reports 0.
+    pub fn copy_elimination_ratio(&self) -> f64 {
+        if self.bytes_sent == 0 {
+            return 0.0;
+        }
+        1.0 - self.bytes_copied as f64 / self.bytes_sent as f64
+    }
+
     /// Messages this endpoint has sent to `peer`.
     pub fn msgs_sent_to(&self, peer: usize) -> u64 {
         self.sent_per_peer[peer].0
@@ -638,6 +682,7 @@ impl Endpoint {
     /// Counters *add*, so merging per-rank registries yields mesh totals.
     pub fn export_metrics(&self, m: &mut embrace_obs::Metrics) {
         m.inc("transport.bytes_sent", self.bytes_sent);
+        m.inc("transport.bytes_copied", self.bytes_copied);
         m.inc("transport.msgs_sent", self.msgs_sent);
         m.inc("transport.bytes_received", self.bytes_recv.get());
         m.inc("transport.msgs_received", self.msgs_recv.get());
@@ -683,6 +728,7 @@ pub fn mesh_with_faults(
             rx: rx_row.into_iter().map(Option::unwrap).collect(),
             bytes_sent: 0,
             msgs_sent: 0,
+            bytes_copied: 0,
             sent_per_peer: vec![(0, 0); world],
             bytes_recv: Cell::new(0),
             msgs_recv: Cell::new(0),
@@ -748,6 +794,40 @@ mod tests {
         a.send(1, Packet::Dense(DenseTensor::zeros(2, 3)));
         assert_eq!(a.bytes_sent(), 2 * 3 * F32_BYTES as u64);
         assert_eq!(a.msgs_sent(), 1);
+    }
+
+    #[test]
+    fn copy_accounting_distinguishes_shared_from_owned() {
+        let mut eps = mesh(2);
+        let mut a = eps.remove(0);
+        let t = DenseTensor::zeros(2, 3);
+        // Shared handle on the wire: logical bytes count, copied bytes 0.
+        a.send(1, Packet::Dense(t.share()));
+        assert_eq!(a.bytes_sent(), 24);
+        assert_eq!(a.bytes_copied(), 0);
+        // Exclusively owned payload counts as copied. (`t` itself is still
+        // shared — its aliased packet sits in rank 1's queue.)
+        a.send(1, Packet::Dense(DenseTensor::zeros(2, 3)));
+        assert_eq!(a.bytes_sent(), 48);
+        assert_eq!(a.bytes_copied(), 24);
+        drop(t);
+        // Tokens are always materialised per link.
+        a.send(1, Packet::Tokens(vec![1, 2]));
+        assert_eq!(a.bytes_copied(), 24 + 2 * TOKEN_BYTES as u64);
+        assert!(a.copy_elimination_ratio() > 0.0 && a.copy_elimination_ratio() < 1.0);
+        let mut m = embrace_obs::Metrics::new();
+        a.export_metrics(&mut m);
+        assert_eq!(m.counter("transport.bytes_copied"), a.bytes_copied());
+    }
+
+    #[test]
+    fn shared_sparse_payload_reports_zero_copied() {
+        let s = RowSparse::new(vec![0, 3], DenseTensor::zeros(2, 2));
+        let shared = s.share();
+        assert_eq!(Packet::Sparse(shared).copied_nbytes(), 0);
+        drop(s);
+        let owned = RowSparse::new(vec![1], DenseTensor::zeros(1, 2));
+        assert_eq!(Packet::Sparse(owned).copied_nbytes(), INDEX_BYTES + 2 * F32_BYTES);
     }
 
     #[test]

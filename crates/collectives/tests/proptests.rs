@@ -1,0 +1,152 @@
+//! Property tests for the zero-copy collectives (ISSUE satellite): the
+//! shared-payload / scratch-buffer implementations must be *bitwise*
+//! identical to the straightforward pre-change semantics on random
+//! worlds and shapes — including degenerate ones (`world == 1`,
+//! `len < world`, empty buffers) — and the segmented/pipelined ring must
+//! reproduce the unsegmented ring exactly.
+
+use embrace_collectives::ops::{
+    allgather_dense, alltoallv_sparse, ring_allreduce, ring_allreduce_pipelined,
+};
+use embrace_collectives::run_group;
+use embrace_tensor::{row_partition, DenseTensor, RowSparse};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Element-wise serial reference for the ring AllReduce. The ring
+/// accumulates chunk `c` by visiting ranks `c, c+1, …, c+N−1 (mod N)` and
+/// folding `acc += contribution` — f32 addition is commutative, so this
+/// left fold in ring order is the exact bit pattern the ring produces.
+fn serial_allreduce(inputs: &[Vec<f32>]) -> Vec<f32> {
+    let world = inputs.len();
+    let len = inputs[0].len();
+    let chunks = row_partition(len, world);
+    let mut out = vec![0.0f32; len];
+    for (c, chunk) in chunks.iter().enumerate() {
+        for i in chunk.start..chunk.end {
+            let mut acc = inputs[c % world][i];
+            for k in 1..world {
+                acc += inputs[(c + k) % world][i];
+            }
+            out[i] = acc;
+        }
+    }
+    out
+}
+
+const MAX_WORLD: usize = 5;
+const MAX_LEN: usize = 67;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ring_allreduce_is_bitwise_serial_sum(
+        world in 1usize..=MAX_WORLD,
+        len in 0usize..=MAX_LEN,
+        // Modest magnitudes keep sums finite so bitwise comparison is
+        // meaningful (f32 `+` is commutative for finite values).
+        flat in vec(-1.0e3f32..1.0e3, MAX_WORLD * MAX_LEN),
+    ) {
+        let inputs: Vec<Vec<f32>> =
+            (0..world).map(|r| flat[r * len..(r + 1) * len].to_vec()).collect();
+        let expect = serial_allreduce(&inputs);
+        let inputs2 = inputs.clone();
+        let results = run_group(world, move |rank, ep| {
+            let mut buf = inputs2[rank].clone();
+            ring_allreduce(ep, &mut buf);
+            buf
+        });
+        for (rank, got) in results.iter().enumerate() {
+            prop_assert_eq!(got.len(), expect.len());
+            for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+                prop_assert_eq!(
+                    g.to_bits(), e.to_bits(),
+                    "rank {} element {}: {} vs {}", rank, i, g, e
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_ring_is_bitwise_identical_to_unsegmented(
+        world in 1usize..=5,
+        len in 0usize..=67,
+        seg in 1usize..=32,
+    ) {
+        let inputs: Vec<Vec<f32>> = (0..world)
+            .map(|r| (0..len).map(|i| ((r * 131 + i * 7) % 257) as f32 * 0.5 - 64.0).collect())
+            .collect();
+        let (a, b) = (inputs.clone(), inputs.clone());
+        let plain = run_group(world, move |rank, ep| {
+            let mut buf = a[rank].clone();
+            ring_allreduce(ep, &mut buf);
+            buf
+        });
+        let piped = run_group(world, move |rank, ep| {
+            let mut buf = b[rank].clone();
+            ring_allreduce_pipelined(ep, &mut buf, seg);
+            buf
+        });
+        for rank in 0..world {
+            let bits = |v: &Vec<f32>| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            prop_assert_eq!(bits(&plain[rank]), bits(&piped[rank]), "rank {}", rank);
+        }
+    }
+
+    #[test]
+    fn allgather_dense_shares_payloads_and_preserves_bits(
+        world in 1usize..=5,
+        rows in 0usize..=6,
+        cols in 1usize..=9,
+    ) {
+        let locals: Vec<DenseTensor> = (0..world)
+            .map(|r| {
+                let data: Vec<f32> =
+                    (0..rows * cols).map(|i| (r as f32 + 1.0) * (i as f32 - 3.5)).collect();
+                DenseTensor::from_vec(rows, cols, data)
+            })
+            .collect();
+        let l = locals.clone();
+        let results = run_group(world, move |rank, ep| {
+            allgather_dense(ep, l[rank].clone())
+        });
+        for (rank, gathered) in results.iter().enumerate() {
+            prop_assert_eq!(gathered.len(), world, "rank {}", rank);
+            for (src, t) in gathered.iter().enumerate() {
+                prop_assert_eq!(t, &locals[src], "rank {} slot {}", rank, src);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_sparse_exchanges_exact_parts(
+        world in 1usize..=4,
+        dim in 1usize..=5,
+        rows in 0usize..=4,
+    ) {
+        // parts[r][c]: rank r's block destined for rank c.
+        let parts: Vec<Vec<RowSparse>> = (0..world)
+            .map(|r| {
+                (0..world)
+                    .map(|c| {
+                        let idx: Vec<u32> = (0..rows as u32).map(|i| i * 2 + c as u32).collect();
+                        let vals: Vec<f32> =
+                            (0..rows * dim).map(|i| (r * 100 + c * 10 + i) as f32).collect();
+                        RowSparse::new(idx, DenseTensor::from_vec(rows, dim, vals))
+                    })
+                    .collect()
+            })
+            .collect();
+        let p = parts.clone();
+        let results = run_group(world, move |rank, ep| {
+            alltoallv_sparse(ep, p[rank].clone())
+        });
+        for (rank, received) in results.iter().enumerate() {
+            prop_assert_eq!(received.len(), world, "rank {}", rank);
+            for (src, block) in received.iter().enumerate() {
+                prop_assert_eq!(block, &parts[src][rank], "rank {} from {}", rank, src);
+            }
+        }
+    }
+}

@@ -16,22 +16,63 @@ pub fn is_coalesced(grad: &RowSparse) -> bool {
 /// Return a coalesced copy: indices strictly increasing, duplicate rows
 /// summed. Idempotent; the dense materialisation is preserved exactly
 /// (summation is performed in the same f32 precision PyTorch uses).
+///
+/// Already-coalesced input returns an O(1) shared handle onto the same
+/// storage (no gradient bytes are copied); see [`RowSparse::share`].
 pub fn coalesce(grad: &RowSparse) -> RowSparse {
     if is_coalesced(grad) {
-        return grad.clone();
+        return grad.share();
     }
     let mut out = RowSparse::empty(grad.dim());
     coalesce_into(grad, &mut out);
     out
 }
 
+/// Stable permutation sorting `ids` ascending: `perm[k]` is the original
+/// position of the k-th smallest id, duplicates kept in input order
+/// (deterministic f32 summation order downstream). Uses an O(n + range)
+/// counting/bucket pass when the id range is comparable to the row count —
+/// the common case for embedding batches, whose token ids cluster — and
+/// falls back to a comparison sort for wide, sparse ranges.
+fn sort_permutation(ids: &[u32]) -> Vec<u32> {
+    let n = ids.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let (mut min, mut max) = (ids[0], ids[0]);
+    for &i in ids {
+        min = min.min(i);
+        max = max.max(i);
+    }
+    let range = (max - min) as usize + 1;
+    if range <= 4 * n {
+        // starts[b] = first output slot of bucket b after the prefix sum;
+        // appending positions in input order keeps the permutation stable.
+        let mut starts = vec![0u32; range + 1];
+        for &i in ids {
+            starts[(i - min) as usize + 1] += 1;
+        }
+        for b in 0..range {
+            starts[b + 1] += starts[b];
+        }
+        let mut perm = vec![0u32; n];
+        for (pos, &i) in ids.iter().enumerate() {
+            let slot = &mut starts[(i - min) as usize];
+            perm[*slot as usize] = pos as u32;
+            *slot += 1;
+        }
+        perm
+    } else {
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.sort_by_key(|&i| ids[i as usize]);
+        perm
+    }
+}
+
 /// Coalesce `grad` into `out`, reusing `out`'s allocations where possible.
 pub fn coalesce_into(grad: &RowSparse, out: &mut RowSparse) {
     let dim = grad.dim();
-    // Sort an index permutation by row id, stably, so duplicates are adjacent
-    // and summed in their original order (deterministic f32 results).
-    let mut perm: Vec<u32> = (0..grad.nnz_rows() as u32).collect();
-    perm.sort_by_key(|&i| grad.indices()[i as usize]);
+    let perm = sort_permutation(grad.indices());
 
     let mut indices: Vec<u32> = Vec::with_capacity(grad.nnz_rows());
     let mut values: Vec<f32> = Vec::with_capacity(grad.nnz_rows() * dim);
@@ -103,5 +144,38 @@ mod tests {
         let g = RowSparse::new(vec![0, 2, 9], DenseTensor::zeros(3, 2));
         assert!(is_coalesced(&g));
         assert_eq!(coalesce(&g).indices(), &[0, 2, 9]);
+    }
+
+    #[test]
+    fn fast_path_shares_instead_of_copying() {
+        let g = RowSparse::new(vec![0, 2, 9], DenseTensor::zeros(3, 2));
+        crate::alloc_counter::reset();
+        let c = coalesce(&g);
+        assert_eq!(crate::alloc_counter::events(), 0, "coalesced input must not be copied");
+        assert!(c.values().is_shared() && g.values().is_shared());
+    }
+
+    #[test]
+    fn counting_and_comparison_permutations_agree() {
+        // Narrow range (counting path) vs the same ids shifted far apart
+        // (comparison path): relative order of outputs must be identical.
+        let narrow: Vec<u32> = vec![5, 1, 5, 3, 1, 2, 5, 0, 3];
+        let wide: Vec<u32> = narrow.iter().map(|&i| i * 1_000_000).collect();
+        assert_eq!(sort_permutation(&narrow), sort_permutation(&wide));
+        // Stability: equal ids keep input order.
+        let perm = sort_permutation(&narrow);
+        let ones: Vec<u32> = perm.iter().copied().filter(|&p| narrow[p as usize] == 1).collect();
+        assert_eq!(ones, vec![1, 4]);
+    }
+
+    #[test]
+    fn wide_range_input_still_coalesces() {
+        let g = RowSparse::new(
+            vec![4_000_000, 7, 4_000_000],
+            DenseTensor::from_vec(3, 1, vec![1.0, 10.0, 2.0]),
+        );
+        let c = coalesce(&g);
+        assert_eq!(c.indices(), &[7, 4_000_000]);
+        assert_eq!(c.values().as_slice(), &[10.0, 3.0]);
     }
 }

@@ -5,40 +5,94 @@
 //! flat buffers, not a full BLAS.
 
 use rand::Rng;
+use std::sync::Arc;
 
 /// A dense row-major matrix of `f32`.
 ///
 /// One-dimensional tensors are represented as `rows == 1`. All binary
 /// operations panic on shape mismatch — shape errors are programming errors
 /// in this codebase, not recoverable conditions.
+///
+/// # Storage
+///
+/// The element buffer is `Arc`-shared: [`Clone`] (and its documented alias
+/// [`DenseTensor::share`]) is O(1) — it bumps a reference count instead of
+/// copying `rows × cols` floats, which is what makes collective fan-out
+/// sends cheap. Mutation is copy-on-write: the first mutating call on a
+/// tensor whose buffer is shared materialises a private copy (counted by
+/// [`crate::alloc_counter`]); an exclusively-owned tensor mutates in place
+/// with no allocation, exactly like the plain-`Vec` representation.
 #[derive(Clone, Debug, PartialEq)]
 pub struct DenseTensor {
     rows: usize,
     cols: usize,
-    data: Vec<f32>,
+    data: Arc<Vec<f32>>,
 }
 
 impl DenseTensor {
+    /// Wrap a freshly materialised buffer, recording the allocation.
+    fn fresh(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        crate::alloc_counter::note(data.len() * crate::F32_BYTES);
+        Self { rows, cols, data: Arc::new(data) }
+    }
+
     /// A `rows × cols` tensor filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self::fresh(rows, cols, vec![0.0; rows * cols])
     }
 
     /// A `rows × cols` tensor filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self::fresh(rows, cols, vec![value; rows * cols])
     }
 
     /// Build from an existing buffer. Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
         assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
-        Self { rows, cols, data }
+        Self { rows, cols, data: Arc::new(data) }
     }
 
     /// A tensor with entries drawn uniformly from `[-scale, scale]`.
     pub fn uniform<R: Rng>(rows: usize, cols: usize, scale: f32, rng: &mut R) -> Self {
         let data = (0..rows * cols).map(|_| rng.gen_range(-scale..=scale)).collect();
-        Self { rows, cols, data }
+        Self::fresh(rows, cols, data)
+    }
+
+    /// O(1) handle onto the same storage (an `Arc` bump). Semantically
+    /// identical to [`Clone::clone`]; spelled out at collective send sites
+    /// so the `payload-clone` lint can tell cheap sharing from deep copies.
+    pub fn share(&self) -> Self {
+        Self { rows: self.rows, cols: self.cols, data: Arc::clone(&self.data) }
+    }
+
+    /// True when other handles alias this buffer — the next mutating call
+    /// will copy-on-write instead of mutating in place.
+    pub fn is_shared(&self) -> bool {
+        Arc::strong_count(&self.data) > 1
+    }
+
+    /// Exclusive access to the element buffer, copy-on-write when shared.
+    fn data_mut(&mut self) -> &mut Vec<f32> {
+        if self.is_shared() {
+            crate::alloc_counter::note(self.data.len() * crate::F32_BYTES);
+        }
+        Arc::make_mut(&mut self.data)
+    }
+
+    /// Reuse this tensor as a 1 × `src.len()` staging row, copying `src`
+    /// into the existing buffer. Allocation-free when the storage is
+    /// exclusively owned and its capacity suffices — the ring-allreduce
+    /// steady state, where one staging buffer circulates for the whole
+    /// 2·(N−1)-step schedule.
+    pub fn stage_row(&mut self, src: &[f32]) {
+        self.rows = 1;
+        self.cols = src.len();
+        let v = self.data_mut();
+        if v.capacity() < src.len() {
+            crate::alloc_counter::note(src.len() * crate::F32_BYTES);
+        }
+        v.clear();
+        v.extend_from_slice(src);
     }
 
     pub fn rows(&self) -> usize {
@@ -68,11 +122,16 @@ impl DenseTensor {
     }
 
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
-        &mut self.data
+        self.data_mut()
     }
 
+    /// Take the buffer out. Free when this handle is the only owner;
+    /// copies (and counts the allocation) when the storage is shared.
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        Arc::try_unwrap(self.data).unwrap_or_else(|shared| {
+            crate::alloc_counter::note(shared.len() * crate::F32_BYTES);
+            (*shared).clone()
+        })
     }
 
     /// Borrow row `r`.
@@ -84,13 +143,14 @@ impl DenseTensor {
     /// Mutably borrow row `r`.
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
         assert!(r < self.rows, "row {r} out of bounds ({} rows)", self.rows);
-        &mut self.data[r * self.cols..(r + 1) * self.cols]
+        let cols = self.cols;
+        &mut self.data_mut()[r * cols..(r + 1) * cols]
     }
 
     /// `self += other`, element-wise.
     pub fn add_assign(&mut self, other: &DenseTensor) {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch in add");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
+        for (a, b) in self.data_mut().iter_mut().zip(other.data.iter()) {
             *a += b;
         }
     }
@@ -98,21 +158,22 @@ impl DenseTensor {
     /// `self += alpha * other`, element-wise (axpy).
     pub fn axpy(&mut self, alpha: f32, other: &DenseTensor) {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch in axpy");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
+        for (a, b) in self.data_mut().iter_mut().zip(other.data.iter()) {
             *a += alpha * b;
         }
     }
 
     /// `self *= alpha`, element-wise.
     pub fn scale(&mut self, alpha: f32) {
-        for a in &mut self.data {
+        for a in self.data_mut().iter_mut() {
             *a *= alpha;
         }
     }
 
-    /// Set every element to zero without reallocating.
+    /// Set every element to zero without reallocating (unless shared, in
+    /// which case copy-on-write materialises a private buffer first).
     pub fn fill_zero(&mut self) {
-        self.data.fill(0.0);
+        self.data_mut().fill(0.0);
     }
 
     /// Sum of all elements.
@@ -179,13 +240,13 @@ impl DenseTensor {
             assert_eq!(b.cols, cols, "column count mismatch in concat_rows");
             data.extend_from_slice(&b.data);
         }
-        DenseTensor { rows, cols, data }
+        DenseTensor::fresh(rows, cols, data)
     }
 
     /// Maximum absolute element-wise difference to `other`.
     pub fn max_abs_diff(&self, other: &DenseTensor) -> f32 {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
-        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0_f32, f32::max)
+        self.data.iter().zip(other.data.iter()).map(|(a, b)| (a - b).abs()).fold(0.0_f32, f32::max)
     }
 
     /// True when all elements differ from `other` by at most `tol`.
@@ -291,6 +352,61 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let t = DenseTensor::uniform(8, 8, 0.1, &mut rng);
         assert!(t.as_slice().iter().all(|&x| (-0.1..=0.1).contains(&x)));
+    }
+
+    #[test]
+    fn share_is_aliased_until_first_write() {
+        let a = DenseTensor::full(2, 2, 1.0);
+        assert!(!a.is_shared());
+        let mut b = a.share();
+        assert!(a.is_shared() && b.is_shared());
+        assert_eq!(a, b);
+        // First write copies; the original is untouched.
+        b.as_mut_slice()[0] = 9.0;
+        assert!(!a.is_shared() && !b.is_shared());
+        assert_eq!(a.as_slice()[0], 1.0);
+        assert_eq!(b.as_slice()[0], 9.0);
+    }
+
+    #[test]
+    fn clone_and_share_are_equivalent() {
+        let a = DenseTensor::full(1, 3, 2.0);
+        let c = a.clone();
+        assert!(a.is_shared() && c.is_shared());
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn into_vec_is_free_when_unique_and_copies_when_shared() {
+        let a = DenseTensor::from_vec(1, 2, vec![1.0, 2.0]);
+        assert_eq!(a.into_vec(), vec![1.0, 2.0]);
+        let b = DenseTensor::from_vec(1, 2, vec![3.0, 4.0]);
+        let keep = b.share();
+        assert_eq!(b.into_vec(), vec![3.0, 4.0]);
+        assert_eq!(keep.as_slice(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn stage_row_reuses_capacity_without_allocating() {
+        let mut scratch = DenseTensor::zeros(1, 8);
+        crate::alloc_counter::reset();
+        for k in 0..10 {
+            let src: Vec<f32> = (0..8 - k % 3).map(|x| x as f32).collect();
+            scratch.stage_row(&src);
+            assert_eq!(scratch.rows(), 1);
+            assert_eq!(scratch.cols(), src.len());
+            assert_eq!(scratch.as_slice(), &src[..]);
+        }
+        assert_eq!(crate::alloc_counter::events(), 0, "staging must reuse the buffer");
+    }
+
+    #[test]
+    fn stage_row_on_shared_storage_copies_on_write() {
+        let mut scratch = DenseTensor::full(1, 4, 7.0);
+        let alias = scratch.share();
+        scratch.stage_row(&[1.0, 2.0]);
+        assert_eq!(scratch.as_slice(), &[1.0, 2.0]);
+        assert_eq!(alias.as_slice(), &[7.0; 4], "aliased handle must be untouched");
     }
 
     #[test]

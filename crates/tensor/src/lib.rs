@@ -39,6 +39,7 @@
 
 mod proptests;
 
+pub mod alloc_counter;
 pub mod coalesce;
 pub mod dense;
 pub mod index;

@@ -7,15 +7,21 @@
 
 use crate::dense::DenseTensor;
 use crate::{F32_BYTES, INDEX_BYTES};
+use std::sync::Arc;
 
 /// A row-sparse view of a `vocab × dim` matrix: `indices[i]` names the
 /// vocabulary row stored in `values.row(i)`.
 ///
 /// Indices may contain duplicates (e.g. a word appearing twice in a batch
 /// contributes two gradient rows) until [`crate::coalesce`] merges them.
+///
+/// Like [`DenseTensor`], both components are `Arc`-shared: [`Clone`] /
+/// [`RowSparse::share`] are O(1), and mutation of the value block is
+/// copy-on-write. Indices are immutable once constructed (no mutating
+/// accessor exists), so sharing them is always safe.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RowSparse {
-    indices: Vec<u32>,
+    indices: Arc<Vec<u32>>,
     values: DenseTensor,
 }
 
@@ -23,12 +29,28 @@ impl RowSparse {
     /// Build from parallel index/value arrays. Panics when lengths disagree.
     pub fn new(indices: Vec<u32>, values: DenseTensor) -> Self {
         assert_eq!(indices.len(), values.rows(), "one value row per index required");
-        Self { indices, values }
+        Self { indices: Arc::new(indices), values }
     }
 
     /// An empty gradient for a table with `dim` columns.
     pub fn empty(dim: usize) -> Self {
-        Self { indices: Vec::new(), values: DenseTensor::zeros(0, dim) }
+        Self { indices: Arc::new(Vec::new()), values: DenseTensor::zeros(0, dim) }
+    }
+
+    /// O(1) handle onto the same index/value storage (`Arc` bumps); see
+    /// [`DenseTensor::share`].
+    pub fn share(&self) -> Self {
+        Self { indices: Arc::clone(&self.indices), values: self.values.share() }
+    }
+
+    /// Wire bytes whose backing buffers are exclusively owned by this
+    /// handle — i.e. were materialised rather than shared. A fan-out send
+    /// of a [`RowSparse::share`] handle reports 0 copied bytes.
+    pub fn copied_nbytes(&self) -> usize {
+        let idx =
+            if Arc::strong_count(&self.indices) > 1 { 0 } else { self.indices.len() * INDEX_BYTES };
+        let vals = if self.values.is_shared() { 0 } else { self.values.nbytes() };
+        idx + vals
     }
 
     pub fn indices(&self) -> &[u32] {
@@ -76,9 +98,14 @@ impl RowSparse {
         self.indices.len() as f64 / vocab as f64
     }
 
-    /// Decompose into `(indices, values)`.
+    /// Decompose into `(indices, values)`. Free when this handle owns its
+    /// indices exclusively; copies them (counted) when shared.
     pub fn into_parts(self) -> (Vec<u32>, DenseTensor) {
-        (self.indices, self.values)
+        let indices = Arc::try_unwrap(self.indices).unwrap_or_else(|shared| {
+            crate::alloc_counter::note(shared.len() * std::mem::size_of::<u32>());
+            (*shared).clone()
+        });
+        (indices, self.values)
     }
 
     /// Materialise as a dense `vocab × dim` matrix, summing duplicate rows —
@@ -110,7 +137,7 @@ impl RowSparse {
         } else {
             DenseTensor::concat_rows(&rows)
         };
-        Self { indices, values }
+        Self { indices: Arc::new(indices), values }
     }
 
     /// Concatenate several row-sparse gradients (same `dim`) by stacking.
@@ -132,13 +159,16 @@ impl RowSparse {
         } else {
             DenseTensor::concat_rows(&blocks)
         };
-        Self { indices, values }
+        Self { indices: Arc::new(indices), values }
     }
 
     /// Keep only the columns `[start, end)` of every stored row — the
     /// column-wise shard of this gradient owned by one worker (§4.1.1).
     pub fn slice_columns(&self, start: usize, end: usize) -> RowSparse {
-        RowSparse { indices: self.indices.clone(), values: self.values.slice_columns(start, end) }
+        RowSparse {
+            indices: Arc::clone(&self.indices),
+            values: self.values.slice_columns(start, end),
+        }
     }
 
     /// Scale all stored values.
