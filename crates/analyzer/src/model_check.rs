@@ -43,10 +43,36 @@ use std::collections::{HashMap, HashSet, VecDeque};
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Collective {
     Barrier,
-    Broadcast { root: usize },
-    RingAllreduce { elems: usize },
+    Broadcast {
+        root: usize,
+    },
+    RingAllreduce {
+        elems: usize,
+    },
     AllgatherTokens,
     Alltoallv,
+    /// The chunked scheduler's segmented ring allreduce: `seg`-element
+    /// units, one optional send + one optional recv per unit, mirroring
+    /// `ChunkedExec::Ring::advance` (and `plan::chunked_ring_allreduce_plan`).
+    ChunkedRingAllreduce {
+        elems: usize,
+        seg: usize,
+    },
+    /// Chunked fan-out gather: unit `u` sends to `(rank+u+1) % w`,
+    /// receives from `(rank+w-u-1) % w` — `ChunkedExec::Tokens`.
+    ChunkedAllgather,
+    /// Chunked fan-out alltoallv — `ChunkedExec::Sparse`/`Dense`.
+    ChunkedAlltoallv,
+    /// A chunked ring allreduce preempted after `preempt_at` units by a
+    /// whole chunked allgather (the §5.2 scenario: urgent sparse op
+    /// interleaved mid-tensor into a bulk dense op), then resumed. The
+    /// cut is unit-aligned on every rank, exactly as the controller's
+    /// between-unit preemption point guarantees.
+    PreemptedRing {
+        elems: usize,
+        seg: usize,
+        preempt_at: usize,
+    },
 }
 
 impl Collective {
@@ -57,6 +83,10 @@ impl Collective {
             Collective::RingAllreduce { .. } => "ring_allreduce",
             Collective::AllgatherTokens => "allgather",
             Collective::Alltoallv => "alltoallv",
+            Collective::ChunkedRingAllreduce { .. } => "ring_allreduce_chunked",
+            Collective::ChunkedAllgather => "allgather_chunked",
+            Collective::ChunkedAlltoallv => "alltoallv_chunked",
+            Collective::PreemptedRing { .. } => "ring_preempted",
         }
     }
 
@@ -68,6 +98,19 @@ impl Collective {
             Collective::RingAllreduce { elems: 2 * world + 1 },
             Collective::AllgatherTokens,
             Collective::Alltoallv,
+        ]
+    }
+
+    /// The chunked-execution programs at their default check sizes: a
+    /// segment size of 2 forces multiple units per ring step, and the
+    /// preempted variant cuts the ring after `world` units — mid
+    /// reduce-scatter.
+    pub fn chunked(world: usize) -> Vec<Collective> {
+        vec![
+            Collective::ChunkedRingAllreduce { elems: 2 * world + 1, seg: 2 },
+            Collective::ChunkedAllgather,
+            Collective::ChunkedAlltoallv,
+            Collective::PreemptedRing { elems: 2 * world + 1, seg: 2, preempt_at: world },
         ]
     }
 }
@@ -143,7 +186,117 @@ fn peers(world: usize, rank: usize) -> impl Iterator<Item = usize> {
     (0..world).filter(move |&p| p != rank)
 }
 
+/// One instruction of a chunked virtual program (pc-indexed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Micro {
+    /// Send `buf[lo..hi]` to the ring successor.
+    SegSend {
+        lo: usize,
+        hi: usize,
+    },
+    /// Receive into `buf[lo..hi]` from the ring predecessor: accumulate
+    /// during reduce-scatter, overwrite during the allgather phase.
+    SegRecv {
+        lo: usize,
+        hi: usize,
+        reduce: bool,
+    },
+    /// Fan-out block exchange (chunked gather / alltoallv unit).
+    BlockSend {
+        to: usize,
+    },
+    BlockRecv {
+        from: usize,
+    },
+}
+
+/// The segmented ring allreduce as per-*unit* op lists (0–2 ops each):
+/// unit `(step, i)` sends segment `i` of the step's send chunk if it
+/// exists and receives segment `i` of the recv chunk if it exists. The
+/// unit count is `2(w−1) · ceil(max_chunk/seg)` on every rank
+/// (`row_partition` is global), so unit indices align across ranks —
+/// which is what makes a unit-aligned preemption cut coherent.
+fn ring_units(w: usize, rank: usize, elems: usize, seg: usize) -> Vec<Vec<Micro>> {
+    assert!(seg > 0, "segment size must be positive");
+    let mut units = Vec::new();
+    if w == 1 {
+        return units;
+    }
+    let chunks = row_partition(elems, w);
+    let max_chunk = chunks.iter().map(|c| c.len()).max().unwrap_or(0);
+    let ups = max_chunk.div_ceil(seg).max(1);
+    for step in 0..2 * (w - 1) {
+        let (phase, s) = (step / (w - 1), step % (w - 1));
+        let (send_c, recv_c) = if phase == 0 {
+            ((rank + w - s) % w, (rank + w - s - 1) % w)
+        } else {
+            ((rank + 1 + w - s) % w, (rank + w - s) % w)
+        };
+        for i in 0..ups {
+            let mut unit = Vec::new();
+            let send = chunks[send_c];
+            let lo = send.start + i * seg;
+            if lo < send.end {
+                unit.push(Micro::SegSend { lo, hi: (lo + seg).min(send.end) });
+            }
+            let recv = chunks[recv_c];
+            let rlo = recv.start + i * seg;
+            if rlo < recv.end {
+                unit.push(Micro::SegRecv {
+                    lo: rlo,
+                    hi: (rlo + seg).min(recv.end),
+                    reduce: phase == 0,
+                });
+            }
+            units.push(unit);
+        }
+    }
+    units
+}
+
+/// Chunked fan-out units: send before recv within each unit, matched
+/// unit indices on both ends of every link — deadlock-free by
+/// construction.
+fn fanout_units(w: usize, rank: usize) -> Vec<Micro> {
+    let mut prog = Vec::new();
+    for u in 0..w.saturating_sub(1) {
+        prog.push(Micro::BlockSend { to: (rank + u + 1) % w });
+        prog.push(Micro::BlockRecv { from: (rank + w - u - 1) % w });
+    }
+    prog
+}
+
+/// The flat pc-indexed program of a chunked collective; `None` for the
+/// whole-op collectives (which stay arithmetic in [`action`]).
+fn micro_prog(cfg: &CheckConfig, rank: usize) -> Option<Vec<Micro>> {
+    let w = cfg.world;
+    match cfg.collective {
+        Collective::ChunkedRingAllreduce { elems, seg } => {
+            Some(ring_units(w, rank, elems, seg).concat())
+        }
+        Collective::ChunkedAllgather | Collective::ChunkedAlltoallv => Some(fanout_units(w, rank)),
+        Collective::PreemptedRing { elems, seg, preempt_at } => {
+            let units = ring_units(w, rank, elems, seg);
+            let k = preempt_at.min(units.len());
+            let mut prog = units[..k].concat();
+            prog.extend(fanout_units(w, rank));
+            prog.extend(units[k..].concat());
+            Some(prog)
+        }
+        _ => None,
+    }
+}
+
 fn action(cfg: &CheckConfig, rank: usize, pc: u32) -> Action {
+    if let Some(prog) = micro_prog(cfg, rank) {
+        return match prog.get(pc as usize) {
+            None => Action::Finish,
+            Some(Micro::SegSend { .. }) => Action::Send((rank + 1) % cfg.world),
+            Some(Micro::SegRecv { .. }) => Action::Recv((rank + cfg.world - 1) % cfg.world),
+            Some(Micro::BlockSend { to }) => Action::Send(*to),
+            Some(Micro::BlockRecv { from }) => Action::Recv(*from),
+        };
+    }
     let w = cfg.world;
     let pc = pc as usize;
     match cfg.collective {
@@ -204,6 +357,12 @@ fn action(cfg: &CheckConfig, rank: usize, pc: u32) -> Action {
                 Action::Finish
             }
         }
+        Collective::ChunkedRingAllreduce { .. }
+        | Collective::ChunkedAllgather
+        | Collective::ChunkedAlltoallv
+        | Collective::PreemptedRing { .. } => {
+            unreachable!("chunked collectives are handled by their micro program")
+        }
     }
 }
 
@@ -246,6 +405,17 @@ fn ring_chunks(cfg: &CheckConfig) -> Vec<embrace_tensor::RowRange> {
 /// ring-allreduce payloads depend on received data).
 fn send_payload(cfg: &CheckConfig, rank: usize, st: &RankState) -> VPacket {
     let w = cfg.world;
+    if let Some(prog) = micro_prog(cfg, rank) {
+        return match prog[st.pc as usize] {
+            Micro::SegSend { lo, hi } => VPacket::Data(st.buf[lo..hi].to_vec()),
+            Micro::BlockSend { to } => match cfg.collective {
+                Collective::ChunkedAlltoallv => VPacket::Data(alltoallv_part(rank, to)),
+                // Chunked gather and the preemptor inside PreemptedRing.
+                _ => VPacket::Data(gather_local(rank)),
+            },
+            other => unreachable!("send scheduled at {other:?}"),
+        };
+    }
     match cfg.collective {
         Collective::Barrier => VPacket::Empty,
         Collective::Broadcast { .. } => VPacket::Data(broadcast_payload(w)),
@@ -265,12 +435,35 @@ fn send_payload(cfg: &CheckConfig, rank: usize, st: &RankState) -> VPacket {
             };
             VPacket::Data(st.buf[chunks[send_c].start..chunks[send_c].end].to_vec())
         }
+        Collective::ChunkedRingAllreduce { .. }
+        | Collective::ChunkedAllgather
+        | Collective::ChunkedAlltoallv
+        | Collective::PreemptedRing { .. } => {
+            unreachable!("chunked collectives are handled by their micro program")
+        }
     }
 }
 
 /// Fold a received packet into the rank's state (the recv at `pc`).
 fn handle_recv(cfg: &CheckConfig, rank: usize, st: &mut RankState, from: usize, p: VPacket) {
     let w = cfg.world;
+    if let Some(prog) = micro_prog(cfg, rank) {
+        match (prog[st.pc as usize], p) {
+            (Micro::SegRecv { lo, hi, reduce }, VPacket::Data(d)) => {
+                let dst = &mut st.buf[lo..hi];
+                if reduce {
+                    for (acc, inc) in dst.iter_mut().zip(&d) {
+                        *acc = (f32::from_bits(*acc) + f32::from_bits(*inc)).to_bits();
+                    }
+                } else {
+                    dst.copy_from_slice(&d);
+                }
+            }
+            (Micro::BlockRecv { .. }, VPacket::Data(d)) => st.out[from] = d,
+            (m, p) => unreachable!("model protocol violation: {m:?} received {p:?}"),
+        }
+        return;
+    }
     match (cfg.collective, p) {
         (Collective::Barrier, VPacket::Empty) => {}
         (Collective::Broadcast { .. }, VPacket::Data(d)) => st.out = vec![d],
@@ -303,11 +496,20 @@ impl World {
         let ranks = (0..w)
             .map(|rank| {
                 let (buf, out, status) = match cfg.collective {
-                    Collective::RingAllreduce { elems } => {
+                    Collective::RingAllreduce { elems }
+                    | Collective::ChunkedRingAllreduce { elems, .. } => {
                         (ring_init(rank, elems), Vec::new(), Status::Running)
                     }
-                    Collective::AllgatherTokens | Collective::Alltoallv => {
+                    Collective::AllgatherTokens
+                    | Collective::Alltoallv
+                    | Collective::ChunkedAllgather
+                    | Collective::ChunkedAlltoallv => {
                         (Vec::new(), vec![Vec::new(); w], Status::Running)
+                    }
+                    // The preempted ring carries both the ring buffer and
+                    // the preemptor gather's output slots.
+                    Collective::PreemptedRing { elems, .. } => {
+                        (ring_init(rank, elems), vec![Vec::new(); w], Status::Running)
                     }
                     _ => (Vec::new(), Vec::new(), Status::Running),
                 };
@@ -431,8 +633,13 @@ impl World {
 /// local part in place).
 fn finish_payload(cfg: &CheckConfig, rank: usize) -> Option<Vec<(usize, Vec<u32>)>> {
     match cfg.collective {
-        Collective::AllgatherTokens => Some(vec![(rank, gather_local(rank))]),
-        Collective::Alltoallv => Some(vec![(rank, alltoallv_part(rank, rank))]),
+        Collective::AllgatherTokens | Collective::ChunkedAllgather => {
+            Some(vec![(rank, gather_local(rank))])
+        }
+        Collective::Alltoallv | Collective::ChunkedAlltoallv => {
+            Some(vec![(rank, alltoallv_part(rank, rank))])
+        }
+        Collective::PreemptedRing { .. } => Some(vec![(rank, gather_local(rank))]),
         Collective::Broadcast { root } if rank == root => {
             Some(vec![(0, broadcast_payload(cfg.world))])
         }
@@ -662,8 +869,79 @@ mod tests {
     }
 
     #[test]
+    fn chunked_collectives_deterministic_and_deadlock_free() {
+        for world in 2..=4 {
+            for c in Collective::chunked(world) {
+                let r = check_collective(world, c);
+                assert!(r.deterministic_success(), "{}", r.summary());
+                assert!(r.interleavings >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_ring_matches_unchunked_ring_bitwise() {
+        // Splitting into segments — and even preempting mid-tensor with a
+        // whole gather — must not change a single bit of the reduction.
+        for world in 2..=3 {
+            let elems = 2 * world + 1;
+            let whole = check_collective(world, Collective::RingAllreduce { elems });
+            let whole_out = whole.unique_outcome().expect("deterministic");
+            for c in [
+                Collective::ChunkedRingAllreduce { elems, seg: 2 },
+                Collective::PreemptedRing { elems, seg: 2, preempt_at: world },
+            ] {
+                let r = check_collective(world, c);
+                assert!(r.deterministic_success(), "{}", r.summary());
+                let out = r.unique_outcome().expect("deterministic");
+                for (rank, (got, want)) in out.iter().zip(whole_out).enumerate() {
+                    let RankOutcome::Ok { buf: got_buf, .. } = got else { panic!("rank failed") };
+                    let RankOutcome::Ok { buf: want_buf, .. } = want else { panic!("rank failed") };
+                    assert_eq!(got_buf, want_buf, "{} rank {rank}", c.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn preempted_ring_gather_results_are_exact() {
+        let world = 3;
+        let r = check_collective(
+            world,
+            Collective::PreemptedRing { elems: 2 * world + 1, seg: 2, preempt_at: world },
+        );
+        let out = r.unique_outcome().expect("deterministic");
+        for o in out {
+            let RankOutcome::Ok { out, .. } = o else { panic!("rank failed") };
+            for (src, v) in out.iter().enumerate() {
+                assert_eq!(v, &gather_local(src), "preemptor gather from rank {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_crash_aborts_terminate_in_every_ordering() {
+        for world in 2..=3 {
+            for c in Collective::chunked(world) {
+                for crash in 0..world {
+                    let r = check(&CheckConfig { world, collective: c, crash: Some(crash) });
+                    assert!(
+                        r.deadlock_free(),
+                        "{}: {} deadlocked orderings",
+                        r.summary(),
+                        r.deadlock_states
+                    );
+                    for out in &r.outcomes {
+                        assert_eq!(out[crash], RankOutcome::Err(VErr::Crashed));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn single_rank_world_trivially_terminates() {
-        for c in Collective::all(1) {
+        for c in Collective::all(1).into_iter().chain(Collective::chunked(1)) {
             let r = check_collective(1, c);
             assert!(r.deterministic_success(), "{}", r.summary());
             assert_eq!(r.interleavings, 1);

@@ -190,6 +190,80 @@ pub fn alltoall_plan(kind: &'static str, bytes: &[Vec<u64>]) -> P2pPlan {
     plan
 }
 
+/// Plan of the chunked scheduler's segmented ring allreduce (kind
+/// `"ring_allreduce_chunked"`): each ring step's chunk splits into
+/// `seg_elems`-element segments, one send+recv pair per *unit*, with the
+/// unit count per step equal on every rank (`ceil(max_chunk /
+/// seg_elems)`, `row_partition` being global). Units where a rank's
+/// chunk has no `i`-th segment contribute no op — exactly the occupancy
+/// of `ChunkedExec::Ring::advance`, so per-link FIFO pairing and byte
+/// totals match the runtime wire traffic. Total bytes equal
+/// [`ring_allreduce_plan`]'s for the same `elems`.
+pub fn chunked_ring_allreduce_plan(world: usize, elems: usize, seg_elems: usize) -> P2pPlan {
+    assert!(seg_elems > 0, "segment size must be positive");
+    let mut plan = P2pPlan::new("ring_allreduce_chunked", world);
+    if world == 1 {
+        return plan;
+    }
+    let chunks = row_partition(elems, world);
+    let max_chunk = chunks.iter().map(|c| c.len()).max().unwrap_or(0);
+    let units_per_step = max_chunk.div_ceil(seg_elems).max(1);
+    for rank in 0..world {
+        let next = (rank + 1) % world;
+        let prev = (rank + world - 1) % world;
+        for step in 0..2 * (world - 1) {
+            let (phase, s) = (step / (world - 1), step % (world - 1));
+            let (send_c, recv_c) = if phase == 0 {
+                ((rank + world - s) % world, (rank + world - s - 1) % world)
+            } else {
+                ((rank + 1 + world - s) % world, (rank + world - s) % world)
+            };
+            for i in 0..units_per_step {
+                let send = chunks[send_c];
+                let lo = send.start + i * seg_elems;
+                if lo < send.end {
+                    let hi = (lo + seg_elems).min(send.end);
+                    plan.ranks[rank]
+                        .push(P2pOp::Send { to: next, bytes: ((hi - lo) * F32_BYTES) as u64 });
+                }
+                let recv = chunks[recv_c];
+                let rlo = recv.start + i * seg_elems;
+                if rlo < recv.end {
+                    let rhi = (rlo + seg_elems).min(recv.end);
+                    plan.ranks[rank]
+                        .push(P2pOp::Recv { from: prev, bytes: ((rhi - rlo) * F32_BYTES) as u64 });
+                }
+            }
+        }
+    }
+    plan
+}
+
+/// Plan of the chunked scheduler's fan-out collectives (alltoall dense /
+/// sparse and the token allgather, which all share `ChunkedExec`'s unit
+/// structure): in unit `u` rank `r` sends its block for `(r + u + 1) %
+/// world` and receives from `(r + world - u - 1) % world`. Unlike the
+/// whole-op [`alltoall_plan`] (all sends posted, then receives drained in
+/// source order), sends and receives interleave pairwise — each unit
+/// sends before it receives, and on every ordered link the two ends use
+/// the same unit index, so the plan is deadlock-free without buffering
+/// assumptions. `bytes[i][j]` is what rank `i` sends rank `j`; pass a
+/// row of identical entries per rank for the allgather case.
+pub fn chunked_alltoall_plan(kind: &'static str, bytes: &[Vec<u64>]) -> P2pPlan {
+    let world = bytes.len();
+    assert!(bytes.iter().all(|row| row.len() == world), "square byte matrix");
+    let mut plan = P2pPlan::new(kind, world);
+    for (rank, row) in bytes.iter().enumerate() {
+        for u in 0..world.saturating_sub(1) {
+            let dst = (rank + u + 1) % world;
+            let src = (rank + world - u - 1) % world;
+            plan.ranks[rank].push(P2pOp::Send { to: dst, bytes: row[dst] });
+            plan.ranks[rank].push(P2pOp::Recv { from: src, bytes: bytes[src][rank] });
+        }
+    }
+    plan
+}
+
 /// Byte matrix of EmbRace's **AlltoAll #1** (lookup-result redistribution,
 /// §4.1.1): rank `i` sends rank `j` the lookup of `j`'s batch against
 /// `i`'s column shard — a dense block of `batch_rows[j] × shard_dim(i)`
@@ -369,6 +443,57 @@ mod tests {
             ]
         );
         assert_eq!(barrier_plan(1).ranks[0], vec![]);
+    }
+
+    #[test]
+    fn chunked_ring_plan_matches_unchunked_bytes_and_verifies() {
+        for world in [2, 3, 4] {
+            for elems in [7usize, 12, 65, 256] {
+                for seg in [1usize, 3, 16, 1024] {
+                    let chunked = chunked_ring_allreduce_plan(world, elems, seg);
+                    let whole = ring_allreduce_plan(world, elems);
+                    for r in 0..world {
+                        assert_eq!(
+                            chunked.bytes_sent(r),
+                            whole.bytes_sent(r),
+                            "world {world} elems {elems} seg {seg} rank {r}"
+                        );
+                        assert_eq!(chunked.bytes_received(r), whole.bytes_received(r));
+                    }
+                    let diags = crate::verify::verify_p2p(&chunked);
+                    assert!(diags.is_empty(), "chunked ring plan clean, got {diags:?}");
+                }
+            }
+        }
+        // seg >= max chunk degenerates to exactly one unit per step.
+        let p = chunked_ring_allreduce_plan(3, 12, 100);
+        assert_eq!(p.ranks[0].len(), ring_allreduce_plan(3, 12).ranks[0].len());
+    }
+
+    #[test]
+    fn chunked_alltoall_plan_pairs_units_per_link() {
+        let bytes = vec![vec![0, 10, 20], vec![30, 0, 40], vec![50, 60, 0]];
+        let p = chunked_alltoall_plan("alltoall_dense_chunked", &bytes);
+        assert!(crate::verify::verify_p2p(&p).is_empty(), "chunked alltoall plan clean");
+        for (r, row) in bytes.iter().enumerate() {
+            // world-1 units, each one send + one recv.
+            assert_eq!(p.ranks[r].len(), 4);
+            let sent: u64 = row.iter().sum();
+            assert_eq!(p.bytes_sent(r), sent);
+        }
+        // Same totals as the whole-op plan, different interleaving.
+        let whole = alltoall_plan("alltoall_dense", &bytes);
+        for r in 0..3 {
+            assert_eq!(p.bytes_sent(r), whole.bytes_sent(r));
+            assert_eq!(p.bytes_received(r), whole.bytes_received(r));
+        }
+        // Allgather shape: identical row entries per rank.
+        let gather = chunked_alltoall_plan(
+            "allgather_chunked",
+            &(0..3).map(|r| vec![(r as u64 + 1) * 8; 3]).collect::<Vec<_>>(),
+        );
+        assert!(crate::verify::verify_p2p(&gather).is_empty(), "chunked allgather plan clean");
+        assert_eq!(gather.bytes_received(0), 16 + 24);
     }
 
     #[test]

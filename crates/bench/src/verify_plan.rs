@@ -9,8 +9,9 @@
 
 use embrace_analyzer::model_check::{check, CheckConfig, Collective};
 use embrace_analyzer::plan::{
-    allgather_plan, alltoall_plan, barrier_plan, broadcast_plan, grad_alltoall_bytes,
-    horizontal_schedule_plan, lookup_alltoall_bytes, ring_allreduce_plan,
+    allgather_plan, alltoall_plan, barrier_plan, broadcast_plan, chunked_alltoall_plan,
+    chunked_ring_allreduce_plan, grad_alltoall_bytes, horizontal_schedule_plan,
+    lookup_alltoall_bytes, ring_allreduce_plan,
 };
 use embrace_analyzer::verify::{mutate_p2p, mutate_partition, mutate_schedule};
 use embrace_analyzer::{
@@ -81,6 +82,20 @@ fn verify_model(spec: &ModelSpec, world: usize) -> Result<usize, String> {
     }
     let dense = ring_allreduce_plan(world, spec.block_params);
     expect_clean(&format!("{} dense ring", spec.name), &verify_p2p(&dense))?;
+    // Chunked variants of the bulk plans (PR 5 preemptible execution):
+    // same byte totals, deadlock-free per-unit programs.
+    let seg = spec.block_params.div_ceil(world * 4).max(1);
+    let chunked = chunked_ring_allreduce_plan(world, spec.block_params, seg);
+    expect_clean(&format!("{} dense ring (chunked)", spec.name), &verify_p2p(&chunked))?;
+    if let Some(emb) = spec.embeddings.first() {
+        let grads = chunked_alltoall_plan(
+            "alltoallv_sparse_chunked",
+            &grad_alltoall_bytes(&batch_rows, emb.dim),
+        );
+        expect_clean(&format!("{} grad alltoall (chunked)", spec.name), &verify_p2p(&grads))?;
+        checked += 1;
+    }
+    checked += 1;
     let tokens = allgather_plan(world, &vec![(rows * TOKEN_BYTES) as u64; world]);
     expect_clean(&format!("{} token gather", spec.name), &verify_p2p(&tokens))?;
     expect_clean(&format!("w={world} barrier"), &verify_p2p(&barrier_plan(world)))?;
@@ -150,11 +165,12 @@ fn demo_mutations() -> Result<(), String> {
     Ok(())
 }
 
-/// Exhaustively model-check the five collectives for worlds 2–4, plus
-/// abort termination with a crashed rank 0.
+/// Exhaustively model-check the five collectives plus the four chunked /
+/// preempted programs for worlds 2–4, plus abort termination with a
+/// crashed rank 0.
 fn model_check_all() -> Result<(), String> {
     for world in CHECK_WORLDS {
-        for c in Collective::all(world) {
+        for c in Collective::all(world).into_iter().chain(Collective::chunked(world)) {
             let r = check(&CheckConfig { world, collective: c, crash: None });
             println!("  {}", r.summary());
             if !r.deterministic_success() {
@@ -182,7 +198,9 @@ pub fn run() -> Result<(), String> {
     }
     println!("  {total} plans verified, 0 diagnostics");
     demo_mutations()?;
-    println!("model checker: worlds {CHECK_WORLDS:?}, 5 collectives, fault-free + crash(0)");
+    println!(
+        "model checker: worlds {CHECK_WORLDS:?}, 5 collectives + 4 chunked, fault-free + crash(0)"
+    );
     model_check_all()?;
     println!("verify-plan: all checks passed");
     Ok(())

@@ -49,6 +49,7 @@ pub mod transport;
 pub use group::{run_group, run_group_with_deadline, run_group_with_faults, GroupError};
 pub use scheduler::{
     scheduler_metrics, CommOp, CommResult, CommScheduler, OpTiming, SubmittedOp, Ticket,
+    DEFAULT_CHUNK_BYTES,
 };
 pub use transport::{
     mesh, mesh_with_faults, Comm, CommError, Endpoint, FaultPlan, Packet, RetryPolicy,

@@ -44,7 +44,7 @@ use embrace_tensor::{row_partition, DenseTensor, RowSparse};
 /// Best-effort abort broadcast, then pass the error through. Locally
 /// detected failures notify every peer; received aborts are not
 /// re-broadcast (the origin already told everyone).
-fn fail<T, C: Comm>(ep: &mut C, err: CommError) -> Result<T, CommError> {
+pub(crate) fn fail<T, C: Comm>(ep: &mut C, err: CommError) -> Result<T, CommError> {
     if !matches!(err, CommError::Aborted { .. }) {
         let origin = ep.rank();
         for dst in 0..ep.world() {

@@ -22,6 +22,11 @@ use embrace_tensor::RowSparse;
 const TOKEN_GATHER_PRIORITY: i64 = -4;
 /// Dense-gradient AllReduce priority (single dense block in the toy model).
 const DENSE_PRIORITY: i64 = 0;
+/// Segment size for the chunked comm scheduler. Deliberately tiny (the
+/// toy model's dense weight block is only dim² f32s): the bulk allreduce
+/// must split into multiple resumable segments so higher-priority sparse
+/// ops can preempt it mid-tensor, as in the full-size system.
+const SCHED_CHUNK_BYTES: usize = 2048;
 
 /// Train the toy convergence model with the full scheduled pipeline.
 /// Semantically identical to `train_convergence(TrainMethod::EmbRace, _)`.
@@ -58,7 +63,14 @@ fn worker(
     ep: embrace_collectives::Endpoint,
     cfg: &ConvergenceConfig,
 ) -> (Vec<f64>, Vec<SubmittedOp>) {
-    let mut comm = CommScheduler::spawn(ep);
+    // Chunked submission (§5.2's second dimension): the dense weight
+    // allreduce is the bulk op here, and a small segment size guarantees
+    // it genuinely partitions at toy dimensions, so urgent token gathers
+    // and embedding AlltoAlls preempt it mid-tensor. Chunked execution is
+    // bitwise-identical to unchunked, which the trajectory-equality test
+    // against the inline pipeline (`scheduled_matches_inline_embrace`)
+    // re-proves end to end on every run.
+    let mut comm = CommScheduler::spawn_chunked(ep, SCHED_CHUNK_BYTES);
     let (emb_init, w_init, targets) = init_toy_state(cfg);
     let mut emb = ColumnShardedEmbedding::new(&emb_init, rank, cfg.world);
     let mut w = w_init;

@@ -178,3 +178,145 @@ proptest! {
         prop_assert!(cm.ps(small, 4) <= cm.ps(large, 4));
     }
 }
+
+/// PR 5: the chunked/preemptible scheduler must be *bitwise* identical to
+/// unchunked execution for every `CommOp` kind, on random worlds, shapes,
+/// chunk sizes, and preemption timings — including bulk ops genuinely
+/// preempted mid-tensor by the urgent stream (tiny chunks force many
+/// resumable segments; the pause lets the bulk op reach the wire first).
+mod chunked_scheduler {
+    use super::*;
+    use embrace_repro::collectives::{mesh, CommOp, CommResult, CommScheduler, Ticket};
+    use std::time::Duration;
+
+    /// Canonical bit-encoding of a result: f32 payloads as bit patterns,
+    /// framed with lengths so distinct shapes can never collide.
+    fn result_bits(r: &CommResult) -> Vec<u64> {
+        let mut out = Vec::new();
+        match r {
+            CommResult::AllReduceDense(v) => {
+                out.push(0);
+                out.extend(v.iter().map(|x| u64::from(x.to_bits())));
+            }
+            CommResult::AlltoAllDense(ts) => {
+                out.push(1);
+                for t in ts {
+                    out.push(t.rows() as u64);
+                    out.push(t.cols() as u64);
+                    out.extend(t.as_slice().iter().map(|x| u64::from(x.to_bits())));
+                }
+            }
+            CommResult::AlltoAllSparse(ps) => {
+                out.push(2);
+                for p in ps {
+                    out.push(p.indices().len() as u64);
+                    out.extend(p.indices().iter().map(|&i| u64::from(i)));
+                    out.extend(p.values().as_slice().iter().map(|x| u64::from(x.to_bits())));
+                }
+            }
+            CommResult::GatherTokens(vs) => {
+                out.push(3);
+                for v in vs {
+                    out.push(v.len() as u64);
+                    out.extend(v.iter().map(|&t| u64::from(t)));
+                }
+            }
+            CommResult::Flush => out.push(4),
+            CommResult::Failed(e) => panic!("scheduler failed: {e:?}"),
+        }
+        out
+    }
+
+    /// One full SPMD round over all five op kinds: a bulk low-priority
+    /// AllReduce first, a pause, then the high-priority ops that preempt
+    /// it when chunking is on. Returns per-rank result encodings.
+    fn run_all_ops(
+        world: usize,
+        chunk: Option<usize>,
+        bulk_len: usize,
+        rows: usize,
+        dim: usize,
+        pause_us: u64,
+        seed: u64,
+    ) -> Vec<Vec<u64>> {
+        let eps = mesh(world);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = eps
+                .into_iter()
+                .enumerate()
+                .map(|(rank, ep)| {
+                    scope.spawn(move || {
+                        let mut s = match chunk {
+                            Some(c) => CommScheduler::spawn_chunked(ep, c),
+                            None => CommScheduler::spawn(ep),
+                        };
+                        let bulk: Vec<f32> = (0..bulk_len)
+                            .map(|i| {
+                                ((seed as usize + rank * 131 + i * 7) % 509) as f32 * 0.25 - 63.0
+                            })
+                            .collect();
+                        let t_bulk = s.submit(100, "bulk", CommOp::AllReduceDense(bulk));
+                        std::thread::sleep(Duration::from_micros(pause_us));
+                        let dense: Vec<DenseTensor> = (0..world)
+                            .map(|j| {
+                                let data =
+                                    (0..rows * dim).map(|i| (rank * 100 + j * 10 + i) as f32);
+                                DenseTensor::from_vec(rows, dim, data.collect())
+                            })
+                            .collect();
+                        let sparse: Vec<RowSparse> = (0..world)
+                            .map(|j| {
+                                let idx: Vec<u32> =
+                                    (0..rows as u32).map(|i| i * 3 + j as u32).collect();
+                                let vals = (0..rows * dim).map(|i| (rank * 7 + j + i) as f32 * 0.5);
+                                RowSparse::new(
+                                    idx,
+                                    DenseTensor::from_vec(rows, dim, vals.collect()),
+                                )
+                            })
+                            .collect();
+                        let tokens: Vec<u32> =
+                            (0..5).map(|i| (seed as usize + rank * 17 + i) as u32).collect();
+                        let hp: Vec<Ticket> = vec![
+                            s.submit(-10, "hp_gather", CommOp::GatherTokens(tokens)),
+                            s.submit(-10, "hp_a2ad", CommOp::AlltoAllDense(dense)),
+                            s.submit(-10, "hp_a2as", CommOp::AlltoAllSparse(sparse)),
+                            s.submit(-10, "hp_flush", CommOp::Flush),
+                        ];
+                        let mut bits = Vec::new();
+                        for t in hp {
+                            bits.extend(result_bits(&t.wait()));
+                        }
+                        bits.extend(result_bits(&t_bulk.wait()));
+                        bits
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn chunked_scheduler_bitwise_identical_to_unchunked(
+            world in 2usize..=4,
+            bulk_len in 32usize..400,
+            // 4–24 f32 elements per segment: every bulk payload splits
+            // into dozens of resumable units.
+            chunk_bytes in 16usize..=96,
+            rows in 0usize..=3,
+            dim in 1usize..=4,
+            pause_us in 0u64..=800,
+            seed in 0u64..1000,
+        ) {
+            let plain = run_all_ops(world, None, bulk_len, rows, dim, 0, seed);
+            let chunked =
+                run_all_ops(world, Some(chunk_bytes), bulk_len, rows, dim, pause_us, seed);
+            for rank in 0..world {
+                prop_assert_eq!(&plain[rank], &chunked[rank], "rank {}", rank);
+            }
+        }
+    }
+}

@@ -170,3 +170,60 @@ fn compute_stream_never_overlaps_itself() {
         }
     }
 }
+
+/// PR 5 cross-validation: the threaded `CommScheduler`'s measured
+/// preemptive schedule must match `simnet`'s `CommOrder::Preemptive`
+/// ordering model on the same head-of-line scenario — a bulk low-priority
+/// AllReduce already on the wire, an urgent gather arriving behind it.
+/// Both worlds must agree that (a) the urgent op *completes before* the
+/// bulk op and (b) the bulk op runs as more than one resumable span.
+#[test]
+fn threaded_preemption_matches_simnet_preemptive_order() {
+    use embrace_repro::collectives::{mesh, CommOp, CommResult, CommScheduler};
+    use embrace_repro::simnet::{CommOrder, Sim, Task};
+
+    // DES model of the scenario.
+    let mut sim = Sim::new(CommOrder::Preemptive);
+    sim.add(Task::comm("bulk", 10.0, 100));
+    let bp = sim.add(Task::compute("bp", 1.0));
+    sim.add(Task::comm("urgent", 1.0, -10).after([bp]));
+    let des = sim.run();
+    let des_urgent_end = des.trace.last_end("urgent").expect("urgent span");
+    let des_bulk_end = des.trace.last_end("bulk").expect("bulk span");
+    assert!(des_urgent_end < des_bulk_end, "DES: urgent must finish first");
+    let des_bulk_spans = des.trace.spans.iter().filter(|s| s.name == "bulk").count();
+    assert!(des_bulk_spans > 1, "DES: bulk must be suspended at least once");
+
+    // The same scenario on the real threaded scheduler: a chunk size far
+    // below the bulk payload so preemption points exist mid-tensor.
+    let world = 2;
+    let timings: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = mesh(world)
+            .into_iter()
+            .map(|ep| {
+                scope.spawn(move || {
+                    let mut s = CommScheduler::spawn_chunked_observed(ep, 4 << 10);
+                    let bulk = s.submit(100, "bulk", CommOp::AllReduceDense(vec![1.0f32; 1 << 20]));
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    let urgent = s.submit(-10, "urgent", CommOp::GatherTokens(vec![7, 8, 9]));
+                    assert!(!matches!(urgent.wait(), CommResult::Failed(_)));
+                    assert!(!matches!(bulk.wait(), CommResult::Failed(_)));
+                    s.observation().expect("observed").1
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    });
+    for (rank, ts) in timings.iter().enumerate() {
+        let find = |tag: &str| ts.iter().find(|t| t.tag == tag).expect("timing recorded");
+        let (bulk, urgent) = (find("bulk"), find("urgent"));
+        assert!(
+            urgent.finished_s < bulk.finished_s,
+            "rank {rank}: measured order diverges from the DES Preemptive model \
+             (urgent {} vs bulk {})",
+            urgent.finished_s,
+            bulk.finished_s
+        );
+        assert!(bulk.chunks > 1, "rank {rank}: bulk ran whole — no preemption points existed");
+    }
+}
