@@ -26,7 +26,12 @@
 //!   per-rank results (f32 payloads are tracked as bit patterns);
 //! * **abort termination** — with a crashed rank injected, every
 //!   interleaving still terminates: PR 1's abort broadcast reaches every
-//!   survivor in every ordering.
+//!   survivor in every ordering;
+//! * **re-form safety** — the elastic shrink handshake
+//!   ([`Collective::Reform`] / [`Collective::ReformMidway`]) is
+//!   deadlock-free and commits one agreed membership containing every
+//!   survivor, even when a rank crashes *mid-handshake* (including the
+//!   coordinator, exercising failover).
 //!
 //! The virtual programs mirror `ops.rs` exactly — same peers, same
 //! send/receive order, same chunking ([`row_partition`]), same abort
@@ -73,6 +78,27 @@ pub enum Collective {
         seg: usize,
         preempt_at: usize,
     },
+    /// The elastic shrink re-form handshake of
+    /// `embrace_collectives::ElasticWorker::reform`: probe every current
+    /// member with a `Report`, elect the minimum presumed-alive rank
+    /// coordinator, gather one report per alive peer, commit the
+    /// membership, with coordinator-failover re-probe rounds when the
+    /// coordinator dies mid-handshake. Combine with [`CheckConfig::crash`]
+    /// for a rank that is dead before the re-form begins.
+    ///
+    /// Unlike the data collectives, re-form sends *observe* peer liveness
+    /// (`try_send` → `PeerGone` removes the peer from the candidate set),
+    /// so the model schedules every send as a choice point instead of
+    /// executing sends eagerly.
+    Reform,
+    /// Re-form with `victim` crashing *mid-handshake*: it probes (so its
+    /// reports may or may not be seen), gathers if it elected itself
+    /// coordinator, then its endpoint drops before it commits. Every
+    /// interleaving of the victim's death against the survivors' probes
+    /// is explored.
+    ReformMidway {
+        victim: usize,
+    },
 }
 
 impl Collective {
@@ -87,7 +113,30 @@ impl Collective {
             Collective::ChunkedAllgather => "allgather_chunked",
             Collective::ChunkedAlltoallv => "alltoallv_chunked",
             Collective::PreemptedRing { .. } => "ring_preempted",
+            Collective::Reform => "reform",
+            Collective::ReformMidway { .. } => "reform_midway",
         }
+    }
+
+    /// Is this one of the elastic re-form handshake programs?
+    pub fn is_reform(&self) -> bool {
+        matches!(self, Collective::Reform | Collective::ReformMidway { .. })
+    }
+
+    /// The mid-handshake crash victim, if this is [`Collective::ReformMidway`].
+    fn midway_victim(&self) -> Option<usize> {
+        match self {
+            Collective::ReformMidway { victim } => Some(*victim),
+            _ => None,
+        }
+    }
+
+    /// The re-form handshake programs: fault-free plus a mid-handshake
+    /// crash of every rank.
+    pub fn reform(world: usize) -> Vec<Collective> {
+        let mut v = vec![Collective::Reform];
+        v.extend((0..world).map(|victim| Collective::ReformMidway { victim }));
+        v
     }
 
     /// The five collectives at their default check sizes.
@@ -287,6 +336,81 @@ fn micro_prog(cfg: &CheckConfig, rank: usize) -> Option<Vec<Micro>> {
     }
 }
 
+// --- Elastic re-form handshake state machine -----------------------------
+//
+// Re-form ranks keep their protocol state in `RankState::buf` instead of a
+// static pc-indexed program, because the handshake is data-dependent: which
+// peers answer a probe decides who coordinates, and coordinator failover
+// loops back to a fresh probe round over a strictly smaller candidate set.
+// Membership sets are bitmasks (worlds ≤ 32).
+
+/// `buf` slots of a re-form rank.
+const B_PHASE: usize = 0;
+const B_CAND: usize = 1;
+const B_ALIVE: usize = 2;
+const B_CUR: usize = 3;
+const B_MASK: usize = 4;
+
+/// Re-form phases. Probe/commit rest at a *send* choice point; gather and
+/// await rest at receives; crash is the midway victim's scheduled death.
+const P_PROBE: u32 = 0;
+const P_GATHER: u32 = 1;
+const P_AWAIT: u32 = 2;
+const P_COMMIT: u32 = 3;
+const P_CRASH: u32 = 4;
+const P_DONE: u32 = 5;
+
+/// Smallest rank ≥ `from` in `mask`, excluding `me`.
+fn next_member(mask: u32, from: u32, me: usize) -> Option<usize> {
+    (from as usize..32).find(|&i| i != me && mask & (1 << i) != 0)
+}
+
+/// Advance a re-form rank through exhausted phase boundaries so `buf`
+/// always points at a real pending operation (or a terminal phase).
+/// Mirrors `ElasticWorker::reform`'s control flow: probe → elect min
+/// alive → gather (coordinator) or await-commit (member); the midway
+/// victim substitutes its crash for await/commit.
+fn reform_normalize(buf: &mut [u32], me: usize, victim: bool) {
+    loop {
+        match buf[B_PHASE] {
+            P_PROBE => {
+                if next_member(buf[B_CAND], buf[B_CUR], me).is_some() {
+                    return;
+                }
+                // `alive` always contains `me`, so the minimum exists.
+                let coord = buf[B_ALIVE].trailing_zeros();
+                if coord as usize == me {
+                    buf[B_PHASE] = P_GATHER;
+                    buf[B_CUR] = 0;
+                } else if victim {
+                    buf[B_PHASE] = P_CRASH;
+                } else {
+                    buf[B_PHASE] = P_AWAIT;
+                    buf[B_CUR] = coord;
+                }
+            }
+            P_GATHER => {
+                if next_member(buf[B_ALIVE], buf[B_CUR], me).is_some() {
+                    return;
+                }
+                if victim {
+                    buf[B_PHASE] = P_CRASH;
+                } else {
+                    buf[B_PHASE] = P_COMMIT;
+                    buf[B_CUR] = 0;
+                }
+            }
+            P_COMMIT => {
+                if next_member(buf[B_MASK], buf[B_CUR], me).is_some() {
+                    return;
+                }
+                buf[B_PHASE] = P_DONE;
+            }
+            _ => return, // await / crash / done rest as they are
+        }
+    }
+}
+
 fn action(cfg: &CheckConfig, rank: usize, pc: u32) -> Action {
     if let Some(prog) = micro_prog(cfg, rank) {
         return match prog.get(pc as usize) {
@@ -362,6 +486,9 @@ fn action(cfg: &CheckConfig, rank: usize, pc: u32) -> Action {
         | Collective::ChunkedAlltoallv
         | Collective::PreemptedRing { .. } => {
             unreachable!("chunked collectives are handled by their micro program")
+        }
+        Collective::Reform | Collective::ReformMidway { .. } => {
+            unreachable!("re-form is handled by its own interpreter")
         }
     }
 }
@@ -441,6 +568,9 @@ fn send_payload(cfg: &CheckConfig, rank: usize, st: &RankState) -> VPacket {
         | Collective::PreemptedRing { .. } => {
             unreachable!("chunked collectives are handled by their micro program")
         }
+        Collective::Reform | Collective::ReformMidway { .. } => {
+            unreachable!("re-form is handled by its own interpreter")
+        }
     }
 }
 
@@ -511,6 +641,14 @@ impl World {
                     Collective::PreemptedRing { elems, .. } => {
                         (ring_init(rank, elems), vec![Vec::new(); w], Status::Running)
                     }
+                    // Re-form: protocol state, not payload, lives in `buf`.
+                    // Everyone starts probing the full membership, presuming
+                    // only itself alive and committed.
+                    Collective::Reform | Collective::ReformMidway { .. } => {
+                        let full = ((1u64 << w) - 1) as u32;
+                        let me = 1u32 << rank;
+                        (vec![P_PROBE, full, me, 0, me], Vec::new(), Status::Running)
+                    }
                     _ => (Vec::new(), Vec::new(), Status::Running),
                 };
                 let status =
@@ -550,11 +688,136 @@ impl World {
         }
     }
 
+    /// A peer a re-form probe can deliver to: running, or finished
+    /// cleanly (its endpoint outlives the handshake). Only a *crashed*
+    /// rank's endpoint is gone, which is exactly what `try_send`'s
+    /// `PeerGone` detects in the real transport.
+    fn reachable(&self, r: usize) -> bool {
+        !matches!(self.ranks[r].status, Status::Done(Err(_)))
+    }
+
+    /// Run re-form rank `r` forward by up to `budget` scheduled
+    /// operations. Every probe/commit send, gather/await receive, and the
+    /// midway victim's crash is a separate choice point: sends observe
+    /// peer liveness here, so their order against a peer's death matters
+    /// and must be explored.
+    fn advance_reform(&mut self, cfg: &CheckConfig, r: usize, mut budget: u32) {
+        let victim = cfg.collective.midway_victim() == Some(r);
+        while self.running(r) {
+            reform_normalize(&mut self.ranks[r].buf, r, victim);
+            let phase = self.ranks[r].buf[B_PHASE];
+            if phase == P_DONE {
+                // Committed: the membership mask is the result; the
+                // protocol scratch state is not part of it.
+                let mask = self.ranks[r].buf[B_MASK];
+                self.ranks[r].out = vec![vec![mask]];
+                self.ranks[r].buf = Vec::new();
+                self.finish(r, Ok(()));
+                return;
+            }
+            if budget == 0 {
+                return;
+            }
+            match phase {
+                P_CRASH => {
+                    // Mid-handshake death: endpoint drops silently — no
+                    // abort broadcast, peers discover it by probe/timeout.
+                    self.finish(r, Err(VErr::Crashed));
+                    return;
+                }
+                P_PROBE => {
+                    let st = &self.ranks[r];
+                    let c = next_member(st.buf[B_CAND], st.buf[B_CUR], r)
+                        .expect("normalized probe has a target");
+                    if self.running(c) {
+                        self.queues[c][r].push_back(VPacket::Empty);
+                    }
+                    if self.reachable(c) {
+                        // Delivered (a finished peer just never reads it):
+                        // the peer is presumed alive.
+                        self.ranks[r].buf[B_ALIVE] |= 1 << c;
+                    }
+                    self.ranks[r].buf[B_CUR] = c as u32 + 1;
+                }
+                P_COMMIT => {
+                    let st = &self.ranks[r];
+                    let c = next_member(st.buf[B_MASK], st.buf[B_CUR], r)
+                        .expect("normalized commit has a target");
+                    let mask = st.buf[B_MASK];
+                    if self.running(c) {
+                        self.queues[c][r].push_back(VPacket::Data(vec![mask]));
+                    }
+                    // A member dying between gather and commit is tolerated
+                    // (`let _ = try_send`): the next collective re-forms.
+                    self.ranks[r].buf[B_CUR] = c as u32 + 1;
+                }
+                P_GATHER => {
+                    let st = &self.ranks[r];
+                    let p = next_member(st.buf[B_ALIVE], st.buf[B_CUR], r)
+                        .expect("normalized gather has a target");
+                    match self.queues[r][p].pop_front() {
+                        Some(VPacket::Empty) => {
+                            // The peer's report: it is in the next epoch.
+                            self.ranks[r].buf[B_MASK] |= 1 << p;
+                            self.ranks[r].buf[B_CUR] = p as u32 + 1;
+                        }
+                        Some(other) => {
+                            unreachable!("re-form gather from {p} received {other:?}")
+                        }
+                        None if !self.running(p) => {
+                            // Timeout / disconnect: the peer drops out.
+                            self.ranks[r].buf[B_CUR] = p as u32 + 1;
+                        }
+                        None => return, // blocked on a live peer's report
+                    }
+                }
+                P_AWAIT => {
+                    let coord = self.ranks[r].buf[B_CUR] as usize;
+                    match self.queues[r][coord].pop_front() {
+                        Some(VPacket::Data(m)) => {
+                            let mask = m[0];
+                            assert!(
+                                mask & (1 << r) != 0,
+                                "model protocol violation: live rank {r} evicted by {coord}"
+                            );
+                            self.ranks[r].buf[B_MASK] = mask;
+                            self.ranks[r].buf[B_PHASE] = P_DONE;
+                        }
+                        Some(VPacket::Empty) => {
+                            // The coordinator's own probe report: stale,
+                            // dropped without leaving the await loop.
+                        }
+                        Some(other) => {
+                            unreachable!("re-form await from {coord} received {other:?}")
+                        }
+                        None if !self.running(coord) => {
+                            // Coordinator died (or will never answer):
+                            // failover round without it. The candidate set
+                            // strictly shrinks, so this terminates.
+                            let alive = self.ranks[r].buf[B_ALIVE];
+                            self.ranks[r].buf[B_CAND] = alive & !(1u32 << coord);
+                            self.ranks[r].buf[B_ALIVE] = 1 << r;
+                            self.ranks[r].buf[B_CUR] = 0;
+                            self.ranks[r].buf[B_PHASE] = P_PROBE;
+                        }
+                        None => return, // blocked: coordinator still running
+                    }
+                }
+                _ => unreachable!("re-form rank {r} scheduled at phase {phase}"),
+            }
+            self.ranks[r].pc += 1;
+            budget -= 1;
+        }
+    }
+
     /// Run rank `r` forward: complete up to `recv_budget` receives, then
     /// keep executing non-blocking sends until the next receive choice
     /// point or termination. With budget 0 this is the normalisation pass
     /// (flush initial sends).
     fn advance(&mut self, cfg: &CheckConfig, r: usize, mut recv_budget: u32) {
+        if cfg.collective.is_reform() {
+            return self.advance_reform(cfg, r, recv_budget);
+        }
         while self.running(r) {
             match action(cfg, r, self.ranks[r].pc) {
                 Action::Finish => {
@@ -618,6 +881,23 @@ impl World {
     fn enabled(&self, cfg: &CheckConfig, r: usize) -> bool {
         if !self.running(r) {
             return false;
+        }
+        if cfg.collective.is_reform() {
+            let st = &self.ranks[r];
+            return match st.buf[B_PHASE] {
+                // Sends and the victim's crash are always executable.
+                P_PROBE | P_COMMIT | P_CRASH | P_DONE => true,
+                P_GATHER => {
+                    let p = next_member(st.buf[B_ALIVE], st.buf[B_CUR], r)
+                        .expect("normalized gather has a target");
+                    !self.queues[r][p].is_empty() || !self.running(p)
+                }
+                P_AWAIT => {
+                    let c = st.buf[B_CUR] as usize;
+                    !self.queues[r][c].is_empty() || !self.running(c)
+                }
+                phase => unreachable!("re-form rank {r} resting at phase {phase}"),
+            };
         }
         match action(cfg, r, self.ranks[r].pc) {
             Action::Recv(from) => !self.queues[r][from].is_empty() || !self.running(from),
@@ -773,6 +1053,10 @@ impl Explorer<'_> {
 pub fn check(cfg: &CheckConfig) -> CheckReport {
     assert!(cfg.world >= 1, "world must be positive");
     assert!(cfg.crash.is_none_or(|c| c < cfg.world), "crash rank out of range");
+    if let Collective::ReformMidway { victim } = cfg.collective {
+        assert!(victim < cfg.world, "midway victim out of range");
+        assert!(cfg.crash.is_none(), "midway re-form models its own crash");
+    }
     let mut init = World::new(cfg);
     for r in 0..cfg.world {
         if init.running(r) {
@@ -939,9 +1223,123 @@ mod tests {
         }
     }
 
+    fn rank_mask(ranks: impl Iterator<Item = usize>) -> u32 {
+        ranks.map(|r| 1u32 << r).sum()
+    }
+
+    #[test]
+    fn reform_fault_free_commits_full_membership() {
+        for world in 1..=4 {
+            let r = check_collective(world, Collective::Reform);
+            assert!(r.deterministic_success(), "{}", r.summary());
+            let full = rank_mask(0..world);
+            for o in r.unique_outcome().expect("deterministic") {
+                let RankOutcome::Ok { out, .. } = o else { panic!("rank failed: {o:?}") };
+                assert_eq!(out[0], vec![full]);
+            }
+        }
+    }
+
+    #[test]
+    fn reform_with_dead_rank_commits_exactly_the_survivors() {
+        for world in 2..=4 {
+            for crash in 0..world {
+                let cfg = CheckConfig { world, collective: Collective::Reform, crash: Some(crash) };
+                let r = check(&cfg);
+                assert!(r.deadlock_free(), "{}", r.summary());
+                // Membership is deterministic: a dead-from-the-start rank
+                // fails every probe, so no interleaving can include it.
+                assert_eq!(r.outcomes.len(), 1, "{}", r.summary());
+                let survivors = rank_mask((0..world).filter(|&x| x != crash));
+                for (rank, o) in r.outcomes[0].iter().enumerate() {
+                    if rank == crash {
+                        assert_eq!(*o, RankOutcome::Err(VErr::Crashed));
+                    } else {
+                        let RankOutcome::Ok { out, .. } = o else {
+                            panic!("rank {rank} failed: {o:?}")
+                        };
+                        assert_eq!(out[0], vec![survivors], "rank {rank}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reform_midway_crash_terminates_with_agreed_membership() {
+        for world in 2..=4 {
+            for victim in 0..world {
+                let c = Collective::ReformMidway { victim };
+                let r = check(&CheckConfig { world, collective: c, crash: None });
+                assert!(
+                    r.deadlock_free(),
+                    "{}: {} deadlocked orderings",
+                    r.summary(),
+                    r.deadlock_states
+                );
+                let survivors = rank_mask((0..world).filter(|&x| x != victim));
+                for out in &r.outcomes {
+                    assert_eq!(out[victim], RankOutcome::Err(VErr::Crashed));
+                    // Within one interleaving every survivor commits the
+                    // *same* membership (exactly one rank ever commits),
+                    // containing all survivors and at most the victim
+                    // (who may die after reporting; the stale member is
+                    // shed on the group's next re-form).
+                    let masks: Vec<u32> = out
+                        .iter()
+                        .enumerate()
+                        .filter(|&(rank, _)| rank != victim)
+                        .map(|(rank, o)| {
+                            let RankOutcome::Ok { out, .. } = o else {
+                                panic!("rank {rank} failed: {o:?}")
+                            };
+                            out[0][0]
+                        })
+                        .collect();
+                    for &m in &masks {
+                        assert_eq!(m, masks[0], "survivors disagree on membership");
+                        assert_eq!(m & survivors, survivors, "a survivor was evicted");
+                        assert_eq!(m & !(survivors | (1 << victim)), 0, "ghost member");
+                    }
+                    // A victim that would have coordinated (rank 0) can
+                    // never be committed: its successor only commits after
+                    // observing its death.
+                    if victim == 0 {
+                        assert_eq!(masks[0], survivors);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reform_midway_victim_inclusion_depends_on_timing() {
+        // A non-coordinator victim reports before dying, so interleavings
+        // where the coordinator probes it in time commit it (to be shed on
+        // the next re-form), and interleavings where the probe finds it
+        // dead do not: both memberships must be reachable.
+        let r = check(&CheckConfig {
+            world: 3,
+            collective: Collective::ReformMidway { victim: 2 },
+            crash: None,
+        });
+        assert!(r.deadlock_free(), "{}", r.summary());
+        let masks: std::collections::BTreeSet<u32> = r
+            .outcomes
+            .iter()
+            .map(|out| {
+                let RankOutcome::Ok { out, .. } = &out[0] else { panic!("rank 0 failed") };
+                out[0][0]
+            })
+            .collect();
+        assert_eq!(masks, [0b011u32, 0b111u32].into_iter().collect(), "{}", r.summary());
+    }
+
     #[test]
     fn single_rank_world_trivially_terminates() {
-        for c in Collective::all(1).into_iter().chain(Collective::chunked(1)) {
+        for c in
+            Collective::all(1).into_iter().chain(Collective::chunked(1)).chain([Collective::Reform])
+        {
             let r = check_collective(1, c);
             assert!(r.deterministic_success(), "{}", r.summary());
             assert_eq!(r.interleavings, 1);

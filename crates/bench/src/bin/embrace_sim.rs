@@ -34,6 +34,17 @@ fn main() {
             }
         }
     }
+    // `embrace_sim scenarios`: the elastic fault × recovery-policy
+    // capacity-planning matrix on the live threaded trainer.
+    if std::env::args().nth(1).as_deref() == Some("scenarios") {
+        match embrace_bench::scenarios::run(std::env::args().skip(2)) {
+            Ok(()) => return,
+            Err(msg) => {
+                eprintln!("scenarios FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
     let args = match parse_args(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(msg) => {

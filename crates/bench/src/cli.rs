@@ -63,12 +63,19 @@ USAGE:
   embrace-sim [OPTIONS]
   embrace-sim verify-plan
   embrace-sim trace [OPTIONS] [--smoke] [--out <file>] [--out-dir <dir>]
+  embrace-sim scenarios [--quick] [--out <file>]
 
 SUBCOMMANDS:
   verify-plan   static comm-plan verification + interleaving model check
+                (collectives, chunked programs, elastic re-form handshake)
   trace         export the simulated timeline as Chrome trace_event JSON
                 (open in Perfetto); --smoke sweeps the four method
                 families and validates each export against the makespan
+  scenarios     elastic capacity planning: sweep {fault profile x recovery
+                policy} through the live elastic trainer, report goodput /
+                p99 step time / recovery cost, price the shrink-vs-restart
+                crossover, compare multi-tenant link sharing; --quick for
+                the CI smoke size, --out to persist the report
 
 OPTIONS:
   --model <lm|gnmt8|transformer|bert>   benchmark model        [default: gnmt8]

@@ -1,0 +1,344 @@
+//! `embrace_sim scenarios` — the elastic-training capacity-planning
+//! matrix.
+//!
+//! Sweeps {fault profile × recovery policy} through the real elastic
+//! trainer ([`embrace_trainer::run_elastic`]: live threads, epoch-tagged
+//! transport, shrink re-form, checkpoint restarts) and reports per cell:
+//!
+//! * **goodput** — completed steps per wall-clock second, the number a
+//!   capacity planner actually buys;
+//! * **p99 step time** — tail step latency (stragglers widen it without
+//!   tripping any fault path);
+//! * **recovery cost** — wall-clock spent outside training steps
+//!   (re-form handshakes, state redistribution, checkpoint replays);
+//! * the final world size and how many shrinks / restarts it took.
+//!
+//! Two companion sections turn the measurements into planning guidance:
+//! a [`RecoveryModel`] calibrated from the fault-free row prices the
+//! shrink-vs-restart crossover analytically, and a two-tenant event-sim
+//! comparison shows what priority link sharing does to a latency-critical
+//! job co-located with a batch job.
+//!
+//! `--quick` shrinks the workload for CI smoke runs; `--out <file>`
+//! additionally writes the full report to disk (the CI job persists it as
+//! a build artifact).
+
+use embrace_collectives::FaultPlan;
+use embrace_simnet::{CommOrder, Recovery, RecoveryModel, Res, Sim, Task};
+use embrace_trainer::report::table;
+use embrace_trainer::{run_elastic, ConvergenceConfig, ElasticConfig, RecoveryPolicy};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// The seeded fault profiles of the matrix: a clean baseline, crashes at
+/// both ends of the run, a persistent (sub-deadline) straggler, and a
+/// transient flaky link whose drops surface as receive timeouts.
+fn profiles(world: usize, steps: u64) -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("fault-free", FaultPlan::new(0)),
+        ("crash-early", FaultPlan::new(11).crash_rank_at_step(1, 1)),
+        ("crash-midway", FaultPlan::new(12).crash_rank_at_step(world - 1, steps / 2)),
+        ("straggler-3ms", FaultPlan::new(13).straggle_rank(1, Duration::from_millis(3))),
+        ("flaky-link", FaultPlan::new(14).flaky_link(0, 1, 30, 32)),
+    ]
+}
+
+/// One measured cell of the matrix.
+struct Cell {
+    profile: &'static str,
+    policy: &'static str,
+    row: Vec<String>,
+    /// Median step seconds, used to calibrate the recovery model.
+    median_step: Option<f64>,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+fn run_cell(
+    profile: &'static str,
+    plan: FaultPlan,
+    policy_name: &'static str,
+    policy: RecoveryPolicy,
+    quick: bool,
+) -> Cell {
+    let mut cfg = ElasticConfig::quick(plan, policy);
+    if !quick {
+        cfg.train = ConvergenceConfig {
+            world: 5,
+            vocab: 60,
+            dim: 8,
+            tokens_per_batch: 16,
+            steps: 16,
+            ..Default::default()
+        };
+        cfg.checkpoint_interval = 4;
+    }
+    let start = Instant::now();
+    let result = run_elastic(&cfg);
+    let elapsed = start.elapsed().as_secs_f64();
+    match result {
+        Ok(report) => {
+            let mut executed: Vec<f64> =
+                report.step_secs.iter().copied().filter(|&s| s > 0.0).collect();
+            executed.sort_by(|a, b| a.total_cmp(b));
+            let step_total: f64 = executed.iter().sum();
+            let goodput = report.losses.len() as f64 / elapsed;
+            let p99 = percentile(&executed, 0.99);
+            let median = percentile(&executed, 0.50);
+            let recovery = (elapsed - step_total).max(0.0);
+            Cell {
+                profile,
+                policy: policy_name,
+                row: vec![
+                    profile.into(),
+                    policy_name.into(),
+                    format!("{goodput:.1}"),
+                    format!("{:.2}", p99 * 1e3),
+                    format!("{:.0}", recovery * 1e3),
+                    format!("{}->{}", cfg.train.world, report.final_world),
+                    report.shrinks.to_string(),
+                    report.restarts.to_string(),
+                    "ok".into(),
+                ],
+                median_step: (profile == "fault-free").then_some(median),
+            }
+        }
+        Err(e) => Cell {
+            profile,
+            policy: policy_name,
+            row: vec![
+                profile.into(),
+                policy_name.into(),
+                "-".into(),
+                "-".into(),
+                format!("{:.0}", elapsed * 1e3),
+                format!("{}->?", cfg.train.world),
+                "-".into(),
+                "-".into(),
+                match e {
+                    embrace_trainer::ElasticRunError::RestartsExhausted { .. } => {
+                        // e.g. a flaky window that re-arms on every full
+                        // relaunch: restart alone cannot get past it.
+                        "failed: restarts exhausted".into()
+                    }
+                    other => format!("failed: {other}"),
+                },
+            ],
+            median_step: None,
+        },
+    }
+}
+
+/// Price the shrink-vs-restart decision with a model calibrated from the
+/// measured fault-free step time.
+fn capacity_section(median_step: f64, world: usize, interval: u64) -> (RecoveryModel, String) {
+    let t = median_step.max(1e-6);
+    let model = RecoveryModel {
+        step_time: t,
+        checkpoint_write: 5.0 * t,
+        checkpoint_interval: interval,
+        // Restart pays scheduler + reload + communicator rebuild; shrink
+        // only the re-form handshake and shard redistribution.
+        restart_overhead: 200.0 * t,
+        shrink_overhead: 20.0 * t,
+        // Losing one of `world` ranks stretches every remaining step.
+        shrink_slowdown: world as f64 / (world as f64 - 1.0),
+    };
+    let crossover = (model.restart_overhead + interval as f64 / 2.0 * t - model.shrink_overhead)
+        / (t * (model.shrink_slowdown - 1.0));
+    let mut rows = Vec::new();
+    for &(since, remaining) in
+        &[(0u64, 10u64), (0, 1000), (interval / 2, 100), (interval / 2, 2000)]
+    {
+        let restart = model.checkpoint_restart_cost(since, remaining);
+        let shrink = model.group_shrink_cost(remaining);
+        let cheaper = match model.cheaper(since, remaining) {
+            Recovery::GroupShrink => "shrink",
+            Recovery::CheckpointRestart => "restart",
+        };
+        rows.push(vec![
+            since.to_string(),
+            remaining.to_string(),
+            format!("{:.1}", restart / t),
+            format!("{:.1}", shrink / t),
+            cheaper.into(),
+        ]);
+    }
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "calibration: step {:.2} ms, restart {:.0} steps, shrink {:.0} steps, slowdown {:.2}x",
+        t * 1e3,
+        model.restart_overhead / t,
+        model.shrink_overhead / t,
+        model.shrink_slowdown
+    );
+    s.push_str(&table(
+        &["since-ckpt", "remaining", "restart cost (steps)", "shrink cost (steps)", "cheaper"],
+        &rows,
+    ));
+    let _ =
+        writeln!(s, "crossover at mid-interval: shrink wins below ~{crossover:.0} remaining steps");
+    (model, s)
+}
+
+/// Two tenants sharing the network: a latency-critical job (priority 0)
+/// against a batch job (priority 5), under priority vs FIFO link
+/// scheduling. Mirrors the simnet two-tenant regression test.
+fn tenant_section() -> String {
+    let build = |order: CommOrder| {
+        let mut sim = Sim::new(order);
+        sim.add(Task::comm("batch/0", 2.0, 5));
+        sim.add(Task::comm("latency/0", 1.0, 0));
+        sim.add(Task::comm("batch/1", 2.0, 5));
+        sim.add(Task::comm("latency/1", 1.0, 0));
+        sim.run()
+    };
+    let mut rows = Vec::new();
+    for (name, order) in [("priority", CommOrder::Priority), ("fifo", CommOrder::Fifo)] {
+        let r = build(order);
+        let end_of = |tenant: &str| {
+            r.trace
+                .spans
+                .iter()
+                .filter(|s| s.name.starts_with(tenant))
+                .map(|s| s.end)
+                .fold(0.0f64, f64::max)
+        };
+        rows.push(vec![
+            name.into(),
+            format!("{:.1}", end_of("latency")),
+            format!("{:.1}", end_of("batch")),
+            format!("{:.1}", r.makespan),
+            format!("{:.0}%", r.occupancy(Res::Comm) * 100.0),
+        ]);
+    }
+    table(
+        &["link order", "latency job done (s)", "batch job done (s)", "makespan (s)", "link busy"],
+        &rows,
+    )
+}
+
+/// Run the whole `scenarios` pass. `Err` only on argument / IO problems;
+/// individual failed cells are reported inside the table.
+pub fn run(args: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut it = args;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = Some(it.next().ok_or("--out requires a file path")?),
+            other => return Err(format!("scenarios: unknown flag '{other}'")),
+        }
+    }
+    let (world, steps, interval) = if quick { (4usize, 8u64, 4u64) } else { (5, 16, 4) };
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for (pname, policy) in
+        [("shrink", RecoveryPolicy::Shrink), ("restart", RecoveryPolicy::Restart)]
+    {
+        for (profile, plan) in profiles(world, steps) {
+            cells.push(run_cell(profile, plan, pname, policy, quick));
+        }
+    }
+    let median_step = cells
+        .iter()
+        .find_map(|c| c.median_step)
+        .ok_or("fault-free cell failed: cannot calibrate the recovery model")?;
+
+    // A third policy row: the measured model decides per failure.
+    let (model, capacity) = capacity_section(median_step, world, interval);
+    for (profile, plan) in profiles(world, steps) {
+        if profile == "fault-free" {
+            continue;
+        }
+        cells.push(run_cell(profile, plan, "model", RecoveryPolicy::ModelDriven(model), quick));
+    }
+
+    let mut doc = String::new();
+    let _ = writeln!(
+        doc,
+        "elastic scenario matrix: world {world}, {steps} steps, checkpoint every {interval}{}",
+        if quick { " (quick)" } else { "" }
+    );
+    let rows: Vec<Vec<String>> = cells.iter().map(|c| c.row.clone()).collect();
+    doc.push_str(&table(
+        &[
+            "profile",
+            "policy",
+            "goodput steps/s",
+            "p99 step ms",
+            "recovery ms",
+            "world",
+            "shrinks",
+            "restarts",
+            "status",
+        ],
+        &rows,
+    ));
+    doc.push_str("\ncapacity planning (recovery model calibrated from the fault-free row):\n");
+    doc.push_str(&capacity);
+    doc.push_str("\nmulti-tenant link sharing (event sim):\n");
+    doc.push_str(&tenant_section());
+
+    print!("{doc}");
+    if let Some(path) = out {
+        std::fs::write(&path, &doc).map_err(|e| format!("scenarios: write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+
+    // The matrix must demonstrate recovery, not just report it: every
+    // crash profile has to finish under both simple policies.
+    let bad: Vec<String> = cells
+        .iter()
+        .filter(|c| c.profile.starts_with("crash") && c.row[8] != "ok")
+        .map(|c| format!("{}/{}", c.profile, c.policy))
+        .collect();
+    if bad.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("crash profiles did not recover: {}", bad.join(", ")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_matrix_recovers_and_persists_report() {
+        let dir = std::env::temp_dir().join("embrace_scenarios_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let out = dir.join("scenarios.txt");
+        let args = ["--quick".to_string(), "--out".to_string(), out.display().to_string()];
+        run(args.into_iter()).expect("quick matrix must pass");
+        let report = std::fs::read_to_string(&out).expect("report written");
+        assert!(report.contains("elastic scenario matrix"));
+        assert!(report.contains("crash-midway"));
+        assert!(report.contains("capacity planning"));
+        assert!(report.contains("multi-tenant link sharing"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        let err = run(["--bogus".to_string()].into_iter()).unwrap_err();
+        assert!(err.contains("--bogus"));
+    }
+
+    #[test]
+    fn percentile_clamps() {
+        assert_eq!(percentile(&[], 0.99), 0.0);
+        assert_eq!(percentile(&[1.0], 0.99), 1.0);
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&v, 0.50), 50.0);
+    }
+}

@@ -1,7 +1,7 @@
 //! The `verify-plan` subcommand of `embrace_sim`: run the static
 //! comm-plan verifier over all four paper model specs, demonstrate the
-//! seeded-mutation detectors, and model-check the five collectives for
-//! worlds 2–4.
+//! seeded-mutation detectors, and model-check the five collectives plus
+//! the elastic re-form handshake for worlds 2–4.
 //!
 //! Exits non-zero (returns `Err`) if any valid plan produces a
 //! diagnostic, any seeded mutation goes undetected, or the model checker
@@ -185,6 +185,39 @@ fn model_check_all() -> Result<(), String> {
     Ok(())
 }
 
+/// Model-check the elastic shrink re-form handshake for worlds 2–4:
+/// fault-free (must commit full membership deterministically), every
+/// dead-from-the-start rank (must commit exactly the survivors), and
+/// every mid-handshake crash victim — including the coordinator, whose
+/// death exercises failover — must stay deadlock-free with all survivors
+/// agreeing on one membership.
+fn model_check_reform() -> Result<(), String> {
+    for world in CHECK_WORLDS {
+        let r = check(&CheckConfig { world, collective: Collective::Reform, crash: None });
+        println!("  {}", r.summary());
+        if !r.deterministic_success() {
+            return Err(format!("re-form model check failed: {}", r.summary()));
+        }
+        for crash in 0..world {
+            let f =
+                check(&CheckConfig { world, collective: Collective::Reform, crash: Some(crash) });
+            if !f.deadlock_free() || f.outcomes.len() != 1 {
+                return Err(format!("re-form with dead rank not safe: {}", f.summary()));
+            }
+        }
+        for c in Collective::reform(world) {
+            let m = check(&CheckConfig { world, collective: c, crash: None });
+            if !m.deadlock_free() {
+                return Err(format!("re-form handshake can deadlock: {}", m.summary()));
+            }
+            if matches!(c, Collective::ReformMidway { .. }) {
+                println!("  {}", m.summary());
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Run the whole `verify-plan` pass; `Err` means a check failed.
 pub fn run() -> Result<(), String> {
     println!("comm-plan verifier: {} models x worlds {WORLDS:?}", ModelId::ALL.len());
@@ -202,6 +235,8 @@ pub fn run() -> Result<(), String> {
         "model checker: worlds {CHECK_WORLDS:?}, 5 collectives + 4 chunked, fault-free + crash(0)"
     );
     model_check_all()?;
+    println!("model checker: elastic re-form handshake, fault-free + dead rank + midway crash");
+    model_check_reform()?;
     println!("verify-plan: all checks passed");
     Ok(())
 }

@@ -41,16 +41,18 @@
 
 #![forbid(unsafe_code)]
 
+pub mod elastic;
 pub mod group;
 pub mod ops;
 pub mod scheduler;
 pub mod transport;
 
+pub use elastic::{ElasticError, ElasticWorker, ReformOutcome};
 pub use group::{run_group, run_group_with_deadline, run_group_with_faults, GroupError};
 pub use scheduler::{
     scheduler_metrics, CommOp, CommResult, CommScheduler, OpTiming, SubmittedOp, Ticket,
     DEFAULT_CHUNK_BYTES,
 };
 pub use transport::{
-    mesh, mesh_with_faults, Comm, CommError, Endpoint, FaultPlan, Packet, RetryPolicy,
+    mesh, mesh_with_faults, Comm, CommError, Endpoint, FaultPlan, Packet, ReformMsg, RetryPolicy,
 };

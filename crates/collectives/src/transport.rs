@@ -88,6 +88,43 @@ pub enum Packet {
     /// Abort notification: `origin` observed a failure mid-collective and
     /// is telling the remaining ranks to bail out instead of hanging.
     Abort { origin: usize },
+    /// An epoch-tagged payload of the elastic membership layer
+    /// (`crate::elastic`): the receiver delivers `inner` only when it
+    /// agrees on `epoch`, silently discards packets from older epochs, and
+    /// surfaces [`CommError::StaleEpoch`] when the tag is *newer* than its
+    /// own (meaning this endpoint missed a re-form).
+    Tagged { epoch: u64, inner: Box<Packet> },
+    /// Membership re-form control message. Deliberately *untagged* so the
+    /// re-form handshake can cross an epoch boundary.
+    Reform(ReformMsg),
+}
+
+/// The elastic membership layer's re-form handshake messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReformMsg {
+    /// `origin` is alive at `epoch` and proposing a re-form; doubles as a
+    /// liveness probe (a failed send proves the peer's endpoint is gone).
+    Report { origin: usize, epoch: u64 },
+    /// The coordinator's commit: the next epoch and its sorted
+    /// physical-rank member set.
+    Commit { epoch: u64, members: Vec<usize> },
+}
+
+impl ReformMsg {
+    /// Wire size: rank ids as u32, epochs as u64.
+    pub fn nbytes(&self) -> usize {
+        match self {
+            ReformMsg::Report { .. } => TOKEN_BYTES + 8,
+            ReformMsg::Commit { members, .. } => 8 + members.len() * TOKEN_BYTES,
+        }
+    }
+
+    /// The epoch this message was sent at (Report) or commits (Commit).
+    pub fn epoch(&self) -> u64 {
+        match self {
+            ReformMsg::Report { epoch, .. } | ReformMsg::Commit { epoch, .. } => *epoch,
+        }
+    }
 }
 
 impl Packet {
@@ -100,6 +137,9 @@ impl Packet {
             Packet::Empty => 0,
             // One rank id on the wire.
             Packet::Abort { .. } => TOKEN_BYTES,
+            // The epoch tag rides ahead of the payload.
+            Packet::Tagged { inner, .. } => 8 + inner.nbytes(),
+            Packet::Reform(m) => m.nbytes(),
         }
     }
 
@@ -122,6 +162,9 @@ impl Packet {
             Packet::Sparse(s) => s.copied_nbytes(),
             Packet::Tokens(t) => t.len() * TOKEN_BYTES,
             Packet::Empty | Packet::Abort { .. } => 0,
+            Packet::Tagged { inner, .. } => inner.copied_nbytes(),
+            // Control messages are always materialised.
+            Packet::Reform(m) => m.nbytes(),
         }
     }
 
@@ -133,6 +176,8 @@ impl Packet {
             Packet::Tokens(_) => "Tokens",
             Packet::Empty => "Empty",
             Packet::Abort { .. } => "Abort",
+            Packet::Tagged { .. } => "Tagged",
+            Packet::Reform(_) => "Reform",
         }
     }
 
@@ -216,6 +261,12 @@ pub enum CommError {
     /// Wire protocol violation: a packet of the wrong kind arrived where a
     /// specific kind was required.
     Protocol { expected: &'static str, got: &'static str },
+    /// A packet tagged with a *newer* group epoch arrived: this endpoint
+    /// missed a membership re-form and must not keep participating at its
+    /// stale epoch. (Packets from *older* epochs are silently dropped by
+    /// the elastic layer; this error is the receiving side's own
+    /// staleness, not the sender's.)
+    StaleEpoch { ours: u64, theirs: u64 },
 }
 
 impl fmt::Display for CommError {
@@ -231,6 +282,9 @@ impl fmt::Display for CommError {
             }
             CommError::Protocol { expected, got } => {
                 write!(f, "protocol violation: expected {expected} packet, got {got}")
+            }
+            CommError::StaleEpoch { ours, theirs } => {
+                write!(f, "stale epoch: we are at {ours} but the group moved to {theirs}")
             }
         }
     }
@@ -293,6 +347,16 @@ pub struct FaultPlan {
     delays: HashMap<(usize, usize), Duration>,
     drop_after: HashMap<(usize, usize), u64>,
     crashes: HashMap<usize, u64>,
+    /// Persistent per-rank slowdown: every outgoing delivery of the rank
+    /// is deferred (a straggler node, not a one-shot link delay).
+    straggles: HashMap<usize, Duration>,
+    /// Flaky link: messages with per-link index in `[down, up)` are
+    /// dropped on the wire, delivery resumes from `up` on.
+    flaky: HashMap<(usize, usize), (u64, u64)>,
+    /// Crash the rank when its endpoint performs its `n`-th send
+    /// ([`Endpoint::try_send`] call) — a mid-collective death, as opposed
+    /// to the step-boundary `crashes`.
+    crashes_at_op: HashMap<usize, u64>,
 }
 
 impl FaultPlan {
@@ -318,6 +382,44 @@ impl FaultPlan {
     /// [`Endpoint::begin_step`]).
     pub fn crash_rank_at_step(mut self, rank: usize, step: u64) -> Self {
         self.crashes.insert(rank, step);
+        self
+    }
+
+    /// Crash `rank` when it performs its `op`-th send (0-based count of
+    /// [`Endpoint::try_send`] calls): the endpoint tears down *inside*
+    /// whatever collective is running, so peers observe the failure
+    /// mid-algorithm rather than at a step boundary.
+    pub fn crash_rank_at_op(mut self, rank: usize, op: u64) -> Self {
+        self.crashes_at_op.insert(rank, op);
+        self
+    }
+
+    /// Make `rank` a persistent straggler: every delivery on each of its
+    /// outgoing links is deferred by `delay` — the threaded-transport
+    /// analogue of the DES's slow-worker profile. An explicit
+    /// [`FaultPlan::delay_link`] on a specific link takes precedence.
+    pub fn straggle_rank(mut self, rank: usize, delay: Duration) -> Self {
+        self.straggles.insert(rank, delay);
+        self
+    }
+
+    /// Make the ordered link `from → to` flaky: deliveries with per-link
+    /// message index in `[down, up)` are silently dropped, then the link
+    /// heals and delivers again — the threaded-transport analogue of the
+    /// DES's intermittent drop/restore profile.
+    pub fn flaky_link(mut self, from: usize, to: usize, down: u64, up: u64) -> Self {
+        assert!(down < up, "flaky window must be non-empty");
+        self.flaky.insert((from, to), (down, up));
+        self
+    }
+
+    /// Remove any crash scheduled for `rank` (step- or op-granular). Used
+    /// by checkpoint-restart recovery: the replacement node a restart
+    /// brings up does not re-inherit the fault that killed its
+    /// predecessor.
+    pub fn clear_crash(mut self, rank: usize) -> Self {
+        self.crashes.remove(&rank);
+        self.crashes_at_op.remove(&rank);
         self
     }
 
@@ -354,7 +456,12 @@ impl FaultPlan {
 
     /// True when the plan injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.delays.is_empty() && self.drop_after.is_empty() && self.crashes.is_empty()
+        self.delays.is_empty()
+            && self.drop_after.is_empty()
+            && self.crashes.is_empty()
+            && self.straggles.is_empty()
+            && self.flaky.is_empty()
+            && self.crashes_at_op.is_empty()
     }
 
     /// The step at which `rank` is scheduled to crash, if any.
@@ -362,18 +469,31 @@ impl FaultPlan {
         self.crashes.get(&rank).copied()
     }
 
-    /// Ranks scheduled to crash, in ascending order.
+    /// The send index at which `rank` is scheduled to crash mid-collective,
+    /// if any (see [`FaultPlan::crash_rank_at_op`]).
+    pub fn crash_op(&self, rank: usize) -> Option<u64> {
+        self.crashes_at_op.get(&rank).copied()
+    }
+
+    /// Ranks scheduled to crash (step- or op-granular), in ascending order.
     pub fn crashing_ranks(&self) -> Vec<usize> {
-        let mut v: Vec<usize> = self.crashes.keys().copied().collect();
+        let mut v: Vec<usize> =
+            self.crashes.keys().chain(self.crashes_at_op.keys()).copied().collect();
         v.sort_unstable();
+        v.dedup();
         v
     }
 
     fn link_state_for(&self, rank: usize, world: usize) -> Option<LinkFaults> {
         let mut delays = vec![None; world];
         let mut drop_after = vec![None; world];
-        let mut any = false;
+        let mut flaky = vec![None; world];
+        let straggle = self.straggles.get(&rank).copied();
+        let mut any = straggle.is_some();
         for to in 0..world {
+            // A persistent straggler delays every outgoing link; an
+            // explicit per-link delay overrides it for that link.
+            delays[to] = straggle.filter(|_| to != rank);
             if let Some(&d) = self.delays.get(&(rank, to)) {
                 delays[to] = Some(d);
                 any = true;
@@ -382,10 +502,15 @@ impl FaultPlan {
                 drop_after[to] = Some(n);
                 any = true;
             }
+            if let Some(&w) = self.flaky.get(&(rank, to)) {
+                flaky[to] = Some(w);
+                any = true;
+            }
         }
         any.then_some(LinkFaults {
             delays,
             drop_after,
+            flaky,
             delivered: vec![0; world],
             delay_tx: (0..world).map(|_| None).collect(),
         })
@@ -396,6 +521,9 @@ impl FaultPlan {
 struct LinkFaults {
     delays: Vec<Option<Duration>>,
     drop_after: Vec<Option<u64>>,
+    /// Flaky windows `[down, up)` of per-link message indices that are
+    /// dropped; delivery resumes once the window has passed.
+    flaky: Vec<Option<(u64, u64)>>,
     delivered: Vec<u64>,
     /// Lazily spawned store-and-forward workers for delayed links; the
     /// worker exits once this sender half is dropped and its queue drains.
@@ -448,6 +576,10 @@ pub struct Endpoint {
     faults: Option<LinkFaults>,
     /// Step at which this rank is scheduled to crash.
     crash_at_step: Option<u64>,
+    /// Send index at which this rank is scheduled to crash mid-collective.
+    crash_at_op: Option<u64>,
+    /// [`Endpoint::try_send`] calls made so far.
+    ops: u64,
     /// Steps begun so far (driven by [`Endpoint::begin_step`]).
     step: u64,
     crashed: bool,
@@ -486,6 +618,13 @@ impl Endpoint {
         if self.crashed {
             return Err(CommError::Injected { rank: self.rank });
         }
+        // Op-granular crash: die *inside* whatever collective is running.
+        let op = self.ops;
+        self.ops += 1;
+        if self.crash_at_op.is_some_and(|k| op >= k) {
+            self.crash();
+            return Err(CommError::Injected { rank: self.rank });
+        }
         self.bytes_sent += packet.nbytes() as u64;
         self.bytes_copied += packet.copied_nbytes() as u64;
         self.msgs_sent += 1;
@@ -497,6 +636,11 @@ impl Endpoint {
             if let Some(cap) = f.drop_after[to] {
                 if n >= cap {
                     return Ok(()); // silently dropped on the wire
+                }
+            }
+            if let Some((down, up)) = f.flaky[to] {
+                if n >= down && n < up {
+                    return Ok(()); // dropped inside the flaky window
                 }
             }
             if let Some(delay) = f.delays[to] {
@@ -736,6 +880,8 @@ pub fn mesh_with_faults(
             deadline,
             faults: plan.link_state_for(rank, world),
             crash_at_step: plan.crash_step(rank),
+            crash_at_op: plan.crash_op(rank),
+            ops: 0,
             step: 0,
             crashed: false,
         })
@@ -991,7 +1137,113 @@ mod tests {
         for ep in &eps {
             assert!(ep.faults.is_none());
             assert!(ep.crash_at_step.is_none());
+            assert!(ep.crash_at_op.is_none());
             assert!(ep.deadline().is_none());
         }
+    }
+
+    #[test]
+    fn flaky_link_drops_window_then_heals() {
+        let plan = FaultPlan::new(5).flaky_link(0, 1, 1, 3);
+        let mut eps = mesh_with_faults(2, &plan, Some(Duration::from_millis(30)));
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        for k in 0..5u32 {
+            a.try_send(1, Packet::Tokens(vec![k])).unwrap();
+        }
+        // Message 0 delivered, 1 and 2 dropped, 3 and 4 delivered again.
+        assert_eq!(b.try_recv(0).unwrap().into_tokens(), vec![0]);
+        assert_eq!(b.try_recv(0).unwrap().into_tokens(), vec![3]);
+        assert_eq!(b.try_recv(0).unwrap().into_tokens(), vec![4]);
+        assert!(matches!(b.try_recv(0), Err(CommError::Timeout { peer: 0, .. })));
+    }
+
+    #[test]
+    fn straggler_delays_every_outgoing_link() {
+        let plan = FaultPlan::new(6).straggle_rank(0, Duration::from_millis(60));
+        let mut eps = mesh_with_faults(3, &plan, None);
+        let c = eps.pop().unwrap();
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        thread::scope(|s| {
+            s.spawn(move || {
+                a.try_send(1, Packet::Empty).unwrap();
+                a.try_send(2, Packet::Empty).unwrap();
+            });
+            for ep in [b, c] {
+                s.spawn(move || {
+                    // Both destination links are slow...
+                    assert!(matches!(
+                        ep.recv_timeout(0, Duration::from_millis(5)),
+                        Err(CommError::Timeout { .. })
+                    ));
+                    // ...but delivery does eventually happen.
+                    assert_eq!(ep.recv_timeout(0, Duration::from_secs(2)).unwrap(), Packet::Empty);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn explicit_delay_overrides_straggler_on_that_link() {
+        let plan = FaultPlan::new(7).straggle_rank(0, Duration::from_secs(3600)).delay_link(
+            0,
+            1,
+            Duration::from_millis(1),
+        );
+        let mut eps = mesh_with_faults(2, &plan, None);
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        thread::scope(|s| {
+            s.spawn(move || {
+                a.try_send(1, Packet::Empty).unwrap();
+            });
+            s.spawn(move || {
+                assert_eq!(b.recv_timeout(0, Duration::from_secs(2)).unwrap(), Packet::Empty);
+            });
+        });
+    }
+
+    #[test]
+    fn crash_at_op_fires_mid_collective() {
+        let plan = FaultPlan::new(8).crash_rank_at_op(0, 2);
+        let mut eps = mesh_with_faults(2, &plan, Some(Duration::from_millis(30)));
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        assert!(a.try_send(1, Packet::Empty).is_ok());
+        assert!(a.try_send(1, Packet::Empty).is_ok());
+        // Third send is the op-2 crash: the endpoint dies mid-sequence.
+        assert_eq!(a.try_send(1, Packet::Empty), Err(CommError::Injected { rank: 0 }));
+        assert!(a.is_crashed());
+        assert_eq!(b.try_recv(0).unwrap(), Packet::Empty);
+        assert_eq!(b.try_recv(0).unwrap(), Packet::Empty);
+        assert_eq!(b.try_recv(0), Err(CommError::PeerGone { peer: 0 }));
+    }
+
+    #[test]
+    fn clear_crash_prunes_both_granularities() {
+        let plan = FaultPlan::new(9)
+            .crash_rank_at_step(0, 1)
+            .crash_rank_at_op(1, 5)
+            .crash_rank_at_step(2, 3);
+        assert_eq!(plan.crashing_ranks(), vec![0, 1, 2]);
+        let pruned = plan.clear_crash(0).clear_crash(1);
+        assert_eq!(pruned.crashing_ranks(), vec![2]);
+        assert_eq!(pruned.crash_step(0), None);
+        assert_eq!(pruned.crash_op(1), None);
+        assert!(!pruned.is_empty());
+    }
+
+    #[test]
+    fn tagged_and_reform_packets_account_wire_bytes() {
+        let inner = Packet::Tokens(vec![1, 2, 3]);
+        let tagged = Packet::Tagged { epoch: 4, inner: Box::new(inner.clone()) };
+        assert_eq!(tagged.nbytes(), 8 + inner.nbytes());
+        assert_eq!(tagged.kind(), "Tagged");
+        let report = Packet::Reform(ReformMsg::Report { origin: 2, epoch: 1 });
+        assert_eq!(report.nbytes(), TOKEN_BYTES + 8);
+        let commit = Packet::Reform(ReformMsg::Commit { epoch: 2, members: vec![0, 1, 3] });
+        assert_eq!(commit.nbytes(), 8 + 3 * TOKEN_BYTES);
+        assert_eq!(commit.kind(), "Reform");
     }
 }

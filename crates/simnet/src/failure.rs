@@ -34,12 +34,26 @@ pub enum FaultEvent {
     /// `factor`× its nominal duration (congestion, flaky NIC, failover to
     /// a slower path). Later events override earlier ones.
     LinkDegrade { at: f64, factor: f64 },
+    /// Persistent straggler: from time `at` on, every *compute* task
+    /// worker `worker` starts takes `factor`× its nominal duration — the
+    /// simulated-time twin of the threaded transport's
+    /// `FaultPlan::straggle_rank`. Later events override earlier ones.
+    WorkerStraggle { worker: usize, at: f64, factor: f64 },
+    /// Flaky link: collectives that start inside `[at, until)` take
+    /// `factor`× their nominal duration, after which the link heals and
+    /// timing reverts — the simulated-time twin of the threaded
+    /// transport's `FaultPlan::flaky_link`. Composes multiplicatively
+    /// with [`FaultEvent::LinkDegrade`].
+    LinkFlaky { at: f64, until: f64, factor: f64 },
 }
 
 impl FaultEvent {
     fn at(&self) -> f64 {
         match *self {
-            FaultEvent::WorkerCrash { at, .. } | FaultEvent::LinkDegrade { at, .. } => at,
+            FaultEvent::WorkerCrash { at, .. }
+            | FaultEvent::LinkDegrade { at, .. }
+            | FaultEvent::WorkerStraggle { at, .. }
+            | FaultEvent::LinkFlaky { at, .. } => at,
         }
     }
 }
@@ -115,6 +129,9 @@ impl MultiSim {
         let mut now = 0.0_f64;
         let mut crashed = vec![false; self.workers];
         let mut degrade = 1.0_f64;
+        let mut straggle = vec![1.0_f64; self.workers];
+        // Active flaky window, if any: (until, factor).
+        let mut flaky: Option<(f64, f64)> = None;
         // One running slot per worker + one for the network: (end, id, start).
         let mut running: Vec<Option<(f64, usize, f64)>> = vec![None; self.workers + 1];
         let net = self.workers;
@@ -132,6 +149,11 @@ impl MultiSim {
                         ready_w[worker].clear();
                     }
                     FaultEvent::LinkDegrade { factor, .. } => degrade = factor,
+                    FaultEvent::WorkerStraggle { worker, factor, .. } => {
+                        assert!(worker < self.workers, "straggling unknown worker {worker}");
+                        straggle[worker] = factor;
+                    }
+                    FaultEvent::LinkFlaky { until, factor, .. } => flaky = Some((until, factor)),
                 }
             }
 
@@ -140,13 +162,19 @@ impl MultiSim {
                 if !crashed[w] && running[w].is_none() {
                     if let Some(&id) = ready_w[w].first() {
                         ready_w[w].remove(0);
-                        running[w] = Some((now + self.tasks[id].dur, id, now));
+                        running[w] = Some((now + self.tasks[id].dur * straggle[w], id, now));
                     }
                 }
             }
             if running[net].is_none() {
                 if let Some(id) = ready_net.pop_front() {
-                    running[net] = Some((now + self.tasks[id].dur * degrade, id, now));
+                    let mut scale = degrade;
+                    if let Some((until, factor)) = flaky {
+                        if now < until {
+                            scale *= factor;
+                        }
+                    }
+                    running[net] = Some((now + self.tasks[id].dur * scale, id, now));
                 }
             }
 
@@ -243,7 +271,44 @@ pub struct RecoveryModel {
     pub shrink_slowdown: f64,
 }
 
+/// A [`RecoveryModel`] whose parameters cannot price anything meaningful.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RecoveryModelError {
+    /// `shrink_slowdown < 1` claims the job runs *faster* after losing a
+    /// rank, which silently makes shrink win every comparison.
+    SlowdownBelowOne { got: f64 },
+    /// `checkpoint_interval == 0` makes the steady-state checkpoint tax
+    /// infinite (division by zero).
+    ZeroCheckpointInterval,
+}
+
+impl std::fmt::Display for RecoveryModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryModelError::SlowdownBelowOne { got } => {
+                write!(f, "shrink_slowdown must be ≥ 1, got {got}")
+            }
+            RecoveryModelError::ZeroCheckpointInterval => {
+                write!(f, "checkpoint_interval must be ≥ 1 step")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryModelError {}
+
 impl RecoveryModel {
+    /// Check the model's parameters are priceable.
+    pub fn validate(&self) -> Result<(), RecoveryModelError> {
+        if self.shrink_slowdown < 1.0 {
+            return Err(RecoveryModelError::SlowdownBelowOne { got: self.shrink_slowdown });
+        }
+        if self.checkpoint_interval == 0 {
+            return Err(RecoveryModelError::ZeroCheckpointInterval);
+        }
+        Ok(())
+    }
+
     /// A model whose shrink slowdown comes from pure data-parallel
     /// arithmetic: losing one of `workers` ranks leaves `workers − 1`
     /// ranks doing the same total work, so each step slows by
@@ -267,9 +332,17 @@ impl RecoveryModel {
         }
     }
 
-    /// Steady-state checkpointing tax added to every step.
+    /// Steady-state checkpointing tax added to every step. Panics on an
+    /// invalid model — use [`RecoveryModel::try_checkpoint_overhead_per_step`]
+    /// to handle it.
     pub fn checkpoint_overhead_per_step(&self) -> f64 {
-        self.checkpoint_write / self.checkpoint_interval as f64
+        self.try_checkpoint_overhead_per_step().expect("invalid recovery model")
+    }
+
+    /// Fallible [`RecoveryModel::checkpoint_overhead_per_step`].
+    pub fn try_checkpoint_overhead_per_step(&self) -> Result<f64, RecoveryModelError> {
+        self.validate()?;
+        Ok(self.checkpoint_write / self.checkpoint_interval as f64)
     }
 
     /// Total time to finish the job via checkpoint/restart, given the
@@ -291,15 +364,23 @@ impl RecoveryModel {
     }
 
     /// The cheaper strategy for this crash point (ties go to shrink,
-    /// which also preserves the job's memory footprint headroom).
+    /// which also preserves the job's memory footprint headroom). Panics
+    /// on an invalid model — use [`RecoveryModel::try_cheaper`] to
+    /// handle it.
     pub fn cheaper(&self, steps_since_checkpoint: u64, remaining_steps: u64) -> Recovery {
+        self.try_cheaper(steps_since_checkpoint, remaining_steps).expect("invalid recovery model")
+    }
+
+    /// Fallible [`RecoveryModel::cheaper`].
+    pub fn try_cheaper(
+        &self,
+        steps_since_checkpoint: u64,
+        remaining_steps: u64,
+    ) -> Result<Recovery, RecoveryModelError> {
+        self.validate()?;
         let restart = self.checkpoint_restart_cost(steps_since_checkpoint, remaining_steps);
         let shrink = self.group_shrink_cost(remaining_steps);
-        if restart < shrink {
-            Recovery::CheckpointRestart
-        } else {
-            Recovery::GroupShrink
-        }
+        Ok(if restart < shrink { Recovery::CheckpointRestart } else { Recovery::GroupShrink })
     }
 }
 
@@ -417,5 +498,117 @@ mod tests {
         // Worker 1's bp completes at t=1; stall; abort at 3.
         assert_eq!(out.completed, 1);
         assert_eq!(out.aborted_at, Some(3.0));
+    }
+
+    #[test]
+    fn worker_straggle_slows_only_that_workers_compute() {
+        // Two workers, bp 2s each, then a 1s collective. Worker 1
+        // straggles 3x from t=0: its bp takes 6s, the barrier waits for
+        // it, makespan = 6 + 1.
+        let mut sim = MultiSim::new(2);
+        let mut bp = Vec::new();
+        for w in 0..2 {
+            bp.push(sim.add(MwTask::compute(w, format!("w{w}/bp"), 2.0)));
+        }
+        sim.add(MwTask::collective("allreduce", 1.0).after(bp));
+        let out = sim.run_with_faults(
+            &[FaultEvent::WorkerStraggle { worker: 1, at: 0.0, factor: 3.0 }],
+            10.0,
+        );
+        assert!(out.is_clean());
+        assert!((out.makespan - 7.0).abs() < 1e-12, "{}", out.makespan);
+    }
+
+    #[test]
+    fn straggle_is_persistent_across_steps() {
+        // Two chained compute tasks on the straggler keep paying the
+        // factor — unlike a one-shot delay.
+        let mut sim = MultiSim::new(1);
+        let a = sim.add(MwTask::compute(0, "s0", 1.0));
+        sim.add(MwTask::compute(0, "s1", 1.0).after([a]));
+        let out = sim.run_with_faults(
+            &[FaultEvent::WorkerStraggle { worker: 0, at: 0.0, factor: 2.0 }],
+            5.0,
+        );
+        assert!((out.makespan - 4.0).abs() < 1e-12, "{}", out.makespan);
+    }
+
+    #[test]
+    fn flaky_link_degrades_inside_window_then_heals() {
+        // Three back-to-back 1s collectives; flaky window [0.5, 1.5) at
+        // 4x. "c0" starts at 0 (clean, ends 1), "c1" starts at 1 (inside
+        // the window: 4s, ends 5), "c2" starts at 5 (healed, ends 6).
+        let mut sim = MultiSim::new(1);
+        let c0 = sim.add(MwTask::collective("c0", 1.0));
+        let c1 = sim.add(MwTask::collective("c1", 1.0).after([c0]));
+        sim.add(MwTask::collective("c2", 1.0).after([c1]));
+        let out = sim
+            .run_with_faults(&[FaultEvent::LinkFlaky { at: 0.5, until: 1.5, factor: 4.0 }], 10.0);
+        assert!(out.is_clean());
+        assert!((out.makespan - 6.0).abs() < 1e-12, "{}", out.makespan);
+    }
+
+    #[test]
+    fn recovery_model_rejects_nonsense_parameters() {
+        let mut m = RecoveryModel::data_parallel(1.0, 5.0, 100, 120.0, 10.0, 16);
+        assert_eq!(m.validate(), Ok(()));
+        m.shrink_slowdown = 0.5;
+        assert_eq!(m.try_cheaper(0, 10), Err(RecoveryModelError::SlowdownBelowOne { got: 0.5 }));
+        m.shrink_slowdown = 1.1;
+        m.checkpoint_interval = 0;
+        assert_eq!(
+            m.try_checkpoint_overhead_per_step(),
+            Err(RecoveryModelError::ZeroCheckpointInterval)
+        );
+    }
+
+    #[test]
+    fn crossover_point_matches_analytic_formula() {
+        // restart = R + (s + n)·t; shrink = S + n·t·σ. Equal at
+        // n* = (R + s·t − S) / (t·(σ − 1)). With t=1, R=120, s=0, S=10,
+        // σ=1.1 → n* = 110 / 0.1 = 1100.
+        let m = RecoveryModel {
+            step_time: 1.0,
+            checkpoint_write: 5.0,
+            checkpoint_interval: 100,
+            restart_overhead: 120.0,
+            shrink_overhead: 10.0,
+            shrink_slowdown: 1.1,
+        };
+        assert_eq!(m.cheaper(0, 1099), Recovery::GroupShrink);
+        // Exactly at the crossover the costs tie; ties go to shrink.
+        assert!((m.checkpoint_restart_cost(0, 1100) - m.group_shrink_cost(1100)).abs() < 1e-9);
+        assert_eq!(m.cheaper(0, 1100), Recovery::GroupShrink);
+        assert_eq!(m.cheaper(0, 1101), Recovery::CheckpointRestart);
+    }
+
+    #[test]
+    fn two_tenants_share_links_by_priority() {
+        use crate::event::{CommOrder, Res, Sim, Task};
+        // Job A (latency-critical, priority 0) and job B (batch,
+        // priority 5) each issue two collectives at t=0 over the shared
+        // network. Under Priority ordering all of A's traffic drains
+        // before B's; under FIFO they interleave in submission order.
+        let build = |order: CommOrder| {
+            let mut sim = Sim::new(order);
+            sim.add(Task::comm("b/0", 2.0, 5));
+            sim.add(Task::comm("a/0", 1.0, 0));
+            sim.add(Task::comm("b/1", 2.0, 5));
+            sim.add(Task::comm("a/1", 1.0, 0));
+            sim.run()
+        };
+        let end_of = |r: &crate::event::SimResult, name: &str| {
+            r.trace.spans.iter().find(|s| s.name == name).unwrap().end
+        };
+        let prio = build(CommOrder::Priority);
+        assert_eq!(prio.occupancy(Res::Comm), 1.0);
+        // Tenant A's last collective finishes before tenant B's first.
+        assert!((end_of(&prio, "a/1") - 2.0).abs() < 1e-12, "{prio:?}");
+        assert!(end_of(&prio, "b/0") >= 4.0 - 1e-12);
+        let fifo = build(CommOrder::Fifo);
+        // FIFO makes A wait behind B's first transfer.
+        assert!(end_of(&fifo, "a/0") >= 3.0 - 1e-12, "{fifo:?}");
+        // Total makespan is work-conserving either way.
+        assert!((prio.makespan - fifo.makespan).abs() < 1e-12);
     }
 }

@@ -43,7 +43,10 @@ pub mod trace;
 
 pub use cost::{CollectiveKind, CostModel};
 pub use event::{CommOrder, QueueSample, Res, Sim, SimResult, Task, TaskId};
-pub use failure::{synchronous_step_with_crash, FaultEvent, FaultOutcome, Recovery, RecoveryModel};
+pub use failure::{
+    synchronous_step_with_crash, FaultEvent, FaultOutcome, Recovery, RecoveryModel,
+    RecoveryModelError,
+};
 pub use multiworker::{synchronous_step, MultiSim, MwKind, MwResult, MwTask, MwTaskId};
 pub use topology::{Cluster, GpuKind, NetworkParams};
 pub use trace::{Span, Trace};

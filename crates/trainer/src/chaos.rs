@@ -20,7 +20,9 @@
 
 use crate::real::{batch_stream, fwd_bwd_toy, init_toy_state, ConvergenceConfig};
 use embrace_collectives::ops::{try_allgather_dense, try_allgather_tokens, try_ring_allreduce};
-use embrace_collectives::{run_group_with_deadline, CommError, Endpoint, FaultPlan, GroupError};
+use embrace_collectives::{
+    run_group_with_deadline, Comm, CommError, Endpoint, FaultPlan, GroupError,
+};
 use embrace_core::{vertical_split, ColumnShardedEmbedding};
 use embrace_dlsim::optim::{Adam, Optimizer, UpdatePart};
 use embrace_tensor::{DenseTensor, RowSparse};
@@ -129,10 +131,12 @@ fn chaos_worker(rank: usize, ep: &mut Endpoint, cfg: &ConvergenceConfig) -> Rank
 }
 
 /// One EmbRace hybrid step — the same operation sequence as the fault-free
-/// trainer, through the fallible collectives.
+/// trainer, through the fallible collectives. Generic over [`Comm`] so the
+/// elastic trainer can run the identical step through an
+/// [`embrace_collectives::ElasticWorker`].
 #[allow(clippy::too_many_arguments)]
-fn chaos_step(
-    ep: &mut Endpoint,
+pub(crate) fn chaos_step<C: Comm>(
+    ep: &mut C,
     emb: &mut ColumnShardedEmbedding,
     w: &mut DenseTensor,
     targets: &DenseTensor,

@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 
 pub mod chaos;
+pub mod elastic;
 pub mod lstm;
 pub mod real;
 pub mod report;
@@ -26,6 +27,10 @@ pub mod timeline;
 pub mod translation;
 
 pub use chaos::{run_chaos, standard_scenarios, ChaosConfig, RankOutcome};
+pub use elastic::{
+    capture_state_at, run_elastic, train_from_state, ElasticConfig, ElasticRankOutcome,
+    ElasticReport, ElasticRunError, FullState, RecoveryPolicy,
+};
 pub use lstm::train_lstm_lm;
 pub use real::{
     train_convergence, train_convergence_observed, ConvergenceConfig, ConvergenceResult,

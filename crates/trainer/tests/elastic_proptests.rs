@@ -1,0 +1,59 @@
+//! Property test for the elastic trainer (ISSUE satellite): any
+//! single-crash schedule — either fault granularity, any victim, any
+//! firing time, either simple recovery policy, worlds 3–5 — terminates
+//! with a completed run and typed per-rank outcomes. Never a hang.
+
+use embrace_collectives::{CommError, FaultPlan};
+use embrace_trainer::elastic::{run_elastic, ElasticConfig, ElasticRankOutcome, RecoveryPolicy};
+use embrace_trainer::ConvergenceConfig;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn any_single_crash_schedule_terminates(
+        world in 3usize..=5,
+        victim_sel in 0usize..5,
+        at in 0u64..6,
+        by_op_sel in 0u32..2,
+        shrink_sel in 0u32..2,
+    ) {
+        let (by_op, shrink) = (by_op_sel == 1, shrink_sel == 1);
+        let victim = victim_sel % world;
+        let plan = if by_op {
+            FaultPlan::new(99).crash_rank_at_op(victim, at * 11 + 2)
+        } else {
+            FaultPlan::new(99).crash_rank_at_step(victim, at.min(3))
+        };
+        let policy = if shrink { RecoveryPolicy::Shrink } else { RecoveryPolicy::Restart };
+        let cfg = ElasticConfig {
+            train: ConvergenceConfig {
+                world,
+                vocab: 24,
+                dim: 6,
+                tokens_per_batch: 8,
+                steps: 4,
+                ..Default::default()
+            },
+            checkpoint_interval: 2,
+            ..ElasticConfig::quick(plan, policy)
+        };
+        let report = run_elastic(&cfg).expect("single crash must never kill the run");
+        prop_assert_eq!(report.losses.len(), 4);
+        prop_assert!(report.losses.iter().all(|l| l.is_finite()));
+        for o in &report.outcomes {
+            // Every rank ends in a typed outcome; crashed ranks blame
+            // their own injected fault, survivors a peer failure.
+            if let ElasticRankOutcome::Failed { error, .. } = o {
+                prop_assert!(matches!(
+                    error,
+                    CommError::Injected { .. }
+                        | CommError::PeerGone { .. }
+                        | CommError::Timeout { .. }
+                        | CommError::Aborted { .. }
+                ));
+            }
+        }
+    }
+}
