@@ -17,20 +17,32 @@
 //!   exhaustively enumerates message-delivery orders for small worlds,
 //!   proving deadlock-freedom, bitwise determinism, and abort
 //!   termination.
+//! * [`graph`] — wait-for-graph deadlock analysis: the same
+//!   deadlock-freedom and byte-conservation guarantees as enumeration,
+//!   but structural (cycles as SCCs, conservation in closed form) and
+//!   O(ops), so it scales to worlds 64–1024; [`graph::enumerate_p2p`]
+//!   is the explicit-state agreement oracle.
+//! * [`hb`] — a vector-clock happens-before checker over recorded
+//!   scheduler traces from live threaded runs: determinism violations,
+//!   priority inversions, unordered conflicting accesses.
 //!
 //! The [`lint`] module (and the `embrace-lint` binary) is the workspace
 //! lint pass enforcing repo rules on comm-path code.
 
 #![forbid(unsafe_code)]
 
+pub mod graph;
+pub mod hb;
 pub mod lint;
 pub mod model_check;
 pub mod plan;
 pub mod verify;
 
+pub use graph::{analyze_p2p, byte_conservation, enumerate_p2p, graph_deadlocks, WaitGraph};
+pub use hb::{check_hb, check_op_timings, HbOp};
 pub use model_check::{check, check_collective, CheckConfig, CheckReport, Collective};
 pub use plan::{P2pOp, P2pPlan, PlannedCollective, RecordingEndpoint, SchedulePlan};
 pub use verify::{
-    verify_horizontal, verify_p2p, verify_partition, verify_schedule, Diagnostic, DiagnosticKind,
-    PlanMutation,
+    sort_diagnostics, verify_horizontal, verify_p2p, verify_partition, verify_schedule, Diagnostic,
+    DiagnosticKind, PlanMutation,
 };

@@ -6,6 +6,15 @@
 //!   crates (`collectives`, `core`, `trainer`): communication failures
 //!   are typed [`CommError`]s and must propagate, not panic. Invariants
 //!   may use `.expect("why this cannot fail")`.
+//! * **comm-expect** — same scope: no `.expect(..)` directly on the
+//!   result of a communication call (a `try_*` collective, `recv_retry`,
+//!   `recv_timeout`, or a ticket `.wait()`), which would replace the
+//!   typed error with an opaque panic message; either propagate the
+//!   error or panic with it rendered.
+//! * **epoch-raw-send** — in the elastic-membership modules, a packet
+//!   sent through the raw endpoint must be a `Packet::Reform` handshake
+//!   or wrapped in `Packet::Tagged { epoch, .. }`: an untagged payload
+//!   could be consumed by a stale-epoch peer as current traffic.
 //! * **comm-infallible** — no calls to the legacy infallible
 //!   `ep.send(..)` / `ep.recv(..)` endpoint methods outside tests; real
 //!   comm paths use `try_send` / `try_recv` / `recv_retry`.
@@ -443,6 +452,9 @@ pub fn lint_source(rel: &str, src: &str, inv: &VariantInventory) -> Vec<Finding>
         && !rel.contains("/tests/");
 
     if comm_path {
+        // Heuristic for "this line performs a communication call": the
+        // fallible-collective prefix or one of the blocking primitives.
+        const COMM_CALL_HINTS: &[&str] = &["try_", "recv_retry(", "recv_timeout(", ".wait()"];
         for (i, line) in masked_lines.iter().enumerate() {
             if in_test.get(i).copied().unwrap_or(false) {
                 continue;
@@ -454,6 +466,16 @@ pub fn lint_source(rel: &str, src: &str, inv: &VariantInventory) -> Vec<Finding>
                     line: i + 1,
                     message: "`.unwrap()` on a comm path: propagate a typed CommError or use \
                               `.expect(\"invariant\")`"
+                        .to_string(),
+                });
+            }
+            if line.contains(".expect(") && COMM_CALL_HINTS.iter().any(|h| line.contains(h)) {
+                findings.push(Finding {
+                    rule: "comm-expect",
+                    path: rel.to_string(),
+                    line: i + 1,
+                    message: "`.expect(..)` on a communication result swallows the typed \
+                              CommError: propagate it, or panic with the error rendered"
                         .to_string(),
                 });
             }
@@ -487,6 +509,39 @@ pub fn lint_source(rel: &str, src: &str, inv: &VariantInventory) -> Vec<Finding>
                     message: "Packet built from `.clone()`: use `share()` for O(1) fan-out \
                               (allowlist deliberate deep copies)"
                         .to_string(),
+                });
+            }
+        }
+    }
+
+    // epoch-raw-send: inside the elastic-membership modules, every packet
+    // leaving through the *raw* endpoint (not the epoch-tagging group
+    // wrapper) must be a `Reform` handshake or an explicitly `Tagged`
+    // payload — anything else could be consumed by a stale-epoch peer as
+    // current traffic. The variant names come from the inventory so the
+    // rule tracks `enum Packet`.
+    if rel.contains("elastic") {
+        for (i, line) in masked_lines.iter().enumerate() {
+            if in_test.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            if !(line.contains("ep.try_send(") || line.contains("ep.send(")) {
+                continue;
+            }
+            let Some(pos) = find_path_of(line, "Packet") else { continue };
+            let variant: String = line[pos + "Packet::".len()..]
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if inv.packet.contains(&variant) && variant != "Tagged" && variant != "Reform" {
+                findings.push(Finding {
+                    rule: "epoch-raw-send",
+                    path: rel.to_string(),
+                    line: i + 1,
+                    message: format!(
+                        "raw endpoint send of untagged `Packet::{variant}` in elastic code: \
+                         wrap it in `Packet::Tagged {{ epoch, .. }}` or send via the group"
+                    ),
                 });
             }
         }
@@ -673,6 +728,37 @@ mod tests {
         let src = "fn a() { x.unwrap(); }";
         let f = lint_source("crates/dlsim/src/x.rs", src, &inv());
         assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn expect_on_comm_results_is_flagged_but_invariant_expects_are_not() {
+        let src = "fn a(ep: &mut E) {\n    \
+                   try_barrier(ep).expect(\"collective failed\");\n    \
+                   let p = ep.recv_retry(1).expect(\"peer\");\n    \
+                   let v = ticket.wait().expect(\"done\");\n    \
+                   let x = map.get(&k).expect(\"key inserted above\");\n}";
+        let f = lint_source("crates/collectives/src/x.rs", src, &inv());
+        assert_eq!(f.iter().filter(|f| f.rule == "comm-expect").count(), 3, "{f:?}");
+        // Outside comm-path crates the rule does not apply.
+        let f = lint_source("crates/dlsim/src/x.rs", src, &inv());
+        assert!(f.iter().all(|f| f.rule != "comm-expect"), "{f:?}");
+    }
+
+    #[test]
+    fn raw_untagged_sends_in_elastic_code_are_flagged() {
+        let src = "fn a(&mut self) {\n    \
+                   let _ = self.ep.try_send(1, Packet::Tokens(words));\n    \
+                   let _ = self.ep.try_send(1, Packet::Reform(report));\n    \
+                   let _ = self.ep.try_send(1, Packet::Tagged { epoch, inner });\n    \
+                   let _ = group.try_send(1, Packet::Dense(blob));\n}";
+        let f = lint_source("crates/collectives/src/elastic.rs", src, &inv());
+        let hits: Vec<_> = f.iter().filter(|f| f.rule == "epoch-raw-send").collect();
+        assert_eq!(hits.len(), 1, "{f:?}");
+        assert_eq!(hits[0].line, 2);
+        assert!(hits[0].message.contains("Tokens"), "{}", hits[0].message);
+        // Outside elastic modules raw sends are the transport's business.
+        let f = lint_source("crates/collectives/src/ops.rs", src, &inv());
+        assert!(f.iter().all(|f| f.rule != "epoch-raw-send"), "{f:?}");
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! `verify` consumes both levels; `model_check` executes the same
 //! collectives under a virtual scheduler.
 
-use embrace_collectives::{Comm, CommError, Packet, SubmittedOp};
+use embrace_collectives::{Comm, CommError, Packet, ReformMsg, SubmittedOp};
 use embrace_core::{CommKind, Priorities};
 use embrace_tensor::{column_partition, row_partition, F32_BYTES, INDEX_BYTES};
 
@@ -292,6 +292,48 @@ pub fn grad_alltoall_bytes(grad_rows: &[usize], dim_total: usize) -> Vec<Vec<u64
         .collect()
 }
 
+/// Plan of the fault-free elastic re-form handshake
+/// (`ElasticWorker::reform`, model-checked as `Collective::Reform`): every
+/// rank probes every other current member with a [`ReformMsg::Report`] in
+/// ascending member order; the minimum alive rank (rank 0 fault-free)
+/// gathers one report per peer and then commits the agreed membership to
+/// each with a [`ReformMsg::Commit`]. A non-coordinator's await loop first
+/// drains the coordinator's own (stale) probe report before the commit,
+/// and the probe reports of the other non-coordinators are drained by the
+/// next collective's epoch filter — the plan includes those drains, so
+/// every planned send has a matching planned receive.
+pub fn reform_plan(world: usize) -> P2pPlan {
+    let mut plan = P2pPlan::new("reform", world);
+    if world <= 1 {
+        return plan;
+    }
+    let report = ReformMsg::Report { origin: 0, epoch: 0 }.nbytes() as u64;
+    let commit = ReformMsg::Commit { epoch: 1, members: (0..world).collect() }.nbytes() as u64;
+    // Coordinator (rank 0): probe all, gather one report per peer, commit.
+    for peer in 1..world {
+        plan.ranks[0].push(P2pOp::Send { to: peer, bytes: report });
+    }
+    for peer in 1..world {
+        plan.ranks[0].push(P2pOp::Recv { from: peer, bytes: report });
+    }
+    for peer in 1..world {
+        plan.ranks[0].push(P2pOp::Send { to: peer, bytes: commit });
+    }
+    // Members: probe all, drain the coordinator's probe, take the commit,
+    // then drain the other members' probes (stale-epoch drops).
+    for rank in 1..world {
+        for peer in (0..world).filter(|&p| p != rank) {
+            plan.ranks[rank].push(P2pOp::Send { to: peer, bytes: report });
+        }
+        plan.ranks[rank].push(P2pOp::Recv { from: 0, bytes: report });
+        plan.ranks[rank].push(P2pOp::Recv { from: 0, bytes: commit });
+        for peer in (1..world).filter(|&p| p != rank) {
+            plan.ranks[rank].push(P2pOp::Recv { from: peer, bytes: report });
+        }
+    }
+    plan
+}
+
 /// One collective in a rank's schedule plan.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PlannedCollective {
@@ -528,6 +570,27 @@ mod tests {
         // rank 0 shard is 4 cols wide; to rank 1 it sends 5 rows × 4 cols.
         assert_eq!(m[0][1], (5 * 4 * F32_BYTES) as u64);
         assert_eq!(m[1][0], (2 * 4 * F32_BYTES) as u64);
+    }
+
+    #[test]
+    fn reform_plan_is_matched_and_sized() {
+        assert!(reform_plan(1).ranks[0].is_empty());
+        for world in [2usize, 3, 4, 8] {
+            let p = reform_plan(world);
+            let diags = crate::verify::verify_p2p(&p);
+            assert!(diags.is_empty(), "world {world}: {diags:?}");
+            // Coordinator: one probe out + one report in + one commit out
+            // per peer; members: world-1 probes out, commit + world-1
+            // stale reports in.
+            assert_eq!(p.ranks[0].len(), 3 * (world - 1));
+            for r in 1..world {
+                assert_eq!(p.ranks[r].len(), 2 * world - 1);
+            }
+            // Report = rank id + epoch; commit carries the member list.
+            assert_eq!(p.link_traffic(1, 0), (1, (TOKEN_BYTES + 8) as u64));
+            let commit = (8 + world * TOKEN_BYTES) as u64;
+            assert_eq!(p.link_traffic(0, 1), (2, (TOKEN_BYTES + 8) as u64 + commit));
+        }
     }
 
     #[test]

@@ -28,7 +28,10 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// What kind of invariant a diagnostic reports.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+///
+/// The `Ord` derive is the tie-breaker of [`sort_diagnostics`]; new
+/// variants go at the end so existing relative orders stay stable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DiagnosticKind {
     /// Ranks disagree on the multiset of submitted collectives.
     SpmdMismatch,
@@ -46,6 +49,15 @@ pub enum DiagnosticKind {
     PartitionOverlap,
     /// The horizontal schedule violates §4.2.1 priority ordering.
     PriorityInversion,
+    /// The wait-for graph of a p2p plan contains a dependency cycle — a
+    /// deadlock no interleaving can escape (reported with the full cycle).
+    WaitCycle,
+    /// Ranks executed collectives in different orders even though the
+    /// scheduler's controller imposes one global order.
+    DeterminismViolation,
+    /// Two conflicting scheduler-state accesses completed in opposite
+    /// orders on different ranks with no happens-before edge between them.
+    UnorderedAccess,
 }
 
 impl fmt::Display for DiagnosticKind {
@@ -59,6 +71,9 @@ impl fmt::Display for DiagnosticKind {
             DiagnosticKind::PartitionGap => "partition-gap",
             DiagnosticKind::PartitionOverlap => "partition-overlap",
             DiagnosticKind::PriorityInversion => "priority-inversion",
+            DiagnosticKind::WaitCycle => "wait-cycle",
+            DiagnosticKind::DeterminismViolation => "determinism-violation",
+            DiagnosticKind::UnorderedAccess => "unordered-access",
         };
         f.write_str(s)
     }
@@ -92,6 +107,18 @@ fn diag(
     msg: String,
 ) -> Diagnostic {
     Diagnostic { kind, rank, op: op.into(), message: msg }
+}
+
+/// Put diagnostics in the deterministic emission order every verifier
+/// uses: rank (whole-group findings last), then op, then kind. The sort
+/// is stable, so equal keys keep their discovery order — `verify-plan`
+/// output diffs cleanly across runs and machines.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        let ka = (a.rank.map_or(usize::MAX, |r| r), &a.op, a.kind);
+        let kb = (b.rank.map_or(usize::MAX, |r| r), &b.op, b.kind);
+        ka.cmp(&kb)
+    });
 }
 
 /// Verify a point-to-point plan: link pairing, byte conservation.
@@ -208,6 +235,7 @@ pub fn verify_p2p(plan: &P2pPlan) -> Vec<Diagnostic> {
             ));
         }
     }
+    sort_diagnostics(&mut out);
     out
 }
 
@@ -270,6 +298,7 @@ pub fn verify_schedule(plan: &SchedulePlan) -> Vec<Diagnostic> {
             }
         }
     }
+    sort_diagnostics(&mut out);
     out
 }
 
@@ -309,6 +338,7 @@ pub fn verify_horizontal(ops: &[(CommKind, i64)]) -> Vec<Diagnostic> {
             ));
         }
     }
+    sort_diagnostics(&mut out);
     out
 }
 
@@ -352,6 +382,7 @@ pub fn verify_partition(shards: &[(usize, usize)], domain: usize) -> Vec<Diagnos
             ));
         }
     }
+    sort_diagnostics(&mut out);
     out
 }
 
@@ -362,6 +393,11 @@ pub enum PlanMutation {
     /// Delete rank `rank`'s `index`-th send (→ the peer's matching
     /// receive becomes a static deadlock).
     DropSend { rank: usize, index: usize },
+    /// Redirect rank `rank`'s `index`-th send to the next peer over (→
+    /// the intended receiver starves and the accidental one gets an
+    /// orphan message). Needs `world ≥ 3`; a 2-rank misroute would have
+    /// to target the sender itself.
+    RetargetSend { rank: usize, index: usize },
     /// Change the priority of rank `rank`'s `index`-th submission.
     SkewPriority { rank: usize, index: usize, delta: i64 },
     /// Halve-and-truncate the byte count of rank `rank`'s `index`-th send.
@@ -370,8 +406,9 @@ pub enum PlanMutation {
     DropPartitionRow { rank: usize },
 }
 
-/// Apply [`PlanMutation::DropSend`] / [`PlanMutation::ShrinkBytes`] to a
-/// p2p plan. `index` counts the rank's *sends* (receives are untouched).
+/// Apply [`PlanMutation::DropSend`] / [`PlanMutation::RetargetSend`] /
+/// [`PlanMutation::ShrinkBytes`] to a p2p plan. `index` counts the
+/// rank's *sends* (receives are untouched).
 /// Returns `false` if the mutation had no target (e.g. index past the
 /// send count) and the plan is unchanged.
 pub fn mutate_p2p(plan: &mut P2pPlan, m: PlanMutation) -> bool {
@@ -391,6 +428,27 @@ pub fn mutate_p2p(plan: &mut P2pPlan, m: PlanMutation) -> bool {
                 }
                 None => false,
             }
+        }
+        PlanMutation::RetargetSend { rank, index } => {
+            let rank = rank % plan.world;
+            let mut seen = 0;
+            for op in plan.ranks[rank].iter_mut() {
+                if let P2pOp::Send { to, .. } = op {
+                    if seen == index {
+                        let mut new_to = (*to + 1) % plan.world;
+                        if new_to == rank {
+                            new_to = (new_to + 1) % plan.world;
+                        }
+                        if new_to == *to {
+                            return false; // world < 3: no third rank to misroute to
+                        }
+                        *to = new_to;
+                        return true;
+                    }
+                    seen += 1;
+                }
+            }
+            false
         }
         PlanMutation::ShrinkBytes { rank, index } => {
             let rank = rank % plan.world;
@@ -547,6 +605,25 @@ mod tests {
         let mut shards = vec![(0, 3), (3, 7)];
         assert!(mutate_partition(&mut shards, PlanMutation::DropPartitionRow { rank: 0 }));
         assert_eq!(kinds(&verify_partition(&shards, 7)), vec![DiagnosticKind::PartitionGap]);
+    }
+
+    #[test]
+    fn diagnostics_come_out_in_stable_sorted_order() {
+        // Plant two defects whose discovery order (link iteration) differs
+        // from the sorted order: emission must be rank-major anyway.
+        let mut p = allgather_plan(3, &[4, 4, 4]);
+        assert!(mutate_p2p(&mut p, PlanMutation::DropSend { rank: 2, index: 1 }));
+        p.ranks[2].push(P2pOp::Send { to: 0, bytes: 8 });
+        let diags = verify_p2p(&p);
+        assert!(diags.len() >= 2, "{diags:?}");
+        let mut resorted = diags.clone();
+        sort_diagnostics(&mut resorted);
+        assert_eq!(diags, resorted, "verify_p2p emits pre-sorted diagnostics");
+        for w in diags.windows(2) {
+            let ra = w[0].rank.map_or(usize::MAX, |r| r);
+            let rb = w[1].rank.map_or(usize::MAX, |r| r);
+            assert!(ra <= rb, "rank-major order: {diags:?}");
+        }
     }
 
     #[test]

@@ -63,7 +63,7 @@ fn broadcast_plan_matches_real_traffic() {
         let payload = vec![1u32, 2, 3];
         let plan = broadcast_plan(world, 0, (payload.len() * TOKEN_BYTES) as u64);
         assert_counters_match_plan(world, &plan, move |rank, ep| {
-            let p = (rank == 0).then(|| Packet::Tokens(payload.clone()));
+            let p = (rank == 0).then(|| Packet::Tokens(payload.clone().into()));
             embrace_collectives::ops::broadcast(ep, 0, p);
         });
     }
@@ -122,7 +122,7 @@ fn recorded_allgather_trace_equals_plan() {
         let mut rec = RecordingEndpoint::new(rank, world);
         for (src, local) in locals.iter().enumerate() {
             if src != rank {
-                rec.script(src, Packet::Tokens(local.clone()));
+                rec.script(src, Packet::Tokens(local.clone().into()));
             }
         }
         let out = embrace_collectives::ops::allgather_tokens(&mut rec, locals[rank].clone());
@@ -195,7 +195,7 @@ fn model_broadcast_matches_real_results() {
         let report = check_collective(world, Collective::Broadcast { root: 0 });
         let model = unique_ok(&report);
         let real = run_group(world, |rank, ep| {
-            let p = (rank == 0).then(|| Packet::Tokens(broadcast_payload(world)));
+            let p = (rank == 0).then(|| Packet::Tokens(broadcast_payload(world).into()));
             embrace_collectives::ops::broadcast(ep, 0, p).into_tokens()
         });
         for rank in 0..world {

@@ -1,8 +1,13 @@
 //! Property tests for the comm-plan verifier (ISSUE satellite): every
 //! valid randomly-sized plan passes clean, and each single seeded
-//! mutation — drop a send, skew a priority, shrink a byte count, drop a
-//! partition row — is rejected with the right diagnostic kind.
+//! mutation — drop a send, retarget a send, skew a priority, shrink a
+//! byte count, drop a partition row — is rejected with the right
+//! diagnostic kind. The wait-for-graph analyzer is held to the same
+//! standard *and* cross-checked against both the legacy matcher
+//! (`verify_p2p`) and greedy enumeration (`enumerate_p2p`) so the three
+//! verdicts can never drift apart.
 
+use embrace_analyzer::graph::{analyze_p2p, enumerate_p2p, graph_deadlocks};
 use embrace_analyzer::plan::{
     allgather_plan, alltoall_plan, barrier_plan, broadcast_plan, horizontal_schedule_plan,
     ring_allreduce_plan,
@@ -55,6 +60,61 @@ proptest! {
     ) {
         let plan = p2p_case(shape, world, elems, &sizes);
         prop_assert!(verify_p2p(&plan).is_empty(), "shape {shape} world {world}");
+    }
+
+    #[test]
+    fn graph_agrees_with_matcher_and_enumeration_on_valid_plans(
+        shape in 0usize..5,
+        world in 2usize..=16,
+        elems in 1usize..48,
+        sizes in prop::collection::vec(0u64..8192, 16),
+    ) {
+        let plan = p2p_case(shape, world, elems, &sizes);
+        // Three independent verdicts on the same plan: the wait-for
+        // graph, the legacy FIFO matcher, and greedy enumeration. All
+        // must call a valid plan clean.
+        let diags = analyze_p2p(&plan);
+        prop_assert!(diags.is_empty(), "graph findings on valid plan: {diags:?}");
+        prop_assert!(verify_p2p(&plan).is_empty(), "matcher disagrees with graph");
+        prop_assert!(enumerate_p2p(&plan).deadlock_free(), "enumeration disagrees with graph");
+    }
+
+    #[test]
+    fn send_removal_and_retargeting_break_the_graph(
+        shape in 2usize..5, // shapes with sends on every rank
+        retarget in 0usize..2,
+        world in 3usize..=8, // retargeting needs a third rank
+        elems in 1usize..48,
+        rank in 0usize..8,
+        index in 0usize..8,
+        sizes in prop::collection::vec(1u64..8192, 16),
+    ) {
+        let mut plan = p2p_case(shape, world, elems, &sizes);
+        let m = if retarget == 1 {
+            PlanMutation::RetargetSend { rank, index }
+        } else {
+            PlanMutation::DropSend { rank, index }
+        };
+        if mutate_p2p(&mut plan, m) {
+            let diags = analyze_p2p(&plan);
+            let ks = kinds(&diags);
+            prop_assert!(
+                ks.iter().any(|k| matches!(
+                    k,
+                    DiagnosticKind::WaitCycle
+                        | DiagnosticKind::RecvWithoutSend
+                        | DiagnosticKind::OrphanSend
+                )),
+                "a misrouted send must surface a cycle or an orphan, got {ks:?}"
+            );
+            // The graph's deadlock verdict must match what actually
+            // happens when the broken plan is executed.
+            prop_assert_eq!(
+                graph_deadlocks(&diags),
+                !enumerate_p2p(&plan).deadlock_free(),
+                "graph and enumeration disagree on the mutated plan"
+            );
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@ fn main() {
     // `embrace_sim verify-plan`: static comm-plan verification + model
     // checking instead of simulation.
     if std::env::args().nth(1).as_deref() == Some("verify-plan") {
-        match embrace_bench::verify_plan::run() {
+        match embrace_bench::verify_plan::run(std::env::args().skip(2)) {
             Ok(()) => return,
             Err(msg) => {
                 eprintln!("verify-plan FAILED: {msg}");

@@ -12,6 +12,12 @@
 //! method, and *validates* each: the JSON must re-parse and the latest
 //! span end must reconcile with the DES makespan to within 1%. This is
 //! the CI gate for the exporter.
+//!
+//! `--check-hb` additionally runs the scheduled trainer on a live
+//! threaded mesh with observed comm schedulers and feeds the recorded
+//! per-rank timing logs through `embrace_analyzer::hb`, the vector-clock
+//! happens-before checker; any determinism violation, priority
+//! inversion, or unordered conflicting access fails the command.
 
 use crate::cli::{parse_args, CliArgs};
 use embrace_baselines::MethodId;
@@ -27,6 +33,7 @@ const SMOKE_METHODS: [MethodId; 4] =
 /// trace-specific output controls.
 pub struct TraceArgs {
     pub smoke: bool,
+    pub check_hb: bool,
     pub out: Option<PathBuf>,
     pub out_dir: PathBuf,
     pub cli: CliArgs,
@@ -36,6 +43,7 @@ pub struct TraceArgs {
 /// CLI parser.
 pub fn parse_trace_args<I: IntoIterator<Item = String>>(argv: I) -> Result<TraceArgs, String> {
     let mut smoke = false;
+    let mut check_hb = false;
     let mut out = None;
     let mut out_dir = PathBuf::from("traces");
     let mut rest = Vec::new();
@@ -43,6 +51,7 @@ pub fn parse_trace_args<I: IntoIterator<Item = String>>(argv: I) -> Result<Trace
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--smoke" => smoke = true,
+            "--check-hb" => check_hb = true,
             "--out" => {
                 out = Some(PathBuf::from(it.next().ok_or("--out requires a path")?));
             }
@@ -52,7 +61,7 @@ pub fn parse_trace_args<I: IntoIterator<Item = String>>(argv: I) -> Result<Trace
             _ => rest.push(flag),
         }
     }
-    Ok(TraceArgs { smoke, out, out_dir, cli: parse_args(rest)? })
+    Ok(TraceArgs { smoke, check_hb, out, out_dir, cli: parse_args(rest)? })
 }
 
 /// Validate an exported trace: parse the JSON back and check that the
@@ -138,6 +147,54 @@ fn report_copy_probe(world: usize) {
     );
 }
 
+/// Happens-before probe (`--check-hb`): run the scheduled trainer on a
+/// *real* threaded mesh with observed comm schedulers, then feed every
+/// rank's recorded `OpTiming` log through the vector-clock
+/// happens-before analyzer. Any diagnostic — determinism violation,
+/// priority inversion, unordered conflicting access — fails the command.
+pub fn check_hb_probe(world: usize, steps: usize) -> Result<(usize, usize), String> {
+    use embrace_analyzer::hb;
+    use embrace_trainer::{train_convergence_scheduled_observed, ConvergenceConfig};
+    let cfg = ConvergenceConfig { world, steps, ..Default::default() };
+    let (_, _, obs) = train_convergence_scheduled_observed(&cfg, true);
+    if obs.len() != world {
+        return Err(format!("expected {world} rank observations, got {}", obs.len()));
+    }
+    let timings: Vec<Vec<embrace_collectives::OpTiming>> =
+        obs.iter().map(|(_, t)| t.clone()).collect();
+    let n_ops: usize = timings.iter().map(Vec::len).sum();
+    // The span log is the same events on the wall-clock track; its
+    // extraction must see exactly the ops the timing log does.
+    for (rank, (spans, t)) in obs.iter().enumerate() {
+        let from_spans: usize = hb::from_spans(spans).iter().map(Vec::len).sum();
+        if from_spans != t.len() {
+            return Err(format!(
+                "rank {rank}: span log has {from_spans} ops but timing log has {}",
+                t.len()
+            ));
+        }
+    }
+    let diags = hb::check_op_timings(&timings);
+    if !diags.is_empty() {
+        let lines: Vec<String> = diags.iter().map(|d| format!("  {d}")).collect();
+        return Err(format!(
+            "happens-before check: {} diagnostic(s)\n{}",
+            diags.len(),
+            lines.join("\n")
+        ));
+    }
+    Ok((n_ops, world))
+}
+
+fn report_check_hb() -> Result<(), String> {
+    let (n_ops, world) = check_hb_probe(4, 8)?;
+    println!(
+        "happens-before probe ({world} ranks): {n_ops} observed ops, vector-clock check clean \
+         (no determinism violations, inversions, or unordered accesses)"
+    );
+    Ok(())
+}
+
 /// Entry point for `embrace_sim trace`.
 pub fn run<I: IntoIterator<Item = String>>(argv: I) -> Result<(), String> {
     let args = parse_trace_args(argv)?;
@@ -151,6 +208,9 @@ pub fn run<I: IntoIterator<Item = String>>(argv: I) -> Result<(), String> {
         write_trace(&path, &exp)?;
         report(args.cli.method.name(), &path, &exp, n_events, rel);
         report_copy_probe(4);
+        if args.check_hb {
+            report_check_hb()?;
+        }
         Ok(())
     }
 }
@@ -174,6 +234,9 @@ fn run_smoke(args: &TraceArgs) -> Result<(), String> {
         report(method.name(), &path, &exp, n_events, rel);
     }
     report_copy_probe(4);
+    if args.check_hb {
+        report_check_hb()?;
+    }
     Ok(())
 }
 
@@ -218,6 +281,19 @@ mod tests {
         assert!(sent > 0);
         assert_eq!(copied, 0, "dense fan-out must not deep-copy payloads");
         assert!((ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn check_hb_flag_parses_and_live_probe_is_clean() {
+        let a = parse_trace_args(["--smoke", "--check-hb"].map(String::from)).expect("valid args");
+        assert!(a.check_hb);
+        let (n_ops, world) = check_hb_probe(3, 6).expect("live run must be hb-clean");
+        assert_eq!(world, 3);
+        // At least 7 submissions per step per rank (2 token gathers, emb
+        // data, allreduce, prior, delayed, loss) plus scheduler-internal
+        // ops, identical across ranks.
+        assert!(n_ops >= 3 * 6 * 7, "observed only {n_ops} ops");
+        assert_eq!(n_ops % 3, 0, "ranks observed different op counts: {n_ops}");
     }
 
     #[test]

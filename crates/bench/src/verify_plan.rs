@@ -1,17 +1,25 @@
 //! The `verify-plan` subcommand of `embrace_sim`: run the static
 //! comm-plan verifier over all four paper model specs, demonstrate the
-//! seeded-mutation detectors, and model-check the five collectives plus
-//! the elastic re-form handshake for worlds 2–4.
+//! seeded-mutation detectors, model-check the five collectives plus the
+//! elastic re-form handshake for worlds 2–4, and prove the graph
+//! analyzer agrees with both enumeration oracles.
+//!
+//! `--large [--quick] [--out FILE]` switches to the wait-for-graph sweep:
+//! every plan family at worlds 64–1024 (64/256 with `--quick`), proving
+//! deadlock-freedom and byte conservation structurally and printing a
+//! per-plan timing table (written to `FILE` for CI artifacts).
 //!
 //! Exits non-zero (returns `Err`) if any valid plan produces a
-//! diagnostic, any seeded mutation goes undetected, or the model checker
-//! finds a deadlock or a non-deterministic interleaving.
+//! diagnostic, any seeded mutation goes undetected, any verdict pair
+//! disagrees, or the model checker finds a deadlock or a
+//! non-deterministic interleaving.
 
+use embrace_analyzer::graph::{analyze_p2p, byte_conservation, enumerate_p2p, graph_deadlocks};
 use embrace_analyzer::model_check::{check, CheckConfig, Collective};
 use embrace_analyzer::plan::{
     allgather_plan, alltoall_plan, barrier_plan, broadcast_plan, chunked_alltoall_plan,
     chunked_ring_allreduce_plan, grad_alltoall_bytes, horizontal_schedule_plan,
-    lookup_alltoall_bytes, ring_allreduce_plan,
+    lookup_alltoall_bytes, reform_plan, ring_allreduce_plan, P2pPlan,
 };
 use embrace_analyzer::verify::{mutate_p2p, mutate_partition, mutate_schedule};
 use embrace_analyzer::{
@@ -22,11 +30,16 @@ use embrace_core::horizontal::Priorities;
 use embrace_models::{ModelId, ModelSpec};
 use embrace_simnet::GpuKind;
 use embrace_tensor::{column_partition, row_partition, TOKEN_BYTES};
+use std::time::Instant;
 
 /// Worlds the plan verifier sweeps.
 const WORLDS: [usize; 3] = [4, 8, 16];
 /// Worlds the model checker explores exhaustively.
 const CHECK_WORLDS: [usize; 3] = [2, 3, 4];
+/// Worlds of the wait-for-graph sweep (`--large`).
+const LARGE_WORLDS: [usize; 5] = [64, 128, 256, 512, 1024];
+/// The `--quick` subset used by CI.
+const QUICK_WORLDS: [usize; 2] = [64, 256];
 
 fn expect_clean(what: &str, diags: &[Diagnostic]) -> Result<(), String> {
     if diags.is_empty() {
@@ -218,8 +231,178 @@ fn model_check_reform() -> Result<(), String> {
     Ok(())
 }
 
+/// Every point-to-point plan family the stack executes, at sizes scaled
+/// to `world` (payloads stay modest so the sweep measures analysis, not
+/// plan construction).
+fn plan_families(world: usize) -> Vec<P2pPlan> {
+    let rows = vec![4 + world / 64; world];
+    let dim = 4 * world;
+    vec![
+        barrier_plan(world),
+        broadcast_plan(world, 0, 64),
+        ring_allreduce_plan(world, 4 * world + 1),
+        chunked_ring_allreduce_plan(world, 2 * world + 1, 2),
+        allgather_plan(world, &vec![16; world]),
+        alltoall_plan("alltoall_lookup", &lookup_alltoall_bytes(&rows, dim)),
+        alltoall_plan("alltoallv_grad", &grad_alltoall_bytes(&rows, dim)),
+        chunked_alltoall_plan("alltoall_chunked", &lookup_alltoall_bytes(&rows, dim)),
+        reform_plan(world),
+    ]
+}
+
+/// The graph analyzer must agree with both enumeration oracles: the
+/// exhaustive model checker on every collective it can model (worlds
+/// 2–4), and the explicit-state plan executor on every plan family and
+/// every seeded send-dropping mutation.
+fn graph_agreement() -> Result<(), String> {
+    for world in CHECK_WORLDS {
+        let modeled: Vec<(Collective, P2pPlan)> = vec![
+            (Collective::Barrier, barrier_plan(world)),
+            (Collective::Broadcast { root: 0 }, broadcast_plan(world, 0, 12)),
+            (
+                Collective::RingAllreduce { elems: 2 * world + 1 },
+                ring_allreduce_plan(world, 2 * world + 1),
+            ),
+            (
+                Collective::ChunkedRingAllreduce { elems: 2 * world + 1, seg: 2 },
+                chunked_ring_allreduce_plan(world, 2 * world + 1, 2),
+            ),
+            (Collective::Reform, reform_plan(world)),
+        ];
+        for (collective, plan) in modeled {
+            let report = check(&CheckConfig { world, collective, crash: None });
+            let graph_dead = graph_deadlocks(&analyze_p2p(&plan));
+            if report.deadlock_free() == graph_dead {
+                return Err(format!(
+                    "w={world} {}: graph verdict disagrees with model checker ({})",
+                    plan.kind,
+                    report.summary()
+                ));
+            }
+        }
+        let mut mutations = 0usize;
+        for plan0 in plan_families(world) {
+            let diags = analyze_p2p(&plan0);
+            let exec = enumerate_p2p(&plan0);
+            if !diags.is_empty() || !exec.deadlock_free() {
+                return Err(format!("w={world} {}: valid plan not clean: {diags:?}", plan0.kind));
+            }
+            for rank in 0..world {
+                for (label, m) in [
+                    ("drop-send", PlanMutation::DropSend { rank, index: 0 }),
+                    ("retarget-send", PlanMutation::RetargetSend { rank, index: 0 }),
+                ] {
+                    let mut plan = plan0.clone();
+                    if !mutate_p2p(&mut plan, m) {
+                        continue;
+                    }
+                    let diags = analyze_p2p(&plan);
+                    let exec = enumerate_p2p(&plan);
+                    if graph_deadlocks(&diags) == exec.deadlock_free() {
+                        return Err(format!(
+                            "w={world} {} {label} rank {rank}: graph says deadlock={}, \
+                             enumeration says deadlock={}",
+                            plan.kind,
+                            graph_deadlocks(&diags),
+                            !exec.deadlock_free()
+                        ));
+                    }
+                    if diags.is_empty() {
+                        return Err(format!(
+                            "w={world} {} {label} rank {rank}: mutation went undetected",
+                            plan.kind
+                        ));
+                    }
+                    mutations += 1;
+                }
+            }
+        }
+        println!(
+            "  w={world}: graph == model checker on 5 modeled plans, graph == enumeration on \
+             {mutations} seeded mutations"
+        );
+    }
+    Ok(())
+}
+
+/// The `--large` sweep: wait-for-graph analysis + explicit-state
+/// execution of every plan family at large worlds, with a timing table.
+fn large_sweep(quick: bool, out: Option<&str>) -> Result<(), String> {
+    let worlds: &[usize] = if quick { &QUICK_WORLDS } else { &LARGE_WORLDS };
+    let mut table = String::new();
+    table.push_str(&format!(
+        "{:<24} {:>6} {:>10} {:>12} {:>10} {:>10}\n",
+        "plan", "world", "ops", "bytes", "graph_ms", "exec_ms"
+    ));
+    let t0 = Instant::now();
+    for &world in worlds {
+        for plan in plan_families(world) {
+            let ops: usize = plan.ranks.iter().map(Vec::len).sum();
+            let tg = Instant::now();
+            let diags = analyze_p2p(&plan);
+            let graph_ms = tg.elapsed().as_secs_f64() * 1e3;
+            if !diags.is_empty() {
+                let lines: Vec<String> = diags.iter().take(5).map(|d| format!("  {d}")).collect();
+                return Err(format!(
+                    "{} w={world}: {} diagnostic(s)\n{}",
+                    plan.kind,
+                    diags.len(),
+                    lines.join("\n")
+                ));
+            }
+            let bytes = byte_conservation(&plan).map_err(|d| format!("{d}"))?;
+            let te = Instant::now();
+            let exec = enumerate_p2p(&plan);
+            let exec_ms = te.elapsed().as_secs_f64() * 1e3;
+            if !exec.deadlock_free() {
+                return Err(format!(
+                    "{} w={world}: enumeration stuck at {:?} though the graph is acyclic",
+                    plan.kind, exec.stuck
+                ));
+            }
+            table.push_str(&format!(
+                "{:<24} {:>6} {:>10} {:>12} {:>10.1} {:>10.1}\n",
+                plan.kind, world, ops, bytes, graph_ms, exec_ms
+            ));
+        }
+    }
+    let total_s = t0.elapsed().as_secs_f64();
+    print!("{table}");
+    println!(
+        "verify-plan --large: {} plan families x worlds {worlds:?} deadlock-free and \
+         byte-conserving in {total_s:.1} s",
+        plan_families(2).len()
+    );
+    if let Some(path) = out {
+        let mut contents = table;
+        contents.push_str(&format!("total_s {total_s:.3}\n"));
+        std::fs::write(path, contents).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("timing table written to {path}");
+    }
+    Ok(())
+}
+
 /// Run the whole `verify-plan` pass; `Err` means a check failed.
-pub fn run() -> Result<(), String> {
+/// Flags: `--large` (graph sweep at worlds 64–1024), `--quick` (worlds
+/// 64/256 only), `--out FILE` (write the `--large` timing table).
+pub fn run(args: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut large = false;
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--large" => large = true,
+            "--quick" => quick = true,
+            "--out" => {
+                out = Some(args.next().ok_or("--out needs a file path")?);
+            }
+            other => return Err(format!("unknown verify-plan flag: {other}")),
+        }
+    }
+    if large {
+        return large_sweep(quick, out.as_deref());
+    }
     println!("comm-plan verifier: {} models x worlds {WORLDS:?}", ModelId::ALL.len());
     let mut total = 0usize;
     for id in ModelId::ALL {
@@ -237,6 +420,8 @@ pub fn run() -> Result<(), String> {
     model_check_all()?;
     println!("model checker: elastic re-form handshake, fault-free + dead rank + midway crash");
     model_check_reform()?;
+    println!("wait-for graph: agreement with the model checker and the plan executor");
+    graph_agreement()?;
     println!("verify-plan: all checks passed");
     Ok(())
 }
@@ -247,6 +432,16 @@ mod tests {
 
     #[test]
     fn verify_plan_pass_succeeds() {
-        run().expect("verify-plan must pass on the clean tree");
+        run(std::iter::empty()).expect("verify-plan must pass on the clean tree");
+    }
+
+    #[test]
+    fn large_sweep_quick_succeeds() {
+        large_sweep(true, None).expect("quick graph sweep must pass on the clean tree");
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        assert!(run(["--bogus".to_string()].into_iter()).is_err());
     }
 }

@@ -185,7 +185,7 @@ mod tests {
     fn workers_can_exchange() {
         let out = run_group(2, |rank, ep| {
             let peer = 1 - rank;
-            ep.send(peer, Packet::Tokens(vec![rank as u32]));
+            ep.send(peer, Packet::Tokens(vec![rank as u32].into()));
             ep.recv(peer).into_tokens()[0]
         });
         assert_eq!(out, vec![1, 0]);

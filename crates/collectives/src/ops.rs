@@ -39,7 +39,7 @@
 
 use crate::transport::{Comm, CommError, Packet};
 use embrace_obs::recorder;
-use embrace_tensor::{row_partition, DenseTensor, RowSparse};
+use embrace_tensor::{row_partition, DenseTensor, RowSparse, TokenBuf};
 
 /// Best-effort abort broadcast, then pass the error through. Locally
 /// detected failures notify every peer; received aborts are not
@@ -56,9 +56,18 @@ pub(crate) fn fail<T, C: Comm>(ep: &mut C, err: CommError) -> Result<T, CommErro
     Err(err)
 }
 
+/// Unwrap the result of an infallible-wrapper collective: panic with the
+/// typed [`CommError`] rendered, instead of an opaque `.expect` debug dump.
+fn finish<T>(result: Result<T, CommError>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => panic!("collective failed: {e}"),
+    }
+}
+
 /// Synchronise all ranks: no rank returns before every rank has entered.
 pub fn barrier<C: Comm>(ep: &mut C) {
-    try_barrier(ep).expect("collective failed");
+    finish(try_barrier(ep));
 }
 
 /// Fallible [`barrier`]: a dissemination barrier (Hensgen/Finkel/Manber).
@@ -92,7 +101,7 @@ pub fn try_barrier<C: Comm>(ep: &mut C) -> Result<(), CommError> {
 
 /// Broadcast `packet` from `root` to every rank; returns the packet on all.
 pub fn broadcast<C: Comm>(ep: &mut C, root: usize, packet: Option<Packet>) -> Packet {
-    try_broadcast(ep, root, packet).expect("collective failed")
+    finish(try_broadcast(ep, root, packet))
 }
 
 /// Fallible [`broadcast`]. A non-root failure does not disturb the root
@@ -131,7 +140,7 @@ pub fn try_broadcast<C: Comm>(
 /// paper's Table 2 analyses: N−1 reduce-scatter steps then N−1 all-gather
 /// steps, each moving one of N near-equal chunks around the ring.
 pub fn ring_allreduce<C: Comm>(ep: &mut C, buf: &mut [f32]) {
-    try_ring_allreduce(ep, buf).expect("collective failed");
+    finish(try_ring_allreduce(ep, buf));
 }
 
 /// Fallible [`ring_allreduce`]. On `Err` the contents of `buf` are
@@ -206,7 +215,7 @@ pub fn try_ring_allreduce<C: Comm>(ep: &mut C, buf: &mut [f32]) -> Result<(), Co
 /// [`ring_allreduce`] with the reduce-scatter and all-gather phases
 /// segmented for pipelining; panics on communication failure.
 pub fn ring_allreduce_pipelined<C: Comm>(ep: &mut C, buf: &mut [f32], seg_elems: usize) {
-    try_ring_allreduce_pipelined(ep, buf, seg_elems).expect("collective failed");
+    finish(try_ring_allreduce_pipelined(ep, buf, seg_elems));
 }
 
 /// Fallible segmented/pipelined ring AllReduce for large buffers: each of
@@ -286,7 +295,7 @@ pub fn try_ring_allreduce_pipelined<C: Comm>(
 /// AllGather of per-rank dense tensors; returns all ranks' tensors in rank
 /// order (own tensor included).
 pub fn allgather_dense<C: Comm>(ep: &mut C, local: DenseTensor) -> Vec<DenseTensor> {
-    try_allgather_dense(ep, local).expect("collective failed")
+    finish(try_allgather_dense(ep, local))
 }
 
 /// Fallible [`allgather_dense`].
@@ -324,7 +333,7 @@ pub fn try_allgather_dense<C: Comm>(
 /// concatenation is *uncoalesced*; summing duplicates is the caller's job,
 /// exactly as in `horovod.torch.allreduce_` for sparse inputs.
 pub fn allgather_sparse<C: Comm>(ep: &mut C, local: RowSparse) -> Vec<RowSparse> {
-    try_allgather_sparse(ep, local).expect("collective failed")
+    finish(try_allgather_sparse(ep, local))
 }
 
 /// Fallible [`allgather_sparse`].
@@ -359,24 +368,24 @@ pub fn try_allgather_sparse<C: Comm>(
 
 /// AllGather of token-id batches; feeds `D_cur` in Algorithm 1 (every rank
 /// learns which tokens every other rank's batch contains).
-pub fn allgather_tokens<C: Comm>(ep: &mut C, local: Vec<u32>) -> Vec<Vec<u32>> {
-    try_allgather_tokens(ep, local).expect("collective failed")
+pub fn allgather_tokens<C: Comm>(ep: &mut C, local: Vec<u32>) -> Vec<TokenBuf> {
+    finish(try_allgather_tokens(ep, local))
 }
 
 /// Fallible [`allgather_tokens`].
 pub fn try_allgather_tokens<C: Comm>(
     ep: &mut C,
     local: Vec<u32>,
-) -> Result<Vec<Vec<u32>>, CommError> {
+) -> Result<Vec<TokenBuf>, CommError> {
     let _span = recorder::span("allgather_tokens", "collective");
     let world = ep.world();
     let rank = ep.rank();
+    // One Arc-backed buffer fans out to every link: N−1 sends, zero
+    // payload bytes copied.
+    let local: TokenBuf = local.into();
     for dst in 0..world {
         if dst != rank {
-            // Token batches are small control-plane payloads with no
-            // shared-storage representation; the per-link copy is
-            // deliberate (allowlisted for the payload-clone lint).
-            if let Err(e) = ep.try_send(dst, Packet::Tokens(local.clone())) {
+            if let Err(e) = ep.try_send(dst, Packet::Tokens(local.share())) {
                 return fail(ep, e);
             }
         }
@@ -390,7 +399,7 @@ pub fn try_allgather_tokens<C: Comm>(
             }
         }
     }
-    // Move the local contribution into its rank slot last — no clone.
+    // Move the local handle into its rank slot last — no clone.
     out.insert(rank, local);
     Ok(out)
 }
@@ -399,7 +408,7 @@ pub fn try_allgather_tokens<C: Comm>(
 /// blocks received, indexed by source rank (own block kept in place).
 /// This is AlltoAll #1 of §4.1.1 — redistributing embedding lookup results.
 pub fn alltoall_dense<C: Comm>(ep: &mut C, parts: Vec<DenseTensor>) -> Vec<DenseTensor> {
-    try_alltoall_dense(ep, parts).expect("collective failed")
+    finish(try_alltoall_dense(ep, parts))
 }
 
 /// Fallible [`alltoall_dense`].
@@ -436,7 +445,7 @@ pub fn try_alltoall_dense<C: Comm>(
 /// AlltoAllv of row-sparse blocks: `parts[j]` goes to rank `j`. This is
 /// AlltoAll #2 of §4.1.1 — exchanging column-sharded embedding gradients.
 pub fn alltoallv_sparse<C: Comm>(ep: &mut C, parts: Vec<RowSparse>) -> Vec<RowSparse> {
-    try_alltoallv_sparse(ep, parts).expect("collective failed")
+    finish(try_alltoallv_sparse(ep, parts))
 }
 
 /// Fallible [`alltoallv_sparse`].
@@ -510,7 +519,7 @@ mod tests {
     #[test]
     fn broadcast_delivers_root_payload() {
         let out = run_group(4, |rank, ep| {
-            let payload = (rank == 2).then(|| Packet::Tokens(vec![42]));
+            let payload = (rank == 2).then(|| Packet::Tokens(vec![42].into()));
             broadcast(ep, 2, payload).into_tokens()
         });
         assert!(out.iter().all(|t| t == &vec![42]));

@@ -48,7 +48,7 @@ use crate::ops::{
 use crate::transport::{CommError, Endpoint, Packet};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use embrace_obs::{ClockDomain, Metrics, SpanSet, TrackId, WallClock};
-use embrace_tensor::{row_partition, DenseTensor, RowSparse, F32_BYTES};
+use embrace_tensor::{row_partition, DenseTensor, RowSparse, TokenBuf, F32_BYTES};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -101,7 +101,7 @@ pub enum CommResult {
     AllReduceDense(Vec<f32>),
     AlltoAllDense(Vec<embrace_tensor::DenseTensor>),
     AlltoAllSparse(Vec<RowSparse>),
-    GatherTokens(Vec<Vec<u32>>),
+    GatherTokens(Vec<TokenBuf>),
     Flush,
     /// The operation was not executed: the scheduler shut down first —
     /// divergent enqueues (SPMD fingerprint mismatch), a peer failure, a
@@ -422,11 +422,11 @@ fn unpack_ctrl(words: &[u32]) -> Option<Ctrl> {
 }
 
 fn broadcast_ctrl(ep: &mut Endpoint, ctrl: &Ctrl) {
-    let words = pack_ctrl(ctrl);
+    let words: TokenBuf = pack_ctrl(ctrl).into();
     for dst in 1..ep.world() {
         // A peer whose comm thread already failed fast is gone; that is
         // its own typed failure, not a reason to panic here.
-        let _ = ep.try_send(dst, Packet::Tokens(words.clone()));
+        let _ = ep.try_send(dst, Packet::Tokens(words.share()));
     }
 }
 
@@ -460,7 +460,7 @@ enum ChunkedExec {
     Ring { buf: Vec<f32>, seg_elems: usize, unit: usize, pool: Vec<DenseTensor> },
     Dense { parts: Vec<DenseTensor>, out: Vec<DenseTensor>, unit: usize },
     Sparse { parts: Vec<RowSparse>, out: Vec<RowSparse>, dim0: usize, unit: usize },
-    Tokens { local: Vec<u32>, out: Vec<Vec<u32>>, unit: usize },
+    Tokens { local: TokenBuf, out: Vec<TokenBuf>, unit: usize },
 }
 
 impl ChunkedExec {
@@ -479,8 +479,8 @@ impl ChunkedExec {
                 Ok(ChunkedExec::Sparse { parts, out, dim0, unit: 0 })
             }
             CommOp::GatherTokens(local) => {
-                let out = vec![Vec::new(); world];
-                Ok(ChunkedExec::Tokens { local, out, unit: 0 })
+                let out = vec![TokenBuf::from(Vec::new()); world];
+                Ok(ChunkedExec::Tokens { local: local.into(), out, unit: 0 })
             }
             CommOp::Flush => Err(CommError::Protocol {
                 expected: "a chunkable collective",
@@ -588,7 +588,7 @@ impl ChunkedExec {
             }
             ChunkedExec::Tokens { local, out, unit } => {
                 let dst = (rank + *unit + 1) % world;
-                if let Err(e) = ep.try_send(dst, Packet::Tokens(local.clone())) {
+                if let Err(e) = ep.try_send(dst, Packet::Tokens(local.share())) {
                     return fail(ep, e);
                 }
                 let src = (rank + world - *unit - 1) % world;
@@ -598,7 +598,7 @@ impl ChunkedExec {
                 }
                 *unit += 1;
                 if *unit == world - 1 {
-                    out[rank] = std::mem::take(local);
+                    out[rank] = std::mem::replace(local, TokenBuf::from(Vec::new()));
                     Ok(Some(CommResult::GatherTokens(std::mem::take(out))))
                 } else {
                     Ok(None)
@@ -957,7 +957,7 @@ fn verify_spmd_fingerprint(ep: &mut Endpoint, job: &Job) -> Result<(), CommError
     }
     let local = vec![fp as u32, (fp >> 32) as u32];
     let all = try_allgather_tokens(ep, local.clone())?;
-    if all.iter().all(|v| v == &local) {
+    if all.iter().all(|v| *v == local) {
         Ok(())
     } else {
         Err(CommError::Protocol {

@@ -29,7 +29,7 @@
 //! thin wrappers for code that treats communication failure as fatal.
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use embrace_tensor::{DenseTensor, RowSparse, TOKEN_BYTES};
+use embrace_tensor::{DenseTensor, RowSparse, TokenBuf, TOKEN_BYTES};
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
@@ -82,7 +82,8 @@ pub enum Packet {
     /// A row-sparse (COO) block: row ids + value rows.
     Sparse(RowSparse),
     /// A batch of token ids (used to gather `D_cur` across ranks).
-    Tokens(Vec<u32>),
+    /// `Arc`-backed ([`TokenBuf`]): fan-out sends share the storage.
+    Tokens(TokenBuf),
     /// Zero-payload control message (barrier).
     Empty,
     /// Abort notification: `origin` observed a failure mid-collective and
@@ -133,7 +134,7 @@ impl Packet {
         match self {
             Packet::Dense(d) => d.nbytes(),
             Packet::Sparse(s) => s.nbytes(),
-            Packet::Tokens(t) => t.len() * TOKEN_BYTES,
+            Packet::Tokens(t) => t.nbytes(),
             Packet::Empty => 0,
             // One rank id on the wire.
             Packet::Abort { .. } => TOKEN_BYTES,
@@ -146,10 +147,11 @@ impl Packet {
     /// Bytes of this packet's payload that were *materialised* for it —
     /// i.e. whose backing buffer this packet owns exclusively — as opposed
     /// to shared zero-copy storage. A fan-out send of a
-    /// [`DenseTensor::share`]/[`RowSparse::share`] handle reports 0; a
-    /// staged ring chunk (copied into a reused scratch buffer) or a token
-    /// batch reports its full wire size. `bytes_sent − bytes_copied` over
-    /// a run is the transport's copy-elimination win.
+    /// [`DenseTensor::share`]/[`RowSparse::share`]/[`TokenBuf::share`]
+    /// handle reports 0; a staged ring chunk (copied into a reused scratch
+    /// buffer) or an exclusively owned token batch reports its full wire
+    /// size. `bytes_sent − bytes_copied` over a run is the transport's
+    /// copy-elimination win.
     pub fn copied_nbytes(&self) -> usize {
         match self {
             Packet::Dense(d) => {
@@ -160,7 +162,13 @@ impl Packet {
                 }
             }
             Packet::Sparse(s) => s.copied_nbytes(),
-            Packet::Tokens(t) => t.len() * TOKEN_BYTES,
+            Packet::Tokens(t) => {
+                if t.is_shared() {
+                    0
+                } else {
+                    t.nbytes()
+                }
+            }
             Packet::Empty | Packet::Abort { .. } => 0,
             Packet::Tagged { inner, .. } => inner.copied_nbytes(),
             // Control messages are always materialised.
@@ -195,7 +203,7 @@ impl Packet {
         }
     }
 
-    pub fn into_tokens(self) -> Vec<u32> {
+    pub fn into_tokens(self) -> TokenBuf {
         match self {
             Packet::Tokens(t) => t,
             other => panic!("expected Tokens packet, got {other:?}"),
@@ -220,7 +228,7 @@ impl Packet {
     }
 
     /// See [`Packet::try_into_dense`].
-    pub fn try_into_tokens(self) -> Result<Vec<u32>, CommError> {
+    pub fn try_into_tokens(self) -> Result<TokenBuf, CommError> {
         match self {
             Packet::Tokens(t) => Ok(t),
             other => Err(other.mismatch("Tokens")),
@@ -607,7 +615,9 @@ impl Endpoint {
     /// Send `packet` to rank `to` (self-sends allowed and delivered).
     /// Panics on failure — use [`Endpoint::try_send`] to handle it.
     pub fn send(&mut self, to: usize, packet: Packet) {
-        self.try_send(to, packet).expect("peer endpoint dropped mid-collective");
+        if let Err(e) = self.try_send(to, packet) {
+            panic!("peer endpoint dropped mid-collective: {e}");
+        }
     }
 
     /// Send `packet` to rank `to`, reporting failure as a typed error.
@@ -657,7 +667,10 @@ impl Endpoint {
     /// Receive the next packet sent by rank `from`. Panics on failure —
     /// use [`Endpoint::try_recv`] to handle it.
     pub fn recv(&self, from: usize) -> Packet {
-        self.try_recv(from).expect("peer endpoint dropped mid-collective")
+        match self.try_recv(from) {
+            Ok(p) => p,
+            Err(e) => panic!("peer endpoint dropped mid-collective: {e}"),
+        }
     }
 
     /// Receive the next packet from `from`, honouring the endpoint's
@@ -901,7 +914,7 @@ mod tests {
         let mut a = eps.pop().unwrap();
         thread::scope(|s| {
             s.spawn(|| {
-                a.send(1, Packet::Tokens(vec![7, 8]));
+                a.send(1, Packet::Tokens(vec![7, 8].into()));
             });
             s.spawn(|| {
                 assert_eq!(b.recv(0).into_tokens(), vec![7, 8]);
@@ -926,7 +939,7 @@ mod tests {
         let b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
         for k in 0..10u32 {
-            a.send(1, Packet::Tokens(vec![k]));
+            a.send(1, Packet::Tokens(vec![k].into()));
         }
         for k in 0..10u32 {
             assert_eq!(b.recv(0).into_tokens(), vec![k]);
@@ -957,8 +970,13 @@ mod tests {
         assert_eq!(a.bytes_sent(), 48);
         assert_eq!(a.bytes_copied(), 24);
         drop(t);
-        // Tokens are always materialised per link.
-        a.send(1, Packet::Tokens(vec![1, 2]));
+        // An exclusively owned token payload counts as copied…
+        a.send(1, Packet::Tokens(vec![1, 2].into()));
+        assert_eq!(a.bytes_copied(), 24 + 2 * TOKEN_BYTES as u64);
+        // …but a shared handle rides the wire copy-free, like Dense.
+        let toks: TokenBuf = vec![3, 4, 5].into();
+        a.send(1, Packet::Tokens(toks.share()));
+        assert_eq!(a.bytes_sent(), 48 + 5 * TOKEN_BYTES as u64);
         assert_eq!(a.bytes_copied(), 24 + 2 * TOKEN_BYTES as u64);
         assert!(a.copy_elimination_ratio() > 0.0 && a.copy_elimination_ratio() < 1.0);
         let mut m = embrace_obs::Metrics::new();
@@ -979,8 +997,8 @@ mod tests {
     #[test]
     fn packet_sizes() {
         assert_eq!(Packet::Empty.nbytes(), 0);
-        assert_eq!(Packet::Tokens(vec![1, 2, 3]).nbytes(), 12);
-        assert_eq!(Packet::Tokens(vec![9]).nbytes(), TOKEN_BYTES);
+        assert_eq!(Packet::Tokens(vec![1, 2, 3].into()).nbytes(), 12);
+        assert_eq!(Packet::Tokens(vec![9].into()).nbytes(), TOKEN_BYTES);
         assert_eq!(Packet::Abort { origin: 0 }.nbytes(), TOKEN_BYTES);
         let s = RowSparse::new(vec![0], DenseTensor::zeros(1, 4));
         assert_eq!(Packet::Sparse(s).nbytes(), INDEX_BYTES + 4 * F32_BYTES);
@@ -1002,7 +1020,7 @@ mod tests {
             Packet::Abort { origin: 3 }.try_into_tokens(),
             Err(CommError::Aborted { origin: 3 })
         );
-        assert_eq!(Packet::Tokens(vec![1]).try_into_tokens(), Ok(vec![1]));
+        assert_eq!(Packet::Tokens(vec![1].into()).try_into_tokens(), Ok(vec![1].into()));
         assert_eq!(Packet::Empty.try_into_empty(), Ok(()));
     }
 
@@ -1055,7 +1073,7 @@ mod tests {
         let b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
         for k in 0..4u32 {
-            a.try_send(1, Packet::Tokens(vec![k])).unwrap();
+            a.try_send(1, Packet::Tokens(vec![k].into())).unwrap();
         }
         // First two delivered, rest dropped: receiver times out on the 3rd.
         assert_eq!(b.try_recv(0).unwrap().into_tokens(), vec![0]);
@@ -1096,7 +1114,7 @@ mod tests {
         let b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
         for k in 0..20u32 {
-            a.try_send(1, Packet::Tokens(vec![k])).unwrap();
+            a.try_send(1, Packet::Tokens(vec![k].into())).unwrap();
         }
         for k in 0..20u32 {
             assert_eq!(b.try_recv(0).unwrap().into_tokens(), vec![k]);
@@ -1149,7 +1167,7 @@ mod tests {
         let b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
         for k in 0..5u32 {
-            a.try_send(1, Packet::Tokens(vec![k])).unwrap();
+            a.try_send(1, Packet::Tokens(vec![k].into())).unwrap();
         }
         // Message 0 delivered, 1 and 2 dropped, 3 and 4 delivered again.
         assert_eq!(b.try_recv(0).unwrap().into_tokens(), vec![0]);
@@ -1236,7 +1254,7 @@ mod tests {
 
     #[test]
     fn tagged_and_reform_packets_account_wire_bytes() {
-        let inner = Packet::Tokens(vec![1, 2, 3]);
+        let inner = Packet::Tokens(vec![1, 2, 3].into());
         let tagged = Packet::Tagged { epoch: 4, inner: Box::new(inner.clone()) };
         assert_eq!(tagged.nbytes(), 8 + inner.nbytes());
         assert_eq!(tagged.kind(), "Tagged");

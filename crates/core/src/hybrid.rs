@@ -75,7 +75,7 @@ impl ColumnShardedEmbedding {
     /// Forward: given every rank's batch tokens (`all_tokens[r]`), perform
     /// the local lookups and AlltoAll #1; returns this rank's full-width
     /// lookup output for its own batch.
-    pub fn forward<C: Comm>(&self, ep: &mut C, all_tokens: &[Vec<u32>]) -> DenseTensor {
+    pub fn forward<C: Comm, T: AsRef<[u32]>>(&self, ep: &mut C, all_tokens: &[T]) -> DenseTensor {
         assert_eq!(all_tokens.len(), ep.world(), "need every rank's tokens");
         let outgoing = self.lookup_parts(all_tokens);
         // AlltoAll #1: receive my batch's column blocks from every shard.
@@ -86,10 +86,10 @@ impl ColumnShardedEmbedding {
     /// Fallible [`Self::forward`]: AlltoAll #1 failures surface as typed
     /// [`CommError`]s instead of panics (see `embrace_collectives::ops`
     /// for the abort/poisoning contract).
-    pub fn try_forward<C: Comm>(
+    pub fn try_forward<C: Comm, T: AsRef<[u32]>>(
         &self,
         ep: &mut C,
-        all_tokens: &[Vec<u32>],
+        all_tokens: &[T],
     ) -> Result<DenseTensor, CommError> {
         assert_eq!(all_tokens.len(), ep.world(), "need every rank's tokens");
         let outgoing = self.lookup_parts(all_tokens);
@@ -101,8 +101,8 @@ impl ColumnShardedEmbedding {
     /// rank's batch against my column shard, producing one outgoing dense
     /// block per rank (the payload of AlltoAll #1). Split out so callers
     /// can route the exchange through a communication thread.
-    pub fn lookup_parts(&self, all_tokens: &[Vec<u32>]) -> Vec<DenseTensor> {
-        all_tokens.iter().map(|toks| self.shard.lookup(toks)).collect()
+    pub fn lookup_parts<T: AsRef<[u32]>>(&self, all_tokens: &[T]) -> Vec<DenseTensor> {
+        all_tokens.iter().map(|toks| self.shard.lookup(toks.as_ref())).collect()
     }
 
     /// Reassemble the full-width lookup output from the column blocks

@@ -45,12 +45,14 @@ pub mod dense;
 pub mod index;
 pub mod shard;
 pub mod sparse;
+pub mod tokens;
 
 pub use coalesce::{coalesce, coalesce_into, is_coalesced};
 pub use dense::DenseTensor;
 pub use index::{difference, index_select, intersect, unique_sorted, IndexSet};
 pub use shard::{column_partition, owner_of_row, row_partition, ColumnRange, RowRange};
 pub use sparse::RowSparse;
+pub use tokens::TokenBuf;
 
 /// Bytes per `f32` element; used throughout the cost model.
 pub const F32_BYTES: usize = 4;

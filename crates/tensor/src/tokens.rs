@@ -1,0 +1,158 @@
+//! Shared token-ID buffers.
+//!
+//! Token lists (batch samples, gathered vocab indices) travel through
+//! every collective: the token AllGather fans one rank's batch out to
+//! N−1 peers, and the scheduler's control plane re-broadcasts tag words
+//! each round. [`TokenBuf`] gives those payloads the same `Arc`-backed
+//! storage discipline as [`crate::DenseTensor`]: [`Clone`] /
+//! [`TokenBuf::share`] are O(1) reference-count bumps, so fan-out sends
+//! copy zero payload bytes, and [`TokenBuf::into_vec`] materialises a
+//! private buffer only when the storage is actually still aliased
+//! (counted by [`crate::alloc_counter`]).
+//!
+//! The buffer derefs to `[u32]`, so consumers keep slice ergonomics;
+//! `From<Vec<u32>>` keeps construction at call sites a plain `.into()`.
+
+use std::borrow::Borrow;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, cheaply shareable list of `u32` token IDs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TokenBuf {
+    data: Arc<Vec<u32>>,
+}
+
+impl TokenBuf {
+    /// Wrap a freshly materialised buffer, recording the allocation.
+    pub fn fresh(data: Vec<u32>) -> Self {
+        crate::alloc_counter::note(data.len() * crate::TOKEN_BYTES);
+        Self { data: Arc::new(data) }
+    }
+
+    /// O(1) handle onto the same storage (an `Arc` bump). Semantically
+    /// identical to [`Clone::clone`]; spelled out at collective send
+    /// sites so the `payload-clone` lint can tell cheap sharing from
+    /// deep copies.
+    pub fn share(&self) -> Self {
+        Self { data: Arc::clone(&self.data) }
+    }
+
+    /// True when other handles alias this buffer.
+    pub fn is_shared(&self) -> bool {
+        Arc::strong_count(&self.data) > 1
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size in bytes when transmitted.
+    pub fn nbytes(&self) -> usize {
+        self.len() * crate::TOKEN_BYTES
+    }
+
+    pub fn as_slice(&self) -> &[u32] {
+        &self.data
+    }
+
+    /// Take the buffer out. Free when this handle is the only owner;
+    /// copies (and counts the allocation) when the storage is shared.
+    pub fn into_vec(self) -> Vec<u32> {
+        Arc::try_unwrap(self.data).unwrap_or_else(|shared| {
+            crate::alloc_counter::note(shared.len() * crate::TOKEN_BYTES);
+            (*shared).clone()
+        })
+    }
+}
+
+impl From<Vec<u32>> for TokenBuf {
+    fn from(data: Vec<u32>) -> Self {
+        // The Vec was allocated by the caller; wrapping it is free.
+        Self { data: Arc::new(data) }
+    }
+}
+
+impl Deref for TokenBuf {
+    type Target = [u32];
+
+    fn deref(&self) -> &[u32] {
+        &self.data
+    }
+}
+
+impl Borrow<[u32]> for TokenBuf {
+    fn borrow(&self) -> &[u32] {
+        &self.data
+    }
+}
+
+impl AsRef<[u32]> for TokenBuf {
+    fn as_ref(&self) -> &[u32] {
+        &self.data
+    }
+}
+
+impl PartialEq<Vec<u32>> for TokenBuf {
+    fn eq(&self, other: &Vec<u32>) -> bool {
+        *self.data == *other
+    }
+}
+
+impl PartialEq<TokenBuf> for Vec<u32> {
+    fn eq(&self, other: &TokenBuf) -> bool {
+        *self == *other.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn share_is_aliased_and_equal() {
+        let a: TokenBuf = vec![1, 2, 3].into();
+        assert!(!a.is_shared());
+        let b = a.share();
+        assert!(a.is_shared() && b.is_shared());
+        assert_eq!(a, b);
+        assert_eq!(a, vec![1, 2, 3]);
+        assert_eq!(vec![1, 2, 3], a);
+    }
+
+    #[test]
+    fn deref_gives_slice_ergonomics() {
+        let t: TokenBuf = vec![5, 6, 7].into();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.nbytes(), 12);
+        assert_eq!(&t[1..], &[6, 7]);
+        assert_eq!(t.iter().sum::<u32>(), 18);
+        // Borrow<[u32]> makes `Vec<TokenBuf>` concatenable like `Vec<Vec<u32>>`.
+        assert_eq!([t.share(), vec![8].into()].concat(), vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn into_vec_is_free_when_unique_and_copies_when_shared() {
+        let a: TokenBuf = vec![1, 2].into();
+        crate::alloc_counter::reset();
+        assert_eq!(a.into_vec(), vec![1, 2]);
+        assert_eq!(crate::alloc_counter::events(), 0, "unique unwrap must not copy");
+        let b: TokenBuf = vec![3, 4].into();
+        let keep = b.share();
+        assert_eq!(b.into_vec(), vec![3, 4]);
+        assert_eq!(keep.as_slice(), &[3, 4]);
+        assert!(crate::alloc_counter::events() > 0, "shared unwrap must count its copy");
+    }
+
+    #[test]
+    fn fresh_counts_its_allocation() {
+        crate::alloc_counter::reset();
+        let t = TokenBuf::fresh(vec![0; 8]);
+        assert_eq!(t.len(), 8);
+        assert!(crate::alloc_counter::events() > 0);
+    }
+}

@@ -36,7 +36,9 @@ pub use real::{
     train_convergence, train_convergence_observed, ConvergenceConfig, ConvergenceResult,
     TrainMethod,
 };
-pub use scheduled::{train_convergence_scheduled, train_convergence_traced};
+pub use scheduled::{
+    train_convergence_scheduled, train_convergence_scheduled_observed, train_convergence_traced,
+};
 pub use sim::{simulate, simulate_full, simulate_with_trace, SimConfig, StepMetrics};
 pub use timeline::{chrome_export, ChromeExport};
 pub use translation::train_translation;

@@ -9,12 +9,13 @@
 //! changes performance, never semantics.
 
 use crate::real::{fwd_bwd_toy, init_toy_state, ConvergenceConfig, ConvergenceResult};
-use embrace_collectives::{mesh, CommOp, CommResult, CommScheduler, SubmittedOp};
+use embrace_collectives::{mesh, CommOp, CommResult, CommScheduler, OpTiming, SubmittedOp};
 use embrace_core::horizontal::{DELAYED_GRAD_PRIORITY, EMB_DATA_PRIORITY, PRIOR_GRAD_PRIORITY};
 use embrace_core::{vertical_split, ColumnShardedEmbedding};
 use embrace_dlsim::optim::{Adam, Optimizer, UpdatePart};
 use embrace_dlsim::Prefetcher;
 use embrace_models::{BatchGen, ZipfSampler};
+use embrace_obs::SpanSet;
 use embrace_tensor::RowSparse;
 
 /// Priority for gathering the next batch's tokens (scheduling metadata —
@@ -41,28 +42,53 @@ pub fn train_convergence_scheduled(cfg: &ConvergenceConfig) -> ConvergenceResult
 pub fn train_convergence_traced(
     cfg: &ConvergenceConfig,
 ) -> (ConvergenceResult, Vec<Vec<SubmittedOp>>) {
+    let (result, logs, _) = train_convergence_scheduled_observed(cfg, false);
+    (result, logs)
+}
+
+/// One rank's recorded observation: its scheduler's wall-clock spans
+/// plus the per-collective [`OpTiming`] log.
+pub type RankObservation = (SpanSet, Vec<OpTiming>);
+
+/// Like [`train_convergence_traced`], but when `observe` is set the comm
+/// schedulers also record wall-clock spans and [`OpTiming`] logs
+/// (harvested per rank), so the happens-before analyzer —
+/// `embrace_analyzer::hb` — can check a *live* threaded run for
+/// determinism violations, priority inversions, and unordered
+/// conflicting accesses.
+pub fn train_convergence_scheduled_observed(
+    cfg: &ConvergenceConfig,
+    observe: bool,
+) -> (ConvergenceResult, Vec<Vec<SubmittedOp>>, Vec<RankObservation>) {
     let endpoints = mesh(cfg.world);
     let mut losses_per_rank: Vec<Option<Vec<f64>>> = (0..cfg.world).map(|_| None).collect();
     let mut logs_per_rank: Vec<Vec<SubmittedOp>> = (0..cfg.world).map(|_| Vec::new()).collect();
+    let mut obs_per_rank: Vec<Option<RankObservation>> = (0..cfg.world).map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (rank, ep) in endpoints.into_iter().enumerate() {
-            handles.push(scope.spawn(move || (rank, worker(rank, ep, cfg))));
+            handles.push(scope.spawn(move || (rank, worker(rank, ep, cfg, observe))));
         }
         for h in handles {
-            let (rank, (losses, log)) = h.join().expect("worker panicked");
+            let (rank, (losses, log, obs)) = h.join().expect("worker panicked");
             losses_per_rank[rank] = Some(losses);
             logs_per_rank[rank] = log;
+            obs_per_rank[rank] = obs;
         }
     });
-    (ConvergenceResult { losses: losses_per_rank.remove(0).expect("rank 0 losses") }, logs_per_rank)
+    (
+        ConvergenceResult { losses: losses_per_rank.remove(0).expect("rank 0 losses") },
+        logs_per_rank,
+        obs_per_rank.into_iter().flatten().collect(),
+    )
 }
 
 fn worker(
     rank: usize,
     ep: embrace_collectives::Endpoint,
     cfg: &ConvergenceConfig,
-) -> (Vec<f64>, Vec<SubmittedOp>) {
+    observe: bool,
+) -> (Vec<f64>, Vec<SubmittedOp>, Option<RankObservation>) {
     // Chunked submission (§5.2's second dimension): the dense weight
     // allreduce is the bulk op here, and a small segment size guarantees
     // it genuinely partitions at toy dimensions, so urgent token gathers
@@ -70,7 +96,11 @@ fn worker(
     // bitwise-identical to unchunked, which the trajectory-equality test
     // against the inline pipeline (`scheduled_matches_inline_embrace`)
     // re-proves end to end on every run.
-    let mut comm = CommScheduler::spawn_chunked(ep, SCHED_CHUNK_BYTES);
+    let mut comm = if observe {
+        CommScheduler::spawn_chunked_observed(ep, SCHED_CHUNK_BYTES)
+    } else {
+        CommScheduler::spawn_chunked(ep, SCHED_CHUNK_BYTES)
+    };
     let (emb_init, w_init, targets) = init_toy_state(cfg);
     let mut emb = ColumnShardedEmbedding::new(&emb_init, rank, cfg.world);
     let mut w = w_init;
@@ -174,7 +204,8 @@ fn worker(
     }
     comm.flush();
     let log = comm.submitted().to_vec();
-    (losses, log)
+    let obs = comm.observation();
+    (losses, log, obs)
 }
 
 #[cfg(test)]
