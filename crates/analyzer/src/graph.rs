@@ -384,7 +384,7 @@ mod tests {
     use crate::plan::{
         allgather_plan, alltoall_plan, barrier_plan, broadcast_plan, chunked_alltoall_plan,
         chunked_ring_allreduce_plan, grad_alltoall_bytes, lookup_alltoall_bytes, reform_plan,
-        ring_allreduce_plan,
+        ring_allreduce_plan, sparse_allreduce_demo_plan,
     };
     use crate::verify::{mutate_p2p, verify_p2p, PlanMutation};
 
@@ -399,6 +399,7 @@ mod tests {
             alltoall_plan("alltoall_lookup", &lookup_alltoall_bytes(&rows, 8 * world)),
             alltoall_plan("alltoallv_grad", &grad_alltoall_bytes(&rows, 8 * world)),
             chunked_alltoall_plan("alltoall_chunked", &lookup_alltoall_bytes(&rows, 8 * world)),
+            sparse_allreduce_demo_plan(world),
             reform_plan(world),
         ]
     }
@@ -525,6 +526,7 @@ mod tests {
                     Collective::ChunkedRingAllreduce { elems: 2 * world + 1, seg: 2 },
                     chunked_ring_allreduce_plan(world, 2 * world + 1, 2),
                 ),
+                (Collective::SparseAllreduce, sparse_allreduce_demo_plan(world)),
                 (Collective::Reform, reform_plan(world)),
             ];
             for (collective, plan) in cases {

@@ -56,6 +56,16 @@ pub enum Collective {
     },
     AllgatherTokens,
     Alltoallv,
+    /// The sparse-native split allreduce (SSAR) of
+    /// `ops::sparse_allreduce`: fold-in of non-power-of-two extras,
+    /// recursive-halving reduce-scatter of (index, value) streams with
+    /// on-the-fly duplicate-summing merge, recursive-doubling allgather,
+    /// fold-out. The model carries sorted `(row, f32-bits)` pair streams
+    /// over a fixed [`SSAR_VOCAB`]-row vocabulary; the sparse→dense
+    /// crossover only changes payload *encoding*, never the peer/order
+    /// schedule or the pairwise summation tree, so one virtual program
+    /// covers every crossover setting.
+    SparseAllreduce,
     /// The chunked scheduler's segmented ring allreduce: `seg`-element
     /// units, one optional send + one optional recv per unit, mirroring
     /// `ChunkedExec::Ring::advance` (and `plan::chunked_ring_allreduce_plan`).
@@ -109,6 +119,7 @@ impl Collective {
             Collective::RingAllreduce { .. } => "ring_allreduce",
             Collective::AllgatherTokens => "allgather",
             Collective::Alltoallv => "alltoallv",
+            Collective::SparseAllreduce => "sparse_allreduce",
             Collective::ChunkedRingAllreduce { .. } => "ring_allreduce_chunked",
             Collective::ChunkedAllgather => "allgather_chunked",
             Collective::ChunkedAlltoallv => "alltoallv_chunked",
@@ -139,7 +150,7 @@ impl Collective {
         v
     }
 
-    /// The five collectives at their default check sizes.
+    /// The whole-op collectives at their default check sizes.
     pub fn all(world: usize) -> Vec<Collective> {
         vec![
             Collective::Barrier,
@@ -147,6 +158,7 @@ impl Collective {
             Collective::RingAllreduce { elems: 2 * world + 1 },
             Collective::AllgatherTokens,
             Collective::Alltoallv,
+            Collective::SparseAllreduce,
         ]
     }
 
@@ -336,6 +348,136 @@ fn micro_prog(cfg: &CheckConfig, rank: usize) -> Option<Vec<Micro>> {
     }
 }
 
+// --- Sparse-native split allreduce (SSAR) virtual program ----------------
+
+/// Vocabulary rows of the SSAR model (power of two keeps the halving
+/// midpoints clean; small enough for exhaustive enumeration).
+pub const SSAR_VOCAB: usize = 8;
+
+/// Rank `rank`'s coalesced `(row, f32-bits)` pair stream for the SSAR
+/// model: rank-dependent strides give per-rank index sets that partially
+/// overlap (shared rows exercise the duplicate-summing merge, unique rows
+/// the disjoint path); values are distinct per `(rank, row)`. Public so
+/// tests can replay the identical inputs through the real threaded
+/// collective and compare results bitwise.
+pub fn ssar_local(rank: usize) -> Vec<u32> {
+    let stride = rank % 3 + 1;
+    (rank % 2..SSAR_VOCAB)
+        .step_by(stride)
+        .flat_map(|i| [i as u32, ((rank * 7 + i) as f32 * 0.25 + 1.0).to_bits()])
+        .collect()
+}
+
+fn prev_pow2(n: usize) -> usize {
+    debug_assert!(n >= 1);
+    1 << (usize::BITS - 1 - n.leading_zeros())
+}
+
+/// One decoded SSAR instruction (`j` is the exchange-distance exponent).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SsarOp {
+    /// Extra rank ships its whole local stream to `rank − p`.
+    FoldSend,
+    /// Extra rank receives the assembled final result from `rank − p`.
+    FoldRecvResult,
+    /// Rank < extra merges the folded stream from `rank + p`.
+    FoldRecvMerge,
+    RsSend(u32),
+    RsRecv(u32),
+    AgSend(u32),
+    AgRecv(u32),
+    /// Rank < extra ships the assembled result to `rank + p`.
+    FoldSendResult,
+    Done,
+}
+
+/// Decode rank `rank`'s pc into its SSAR instruction — the same program
+/// order as `ops::try_sparse_allreduce` and `plan::sparse_allreduce_plan`.
+fn ssar_op(w: usize, rank: usize, pc: usize) -> SsarOp {
+    if w == 1 {
+        return SsarOp::Done;
+    }
+    let p = prev_pow2(w);
+    let extra = w - p;
+    if rank >= p {
+        return match pc {
+            0 => SsarOp::FoldSend,
+            1 => SsarOp::FoldRecvResult,
+            _ => SsarOp::Done,
+        };
+    }
+    let l = p.trailing_zeros() as usize;
+    let mut pc = pc;
+    if rank < extra {
+        if pc == 0 {
+            return SsarOp::FoldRecvMerge;
+        }
+        pc -= 1;
+    }
+    if pc < 2 * l {
+        let j = (pc / 2) as u32;
+        return if pc.is_multiple_of(2) { SsarOp::RsSend(j) } else { SsarOp::RsRecv(j) };
+    }
+    pc -= 2 * l;
+    if pc < 2 * l {
+        let j = (pc / 2) as u32;
+        return if pc.is_multiple_of(2) { SsarOp::AgSend(j) } else { SsarOp::AgRecv(j) };
+    }
+    pc -= 2 * l;
+    if rank < extra && pc == 0 {
+        return SsarOp::FoldSendResult;
+    }
+    SsarOp::Done
+}
+
+/// The vocabulary range rank `rank` owns after `steps` reduce-scatter
+/// halvings (bit `i` of the rank decides which half survives step `i`).
+fn ssar_range(rank: usize, steps: usize) -> (u32, u32) {
+    let (mut lo, mut hi) = (0u32, SSAR_VOCAB as u32);
+    for i in 0..steps {
+        let mid = lo + (hi - lo) / 2;
+        if rank & (1 << i) == 0 {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    (lo, hi)
+}
+
+/// The pairs of a sorted `(row, bits)` stream whose row lies in `[lo, hi)`.
+fn ssar_pairs_in(buf: &[u32], lo: u32, hi: u32) -> Vec<u32> {
+    buf.chunks(2).filter(|p| p[0] >= lo && p[0] < hi).flatten().copied().collect()
+}
+
+/// Merge two sorted pair streams, summing the f32 payloads of duplicate
+/// rows left-then-right — the model twin of `merge_rowsparse`.
+fn ssar_merge(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let (mut i, mut j) = (0, 0);
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.extend_from_slice(&a[i..i + 2]);
+                i += 2;
+            }
+            std::cmp::Ordering::Greater => {
+                out.extend_from_slice(&b[j..j + 2]);
+                j += 2;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                out.push((f32::from_bits(a[i + 1]) + f32::from_bits(b[j + 1])).to_bits());
+                i += 2;
+                j += 2;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
 // --- Elastic re-form handshake state machine -----------------------------
 //
 // Re-form ranks keep their protocol state in `RankState::buf` instead of a
@@ -481,6 +623,18 @@ fn action(cfg: &CheckConfig, rank: usize, pc: u32) -> Action {
                 Action::Finish
             }
         }
+        Collective::SparseAllreduce => {
+            let p = prev_pow2(w);
+            match ssar_op(w, rank, pc) {
+                SsarOp::Done => Action::Finish,
+                SsarOp::FoldSend => Action::Send(rank - p),
+                SsarOp::FoldRecvResult => Action::Recv(rank - p),
+                SsarOp::FoldRecvMerge => Action::Recv(rank + p),
+                SsarOp::FoldSendResult => Action::Send(rank + p),
+                SsarOp::RsSend(j) | SsarOp::AgSend(j) => Action::Send(rank ^ (1 << j)),
+                SsarOp::RsRecv(j) | SsarOp::AgRecv(j) => Action::Recv(rank ^ (1 << j)),
+            }
+        }
         Collective::ChunkedRingAllreduce { .. }
         | Collective::ChunkedAllgather
         | Collective::ChunkedAlltoallv
@@ -562,6 +716,19 @@ fn send_payload(cfg: &CheckConfig, rank: usize, st: &RankState) -> VPacket {
             };
             VPacket::Data(st.buf[chunks[send_c].start..chunks[send_c].end].to_vec())
         }
+        Collective::SparseAllreduce => match ssar_op(w, rank, st.pc as usize) {
+            // Fold-in, allgather and fold-out ship the whole stream.
+            SsarOp::FoldSend | SsarOp::FoldSendResult | SsarOp::AgSend(_) => {
+                VPacket::Data(st.buf.clone())
+            }
+            SsarOp::RsSend(j) => {
+                let (lo, hi) = ssar_range(rank, j as usize);
+                let mid = lo + (hi - lo) / 2;
+                let (slo, shi) = if rank & (1 << j) == 0 { (mid, hi) } else { (lo, mid) };
+                VPacket::Data(ssar_pairs_in(&st.buf, slo, shi))
+            }
+            other => unreachable!("SSAR send scheduled at {other:?}"),
+        },
         Collective::ChunkedRingAllreduce { .. }
         | Collective::ChunkedAllgather
         | Collective::ChunkedAlltoallv
@@ -616,6 +783,23 @@ fn handle_recv(cfg: &CheckConfig, rank: usize, st: &mut RankState, from: usize, 
                 st.buf[chunks[recv_c].start..chunks[recv_c].end].copy_from_slice(&d);
             }
         }
+        (Collective::SparseAllreduce, VPacket::Data(d)) => {
+            match ssar_op(w, rank, st.pc as usize) {
+                // Fold-out delivers the finished result verbatim.
+                SsarOp::FoldRecvResult => st.buf = d,
+                // Fold-in and allgather merge whole streams (allgather
+                // segments are disjoint, so no sums actually occur there).
+                SsarOp::FoldRecvMerge | SsarOp::AgRecv(_) => st.buf = ssar_merge(&st.buf, &d),
+                SsarOp::RsRecv(j) => {
+                    let (lo, hi) = ssar_range(rank, j as usize);
+                    let mid = lo + (hi - lo) / 2;
+                    let (klo, khi) = if rank & (1 << j) == 0 { (lo, mid) } else { (mid, hi) };
+                    let kept = ssar_pairs_in(&st.buf, klo, khi);
+                    st.buf = ssar_merge(&kept, &d);
+                }
+                other => unreachable!("SSAR recv scheduled at {other:?}"),
+            }
+        }
         (c, p) => unreachable!("model protocol violation: {c:?} received {p:?}"),
     }
 }
@@ -636,6 +820,7 @@ impl World {
                     | Collective::ChunkedAlltoallv => {
                         (Vec::new(), vec![Vec::new(); w], Status::Running)
                     }
+                    Collective::SparseAllreduce => (ssar_local(rank), Vec::new(), Status::Running),
                     // The preempted ring carries both the ring buffer and
                     // the preemptor gather's output slots.
                     Collective::PreemptedRing { elems, .. } => {
@@ -1148,6 +1333,33 @@ mod tests {
                         assert_eq!(out[crash], RankOutcome::Err(VErr::Crashed));
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_allreduce_result_is_the_rowwise_sum() {
+        for world in 1..=5 {
+            let r = check_collective(world, Collective::SparseAllreduce);
+            assert!(r.deterministic_success(), "{}", r.summary());
+            // Reference: the inputs are small multiples of 0.25, so f32
+            // addition is exact and the row sums are order-independent.
+            let mut expect: Vec<Option<f32>> = vec![None; SSAR_VOCAB];
+            for rank in 0..world {
+                for p in ssar_local(rank).chunks(2) {
+                    let e = &mut expect[p[0] as usize];
+                    *e = Some(e.unwrap_or(0.0) + f32::from_bits(p[1]));
+                }
+            }
+            let pairs: Vec<u32> = expect
+                .iter()
+                .enumerate()
+                .filter_map(|(i, v)| v.map(|v| [i as u32, v.to_bits()]))
+                .flatten()
+                .collect();
+            for o in r.unique_outcome().expect("deterministic") {
+                let RankOutcome::Ok { buf, .. } = o else { panic!("rank failed") };
+                assert_eq!(buf, &pairs, "world {world}");
             }
         }
     }

@@ -18,7 +18,7 @@
 //! `verify` consumes both levels; `model_check` executes the same
 //! collectives under a virtual scheduler.
 
-use embrace_collectives::{Comm, CommError, Packet, ReformMsg, SubmittedOp};
+use embrace_collectives::{Comm, CommError, Packet, ReformMsg, SubmittedOp, SEG_HEADER_BYTES};
 use embrace_core::{CommKind, Priorities};
 use embrace_tensor::{column_partition, row_partition, F32_BYTES, INDEX_BYTES};
 
@@ -334,6 +334,190 @@ pub fn reform_plan(world: usize) -> P2pPlan {
     plan
 }
 
+/// One simulated SSAR segment: an index range plus the representation the
+/// runtime would carry for it. While sparse, `set` is the exact union of
+/// contributing coalesced index sets restricted to `[lo, hi)` — the merge
+/// kernel sums duplicates but never prunes zero rows, so the planned nnz
+/// equals the runtime nnz regardless of values.
+#[derive(Clone, Debug)]
+struct SimSeg {
+    lo: u32,
+    hi: u32,
+    dense: bool,
+    set: Vec<u32>,
+}
+
+impl SimSeg {
+    /// Wire bytes of this segment, matching `SparseSeg::nbytes`.
+    fn nbytes(&self, dim: usize) -> u64 {
+        let body = if self.dense {
+            (self.hi - self.lo) as usize * dim * F32_BYTES
+        } else {
+            self.set.len() * (INDEX_BYTES + dim * F32_BYTES)
+        };
+        (SEG_HEADER_BYTES + body) as u64
+    }
+}
+
+/// The runtime's crossover rule (`ops::mk_body`): densify when the
+/// density of the freshly produced stream reaches `crossover`.
+fn ssar_crossed(nnz: usize, lo: u32, hi: u32, crossover: f64) -> bool {
+    hi > lo && nnz as f64 / (hi - lo) as f64 >= crossover
+}
+
+/// Merge two same-range segments the way `ops::merge_bodies` does:
+/// sparse+sparse unions the index sets and re-applies the crossover rule;
+/// a dense operand keeps the result dense (densification is one-way).
+fn ssar_merge(a: SimSeg, b: SimSeg, crossover: f64) -> SimSeg {
+    debug_assert_eq!((a.lo, a.hi), (b.lo, b.hi));
+    let mut set = Vec::with_capacity(a.set.len() + b.set.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.set.len() && j < b.set.len() {
+        match a.set[i].cmp(&b.set[j]) {
+            std::cmp::Ordering::Less => {
+                set.push(a.set[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                set.push(b.set[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                set.push(a.set[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    set.extend_from_slice(&a.set[i..]);
+    set.extend_from_slice(&b.set[j..]);
+    let dense = a.dense || b.dense || ssar_crossed(set.len(), a.lo, a.hi, crossover);
+    SimSeg { lo: a.lo, hi: a.hi, dense, set }
+}
+
+/// Split a segment at `mid` the way `ops::split_body` does: the index set
+/// partitions; a dense segment yields two dense halves.
+fn ssar_split(seg: &SimSeg, mid: u32) -> (SimSeg, SimSeg) {
+    let pos = seg.set.partition_point(|&i| i < mid);
+    (
+        SimSeg { lo: seg.lo, hi: mid, dense: seg.dense, set: seg.set[..pos].to_vec() },
+        SimSeg { lo: mid, hi: seg.hi, dense: seg.dense, set: seg.set[pos..].to_vec() },
+    )
+}
+
+fn prev_pow2(n: usize) -> usize {
+    debug_assert!(n >= 1);
+    1 << (usize::BITS - 1 - n.leading_zeros())
+}
+
+/// Plan of [`embrace_collectives::ops::sparse_allreduce`] (SSAR): fold-in
+/// of non-power-of-two extras, recursive-halving reduce-scatter,
+/// recursive-doubling allgather, fold-out. `locals[r]` is rank `r`'s raw
+/// (possibly duplicated, unsorted) gradient row indices; the generator
+/// coalesces them and simulates the exact per-step index-set unions and
+/// sparse→dense crossover decisions, so every planned byte count equals
+/// the runtime's `Packet::SparseSegs` wire size for the same inputs.
+pub fn sparse_allreduce_plan(
+    world: usize,
+    locals: &[Vec<u32>],
+    dim: usize,
+    vocab: usize,
+    crossover: f64,
+) -> P2pPlan {
+    assert_eq!(locals.len(), world, "one index list per rank");
+    assert!(u32::try_from(vocab).is_ok(), "vocab must fit u32");
+    let vocab32 = vocab as u32;
+    let mut plan = P2pPlan::new("sparse_allreduce", world);
+    if world == 1 {
+        return plan;
+    }
+    let init: Vec<SimSeg> = locals
+        .iter()
+        .map(|raw| {
+            let mut set = raw.clone();
+            set.sort_unstable();
+            set.dedup();
+            if let Some(&max) = set.last() {
+                assert!(max < vocab32, "row index {max} out of vocab {vocab}");
+            }
+            let dense = ssar_crossed(set.len(), 0, vocab32, crossover);
+            SimSeg { lo: 0, hi: vocab32, dense, set }
+        })
+        .collect();
+    let p = prev_pow2(world);
+    let extra = world - p;
+
+    // Fold-in: extras ship their whole stream to rank − p.
+    let mut acc: Vec<SimSeg> = init[..p].to_vec();
+    for r in p..world {
+        let bytes = init[r].nbytes(dim);
+        plan.ranks[r].push(P2pOp::Send { to: r - p, bytes });
+        plan.ranks[r - p].push(P2pOp::Recv { from: r, bytes });
+        let folded = std::mem::replace(
+            &mut acc[r - p],
+            SimSeg { lo: 0, hi: vocab32, dense: false, set: Vec::new() },
+        );
+        acc[r - p] = ssar_merge(folded, init[r].clone(), crossover);
+    }
+
+    // Recursive-halving reduce-scatter. Partners at distance d differ only
+    // in bit d, and every consumed bit is below d, so both hold the same
+    // range and split at the same midpoint.
+    let mut d = 1;
+    while d < p {
+        let prev = acc.clone();
+        for r in 0..p {
+            let partner = r ^ d;
+            let mid = prev[r].lo + (prev[r].hi - prev[r].lo) / 2;
+            let (low, high) = ssar_split(&prev[r], mid);
+            let (keep, sent) = if r & d == 0 { (low, high) } else { (high, low) };
+            let (plow, phigh) = ssar_split(&prev[partner], mid);
+            let incoming = if r & d == 0 { plow } else { phigh };
+            plan.ranks[r].push(P2pOp::Send { to: partner, bytes: sent.nbytes(dim) });
+            plan.ranks[r].push(P2pOp::Recv { from: partner, bytes: incoming.nbytes(dim) });
+            acc[r] = ssar_merge(keep, incoming, crossover);
+        }
+        d *= 2;
+    }
+
+    // Recursive-doubling allgather: whole accumulated segment lists cross.
+    let mut lists: Vec<Vec<SimSeg>> = acc.into_iter().map(|s| vec![s]).collect();
+    let mut d = 1;
+    while d < p {
+        let prev_bytes: Vec<u64> =
+            lists.iter().map(|l| l.iter().map(|s| s.nbytes(dim)).sum()).collect();
+        let snapshot = lists.clone();
+        for r in 0..p {
+            let partner = r ^ d;
+            plan.ranks[r].push(P2pOp::Send { to: partner, bytes: prev_bytes[r] });
+            plan.ranks[r].push(P2pOp::Recv { from: partner, bytes: prev_bytes[partner] });
+            lists[r].extend(snapshot[partner].iter().cloned());
+        }
+        d *= 2;
+    }
+
+    // Fold-out: assembled result back to the extras.
+    for (r, list) in lists.iter().enumerate().take(extra) {
+        let bytes: u64 = list.iter().map(|s| s.nbytes(dim)).sum();
+        plan.ranks[r].push(P2pOp::Send { to: r + p, bytes });
+        plan.ranks[r + p].push(P2pOp::Recv { from: r, bytes });
+    }
+    plan
+}
+
+/// Deterministic demo instance of the SSAR plan for the verification
+/// sweeps: a fixed small vocabulary with rank-dependent stride patterns
+/// (rank `r` touches every `(r mod 5 + 2)`-th row starting at `r`), at a
+/// mid-range crossover so both sparse and densified segments appear.
+/// Cheap enough to generate at world 1024 for the wait-graph sweep.
+pub fn sparse_allreduce_demo_plan(world: usize) -> P2pPlan {
+    let vocab = 512;
+    let locals: Vec<Vec<u32>> = (0..world)
+        .map(|r| (r % 17..vocab).step_by(r % 5 + 2).map(|i| i as u32).collect())
+        .collect();
+    sparse_allreduce_plan(world, &locals, 4, vocab, 0.5)
+}
+
 /// One collective in a rank's schedule plan.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PlannedCollective {
@@ -590,6 +774,71 @@ mod tests {
             assert_eq!(p.link_traffic(1, 0), (1, (TOKEN_BYTES + 8) as u64));
             let commit = (8 + world * TOKEN_BYTES) as u64;
             assert_eq!(p.link_traffic(0, 1), (2, (TOKEN_BYTES + 8) as u64 + commit));
+        }
+    }
+
+    #[test]
+    fn sparse_allreduce_plan_is_clean_and_conserves_bytes() {
+        for world in [2usize, 3, 4, 5, 7, 8] {
+            for crossover in [2.0, 0.5, 0.0] {
+                let locals: Vec<Vec<u32>> = (0..world)
+                    .map(|r| (r as u32..64).step_by(r + 2).chain([r as u32]).collect())
+                    .collect();
+                let p = sparse_allreduce_plan(world, &locals, 4, 64, crossover);
+                assert_eq!(p.kind, "sparse_allreduce");
+                let diags = crate::verify::verify_p2p(&p);
+                assert!(diags.is_empty(), "world {world} x {crossover}: {diags:?}");
+                let sent: u64 = (0..world).map(|r| p.bytes_sent(r)).sum();
+                let recv: u64 = (0..world).map(|r| p.bytes_received(r)).sum();
+                assert_eq!(sent, recv, "world {world} x {crossover}");
+            }
+        }
+        assert!(sparse_allreduce_plan(1, &[vec![3, 1]], 4, 8, 0.5).ranks[0].is_empty());
+    }
+
+    #[test]
+    fn sparse_allreduce_plan_crossover_bounds_bytes() {
+        // crossover 0.0 forces dense segments everywhere: every wire byte
+        // count is the dense range size, independent of index sets.
+        let locals: Vec<Vec<u32>> = vec![vec![0], vec![1], vec![2], vec![3]];
+        let dense = sparse_allreduce_plan(4, &locals, 2, 16, 0.0);
+        let expect_half = (SEG_HEADER_BYTES + 8 * 2 * F32_BYTES) as u64;
+        let expect_quarter = (SEG_HEADER_BYTES + 4 * 2 * F32_BYTES) as u64;
+        assert_eq!(
+            dense.ranks[0],
+            vec![
+                P2pOp::Send { to: 1, bytes: expect_half },
+                P2pOp::Recv { from: 1, bytes: expect_half },
+                P2pOp::Send { to: 2, bytes: expect_quarter },
+                P2pOp::Recv { from: 2, bytes: expect_quarter },
+                P2pOp::Send { to: 1, bytes: expect_quarter },
+                P2pOp::Recv { from: 1, bytes: expect_quarter },
+                P2pOp::Send { to: 2, bytes: 2 * expect_quarter },
+                P2pOp::Recv { from: 2, bytes: 2 * expect_quarter },
+            ]
+        );
+        // crossover > 1.0 never densifies: byte counts track nnz exactly,
+        // and sparse traffic undercuts dense when density is low.
+        let sparse = sparse_allreduce_plan(4, &locals, 2, 16, 2.0);
+        for r in 0..4 {
+            assert!(sparse.bytes_sent(r) < dense.bytes_sent(r), "rank {r}");
+        }
+        let row = (INDEX_BYTES + 2 * F32_BYTES) as u64;
+        // Rank 0 step 1: upper half [8,16) is empty, lower-half recv from
+        // rank 1 carries its single row {1}.
+        assert_eq!(sparse.ranks[0][0], P2pOp::Send { to: 1, bytes: SEG_HEADER_BYTES as u64 });
+        assert_eq!(
+            sparse.ranks[0][1],
+            P2pOp::Recv { from: 1, bytes: SEG_HEADER_BYTES as u64 + row }
+        );
+    }
+
+    #[test]
+    fn sparse_allreduce_demo_plan_scales() {
+        for world in [1usize, 2, 3, 4, 8, 16, 64] {
+            let p = sparse_allreduce_demo_plan(world);
+            let diags = crate::verify::verify_p2p(&p);
+            assert!(diags.is_empty(), "world {world}: {diags:?}");
         }
     }
 

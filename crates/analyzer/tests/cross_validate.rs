@@ -15,10 +15,16 @@ use embrace_analyzer::model_check::{
 };
 use embrace_analyzer::plan::{
     allgather_plan, alltoall_plan, barrier_plan, broadcast_plan, ring_allreduce_plan,
+    sparse_allreduce_plan,
 };
-use embrace_analyzer::{verify_p2p, verify_schedule, P2pOp, RecordingEndpoint, SchedulePlan};
+use embrace_analyzer::verify::mutate_p2p;
+use embrace_analyzer::{
+    analyze_p2p, enumerate_p2p, graph_deadlocks, verify_p2p, verify_schedule, P2pOp, PlanMutation,
+    RecordingEndpoint, SchedulePlan,
+};
+use embrace_collectives::ops::{sparse_allreduce, SsarConfig};
 use embrace_collectives::{run_group, Comm, Endpoint, Packet};
-use embrace_tensor::{DenseTensor, F32_BYTES, TOKEN_BYTES};
+use embrace_tensor::{DenseTensor, RowSparse, F32_BYTES, TOKEN_BYTES};
 use embrace_trainer::scheduled::train_convergence_traced;
 
 /// After running `f` on a live mesh, every rank's per-peer (msgs, bytes)
@@ -106,6 +112,74 @@ fn alltoall_plan_matches_real_traffic() {
                 .collect();
             embrace_collectives::ops::alltoall_dense(ep, parts);
         });
+    }
+}
+
+/// Deterministic duplicate-free per-rank index sets with partial overlap —
+/// the same sets handed to the plan generator and to the live collective.
+fn ssar_locals(world: usize, vocab: usize) -> Vec<Vec<u32>> {
+    (0..world).map(|r| (r % 3..vocab).step_by(r % 4 + 2).map(|i| i as u32).collect()).collect()
+}
+
+#[test]
+fn sparse_allreduce_plan_matches_real_traffic() {
+    // The SSAR plan simulates index-set unions and the representation
+    // switch; the live collective sends real index–value streams. Their
+    // per-link (msgs, bytes) must agree exactly at every crossover mode.
+    let (vocab, dim) = (24usize, 3usize);
+    for world in 2..=5 {
+        for crossover in [2.0, 0.5, 0.0] {
+            let locals = ssar_locals(world, vocab);
+            let plan = sparse_allreduce_plan(world, &locals, dim, vocab, crossover);
+            let l = locals.clone();
+            assert_counters_match_plan(world, &plan, move |rank, ep| {
+                let idx = l[rank].clone();
+                let n = idx.len();
+                let grad = RowSparse::new(idx, DenseTensor::full(n, dim, 0.25));
+                let out = sparse_allreduce(ep, &grad, &SsarConfig { vocab, crossover });
+                std::hint::black_box(&out);
+            });
+        }
+    }
+}
+
+#[test]
+fn mutated_sparse_allreduce_plans_fail_all_three_analyses() {
+    // Seeded single defects on the SSAR plan family: the FIFO pairing
+    // verifier, the wait-for graph, and the greedy enumeration must each
+    // catch DropSend and RetargetSend, and the two deadlock verdicts must
+    // agree with actual execution.
+    let (vocab, dim) = (24usize, 3usize);
+    for world in [2usize, 3, 4, 5] {
+        let plan0 = sparse_allreduce_plan(world, &ssar_locals(world, vocab), dim, vocab, 0.5);
+        assert!(verify_p2p(&plan0).is_empty(), "world {world}: baseline plan must be clean");
+        assert!(!graph_deadlocks(&analyze_p2p(&plan0)));
+        assert!(enumerate_p2p(&plan0).deadlock_free());
+        for rank in 0..world {
+            for mutation in [
+                PlanMutation::DropSend { rank, index: 0 },
+                PlanMutation::RetargetSend { rank, index: 0 },
+            ] {
+                let mut plan = plan0.clone();
+                if !mutate_p2p(&mut plan, mutation) {
+                    continue; // world 2 has no alternative retarget peer
+                }
+                let verdicts = verify_p2p(&plan);
+                assert!(!verdicts.is_empty(), "verifier missed {mutation:?} at world {world}");
+                let graph = analyze_p2p(&plan);
+                assert!(!graph.is_empty(), "wait-graph missed {mutation:?} at world {world}");
+                let exec = enumerate_p2p(&plan);
+                // A dropped or misdirected send starves its matching
+                // receive: the mutated plan must actually deadlock, and
+                // the structural verdict must say the same.
+                assert!(!exec.deadlock_free(), "{mutation:?} at world {world} still completes");
+                assert_eq!(
+                    graph_deadlocks(&graph),
+                    !exec.deadlock_free(),
+                    "graph vs enumeration disagree on {mutation:?} at world {world}"
+                );
+            }
+        }
     }
 }
 

@@ -20,9 +20,17 @@
 //! ```text
 //! { "schema": "bench-collectives-v1",
 //!   "runs": [ { "label": "...", "mode": "quick|full",
-//!               "entries": [ { "op", "world", "bytes",
+//!               "entries": [ { "op", "world", "bytes", "density",
 //!                              "iters", "ns_per_iter", "gb_per_s" } ] } ] }
 //! ```
+//!
+//! Besides the payload-size sweep, each run records a *density* sweep:
+//! `sparse_allreduce` (the sparse-native SSAR) against
+//! `sparse_hybrid_alltoallv` (coalesce → AlltoAllv shard scatter →
+//! local reduce → allgather) at fixed vocabulary and varying gradient
+//! row density — the crossover where the hybrid overtakes the
+//! sparse-native path is the number §4's representation switch is
+//! calibrated against. `density` is 0 for size-sweep and HOL entries.
 //!
 //! `bytes` is the per-rank logical payload (the buffer being reduced /
 //! gathered / exchanged); `gb_per_s` is that payload divided by wall time
@@ -31,11 +39,14 @@
 
 use embrace_collectives::group::run_group;
 use embrace_collectives::ops::{
-    allgather_dense, alltoallv_sparse, broadcast, ring_allreduce, ring_allreduce_pipelined,
+    allgather_dense, allgather_sparse, alltoallv_sparse, broadcast, ring_allreduce,
+    ring_allreduce_pipelined, sparse_allreduce, SsarConfig,
 };
 use embrace_collectives::transport::Packet;
 use embrace_obs::json;
-use embrace_tensor::{DenseTensor, RowSparse, F32_BYTES};
+use embrace_tensor::{
+    coalesce, merge_rowsparse, row_partition, DenseTensor, RowSparse, F32_BYTES, INDEX_BYTES,
+};
 use std::time::Instant;
 
 const WORLDS: [usize; 3] = [2, 4, 8];
@@ -56,6 +67,8 @@ struct Entry {
     op: &'static str,
     world: usize,
     bytes: usize,
+    /// Gradient row density of a density-sweep cell, 0 for size-sweep ops.
+    density: f64,
     iters: u64,
     ns_per_iter: u64,
     gb_per_s: f64,
@@ -148,7 +161,96 @@ fn bench_cell(op: &'static str, world: usize, bytes: usize, mode: Mode) -> Entry
         other => panic!("unknown op {other}"),
     };
     let gb_per_s = if ns == 0 { 0.0 } else { bytes as f64 / ns as f64 };
-    Entry { op, world, bytes, iters, ns_per_iter: ns, gb_per_s }
+    Entry { op, world, bytes, density: 0.0, iters, ns_per_iter: ns, gb_per_s }
+}
+
+/// Vocabulary rows shaping the sparse-allreduce density sweep.
+const SWEEP_VOCAB: usize = 1 << 15;
+/// Crossover threshold used for the sparse-native cells: segments densify
+/// once their accumulated row density reaches one half.
+const SWEEP_CROSSOVER: f64 = 0.5;
+const FULL_DENSITIES: [f64; 6] = [1e-4, 1e-3, 1e-2, 0.1, 0.3, 1.0];
+const QUICK_DENSITIES: [f64; 2] = [1e-3, 0.1];
+
+/// Per-rank gradient at `density`: distinct strided indices with a
+/// rank-dependent offset, so rank index sets overlap partially (fully at
+/// density 1) the way hot embedding rows do across batches.
+fn density_grad(rank: usize, density: f64) -> RowSparse {
+    let nnz = ((density * SWEEP_VOCAB as f64) as usize).clamp(1, SWEEP_VOCAB);
+    let stride = (SWEEP_VOCAB / nnz).max(1);
+    let offset = (rank * 13) % stride;
+    let indices: Vec<u32> = (0..nnz).map(|i| (i * stride + offset) as u32).collect();
+    RowSparse::new(indices, DenseTensor::full(nnz, SPARSE_DIM, 1.0))
+}
+
+/// The pre-SSAR baseline: coalesce the local gradient, scatter row shards
+/// to their owners over AlltoAllv, reduce each shard locally, then
+/// allgather the reduced shards — a sparse allreduce assembled from the
+/// alltoallv + allgather primitives.
+fn hybrid_sparse_allreduce(
+    ep: &mut embrace_collectives::transport::Endpoint,
+    grad: &RowSparse,
+) -> Vec<RowSparse> {
+    let world = ep.world();
+    let mut rest = coalesce(grad);
+    let mut parts = Vec::with_capacity(world);
+    for range in row_partition(SWEEP_VOCAB, world) {
+        let (head, tail) = rest.split_at_row(range.end as u32);
+        parts.push(head);
+        rest = tail;
+    }
+    let received = alltoallv_sparse(ep, parts);
+    let reduced = merge_rowsparse(&received);
+    allgather_sparse(ep, reduced)
+}
+
+/// Sweep gradient density at fixed vocabulary: the sparse-native SSAR
+/// against the coalesce→alltoallv hybrid it replaces. `bytes` is the
+/// per-rank logical payload (indices + values); the interesting output is
+/// where the sparse-native goodput crosses the hybrid's as density rises.
+fn run_density_sweep(mode: Mode) -> Vec<Entry> {
+    let densities: &[f64] = match mode {
+        Mode::Quick => &QUICK_DENSITIES,
+        Mode::Full => &FULL_DENSITIES,
+    };
+    let mut entries = Vec::new();
+    for &world in &WORLDS {
+        for &density in densities {
+            let grads: Vec<RowSparse> = (0..world).map(|r| density_grad(r, density)).collect();
+            let bytes = grads[0].nnz_rows() * (INDEX_BYTES + SPARSE_DIM * F32_BYTES);
+            let iters = iters_for(bytes, mode);
+            for op in ["sparse_allreduce", "sparse_hybrid_alltoallv"] {
+                let g = grads.clone();
+                let ns = match op {
+                    "sparse_allreduce" => time_group(world, iters, move |rank, ep| {
+                        let cfg = SsarConfig { vocab: SWEEP_VOCAB, crossover: SWEEP_CROSSOVER };
+                        let out = sparse_allreduce(ep, &g[rank], &cfg);
+                        std::hint::black_box(&out);
+                    }),
+                    _ => time_group(world, iters, move |rank, ep| {
+                        let out = hybrid_sparse_allreduce(ep, &g[rank]);
+                        std::hint::black_box(&out);
+                    }),
+                };
+                let gb_per_s = if ns == 0 { 0.0 } else { bytes as f64 / ns as f64 };
+                let e = Entry { op, world, bytes, density, iters, ns_per_iter: ns, gb_per_s };
+                println!(
+                    "{:<26} world={world} δ={density:<8} {:>9} B  {:>12} ns/iter  {:>8.3} GB/s  ({} iters)",
+                    e.op, e.bytes, e.ns_per_iter, e.gb_per_s, e.iters
+                );
+                entries.push(e);
+            }
+            let n = entries.len();
+            let (ssar, hybrid) = (&entries[n - 2], &entries[n - 1]);
+            if ssar.ns_per_iter > 0 && hybrid.ns_per_iter > 0 {
+                println!(
+                    "    sparse-native vs hybrid at δ={density}: {:.2}x",
+                    hybrid.ns_per_iter as f64 / ssar.ns_per_iter as f64
+                );
+            }
+        }
+    }
+    entries
 }
 
 fn run_sweep(mode: Mode) -> Vec<Entry> {
@@ -253,6 +355,7 @@ fn bench_hol(chunk: Option<usize>) -> Entry {
         op: if chunk.is_some() { "hol_p95_wait_chunked" } else { "hol_p95_wait_nochunk" },
         world: HOL_WORLD,
         bytes: HOL_BULK_ELEMS * F32_BYTES,
+        density: 0.0,
         iters: waits.len() as u64,
         ns_per_iter: (p95 * 1e9) as u64,
         gb_per_s: 0.0,
@@ -278,9 +381,9 @@ fn run_hol() -> Vec<Entry> {
 
 fn fmt_entry(e: &Entry) -> String {
     format!(
-        "{{\"op\":\"{}\",\"world\":{},\"bytes\":{},\"iters\":{},\
+        "{{\"op\":\"{}\",\"world\":{},\"bytes\":{},\"density\":{},\"iters\":{},\
          \"ns_per_iter\":{},\"gb_per_s\":{:.6}}}",
-        e.op, e.world, e.bytes, e.iters, e.ns_per_iter, e.gb_per_s
+        e.op, e.world, e.bytes, e.density, e.iters, e.ns_per_iter, e.gb_per_s
     )
 }
 
@@ -350,7 +453,7 @@ fn report_delta(doc: &json::Value, label: &str) {
     if label == "before" {
         return;
     }
-    let entries = |r: &json::Value| -> Vec<(String, usize, usize, f64)> {
+    let entries = |r: &json::Value| -> Vec<(String, usize, usize, f64, f64)> {
         r.get("entries")
             .and_then(|e| e.as_arr())
             .map(|es| {
@@ -360,6 +463,7 @@ fn report_delta(doc: &json::Value, label: &str) {
                             e.get("op")?.as_str()?.to_string(),
                             e.get("world")?.as_f64()? as usize,
                             e.get("bytes")?.as_f64()? as usize,
+                            e.get("density").and_then(json::Value::as_f64).unwrap_or(0.0),
                             e.get("gb_per_s")?.as_f64()?,
                         ))
                     })
@@ -369,9 +473,10 @@ fn report_delta(doc: &json::Value, label: &str) {
     };
     let base = entries(before);
     println!("\ndelta vs \"before\":");
-    for (op, world, bytes, gbs) in entries(after) {
-        if let Some((.., b)) =
-            base.iter().find(|(o, w, by, _)| *o == op && *w == world && *by == bytes)
+    for (op, world, bytes, density, gbs) in entries(after) {
+        if let Some((.., b)) = base
+            .iter()
+            .find(|(o, w, by, d, _)| *o == op && *w == world && *by == bytes && *d == density)
         {
             if *b > 0.0 {
                 println!("{op:<26} world={world} {bytes:>9} B  {:>6.2}x", gbs / b);
@@ -403,6 +508,7 @@ fn main() {
         if mode == Mode::Quick { "quick" } else { "full" }
     );
     let mut entries = run_sweep(mode);
+    entries.extend(run_density_sweep(mode));
     entries.extend(run_hol());
     let new_run = fmt_run(&label, mode, &entries);
     let doc = merge_into_file(&out, &label, new_run).unwrap_or_else(|e| {

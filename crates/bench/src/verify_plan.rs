@@ -1,8 +1,9 @@
 //! The `verify-plan` subcommand of `embrace_sim`: run the static
 //! comm-plan verifier over all four paper model specs, demonstrate the
-//! seeded-mutation detectors, model-check the five collectives plus the
-//! elastic re-form handshake for worlds 2–4, and prove the graph
-//! analyzer agrees with both enumeration oracles.
+//! seeded-mutation detectors, model-check the six collectives (including
+//! the sparse-native split allreduce) plus the elastic re-form handshake
+//! for worlds 2–4, and prove the graph analyzer agrees with both
+//! enumeration oracles.
 //!
 //! `--large [--quick] [--out FILE]` switches to the wait-for-graph sweep:
 //! every plan family at worlds 64–1024 (64/256 with `--quick`), proving
@@ -19,7 +20,8 @@ use embrace_analyzer::model_check::{check, CheckConfig, Collective};
 use embrace_analyzer::plan::{
     allgather_plan, alltoall_plan, barrier_plan, broadcast_plan, chunked_alltoall_plan,
     chunked_ring_allreduce_plan, grad_alltoall_bytes, horizontal_schedule_plan,
-    lookup_alltoall_bytes, reform_plan, ring_allreduce_plan, P2pPlan,
+    lookup_alltoall_bytes, reform_plan, ring_allreduce_plan, sparse_allreduce_demo_plan,
+    sparse_allreduce_plan, P2pPlan,
 };
 use embrace_analyzer::verify::{mutate_p2p, mutate_partition, mutate_schedule};
 use embrace_analyzer::{
@@ -91,7 +93,14 @@ fn verify_model(spec: &ModelSpec, world: usize) -> Result<usize, String> {
         expect_clean(&format!("{} {} lookup alltoall", spec.name, emb.name), &verify_p2p(&lookup))?;
         let grads = alltoall_plan("alltoallv_sparse", &grad_alltoall_bytes(&batch_rows, emb.dim));
         expect_clean(&format!("{} {} grad alltoall", spec.name, emb.name), &verify_p2p(&grads))?;
-        checked += 2;
+        // Sparse-native split allreduce over the same gradient shape:
+        // deterministic per-rank index draws at the batch's row count.
+        let locals: Vec<Vec<u32>> = (0..world)
+            .map(|r| (0..rows).map(|i| ((r * 7919 + i * 31) % emb.vocab) as u32).collect())
+            .collect();
+        let ssar = sparse_allreduce_plan(world, &locals, emb.dim, emb.vocab, 0.5);
+        expect_clean(&format!("{} {} sparse allreduce", spec.name, emb.name), &verify_p2p(&ssar))?;
+        checked += 3;
     }
     let dense = ring_allreduce_plan(world, spec.block_params);
     expect_clean(&format!("{} dense ring", spec.name), &verify_p2p(&dense))?;
@@ -178,7 +187,7 @@ fn demo_mutations() -> Result<(), String> {
     Ok(())
 }
 
-/// Exhaustively model-check the five collectives plus the four chunked /
+/// Exhaustively model-check the six collectives plus the four chunked /
 /// preempted programs for worlds 2–4, plus abort termination with a
 /// crashed rank 0.
 fn model_check_all() -> Result<(), String> {
@@ -246,6 +255,7 @@ fn plan_families(world: usize) -> Vec<P2pPlan> {
         alltoall_plan("alltoall_lookup", &lookup_alltoall_bytes(&rows, dim)),
         alltoall_plan("alltoallv_grad", &grad_alltoall_bytes(&rows, dim)),
         chunked_alltoall_plan("alltoall_chunked", &lookup_alltoall_bytes(&rows, dim)),
+        sparse_allreduce_demo_plan(world),
         reform_plan(world),
     ]
 }
@@ -267,8 +277,10 @@ fn graph_agreement() -> Result<(), String> {
                 Collective::ChunkedRingAllreduce { elems: 2 * world + 1, seg: 2 },
                 chunked_ring_allreduce_plan(world, 2 * world + 1, 2),
             ),
+            (Collective::SparseAllreduce, sparse_allreduce_demo_plan(world)),
             (Collective::Reform, reform_plan(world)),
         ];
+        let modeled_count = modeled.len();
         for (collective, plan) in modeled {
             let report = check(&CheckConfig { world, collective, crash: None });
             let graph_dead = graph_deadlocks(&analyze_p2p(&plan));
@@ -318,8 +330,8 @@ fn graph_agreement() -> Result<(), String> {
             }
         }
         println!(
-            "  w={world}: graph == model checker on 5 modeled plans, graph == enumeration on \
-             {mutations} seeded mutations"
+            "  w={world}: graph == model checker on {modeled_count} modeled plans, graph == \
+             enumeration on {mutations} seeded mutations"
         );
     }
     Ok(())
@@ -415,7 +427,7 @@ pub fn run(args: impl Iterator<Item = String>) -> Result<(), String> {
     println!("  {total} plans verified, 0 diagnostics");
     demo_mutations()?;
     println!(
-        "model checker: worlds {CHECK_WORLDS:?}, 5 collectives + 4 chunked, fault-free + crash(0)"
+        "model checker: worlds {CHECK_WORLDS:?}, 6 collectives + 4 chunked, fault-free + crash(0)"
     );
     model_check_all()?;
     println!("model checker: elastic re-form handshake, fault-free + dead rank + midway crash");

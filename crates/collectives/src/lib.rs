@@ -55,4 +55,5 @@ pub use scheduler::{
 };
 pub use transport::{
     mesh, mesh_with_faults, Comm, CommError, Endpoint, FaultPlan, Packet, ReformMsg, RetryPolicy,
+    SegBody, SparseSeg, SEG_HEADER_BYTES,
 };

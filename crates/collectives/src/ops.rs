@@ -37,9 +37,12 @@
 //! fault produces no disconnection edge, so a blocking receive would wait
 //! forever where a deadline turns it into [`CommError::Timeout`].
 
-use crate::transport::{Comm, CommError, Packet};
+use crate::transport::{Comm, CommError, Packet, SegBody, SparseSeg};
 use embrace_obs::recorder;
-use embrace_tensor::{row_partition, DenseTensor, RowSparse, TokenBuf};
+use embrace_tensor::{
+    coalesce, densify_range, merge_rowsparse, row_partition, scatter_add_rows, DenseTensor,
+    RowSparse, TokenBuf,
+};
 
 /// Best-effort abort broadcast, then pass the error through. Locally
 /// detected failures notify every peer; received aborts are not
@@ -479,6 +482,302 @@ pub fn try_alltoallv_sparse<C: Comm>(
     Ok(out)
 }
 
+/// Configuration of the sparse-native allreduce ([`sparse_allreduce`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SsarConfig {
+    /// Vocabulary rows of the table the gradient indices address.
+    pub vocab: usize,
+    /// Density threshold of the representation switch: a segment densifies
+    /// as soon as its accumulated row density (`nnz / segment_rows`,
+    /// [`RowSparse::density`] over the segment) reaches this value, and
+    /// stays dense for the rest of the algorithm. `0.0` forces the dense
+    /// representation from step 0; any value above `1.0` disables the
+    /// switch entirely.
+    pub crossover: f64,
+}
+
+/// Result of [`sparse_allreduce`]: the index–value representation when
+/// every segment stayed below the crossover threshold, the dense
+/// `vocab × dim` sum as soon as any segment densified.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SparseReduced {
+    /// Coalesced sum: indices are the union of all ranks' row sets.
+    Sparse(RowSparse),
+    /// Densified sum over the full vocabulary.
+    Dense(DenseTensor),
+}
+
+impl SparseReduced {
+    /// Materialise as the dense `vocab × dim` sum whichever representation
+    /// was produced (O(1) when already dense).
+    pub fn to_dense(&self, vocab: usize) -> DenseTensor {
+        match self {
+            SparseReduced::Sparse(s) => s.to_dense(vocab),
+            SparseReduced::Dense(d) => d.share(),
+        }
+    }
+
+    /// True when the crossover fired and the result is densified.
+    pub fn is_dense(&self) -> bool {
+        matches!(self, SparseReduced::Dense(_))
+    }
+}
+
+/// Largest power of two `<= n` (requires `n >= 1`).
+fn prev_pow2(n: usize) -> usize {
+    let mut p = 1;
+    while p * 2 <= n {
+        p *= 2;
+    }
+    p
+}
+
+/// Representation rule: densify a freshly merged stream when its row
+/// density over `[lo, hi)` reaches the crossover threshold.
+fn mk_body(stream: RowSparse, lo: u32, hi: u32, crossover: f64) -> SegBody {
+    if hi > lo && stream.nnz_rows() as f64 / (hi - lo) as f64 >= crossover {
+        SegBody::Dense(densify_range(&stream, lo, hi))
+    } else {
+        SegBody::Rows(stream)
+    }
+}
+
+/// Merge two partial sums for the range `[lo, hi)`. Sparse–sparse merges
+/// re-apply the crossover rule to the union; a dense operand keeps the
+/// result dense (densification is one-way).
+fn merge_bodies(a: SegBody, b: SegBody, lo: u32, hi: u32, crossover: f64) -> SegBody {
+    match (a, b) {
+        (SegBody::Rows(x), SegBody::Rows(y)) => {
+            mk_body(merge_rowsparse(&[x, y]), lo, hi, crossover)
+        }
+        (SegBody::Dense(mut d), SegBody::Rows(s)) | (SegBody::Rows(s), SegBody::Dense(mut d)) => {
+            scatter_add_rows(&mut d, lo, &s);
+            SegBody::Dense(d)
+        }
+        (SegBody::Dense(mut d), SegBody::Dense(e)) => {
+            d.add_assign(&e);
+            SegBody::Dense(d)
+        }
+    }
+}
+
+/// Split a partial sum for `[lo, hi)` at `mid` into `[lo, mid)` and
+/// `[mid, hi)`, preserving the representation of each half.
+fn split_body(body: SegBody, lo: u32, mid: u32, hi: u32) -> (SegBody, SegBody) {
+    match body {
+        SegBody::Rows(s) => {
+            let (l, r) = s.split_at_row(mid);
+            (SegBody::Rows(l), SegBody::Rows(r))
+        }
+        SegBody::Dense(d) => {
+            let cut = (mid - lo) as usize;
+            let len = (hi - lo) as usize;
+            (SegBody::Dense(d.slice_rows(0, cut)), SegBody::Dense(d.slice_rows(cut, len)))
+        }
+    }
+}
+
+/// Assemble the final per-range segments (disjoint, covering the whole
+/// vocabulary) into the caller-facing result. Sparse throughout → the
+/// concatenation of the streams (coalesced, since ranges ascend); any
+/// dense segment → the dense `vocab × dim` sum.
+fn assemble(mut segs: Vec<SparseSeg>, vocab: usize) -> SparseReduced {
+    segs.sort_by_key(|s| s.lo);
+    if segs.iter().all(|s| matches!(s.body, SegBody::Rows(_))) {
+        let streams: Vec<RowSparse> = segs
+            .into_iter()
+            .map(|s| match s.body {
+                SegBody::Rows(r) => r,
+                SegBody::Dense(_) => unreachable!("checked all-sparse above"),
+            })
+            .collect();
+        return SparseReduced::Sparse(RowSparse::concat(&streams));
+    }
+    let dim = match &segs[0].body {
+        SegBody::Rows(r) => r.dim(),
+        SegBody::Dense(d) => d.cols(),
+    };
+    let mut out = DenseTensor::zeros(vocab, dim);
+    for seg in segs {
+        match seg.body {
+            SegBody::Rows(r) => scatter_add_rows(&mut out, 0, &r),
+            SegBody::Dense(d) => {
+                for r in 0..d.rows() {
+                    out.row_mut(seg.lo as usize + r).copy_from_slice(d.row(r));
+                }
+            }
+        }
+    }
+    SparseReduced::Dense(out)
+}
+
+/// Sparse-native allreduce (SparCML's split-allreduce, SSAR): sums
+/// row-sparse gradients across ranks without densifying up front, and
+/// switches representation mid-algorithm once density crosses
+/// `cfg.crossover`. Panics on communication failure.
+pub fn sparse_allreduce<C: Comm>(ep: &mut C, grad: &RowSparse, cfg: &SsarConfig) -> SparseReduced {
+    finish(try_sparse_allreduce(ep, grad, cfg))
+}
+
+/// Fallible [`sparse_allreduce`].
+///
+/// # Algorithm
+///
+/// Let `p` be the largest power of two `<= world` and `extra = world − p`.
+///
+/// 1. **Fold-in** (`extra > 0`): rank `r >= p` sends its coalesced stream
+///    to `r − p` and waits for the final result; rank `r < extra` merges
+///    the folded stream into its own.
+/// 2. **Recursive-halving reduce-scatter** over the `p`-rank hypercube,
+///    distances `d = 1, 2, …, p/2`: partner `r ^ d`, the current range
+///    `[lo, hi)` splits at its midpoint, the rank with bit `d` clear keeps
+///    the lower half, the other the upper; each sends the half it gives
+///    up and merges the half it receives (duplicate indices summed).
+/// 3. **Recursive-doubling allgather** of the reduced segments: distances
+///    `d = 1, 2, …, p/2` again, exchanging the entire accumulated segment
+///    list (`Arc`-shared sends, zero payload bytes copied).
+/// 4. **Fold-out**: rank `r < extra` forwards the assembled result to
+///    `r + p`.
+///
+/// # Determinism
+///
+/// Every index's sum is combined along the same balanced binary tree
+/// (extras folded into their base rank, then pairs at doubling distances),
+/// and f32 addition is commutative, so the result is bitwise deterministic
+/// across runs and message interleavings — and independent of where (or
+/// whether) the crossover fires, provided no input value is `-0.0` (the
+/// densified representation materialises absent rows as `+0.0`). The
+/// model checker proves this on the mirrored program; the serial
+/// reference is [`sparse_allreduce_oracle`].
+pub fn try_sparse_allreduce<C: Comm>(
+    ep: &mut C,
+    grad: &RowSparse,
+    cfg: &SsarConfig,
+) -> Result<SparseReduced, CommError> {
+    let _span = recorder::span("sparse_allreduce", "collective");
+    let world = ep.world();
+    let rank = ep.rank();
+    assert!(u32::try_from(cfg.vocab).is_ok(), "vocab must fit in u32");
+    let vocab = cfg.vocab as u32;
+    let local = coalesce(grad);
+    if let Some(&max) = local.indices().last() {
+        assert!((max as usize) < cfg.vocab, "gradient row {max} out of vocab {}", cfg.vocab);
+    }
+    if world == 1 {
+        let body = mk_body(local, 0, vocab, cfg.crossover);
+        return Ok(assemble(vec![SparseSeg { lo: 0, hi: vocab, body }], cfg.vocab));
+    }
+    let p = prev_pow2(world);
+    let extra = world - p;
+
+    if rank >= p {
+        // Fold-in rank: contribute the whole stream, receive the result.
+        let seg = SparseSeg { lo: 0, hi: vocab, body: mk_body(local, 0, vocab, cfg.crossover) };
+        if let Err(e) = ep.try_send(rank - p, Packet::SparseSegs(vec![seg])) {
+            return fail(ep, e);
+        }
+        let segs = match ep.try_recv(rank - p).and_then(Packet::try_into_sparse_segs) {
+            Ok(s) => s,
+            Err(e) => return fail(ep, e),
+        };
+        return Ok(assemble(segs, cfg.vocab));
+    }
+
+    let mut body = mk_body(local, 0, vocab, cfg.crossover);
+    if rank < extra {
+        let mut folded = match ep.try_recv(rank + p).and_then(Packet::try_into_sparse_segs) {
+            Ok(s) => s,
+            Err(e) => return fail(ep, e),
+        };
+        debug_assert_eq!(folded.len(), 1, "fold-in carries one full-range segment");
+        let seg = folded.pop().expect("non-empty fold-in message");
+        body = merge_bodies(body, seg.body, 0, vocab, cfg.crossover);
+    }
+
+    // Recursive-halving reduce-scatter.
+    let (mut lo, mut hi) = (0u32, vocab);
+    let mut d = 1;
+    while d < p {
+        let partner = rank ^ d;
+        let mid = lo + (hi - lo) / 2;
+        let (low_half, high_half) = split_body(body, lo, mid, hi);
+        let (keep, sent, keep_lo, keep_hi, sent_lo, sent_hi) = if rank & d == 0 {
+            (low_half, high_half, lo, mid, mid, hi)
+        } else {
+            (high_half, low_half, mid, hi, lo, mid)
+        };
+        let out_seg = SparseSeg { lo: sent_lo, hi: sent_hi, body: sent };
+        if let Err(e) = ep.try_send(partner, Packet::SparseSegs(vec![out_seg])) {
+            return fail(ep, e);
+        }
+        let mut incoming = match ep.try_recv(partner).and_then(Packet::try_into_sparse_segs) {
+            Ok(s) => s,
+            Err(e) => return fail(ep, e),
+        };
+        debug_assert_eq!(incoming.len(), 1, "reduce-scatter carries one half-range segment");
+        let seg = incoming.pop().expect("non-empty reduce-scatter message");
+        debug_assert_eq!((seg.lo, seg.hi), (keep_lo, keep_hi), "partner sent the wrong half");
+        body = merge_bodies(keep, seg.body, keep_lo, keep_hi, cfg.crossover);
+        lo = keep_lo;
+        hi = keep_hi;
+        d *= 2;
+    }
+
+    // Recursive-doubling allgather of the reduced segments.
+    let mut segs = vec![SparseSeg { lo, hi, body }];
+    let mut d = 1;
+    while d < p {
+        let partner = rank ^ d;
+        let outgoing: Vec<SparseSeg> = segs.iter().map(SparseSeg::share).collect();
+        if let Err(e) = ep.try_send(partner, Packet::SparseSegs(outgoing)) {
+            return fail(ep, e);
+        }
+        match ep.try_recv(partner).and_then(Packet::try_into_sparse_segs) {
+            Ok(mut incoming) => segs.append(&mut incoming),
+            Err(e) => return fail(ep, e),
+        }
+        d *= 2;
+    }
+    segs.sort_by_key(|s| s.lo);
+
+    if rank < extra {
+        // Fold-out: forward the assembled result (shared, zero copies).
+        let result: Vec<SparseSeg> = segs.iter().map(SparseSeg::share).collect();
+        if let Err(e) = ep.try_send(rank + p, Packet::SparseSegs(result)) {
+            return fail(ep, e);
+        }
+    }
+    Ok(assemble(segs, cfg.vocab))
+}
+
+/// Reference semantics of [`sparse_allreduce`]: serially replay the
+/// canonical reduction tree — coalesce each rank's gradient, densify,
+/// fold rank `r >= p` into `r − p`, then combine pairs at doubling
+/// distances — and return the dense `vocab × dim` sum every rank must
+/// hold afterwards, bitwise. The tree, not a left-to-right fold, is the
+/// specification: a recursive-halving exchange cannot produce serial
+/// fold order for f32 sums, so the oracle pins the exact add schedule
+/// the collective commits to.
+pub fn sparse_allreduce_oracle(locals: &[RowSparse], vocab: usize) -> DenseTensor {
+    assert!(!locals.is_empty(), "oracle needs at least one rank");
+    let mut acc: Vec<DenseTensor> = locals.iter().map(|g| coalesce(g).to_dense(vocab)).collect();
+    let world = acc.len();
+    let p = prev_pow2(world);
+    for r in p..world {
+        let folded = acc[r].share();
+        acc[r - p].add_assign(&folded);
+    }
+    let mut d = 1;
+    while d < p {
+        for r in (0..p).step_by(2 * d) {
+            let right = acc[r + d].share();
+            acc[r].add_assign(&right);
+        }
+        d *= 2;
+    }
+    acc.swap_remove(0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -742,6 +1041,145 @@ mod tests {
         assert_eq!(buf, &vec![1.0, 2.0]);
         assert_eq!(g[0].as_slice(), &[5.0]);
         assert_eq!(a[0].as_slice(), &[9.0]);
+    }
+
+    mod sparse_allreduce_tests {
+        use super::*;
+
+        /// Deterministic per-rank gradient: every `stride`-th row starting
+        /// at `rank`, with a duplicate of the first index appended so the
+        /// local coalesce path is exercised. Values avoid `-0.0`/NaN.
+        fn grad(rank: usize, vocab: usize, dim: usize, stride: usize) -> RowSparse {
+            let mut indices: Vec<u32> = (rank..vocab).step_by(stride).map(|i| i as u32).collect();
+            if let Some(&first) = indices.first() {
+                indices.push(first);
+            }
+            let rows = indices.len();
+            let vals: Vec<f32> =
+                (0..rows * dim).map(|k| ((rank * 131 + k) as f32) * 0.03125 - 8.0).collect();
+            RowSparse::new(indices, DenseTensor::from_vec(rows, dim, vals))
+        }
+
+        fn check_world(world: usize, crossover: f64) {
+            let (vocab, dim, stride) = (24, 3, 3);
+            let locals: Vec<RowSparse> = (0..world).map(|r| grad(r, vocab, dim, stride)).collect();
+            let expect = sparse_allreduce_oracle(&locals, vocab);
+            let cfg = SsarConfig { vocab, crossover };
+            let out = run_group(world, move |rank, ep| {
+                sparse_allreduce(ep, &grad(rank, vocab, dim, stride), &cfg)
+            });
+            for (rank, r) in out.iter().enumerate() {
+                let got = r.to_dense(vocab);
+                let gb: Vec<u32> = got.as_slice().iter().map(|x| x.to_bits()).collect();
+                let eb: Vec<u32> = expect.as_slice().iter().map(|x| x.to_bits()).collect();
+                assert_eq!(gb, eb, "world={world} crossover={crossover} rank={rank}");
+            }
+        }
+
+        #[test]
+        fn matches_oracle_bitwise_across_worlds() {
+            for world in [1, 2, 3, 4, 5, 7, 8] {
+                // Never densify, densify from step 0, and a mid threshold.
+                check_world(world, 2.0);
+                check_world(world, 0.0);
+                check_world(world, 0.5);
+            }
+        }
+
+        #[test]
+        fn sparse_result_indices_are_the_union() {
+            let (vocab, dim) = (16, 2);
+            let cfg = SsarConfig { vocab, crossover: 2.0 };
+            let out = run_group(4, move |rank, ep| {
+                let g = RowSparse::new(
+                    vec![rank as u32, (rank + 8) as u32],
+                    DenseTensor::full(2, dim, 1.0 + rank as f32),
+                );
+                sparse_allreduce(ep, &g, &cfg)
+            });
+            for r in &out {
+                match r {
+                    SparseReduced::Sparse(s) => {
+                        assert_eq!(s.indices(), &[0, 1, 2, 3, 8, 9, 10, 11]);
+                        assert!(embrace_tensor::is_coalesced(s));
+                    }
+                    SparseReduced::Dense(_) => panic!("crossover 2.0 must stay sparse"),
+                }
+            }
+        }
+
+        #[test]
+        fn crossover_zero_returns_dense_on_all_ranks() {
+            let cfg = SsarConfig { vocab: 8, crossover: 0.0 };
+            let out = run_group(3, move |rank, ep| {
+                let g = RowSparse::new(vec![rank as u32], DenseTensor::full(1, 2, 2.0));
+                sparse_allreduce(ep, &g, &cfg)
+            });
+            for r in &out {
+                assert!(r.is_dense());
+                let d = r.to_dense(8);
+                assert_eq!(d.row(0), &[2.0, 2.0]);
+                assert_eq!(d.row(3), &[0.0, 0.0]);
+            }
+        }
+
+        #[test]
+        fn allgather_phase_sends_share_segments() {
+            // At worlds of a power of two with a high threshold, the
+            // allgather + fold phases forward received segments by Arc
+            // bump: copied bytes stay well below sent bytes.
+            let out = run_group(4, |rank, ep| {
+                let g = grad(rank, 64, 4, 2);
+                let before = (ep.bytes_sent(), ep.bytes_copied());
+                let cfg = SsarConfig { vocab: 64, crossover: 2.0 };
+                let _ = sparse_allreduce(ep, &g, &cfg);
+                (ep.bytes_sent() - before.0, ep.bytes_copied() - before.1)
+            });
+            for (rank, (sent, copied)) in out.into_iter().enumerate() {
+                assert!(sent > 0, "rank {rank} sent nothing");
+                assert!(
+                    copied < sent,
+                    "rank {rank}: copied {copied} of {sent} sent bytes — allgather must share"
+                );
+            }
+        }
+
+        #[test]
+        fn fault_aborts_terminate_every_rank() {
+            use crate::group::run_group_with_faults;
+            use crate::transport::FaultPlan;
+            use std::time::Duration;
+            let plan = FaultPlan::new(21).crash_rank_at_step(1, 0);
+            let cfg = SsarConfig { vocab: 16, crossover: 0.5 };
+            let out = run_group_with_faults(
+                4,
+                &plan,
+                Some(Duration::from_millis(250)),
+                move |rank, ep| {
+                    if ep.begin_step().is_err() {
+                        ep.crash();
+                        return Err(CommError::Injected { rank });
+                    }
+                    let g = RowSparse::new(vec![rank as u32], DenseTensor::full(1, 2, 1.0));
+                    try_sparse_allreduce(ep, &g, &cfg).map(|_| ())
+                },
+            );
+            assert_eq!(out[1], Err(CommError::Injected { rank: 1 }));
+            for (rank, r) in out.iter().enumerate() {
+                if rank != 1 {
+                    let err = r.as_ref().unwrap_err();
+                    assert!(
+                        matches!(
+                            err,
+                            CommError::PeerGone { .. }
+                                | CommError::Timeout { .. }
+                                | CommError::Aborted { .. }
+                        ),
+                        "rank {rank}: {err:?}"
+                    );
+                }
+            }
+        }
     }
 
     mod fault_tolerance {

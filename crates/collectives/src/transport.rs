@@ -98,6 +98,78 @@ pub enum Packet {
     /// Membership re-form control message. Deliberately *untagged* so the
     /// re-form handshake can cross an epoch boundary.
     Reform(ReformMsg),
+    /// One message of the sparse-native allreduce (SparCML SSAR): a list of
+    /// row-range segments, each carried either as an index–value stream or
+    /// as a densified block once accumulated density crossed the crossover
+    /// threshold. Both bodies are `Arc`-backed, so forwarding a received
+    /// segment copies no payload bytes.
+    SparseSegs(Vec<SparseSeg>),
+}
+
+/// A half-open vocabulary row range `[lo, hi)` of a sparse allreduce,
+/// together with the accumulated partial sum for that range in whichever
+/// representation the sender's crossover rule chose.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseSeg {
+    pub lo: u32,
+    pub hi: u32,
+    pub body: SegBody,
+}
+
+/// Representation of one [`SparseSeg`]'s payload.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SegBody {
+    /// Coalesced index–value stream; indices are *absolute* vocabulary
+    /// rows inside `[lo, hi)`.
+    Rows(RowSparse),
+    /// Densified `(hi - lo) × dim` block.
+    Dense(DenseTensor),
+}
+
+/// Wire bytes of one segment header: `lo` and `hi` as u32 each.
+pub const SEG_HEADER_BYTES: usize = 8;
+
+impl SparseSeg {
+    /// Wire size: range header plus the payload in its representation.
+    pub fn nbytes(&self) -> usize {
+        SEG_HEADER_BYTES
+            + match &self.body {
+                SegBody::Rows(s) => s.nbytes(),
+                SegBody::Dense(d) => d.nbytes(),
+            }
+    }
+
+    /// Payload bytes materialised for this segment (headers are control
+    /// words and never counted); see [`Packet::copied_nbytes`].
+    pub fn copied_nbytes(&self) -> usize {
+        match &self.body {
+            SegBody::Rows(s) => s.copied_nbytes(),
+            SegBody::Dense(d) => {
+                if d.is_shared() {
+                    0
+                } else {
+                    d.nbytes()
+                }
+            }
+        }
+    }
+
+    /// O(1) handle onto the same payload storage (`Arc` bumps).
+    pub fn share(&self) -> SparseSeg {
+        let body = match &self.body {
+            SegBody::Rows(s) => SegBody::Rows(s.share()),
+            SegBody::Dense(d) => SegBody::Dense(d.share()),
+        };
+        SparseSeg { lo: self.lo, hi: self.hi, body }
+    }
+
+    /// Number of value rows this segment carries on the wire.
+    pub fn carried_rows(&self) -> usize {
+        match &self.body {
+            SegBody::Rows(s) => s.nnz_rows(),
+            SegBody::Dense(d) => d.rows(),
+        }
+    }
 }
 
 /// The elastic membership layer's re-form handshake messages.
@@ -141,6 +213,7 @@ impl Packet {
             // The epoch tag rides ahead of the payload.
             Packet::Tagged { inner, .. } => 8 + inner.nbytes(),
             Packet::Reform(m) => m.nbytes(),
+            Packet::SparseSegs(segs) => segs.iter().map(SparseSeg::nbytes).sum(),
         }
     }
 
@@ -173,6 +246,7 @@ impl Packet {
             Packet::Tagged { inner, .. } => inner.copied_nbytes(),
             // Control messages are always materialised.
             Packet::Reform(m) => m.nbytes(),
+            Packet::SparseSegs(segs) => segs.iter().map(SparseSeg::copied_nbytes).sum(),
         }
     }
 
@@ -186,6 +260,7 @@ impl Packet {
             Packet::Abort { .. } => "Abort",
             Packet::Tagged { .. } => "Tagged",
             Packet::Reform(_) => "Reform",
+            Packet::SparseSegs(_) => "SparseSegs",
         }
     }
 
@@ -232,6 +307,14 @@ impl Packet {
         match self {
             Packet::Tokens(t) => Ok(t),
             other => Err(other.mismatch("Tokens")),
+        }
+    }
+
+    /// See [`Packet::try_into_dense`].
+    pub fn try_into_sparse_segs(self) -> Result<Vec<SparseSeg>, CommError> {
+        match self {
+            Packet::SparseSegs(segs) => Ok(segs),
+            other => Err(other.mismatch("SparseSegs")),
         }
     }
 

@@ -6,7 +6,8 @@
 //! reproduce the unsegmented ring exactly.
 
 use embrace_collectives::ops::{
-    allgather_dense, alltoallv_sparse, ring_allreduce, ring_allreduce_pipelined,
+    allgather_dense, alltoallv_sparse, ring_allreduce, ring_allreduce_pipelined, sparse_allreduce,
+    sparse_allreduce_oracle, SsarConfig,
 };
 use embrace_collectives::run_group;
 use embrace_tensor::{row_partition, DenseTensor, RowSparse};
@@ -36,6 +37,52 @@ fn serial_allreduce(inputs: &[Vec<f32>]) -> Vec<f32> {
 
 const MAX_WORLD: usize = 5;
 const MAX_LEN: usize = 67;
+
+const SSAR_MAX_WORLD: usize = 16;
+const SSAR_MAX_NNZ: usize = 12;
+
+/// Build rank `rank`'s gradient for the SSAR oracle property from the
+/// proptest raw material. `shape` selects the cross-rank index relation:
+/// 0 draws freely over the vocabulary (duplicates within a rank are kept —
+/// the local coalesce path must sum them), 1 confines each rank to its own
+/// `row_partition` band (pairwise disjoint), 2 gives every rank the same
+/// index set (full overlap) with rank-specific values.
+fn ssar_local(
+    rank: usize,
+    world: usize,
+    vocab: usize,
+    dim: usize,
+    shape: u8,
+    raw: (&[usize], &[u32], &[f32]),
+) -> RowSparse {
+    let (nnzs, raw_idx, raw_val) = raw;
+    let slot = if shape == 2 { 0 } else { rank };
+    let n = nnzs[slot];
+    let idx_slice = &raw_idx[slot * SSAR_MAX_NNZ..slot * SSAR_MAX_NNZ + n];
+    let indices: Vec<u32> = match shape {
+        1 => {
+            let ranges = row_partition(vocab, world);
+            let band = &ranges[rank];
+            let len = band.end - band.start;
+            if len == 0 {
+                return RowSparse::empty(dim);
+            }
+            idx_slice.iter().map(|&v| (band.start + v as usize % len) as u32).collect()
+        }
+        _ => idx_slice.iter().map(|&v| v % vocab as u32).collect(),
+    };
+    let vals: Vec<f32> = (0..n * dim)
+        .map(|i| {
+            let v = raw_val[rank * SSAR_MAX_NNZ * 3 + i];
+            if v == 0.0 {
+                0.0
+            } else {
+                v
+            }
+        })
+        .collect();
+    RowSparse::new(indices, DenseTensor::from_vec(n, dim, vals))
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -115,6 +162,47 @@ proptest! {
             prop_assert_eq!(gathered.len(), world, "rank {}", rank);
             for (src, t) in gathered.iter().enumerate() {
                 prop_assert_eq!(t, &locals[src], "rank {} slot {}", rank, src);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_allreduce_is_bitwise_oracle(
+        world in 2usize..=SSAR_MAX_WORLD,
+        vocab in 1usize..=20,
+        dim in 1usize..=3,
+        // 0 = random (duplicate indices within a rank allowed),
+        // 1 = disjoint per-rank index bands, 2 = identical (full overlap).
+        shape in 0u8..3,
+        // Crossover forced never (2.0) or from step 0 (0.0).
+        crossover_sel in 0u8..2,
+        nnzs in vec(0usize..=SSAR_MAX_NNZ, SSAR_MAX_WORLD),
+        raw_idx in vec(0u32..4096, SSAR_MAX_WORLD * SSAR_MAX_NNZ),
+        // Finite, and `-0.0` normalised away below: the densified
+        // representation materialises absent rows as `+0.0`, so a `-0.0`
+        // input is the one value whose bits depend on the representation.
+        raw_val in vec(-1.0e3f32..1.0e3, SSAR_MAX_WORLD * SSAR_MAX_NNZ * 3),
+    ) {
+        let locals: Vec<RowSparse> = (0..world)
+            .map(|r| ssar_local(r, world, vocab, dim, shape, (&nnzs, &raw_idx, &raw_val)))
+            .collect();
+        let expect = sparse_allreduce_oracle(&locals, vocab);
+        let crossover_never = crossover_sel == 0;
+        let crossover = if crossover_never { 2.0 } else { 0.0 };
+        let cfg = SsarConfig { vocab, crossover };
+        let l = locals.clone();
+        let results = run_group(world, move |rank, ep| sparse_allreduce(ep, &l[rank], &cfg));
+        for (rank, got) in results.iter().enumerate() {
+            // 0.0 fires the switch on every rank's step-0 stream (the full
+            // range is non-empty); 2.0 can never fire (density <= 1).
+            prop_assert_eq!(got.is_dense(), !crossover_never, "rank {} representation", rank);
+            let dense = got.to_dense(vocab);
+            prop_assert_eq!(dense.rows(), vocab);
+            for (i, (g, e)) in dense.as_slice().iter().zip(expect.as_slice()).enumerate() {
+                prop_assert_eq!(
+                    g.to_bits(), e.to_bits(),
+                    "rank {} flat element {}: {} vs {}", rank, i, g, e
+                );
             }
         }
     }

@@ -195,6 +195,16 @@ impl DenseTensor {
         out
     }
 
+    /// Copy a half-open row range `[start, end)` into a new tensor — the
+    /// row-split primitive the sparse-native allreduce uses to halve a
+    /// densified segment at each recursive-halving step.
+    pub fn slice_rows(&self, start: usize, end: usize) -> DenseTensor {
+        assert!(start <= end && end <= self.rows, "row range out of bounds");
+        let mut out = DenseTensor::zeros(end - start, self.cols);
+        out.as_mut_slice().copy_from_slice(&self.data[start * self.cols..end * self.cols]);
+        out
+    }
+
     /// Copy a half-open column range `[start, end)` of every row.
     pub fn slice_columns(&self, start: usize, end: usize) -> DenseTensor {
         assert!(start <= end && end <= self.cols, "column range out of bounds");

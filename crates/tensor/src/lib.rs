@@ -43,6 +43,7 @@ pub mod alloc_counter;
 pub mod coalesce;
 pub mod dense;
 pub mod index;
+pub mod merge;
 pub mod shard;
 pub mod sparse;
 pub mod tokens;
@@ -50,6 +51,7 @@ pub mod tokens;
 pub use coalesce::{coalesce, coalesce_into, is_coalesced};
 pub use dense::DenseTensor;
 pub use index::{difference, index_select, intersect, unique_sorted, IndexSet};
+pub use merge::{densify_range, merge_rowsparse, scatter_add_rows};
 pub use shard::{column_partition, owner_of_row, row_partition, ColumnRange, RowRange};
 pub use sparse::RowSparse;
 pub use tokens::TokenBuf;

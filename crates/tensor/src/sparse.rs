@@ -162,6 +162,36 @@ impl RowSparse {
         Self { indices: Arc::new(indices), values }
     }
 
+    /// Split a *coalesced* gradient at vocabulary row `row`: the left part
+    /// keeps indices `< row`, the right part indices `>= row`. When one
+    /// side is empty the other is an O(1) shared handle (no bytes copied) —
+    /// the recursive-halving fast path for segments that are entirely on
+    /// one side of the split point.
+    ///
+    /// Panics when the indices are not strictly increasing.
+    pub fn split_at_row(&self, row: u32) -> (RowSparse, RowSparse) {
+        assert!(
+            self.indices.windows(2).all(|w| w[0] < w[1]),
+            "split_at_row requires a coalesced gradient"
+        );
+        let pos = self.indices.partition_point(|&i| i < row);
+        if pos == 0 {
+            return (RowSparse::empty(self.dim()), self.share());
+        }
+        if pos == self.indices.len() {
+            return (self.share(), RowSparse::empty(self.dim()));
+        }
+        let left = RowSparse {
+            indices: Arc::new(self.indices[..pos].to_vec()),
+            values: self.values.slice_rows(0, pos),
+        };
+        let right = RowSparse {
+            indices: Arc::new(self.indices[pos..].to_vec()),
+            values: self.values.slice_rows(pos, self.indices.len()),
+        };
+        (left, right)
+    }
+
     /// Keep only the columns `[start, end)` of every stored row — the
     /// column-wise shard of this gradient owned by one worker (§4.1.1).
     pub fn slice_columns(&self, start: usize, end: usize) -> RowSparse {

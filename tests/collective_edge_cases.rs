@@ -5,7 +5,7 @@
 
 use embrace_repro::collectives::ops::{
     allgather_tokens, alltoallv_sparse, barrier, broadcast, ring_allreduce, try_barrier,
-    try_ring_allreduce,
+    try_ring_allreduce, try_sparse_allreduce, SparseReduced, SsarConfig,
 };
 use embrace_repro::collectives::{run_group, Packet};
 use embrace_repro::tensor::{DenseTensor, RowSparse};
@@ -80,6 +80,105 @@ fn empty_row_sparse_flows_through_alltoallv() {
                 assert_eq!(block.nnz_rows(), 0);
             } else {
                 assert_eq!(block.indices(), &[src as u32]);
+            }
+        }
+    }
+}
+
+/// Unwrap the sparse representation (crossover disabled ⇒ the result must
+/// never densify, whatever the inputs looked like).
+fn expect_sparse(r: SparseReduced) -> RowSparse {
+    match r {
+        SparseReduced::Sparse(s) => s,
+        SparseReduced::Dense(_) => panic!("crossover disabled but result densified"),
+    }
+}
+
+#[test]
+fn sparse_allreduce_empty_on_every_rank() {
+    // No rank touched any row: the split-allreduce still runs its full
+    // exchange schedule over empty streams and must return an empty sum.
+    let cfg = SsarConfig { vocab: 8, crossover: 2.0 };
+    for world in [1, 2, 3, 5] {
+        let out = run_group(world, move |_rank, ep| {
+            try_sparse_allreduce(ep, &RowSparse::empty(4), &cfg).unwrap()
+        });
+        for got in out {
+            let s = expect_sparse(got);
+            assert_eq!(s.nnz_rows(), 0);
+            assert_eq!(s.dim(), 4, "width survives an all-empty reduction");
+        }
+    }
+}
+
+#[test]
+fn sparse_allreduce_empty_on_a_strict_subset() {
+    // Only rank 0 contributes; everyone must still converge on its rows.
+    let cfg = SsarConfig { vocab: 16, crossover: 2.0 };
+    for world in [2, 3, 4, 6] {
+        let out = run_group(world, move |rank, ep| {
+            let grad = if rank == 0 {
+                RowSparse::new(vec![2, 9], DenseTensor::full(2, 3, 1.5))
+            } else {
+                RowSparse::empty(3)
+            };
+            try_sparse_allreduce(ep, &grad, &cfg).unwrap()
+        });
+        for got in out {
+            let s = expect_sparse(got);
+            assert_eq!(s.indices(), &[2, 9]);
+            assert_eq!(s.values().as_slice(), &[1.5f32; 6][..]);
+        }
+    }
+}
+
+#[test]
+fn sparse_allreduce_world_of_one_keeps_data_local() {
+    let cfg = SsarConfig { vocab: 8, crossover: 2.0 };
+    let out = run_group(1, move |_rank, ep| {
+        let grad = RowSparse::new(vec![1, 1, 5], DenseTensor::full(3, 2, 2.0));
+        try_sparse_allreduce(ep, &grad, &cfg).unwrap()
+    });
+    let s = expect_sparse(out.into_iter().next().unwrap());
+    // The local duplicate is coalesced even with no peers to talk to.
+    assert_eq!(s.indices(), &[1, 5]);
+    assert_eq!(s.values().as_slice(), &[4.0, 4.0, 2.0, 2.0]);
+}
+
+#[test]
+fn sparse_allreduce_single_shared_row() {
+    // Every rank updates the same single row: the union has one index and
+    // the value is the exact tree sum of the per-rank contributions.
+    let cfg = SsarConfig { vocab: 32, crossover: 2.0 };
+    for world in [2, 3, 4, 5, 8] {
+        let out = run_group(world, move |rank, ep| {
+            let grad = RowSparse::new(vec![7], DenseTensor::full(1, 2, (rank + 1) as f32));
+            try_sparse_allreduce(ep, &grad, &cfg).unwrap()
+        });
+        let expect = (world * (world + 1) / 2) as f32; // exact in f32
+        for got in out {
+            let s = expect_sparse(got);
+            assert_eq!(s.indices(), &[7]);
+            assert_eq!(s.values().as_slice(), &[expect, expect]);
+        }
+    }
+}
+
+#[test]
+fn sparse_allreduce_zero_vocab() {
+    // A zero-row table (an unsharded slot on this worker) reduces to an
+    // empty result without panicking, at either crossover extreme.
+    for crossover in [2.0, 0.0] {
+        let cfg = SsarConfig { vocab: 0, crossover };
+        for world in [1, 2, 3, 4] {
+            let out = run_group(world, move |_rank, ep| {
+                try_sparse_allreduce(ep, &RowSparse::empty(5), &cfg).unwrap()
+            });
+            for got in out {
+                // An empty range can never reach its crossover density, so
+                // the result stays sparse even at crossover 0.
+                let s = expect_sparse(got);
+                assert_eq!(s.nnz_rows(), 0);
             }
         }
     }
