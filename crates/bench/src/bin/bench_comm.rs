@@ -5,7 +5,14 @@
 //! bench_comm                        # full sweep, label "current"
 //! bench_comm --quick --label before # CI-sized sweep (2 sizes)
 //! bench_comm --out BENCH_collectives.json
+//! bench_comm --compare before after # speedup table from the stored file
 //! ```
+//!
+//! All timed groups run over the **one-sided slot transport**
+//! (`slot_mesh`): pre-registered slot pools with sequence-stamped
+//! headers, so steady-state collectives move payload only — the
+//! two-sided channel rendezvous they replace is what the `before`
+//! trajectory labels measured.
 //!
 //! Each invocation times every (op × world × payload) cell, then merges
 //! the run into the output JSON under its `--label` (replacing a previous
@@ -37,12 +44,13 @@
 //! per iteration — a *goodput* number comparable across ops, not a wire
 //! bandwidth.
 
-use embrace_collectives::group::run_group;
+use embrace_bench::record::{compare, fmt_run, merge_into_file, Entry, Mode};
+use embrace_collectives::group::run_group_on;
 use embrace_collectives::ops::{
     allgather_dense, allgather_sparse, alltoallv_sparse, broadcast, ring_allreduce,
     ring_allreduce_pipelined, sparse_allreduce, SsarConfig,
 };
-use embrace_collectives::transport::Packet;
+use embrace_collectives::transport::{slot_mesh, Packet};
 use embrace_obs::json;
 use embrace_tensor::{
     coalesce, merge_rowsparse, row_partition, DenseTensor, RowSparse, F32_BYTES, INDEX_BYTES,
@@ -57,33 +65,17 @@ const SPARSE_DIM: usize = 64;
 /// Segment size (elements) for the pipelined ring variant.
 const PIPELINE_SEG: usize = 64 << 10;
 
-#[derive(Clone, Copy, PartialEq)]
-enum Mode {
-    Quick,
-    Full,
-}
-
-struct Entry {
-    op: &'static str,
-    world: usize,
-    bytes: usize,
-    /// Gradient row density of a density-sweep cell, 0 for size-sweep ops.
-    density: f64,
-    iters: u64,
-    ns_per_iter: u64,
-    gb_per_s: f64,
-}
-
 /// Time `f` (already holding its inputs) over `iters` iterations inside a
 /// running group; returns the slowest rank's per-iteration nanoseconds.
 /// Every rank runs the same closure, so the max over ranks is the
-/// completion time of the collective, not one rank's early exit.
+/// completion time of the collective, not one rank's early exit. The
+/// group runs over the one-sided slot mesh.
 fn time_group<F>(world: usize, iters: u64, f: F) -> u64
 where
     F: Fn(usize, &mut embrace_collectives::transport::Endpoint) + Sync,
 {
-    let per_rank_ns = run_group(world, |rank, ep| {
-        // Warm-up: populate channel internals and fault-free fast paths.
+    let per_rank_ns = run_group_on(slot_mesh(world), |rank, ep| {
+        // Warm-up: populate slot pools and fault-free fast paths.
         f(rank, ep);
         embrace_collectives::ops::barrier(ep);
         let t0 = Instant::now();
@@ -296,8 +288,8 @@ const HOL_GATHERS: usize = 24;
 const HOL_GATHER_TOKENS: usize = 64;
 
 fn bench_hol(chunk: Option<usize>) -> Entry {
-    use embrace_collectives::{mesh, CommOp, CommResult, CommScheduler};
-    let endpoints = mesh(HOL_WORLD);
+    use embrace_collectives::{CommOp, CommResult, CommScheduler};
+    let endpoints = slot_mesh(HOL_WORLD);
     let mut waits: Vec<f64> = Vec::new();
     let mut min_bulk_chunks = u32::MAX;
     std::thread::scope(|scope| {
@@ -379,72 +371,6 @@ fn run_hol() -> Vec<Entry> {
     entries
 }
 
-fn fmt_entry(e: &Entry) -> String {
-    format!(
-        "{{\"op\":\"{}\",\"world\":{},\"bytes\":{},\"density\":{},\"iters\":{},\
-         \"ns_per_iter\":{},\"gb_per_s\":{:.6}}}",
-        e.op, e.world, e.bytes, e.density, e.iters, e.ns_per_iter, e.gb_per_s
-    )
-}
-
-/// Serialise one run object.
-fn fmt_run(label: &str, mode: Mode, entries: &[Entry]) -> String {
-    let mode_s = if mode == Mode::Quick { "quick" } else { "full" };
-    let body: Vec<String> = entries.iter().map(fmt_entry).collect();
-    format!(
-        "{{\"label\":\"{}\",\"mode\":\"{mode_s}\",\"entries\":[{}]}}",
-        json::escape(label),
-        body.join(",")
-    )
-}
-
-/// Merge the new run into an existing trajectory file: runs with other
-/// labels are preserved verbatim (re-serialised), a run with the same
-/// label is replaced.
-fn merge_into_file(path: &str, label: &str, new_run: String) -> Result<String, String> {
-    let mut kept: Vec<String> = Vec::new();
-    if let Ok(prev) = std::fs::read_to_string(path) {
-        let v = json::parse(&prev).map_err(|e| format!("existing {path} unparseable: {e}"))?;
-        if let Some(runs) = v.get("runs").and_then(|r| r.as_arr()) {
-            for run in runs {
-                let run_label = run.get("label").and_then(|l| l.as_str()).unwrap_or("");
-                if run_label != label {
-                    kept.push(reserialise(run));
-                }
-            }
-        }
-    }
-    kept.push(new_run);
-    Ok(format!("{{\"schema\":\"bench-collectives-v1\",\"runs\":[{}]}}\n", kept.join(",")))
-}
-
-/// Re-emit a parsed JSON value (the parser keeps object key order).
-fn reserialise(v: &json::Value) -> String {
-    if let Some(obj) = v.as_obj() {
-        let fields: Vec<String> = obj
-            .iter()
-            .map(|(k, val)| format!("\"{}\":{}", json::escape(k), reserialise(val)))
-            .collect();
-        return format!("{{{}}}", fields.join(","));
-    }
-    if let Some(arr) = v.as_arr() {
-        let items: Vec<String> = arr.iter().map(reserialise).collect();
-        return format!("[{}]", items.join(","));
-    }
-    if let Some(s) = v.as_str() {
-        return format!("\"{}\"", json::escape(s));
-    }
-    if let Some(n) = v.as_f64() {
-        if n.fract() == 0.0 && n.abs() < 9e15 {
-            return format!("{}", n as i64);
-        }
-        return format!("{n}");
-    }
-    // Null / bool fall back to the f64/str accessors above in this
-    // parser; anything else is outside the bench schema.
-    "null".to_string()
-}
-
 /// Print per-cell deltas of `label` against the stored "before" run.
 fn report_delta(doc: &json::Value, label: &str) {
     let Some(runs) = doc.get("runs").and_then(|r| r.as_arr()) else { return };
@@ -489,24 +415,40 @@ fn main() {
     let mut label = "current".to_string();
     let mut out = "BENCH_collectives.json".to_string();
     let mut mode = Mode::Full;
+    let mut compare_labels: Option<(String, String)> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => mode = Mode::Quick,
             "--label" => label = args.next().expect("--label requires a value"),
             "--out" => out = args.next().expect("--out requires a path"),
+            "--compare" => {
+                let a = args.next().expect("--compare requires two labels");
+                let b = args.next().expect("--compare requires two labels");
+                compare_labels = Some((a, b));
+            }
             other => {
                 eprintln!(
-                    "unknown flag {other}; usage: bench_comm [--quick] [--label L] [--out F]"
+                    "unknown flag {other}; usage: bench_comm [--quick] [--label L] [--out F] \
+                     [--compare A B]"
                 );
                 std::process::exit(2);
             }
         }
     }
-    println!(
-        "bench_comm: label={label} mode={}",
-        if mode == Mode::Quick { "quick" } else { "full" }
-    );
+    if let Some((a, b)) = compare_labels {
+        // Read-only mode: join two stored runs and print the speedups.
+        let result = std::fs::read_to_string(&out)
+            .map_err(|e| format!("read {out}: {e}"))
+            .and_then(|raw| json::parse(&raw).map_err(|e| format!("parse {out}: {e}")))
+            .and_then(|doc| compare(&doc, &a, &b));
+        if let Err(e) = result {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    println!("bench_comm: label={label} mode={} transport=slot", mode.as_str());
     let mut entries = run_sweep(mode);
     entries.extend(run_density_sweep(mode));
     entries.extend(run_hol());

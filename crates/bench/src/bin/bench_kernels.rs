@@ -1,0 +1,146 @@
+//! `bench_kernels` — wall-clock microbenchmarks of the reduce kernels
+//! (`embrace_tensor::kernels`): the explicit-width lane kernels every
+//! collective reduce site now calls, against their scalar twins, across
+//! payloads from 1 KiB to 16 MiB.
+//!
+//! ```text
+//! bench_kernels                       # full sweep, label "kernels"
+//! bench_kernels --quick               # CI-sized sweep (2 sizes)
+//! bench_kernels --label pr9 --out BENCH_collectives.json
+//! ```
+//!
+//! Entries land in the same `bench-collectives-v1` trajectory file as
+//! `bench_comm`, under a `kernels_*` op family with `world = 1` (the
+//! kernels are single-threaded; the interesting axis is bytes). Use
+//! `bench_comm --compare` to diff labels. Like `bench_comm`, the
+//! written file is re-parsed before exit so CI catches schema drift.
+//!
+//! `gb_per_s` counts the destination payload only (same convention as
+//! the collectives' goodput): an `add_assign` over N bytes is reported
+//! as N bytes moved, though it streams 2N in and N out.
+
+use embrace_bench::record::{fmt_run, merge_into_file, Entry, Mode};
+use embrace_obs::json;
+use embrace_tensor::{kernels, F32_BYTES};
+use std::time::Instant;
+
+const FULL_BYTES: [usize; 6] = [1 << 10, 16 << 10, 64 << 10, 1 << 20, 4 << 20, 16 << 20];
+const QUICK_BYTES: [usize; 2] = [64 << 10, 4 << 20];
+
+/// Iteration count scaled so big payloads don't dominate wall time.
+fn iters_for(bytes: usize, mode: Mode) -> u64 {
+    let budget: usize = match mode {
+        Mode::Quick => 64 << 20,
+        Mode::Full => 512 << 20,
+    };
+    ((budget / bytes.max(1)) as u64).clamp(8, 4096)
+}
+
+/// Time one kernel over `iters` passes; the accumulator is re-zeroed
+/// outside the timed region every pass would be unfair to the cheap
+/// kernels, so values are simply allowed to grow (f32 sums of ones stay
+/// exact far beyond any iteration count used here).
+fn time_kernel(op: &'static str, bytes: usize, mode: Mode) -> Entry {
+    let elems = (bytes / F32_BYTES).max(kernels::LANES);
+    let iters = iters_for(bytes, mode);
+    let mut dst = vec![0.0f32; elems];
+    let mut src = vec![1.0f32; elems];
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        match op {
+            "kernels_add_assign" => kernels::add_assign(&mut dst, &src),
+            "kernels_add_assign_scalar" => kernels::add_assign_scalar(&mut dst, &src),
+            "kernels_add_assign_both" => kernels::add_assign_both(&mut dst, &mut src),
+            "kernels_scaled_add" => kernels::scaled_add(&mut dst, 0.5, &src),
+            "kernels_scaled_add_scalar" => kernels::scaled_add_scalar(&mut dst, 0.5, &src),
+            "kernels_scale" => kernels::scale(&mut dst, 1.0000001),
+            "kernels_scale_scalar" => kernels::scale_scalar(&mut dst, 1.0000001),
+            other => panic!("unknown kernel {other}"),
+        }
+        std::hint::black_box(&dst);
+    }
+    let ns = (t0.elapsed().as_nanos() as u64) / iters;
+    let gb_per_s = if ns == 0 { 0.0 } else { bytes as f64 / ns as f64 };
+    Entry { op, world: 1, bytes, density: 0.0, iters, ns_per_iter: ns, gb_per_s }
+}
+
+/// Lane kernel and its scalar twin, interleaved so each size prints as
+/// a lane-vs-scalar pair with the speedup the autovectorizer bought.
+const PAIRS: [(&str, &str); 3] = [
+    ("kernels_add_assign", "kernels_add_assign_scalar"),
+    ("kernels_scaled_add", "kernels_scaled_add_scalar"),
+    ("kernels_scale", "kernels_scale_scalar"),
+];
+
+fn run_sweep(mode: Mode) -> Vec<Entry> {
+    let sizes: &[usize] = match mode {
+        Mode::Quick => &QUICK_BYTES,
+        Mode::Full => &FULL_BYTES,
+    };
+    let mut entries = Vec::new();
+    for &(lane_op, scalar_op) in &PAIRS {
+        for &bytes in sizes {
+            let lane = time_kernel(lane_op, bytes, mode);
+            let scalar = time_kernel(scalar_op, bytes, mode);
+            let speedup = scalar.ns_per_iter as f64 / lane.ns_per_iter.max(1) as f64;
+            for e in [&lane, &scalar] {
+                println!(
+                    "{:<28} {:>9} B  {:>10} ns/iter  {:>8.3} GB/s  ({} iters)",
+                    e.op, e.bytes, e.ns_per_iter, e.gb_per_s, e.iters
+                );
+            }
+            println!("    lane vs scalar at {bytes} B: {speedup:.2}x");
+            entries.push(lane);
+            entries.push(scalar);
+        }
+    }
+    // The fused receive+forward kernel has no scalar twin (it exists to
+    // replace two separate passes); record it for the trajectory only.
+    for &bytes in sizes {
+        let e = time_kernel("kernels_add_assign_both", bytes, mode);
+        println!(
+            "{:<28} {:>9} B  {:>10} ns/iter  {:>8.3} GB/s  ({} iters)",
+            e.op, e.bytes, e.ns_per_iter, e.gb_per_s, e.iters
+        );
+        entries.push(e);
+    }
+    entries
+}
+
+fn main() {
+    let mut label = "kernels".to_string();
+    let mut out = "BENCH_collectives.json".to_string();
+    let mut mode = Mode::Full;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => mode = Mode::Quick,
+            "--label" => label = args.next().expect("--label requires a value"),
+            "--out" => out = args.next().expect("--out requires a path"),
+            other => {
+                eprintln!(
+                    "unknown flag {other}; usage: bench_kernels [--quick] [--label L] [--out F]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    println!("bench_kernels: label={label} mode={} lanes={}", mode.as_str(), kernels::LANES);
+    let entries = run_sweep(mode);
+    let new_run = fmt_run(&label, mode, &entries);
+    let doc = merge_into_file(&out, &label, new_run).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    std::fs::write(&out, &doc).unwrap_or_else(|e| {
+        eprintln!("write {out}: {e}");
+        std::process::exit(1);
+    });
+    // Self-validation gate: the trajectory must stay machine-readable.
+    let parsed = json::parse(&doc).unwrap_or_else(|e| {
+        eprintln!("written {out} does not re-parse: {e}");
+        std::process::exit(1);
+    });
+    let n_runs = parsed.get("runs").and_then(|r| r.as_arr()).map_or(0, <[json::Value]>::len);
+    println!("\nwrote {out} ({n_runs} run(s)); re-parse OK");
+}

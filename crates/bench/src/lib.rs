@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cli;
+pub mod record;
 pub mod scenarios;
 pub mod trace_cmd;
 pub mod verify_plan;

@@ -1,0 +1,225 @@
+//! The machine-readable bench trajectory (`bench-collectives-v1`):
+//! shared between `bench_comm` (wall-clock collectives) and
+//! `bench_kernels` (scalar vs explicit-width reduce kernels), both of
+//! which merge labelled runs into the same JSON file so the repo
+//! accumulates a before/after perf history across commits.
+//!
+//! ```text
+//! { "schema": "bench-collectives-v1",
+//!   "runs": [ { "label": "...", "mode": "quick|full",
+//!               "entries": [ { "op", "world", "bytes", "density",
+//!                              "iters", "ns_per_iter", "gb_per_s" } ] } ] }
+//! ```
+//!
+//! [`compare`] joins two labelled runs on `(op, world, bytes, density)`
+//! and prints a per-cell speedup table — the `bench_comm --compare A B`
+//! subcommand, used to read the trajectory without re-running anything.
+
+use embrace_obs::json;
+
+/// One timed cell of a bench sweep.
+pub struct Entry {
+    pub op: &'static str,
+    pub world: usize,
+    pub bytes: usize,
+    /// Gradient row density of a density-sweep cell, 0 for size-sweep ops.
+    pub density: f64,
+    pub iters: u64,
+    pub ns_per_iter: u64,
+    pub gb_per_s: f64,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+pub enum Mode {
+    Quick,
+    Full,
+}
+
+impl Mode {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Mode::Quick => "quick",
+            Mode::Full => "full",
+        }
+    }
+}
+
+fn fmt_entry(e: &Entry) -> String {
+    format!(
+        "{{\"op\":\"{}\",\"world\":{},\"bytes\":{},\"density\":{},\"iters\":{},\
+         \"ns_per_iter\":{},\"gb_per_s\":{:.6}}}",
+        e.op, e.world, e.bytes, e.density, e.iters, e.ns_per_iter, e.gb_per_s
+    )
+}
+
+/// Serialise one run object.
+pub fn fmt_run(label: &str, mode: Mode, entries: &[Entry]) -> String {
+    let body: Vec<String> = entries.iter().map(fmt_entry).collect();
+    format!(
+        "{{\"label\":\"{}\",\"mode\":\"{}\",\"entries\":[{}]}}",
+        json::escape(label),
+        mode.as_str(),
+        body.join(",")
+    )
+}
+
+/// Merge the new run into an existing trajectory file: runs with other
+/// labels are preserved verbatim (re-serialised), a run with the same
+/// label is replaced.
+pub fn merge_into_file(path: &str, label: &str, new_run: String) -> Result<String, String> {
+    let mut kept: Vec<String> = Vec::new();
+    if let Ok(prev) = std::fs::read_to_string(path) {
+        let v = json::parse(&prev).map_err(|e| format!("existing {path} unparseable: {e}"))?;
+        if let Some(runs) = v.get("runs").and_then(|r| r.as_arr()) {
+            for run in runs {
+                let run_label = run.get("label").and_then(|l| l.as_str()).unwrap_or("");
+                if run_label != label {
+                    kept.push(reserialise(run));
+                }
+            }
+        }
+    }
+    kept.push(new_run);
+    Ok(format!("{{\"schema\":\"bench-collectives-v1\",\"runs\":[{}]}}\n", kept.join(",")))
+}
+
+/// Re-emit a parsed JSON value (the parser keeps object key order).
+fn reserialise(v: &json::Value) -> String {
+    if let Some(obj) = v.as_obj() {
+        let fields: Vec<String> = obj
+            .iter()
+            .map(|(k, val)| format!("\"{}\":{}", json::escape(k), reserialise(val)))
+            .collect();
+        return format!("{{{}}}", fields.join(","));
+    }
+    if let Some(arr) = v.as_arr() {
+        let items: Vec<String> = arr.iter().map(reserialise).collect();
+        return format!("[{}]", items.join(","));
+    }
+    if let Some(s) = v.as_str() {
+        return format!("\"{}\"", json::escape(s));
+    }
+    if let Some(n) = v.as_f64() {
+        if n.fract() == 0.0 && n.abs() < 9e15 {
+            return format!("{}", n as i64);
+        }
+        return format!("{n}");
+    }
+    // Null / bool fall back to the f64/str accessors above in this
+    // parser; anything else is outside the bench schema.
+    "null".to_string()
+}
+
+/// Decoded key+throughput of one stored entry.
+type Cell = (String, usize, usize, f64, f64, u64);
+
+fn run_cells(run: &json::Value) -> Vec<Cell> {
+    run.get("entries")
+        .and_then(|e| e.as_arr())
+        .map(|es| {
+            es.iter()
+                .filter_map(|e| {
+                    Some((
+                        e.get("op")?.as_str()?.to_string(),
+                        e.get("world")?.as_f64()? as usize,
+                        e.get("bytes")?.as_f64()? as usize,
+                        e.get("density").and_then(json::Value::as_f64).unwrap_or(0.0),
+                        e.get("gb_per_s")?.as_f64()?,
+                        e.get("ns_per_iter")?.as_f64()? as u64,
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Join runs `a` and `b` on `(op, world, bytes, density)` and print the
+/// per-cell speedup of `b` over `a`. Pure throughput cells compare
+/// `gb_per_s`; latency-style cells (`gb_per_s == 0`, e.g. the HoL p95
+/// waits) compare `ns_per_iter` inverted so >1 still means "b is
+/// faster". Errors if either label is missing or no cells overlap.
+pub fn compare(doc: &json::Value, label_a: &str, label_b: &str) -> Result<(), String> {
+    let runs = doc.get("runs").and_then(|r| r.as_arr()).ok_or("no runs in trajectory file")?;
+    let find = |l: &str| {
+        runs.iter()
+            .find(|r| r.get("label").and_then(|v| v.as_str()) == Some(l))
+            .ok_or(format!("no run labelled \"{l}\""))
+    };
+    let (a, b) = (run_cells(find(label_a)?), run_cells(find(label_b)?));
+    println!(
+        "{:<26} {:>6} {:>10} {:>8} {:>11} {:>11} {:>8}",
+        "op", "world", "bytes", "density", label_a, label_b, "speedup"
+    );
+    let mut joined = 0usize;
+    let mut product = 1.0f64;
+    for (op, world, bytes, density, b_gbs, b_ns) in &b {
+        let Some((.., a_gbs, a_ns)) =
+            a.iter().find(|(o, w, by, d, ..)| o == op && w == world && by == bytes && d == density)
+        else {
+            continue;
+        };
+        let (ca, cb, speedup) = if *a_gbs > 0.0 && *b_gbs > 0.0 {
+            (format!("{a_gbs:.3}"), format!("{b_gbs:.3}"), b_gbs / a_gbs)
+        } else if *a_ns > 0 && *b_ns > 0 {
+            (format!("{a_ns}ns"), format!("{b_ns}ns"), *a_ns as f64 / *b_ns as f64)
+        } else {
+            continue;
+        };
+        println!("{op:<26} {world:>6} {bytes:>10} {density:>8} {ca:>11} {cb:>11} {speedup:>7.2}x");
+        joined += 1;
+        product *= speedup;
+    }
+    if joined == 0 {
+        return Err(format!("runs \"{label_a}\" and \"{label_b}\" share no cells"));
+    }
+    println!(
+        "{joined} cells joined; geometric-mean speedup {:.2}x",
+        product.powf(1.0 / joined as f64)
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(op: &'static str, gbs: f64) -> Entry {
+        Entry { op, world: 4, bytes: 1024, density: 0.0, iters: 3, ns_per_iter: 10, gb_per_s: gbs }
+    }
+
+    #[test]
+    fn merge_replaces_same_label_and_keeps_others() {
+        let dir = std::env::temp_dir().join("embrace_record_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("traj.json");
+        let path = path.to_str().expect("utf8 path");
+        let doc = merge_into_file(path, "a", fmt_run("a", Mode::Quick, &[entry("op", 1.0)]))
+            .expect("fresh merge");
+        std::fs::write(path, &doc).expect("write");
+        let doc = merge_into_file(path, "b", fmt_run("b", Mode::Quick, &[entry("op", 2.0)]))
+            .expect("second label");
+        std::fs::write(path, &doc).expect("write");
+        let doc = merge_into_file(path, "a", fmt_run("a", Mode::Full, &[entry("op", 3.0)]))
+            .expect("replace");
+        std::fs::write(path, &doc).expect("write");
+        let v = json::parse(&doc).expect("reparse");
+        let runs = v.get("runs").and_then(|r| r.as_arr()).expect("runs");
+        assert_eq!(runs.len(), 2);
+        let modes: Vec<&str> =
+            runs.iter().filter_map(|r| r.get("mode").and_then(|m| m.as_str())).collect();
+        assert!(modes.contains(&"full"), "label a must have been replaced by the full run");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn compare_joins_on_cell_key_and_rejects_unknown_labels() {
+        let doc = format!(
+            "{{\"schema\":\"bench-collectives-v1\",\"runs\":[{},{}]}}",
+            fmt_run("before", Mode::Quick, &[entry("ring", 1.0), entry("only_before", 1.0)]),
+            fmt_run("after", Mode::Quick, &[entry("ring", 2.0)])
+        );
+        let v = json::parse(&doc).expect("parse");
+        compare(&v, "before", "after").expect("overlapping cell exists");
+        assert!(compare(&v, "before", "missing").is_err());
+    }
+}

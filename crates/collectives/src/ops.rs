@@ -40,8 +40,8 @@
 use crate::transport::{Comm, CommError, Packet, SegBody, SparseSeg};
 use embrace_obs::recorder;
 use embrace_tensor::{
-    coalesce, densify_range, merge_rowsparse, row_partition, scatter_add_rows, DenseTensor,
-    RowSparse, TokenBuf,
+    coalesce, densify_range, kernels, merge_rowsparse, row_partition, scatter_add_rows,
+    DenseTensor, RowSparse, TokenBuf,
 };
 
 /// Best-effort abort broadcast, then pass the error through. Locally
@@ -149,19 +149,27 @@ pub fn ring_allreduce<C: Comm>(ep: &mut C, buf: &mut [f32]) {
 /// Fallible [`ring_allreduce`]. On `Err` the contents of `buf` are
 /// unspecified (the reduction was interrupted part-way).
 ///
+/// # Receive-fuse-forward
+///
+/// In both phases the chunk received at step s is exactly the chunk sent
+/// at step s+1 (`recv_c(s) == send_c(s+1)`, including across the phase
+/// boundary), so the received tensor — updated in place by the fused
+/// [`kernels::add_assign_both`] reduce during phase 1, forwarded verbatim
+/// during phase 2 — *is* the next outgoing packet. Only step 0 stages
+/// from `buf`; every other step touches each element once.
+///
 /// # Allocation discipline
 ///
 /// One staging buffer of max-chunk capacity is allocated per call and then
-/// *circulates*: each step stages the outgoing chunk into it (a memcpy
-/// into existing capacity), moves it into the channel, and adopts the
-/// received buffer — whose sole owner we now are — as the next step's
-/// staging buffer. Every buffer in flight started as some rank's max-chunk
-/// scratch, so capacity always suffices and the 2·(N−1) steps perform zero
-/// heap allocations (asserted by `ring_allreduce_steady_state` tests via
-/// [`embrace_tensor::alloc_counter`]). The wire protocol — packet shapes,
-/// sizes and send/recv order — is byte-identical to the previous
-/// allocate-per-step implementation, so extracted plans and the model
-/// checker are unaffected.
+/// *circulates*: it carries step 0's outgoing chunk into the channel, and
+/// each received buffer — whose sole owner we now are — becomes the next
+/// step's outgoing packet. Every buffer in flight started as some rank's
+/// max-chunk scratch, so capacity always suffices and the 2·(N−1) steps
+/// perform zero heap allocations (asserted by `ring_allreduce_steady_state`
+/// tests via [`embrace_tensor::alloc_counter`]). The wire protocol —
+/// packet shapes, sizes, send/recv order and f32 summation order — is
+/// byte-identical to the stage-per-step implementation, so extracted plans
+/// and the model checker are unaffected.
 pub fn try_ring_allreduce<C: Comm>(ep: &mut C, buf: &mut [f32]) -> Result<(), CommError> {
     let _span = recorder::span("ring_allreduce", "collective");
     let world = ep.world();
@@ -175,42 +183,38 @@ pub fn try_ring_allreduce<C: Comm>(ep: &mut C, buf: &mut [f32]) -> Result<(), Co
     let max_chunk = chunks.iter().map(|c| c.end - c.start).max().unwrap_or(0);
     let mut scratch = DenseTensor::zeros(1, max_chunk);
 
-    // Phase 1: reduce-scatter. After step s, chunk (rank−s) has been
+    // Phase 0: reduce-scatter — after step s, chunk (rank−s) has been
     // accumulated over s+1 ranks; after N−1 steps each rank owns the fully
-    // reduced chunk (rank+1) mod N.
-    for step in 0..world - 1 {
-        let send_c = (rank + world - step) % world;
-        let recv_c = (rank + world - step - 1) % world;
-        scratch.stage_row(&buf[chunks[send_c].start..chunks[send_c].end]);
-        let outgoing = std::mem::replace(&mut scratch, DenseTensor::zeros(0, 0));
-        if let Err(e) = ep.try_send(next, Packet::Dense(outgoing)) {
-            return fail(ep, e);
+    // reduced chunk (rank+1) mod N. Phase 1: all-gather the reduced chunks
+    // around the same ring.
+    for phase in 0..2 {
+        for step in 0..world - 1 {
+            let (send_c, recv_c) = if phase == 0 {
+                ((rank + world - step) % world, (rank + world - step - 1) % world)
+            } else {
+                ((rank + 1 + world - step) % world, (rank + world - step) % world)
+            };
+            if phase == 0 && step == 0 {
+                scratch.stage_row(&buf[chunks[send_c].start..chunks[send_c].end]);
+            }
+            let outgoing = std::mem::replace(&mut scratch, DenseTensor::zeros(0, 0));
+            if let Err(e) = ep.try_send(next, Packet::Dense(outgoing)) {
+                return fail(ep, e);
+            }
+            let mut incoming = match ep.try_recv(prev).and_then(Packet::try_into_dense) {
+                Ok(d) => d,
+                Err(e) => return fail(ep, e),
+            };
+            let dst = &mut buf[chunks[recv_c].start..chunks[recv_c].end];
+            if phase == 0 {
+                // Fused: dst[i] += incoming[i] and incoming[i] becomes the
+                // sum too — next step's outgoing chunk, already reduced.
+                kernels::add_assign_both(dst, incoming.as_mut_slice());
+            } else {
+                dst.copy_from_slice(incoming.as_slice());
+            }
+            scratch = incoming;
         }
-        let incoming = match ep.try_recv(prev).and_then(Packet::try_into_dense) {
-            Ok(d) => d,
-            Err(e) => return fail(ep, e),
-        };
-        let dst = &mut buf[chunks[recv_c].start..chunks[recv_c].end];
-        for (d, s) in dst.iter_mut().zip(incoming.as_slice()) {
-            *d += s;
-        }
-        scratch = incoming;
-    }
-    // Phase 2: all-gather the reduced chunks around the same ring.
-    for step in 0..world - 1 {
-        let send_c = (rank + 1 + world - step) % world;
-        let recv_c = (rank + world - step) % world;
-        scratch.stage_row(&buf[chunks[send_c].start..chunks[send_c].end]);
-        let outgoing = std::mem::replace(&mut scratch, DenseTensor::zeros(0, 0));
-        if let Err(e) = ep.try_send(next, Packet::Dense(outgoing)) {
-            return fail(ep, e);
-        }
-        let incoming = match ep.try_recv(prev).and_then(Packet::try_into_dense) {
-            Ok(d) => d,
-            Err(e) => return fail(ep, e),
-        };
-        buf[chunks[recv_c].start..chunks[recv_c].end].copy_from_slice(incoming.as_slice());
-        scratch = incoming;
     }
     Ok(())
 }
@@ -282,9 +286,7 @@ pub fn try_ring_allreduce_pipelined<C: Comm>(
                 };
                 let dst = &mut buf[seg_start..seg_end];
                 if phase == 0 {
-                    for (d, s) in dst.iter_mut().zip(incoming.as_slice()) {
-                        *d += s;
-                    }
+                    kernels::add_assign(dst, incoming.as_slice());
                 } else {
                     dst.copy_from_slice(incoming.as_slice());
                 }
@@ -1041,6 +1043,128 @@ mod tests {
         assert_eq!(buf, &vec![1.0, 2.0]);
         assert_eq!(g[0].as_slice(), &[5.0]);
         assert_eq!(a[0].as_slice(), &[9.0]);
+    }
+
+    mod slot_transport {
+        use super::*;
+        use crate::group::run_group_on;
+        use crate::transport::slot_mesh;
+
+        /// The tentpole claim: steady-state ring and sparse allreduce over
+        /// the one-sided transport move *only payload* — zero control
+        /// round-trips on every rank, while the same traffic over channels
+        /// pays one rendezvous per message.
+        #[test]
+        fn steady_state_collectives_pay_zero_control_msgs() {
+            for world in [2, 4, 8] {
+                let out = run_group_on(slot_mesh(world), move |rank, ep| {
+                    let mut buf: Vec<f32> = (0..257).map(|i| (rank * 31 + i) as f32).collect();
+                    for _ in 0..3 {
+                        ring_allreduce(ep, &mut buf);
+                    }
+                    let g = RowSparse::new(
+                        vec![rank as u32, world as u32 + 3],
+                        DenseTensor::full(2, 4, rank as f32 + 0.5),
+                    );
+                    let _ = sparse_allreduce(ep, &g, &SsarConfig { vocab: 64, crossover: 0.5 });
+                    (ep.control_msgs(), ep.msgs_sent())
+                });
+                for (rank, (control, sent)) in out.into_iter().enumerate() {
+                    assert!(sent > 0, "world={world} rank={rank} sent nothing");
+                    assert_eq!(
+                        control, 0,
+                        "world={world} rank={rank}: steady state must be pure payload"
+                    );
+                }
+            }
+        }
+
+        /// Slot and channel transports are interchangeable: bitwise-equal
+        /// ring results, identical message/byte counters.
+        #[test]
+        fn ring_allreduce_matches_channel_transport_bitwise() {
+            for world in [2, 3, 5] {
+                let mk = move |rank: usize| -> Vec<f32> {
+                    (0..97).map(|i| ((rank * 31 + i) as f32).sin()).collect()
+                };
+                let over_channels = run_group(world, move |rank, ep| {
+                    let mut buf = mk(rank);
+                    ring_allreduce(ep, &mut buf);
+                    (buf, ep.msgs_sent(), ep.bytes_sent())
+                });
+                let over_slots = run_group_on(slot_mesh(world), move |rank, ep| {
+                    let mut buf = mk(rank);
+                    ring_allreduce(ep, &mut buf);
+                    (buf, ep.msgs_sent(), ep.bytes_sent())
+                });
+                for (rank, (ch, sl)) in over_channels.iter().zip(&over_slots).enumerate() {
+                    let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                    assert_eq!(bits(&ch.0), bits(&sl.0), "world={world} rank={rank}");
+                    assert_eq!((ch.1, ch.2), (sl.1, sl.2), "world={world} rank={rank}");
+                }
+            }
+        }
+
+        /// Pipelined ring over slots: deep in-flight windows may overflow
+        /// the slot pool, but every overflow is *counted* as a rendezvous
+        /// and the result stays bitwise-equal to the channel path.
+        #[test]
+        fn pipelined_ring_over_slots_matches_and_counts_overflow() {
+            let world = 4;
+            let mk = move |rank: usize| -> Vec<f32> {
+                (0..301).map(|i| ((rank * 17 + i) as f32).cos()).collect()
+            };
+            let over_channels = run_group(world, move |rank, ep| {
+                let mut buf = mk(rank);
+                ring_allreduce_pipelined(ep, &mut buf, 2);
+                buf
+            });
+            let over_slots = run_group_on(slot_mesh(world), move |rank, ep| {
+                let mut buf = mk(rank);
+                ring_allreduce_pipelined(ep, &mut buf, 2);
+                let overflow = ep.control_msgs();
+                (buf, overflow, ep.msgs_sent())
+            });
+            for (rank, (ch, (sl, overflow, sent))) in
+                over_channels.iter().zip(&over_slots).enumerate()
+            {
+                assert_eq!(ch, sl, "world={world} rank={rank}");
+                // 301 elems / 4 ranks / seg 2 = ~38 segments per step:
+                // far past SLOT_CAPACITY, so the fallback must have fired
+                // — and never more often than there were messages.
+                assert!(*overflow > 0, "rank={rank}: expected counted rendezvous");
+                assert!(overflow <= sent, "rank={rank}: overflow exceeds sends");
+            }
+        }
+
+        /// Elastic re-form over slots: a crashed rank is evicted, pools
+        /// re-register under the committed epoch (one control message per
+        /// link), and the survivors' next collective still sums correctly.
+        #[test]
+        fn elastic_reform_reregisters_slot_pools() {
+            use crate::elastic::ElasticWorker;
+            use crate::transport::{slot_mesh_with_faults, FaultPlan};
+            use std::time::Duration;
+            let mesh =
+                slot_mesh_with_faults(3, &FaultPlan::default(), Some(Duration::from_millis(250)));
+            let out = run_group_on(mesh, move |rank, ep| {
+                if rank == 2 {
+                    ep.crash();
+                    return (0, Vec::new());
+                }
+                let mut w = ElasticWorker::new(ep);
+                let mut buf = vec![rank as f32; 8];
+                assert!(try_ring_allreduce(&mut w, &mut buf).is_err());
+                let outcome = w.reform().expect("survivors re-form");
+                assert_eq!(outcome.members, vec![0, 1]);
+                let mut buf = vec![rank as f32 + 1.0; 4];
+                try_ring_allreduce(&mut w, &mut buf).expect("post-reform collective");
+                (w.epoch(), buf)
+            });
+            assert_eq!(out[0].0, 1);
+            assert_eq!(out[0].1, vec![3.0; 4]);
+            assert_eq!(out[1].1, vec![3.0; 4]);
+        }
     }
 
     mod sparse_allreduce_tests {

@@ -533,9 +533,7 @@ impl ChunkedExec {
                     };
                     let dst = &mut buf[rlo..rhi];
                     if phase == 0 {
-                        for (d, s) in dst.iter_mut().zip(incoming.as_slice()) {
-                            *d += s;
-                        }
+                        embrace_tensor::kernels::add_assign(dst, incoming.as_slice());
                     } else {
                         dst.copy_from_slice(incoming.as_slice());
                     }

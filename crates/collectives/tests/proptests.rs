@@ -6,13 +6,15 @@
 //! reproduce the unsegmented ring exactly.
 
 use embrace_collectives::ops::{
-    allgather_dense, alltoallv_sparse, ring_allreduce, ring_allreduce_pipelined, sparse_allreduce,
-    sparse_allreduce_oracle, SsarConfig,
+    allgather_dense, alltoallv_sparse, broadcast, ring_allreduce, ring_allreduce_pipelined,
+    sparse_allreduce, sparse_allreduce_oracle, SsarConfig,
 };
-use embrace_collectives::run_group;
+use embrace_collectives::transport::{mesh_with_faults, slot_mesh_with_faults, Packet};
+use embrace_collectives::{run_group, run_group_on, FaultPlan};
 use embrace_tensor::{row_partition, DenseTensor, RowSparse};
 use proptest::collection::vec;
 use proptest::prelude::*;
+use std::time::Duration;
 
 /// Element-wise serial reference for the ring AllReduce. The ring
 /// accumulates chunk `c` by visiting ranks `c, c+1, …, c+N−1 (mod N)` and
@@ -82,6 +84,23 @@ fn ssar_local(
         })
         .collect();
     RowSparse::new(indices, DenseTensor::from_vec(n, dim, vals))
+}
+
+/// Run the same per-rank closure over the channel mesh and the one-sided
+/// slot mesh with identical fault plans, returning both result vectors —
+/// the observational-equivalence harness for the slot transport.
+fn on_both_transports<R, F>(
+    world: usize,
+    plan: &embrace_collectives::FaultPlan,
+    f: F,
+) -> (Vec<R>, Vec<R>)
+where
+    R: Send,
+    F: Fn(usize, &mut embrace_collectives::Endpoint) -> R + Sync,
+{
+    let channel = run_group_on(mesh_with_faults(world, plan, None), &f);
+    let slot = run_group_on(slot_mesh_with_faults(world, plan, None), &f);
+    (channel, slot)
 }
 
 proptest! {
@@ -204,6 +223,121 @@ proptest! {
                     "rank {} flat element {}: {} vs {}", rank, i, g, e
                 );
             }
+        }
+    }
+
+    #[test]
+    fn slot_transport_is_bitwise_identical_to_channel(
+        world in 2usize..=8,
+        len in 0usize..=MAX_LEN,
+        seg in 1usize..=32,
+        rows in 0usize..=4,
+        dim in 1usize..=5,
+        // Below 50 = fault-free; otherwise inject store-and-forward delays
+        // on two links, exercising the slot delay worker against the
+        // channel one (delivery order per link is preserved by both).
+        delay_us in 0u64..=400,
+        vocab in 1usize..=20,
+        nnzs in vec(0usize..=SSAR_MAX_NNZ, 8),
+        raw_idx in vec(0u32..4096, 8 * SSAR_MAX_NNZ),
+        raw_val in vec(-1.0e3f32..1.0e3, 8 * SSAR_MAX_NNZ * 3),
+    ) {
+        let plan = if delay_us >= 50 {
+            FaultPlan::new(7)
+                .delay_link(0, 1, Duration::from_micros(delay_us))
+                .delay_link(world - 1, 0, Duration::from_micros(delay_us / 2 + 1))
+        } else {
+            FaultPlan::default()
+        };
+
+        // Ring AllReduce, unsegmented and pipelined.
+        let inputs: Vec<Vec<f32>> = (0..world)
+            .map(|r| (0..len).map(|i| ((r * 131 + i * 7) % 257) as f32 * 0.5 - 64.0).collect())
+            .collect();
+        let (ch, sl) = on_both_transports(world, &plan, |rank, ep| {
+            let mut buf = inputs[rank].clone();
+            ring_allreduce(ep, &mut buf);
+            buf
+        });
+        let bits = |v: &Vec<f32>| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        for rank in 0..world {
+            prop_assert_eq!(bits(&ch[rank]), bits(&sl[rank]), "ring rank {}", rank);
+        }
+        let (ch, sl) = on_both_transports(world, &plan, |rank, ep| {
+            let mut buf = inputs[rank].clone();
+            ring_allreduce_pipelined(ep, &mut buf, seg);
+            buf
+        });
+        for rank in 0..world {
+            prop_assert_eq!(bits(&ch[rank]), bits(&sl[rank]), "pipelined rank {}", rank);
+        }
+
+        // Dense allgather.
+        let locals: Vec<DenseTensor> = (0..world)
+            .map(|r| {
+                let data: Vec<f32> =
+                    (0..rows * dim).map(|i| (r as f32 + 1.0) * (i as f32 - 3.5)).collect();
+                DenseTensor::from_vec(rows, dim, data)
+            })
+            .collect();
+        let (ch, sl) =
+            on_both_transports(world, &plan, |rank, ep| allgather_dense(ep, locals[rank].clone()));
+        for rank in 0..world {
+            prop_assert_eq!(&ch[rank], &sl[rank], "allgather rank {}", rank);
+        }
+
+        // Sparse AlltoAllv.
+        let parts: Vec<Vec<RowSparse>> = (0..world)
+            .map(|r| {
+                (0..world)
+                    .map(|c| {
+                        let idx: Vec<u32> = (0..rows as u32).map(|i| i * 2 + c as u32).collect();
+                        let vals: Vec<f32> =
+                            (0..rows * dim).map(|i| (r * 100 + c * 10 + i) as f32).collect();
+                        RowSparse::new(idx, DenseTensor::from_vec(rows, dim, vals))
+                    })
+                    .collect()
+            })
+            .collect();
+        let (ch, sl) =
+            on_both_transports(world, &plan, |rank, ep| alltoallv_sparse(ep, parts[rank].clone()));
+        for rank in 0..world {
+            prop_assert_eq!(&ch[rank], &sl[rank], "alltoallv rank {}", rank);
+        }
+
+        // Broadcast from rank 0.
+        let root_payload = DenseTensor::from_vec(
+            rows,
+            dim,
+            (0..rows * dim).map(|i| i as f32 * 0.25 - 1.0).collect(),
+        );
+        let (ch, sl) = on_both_transports(world, &plan, |rank, ep| {
+            let payload = (rank == 0).then(|| Packet::Dense(root_payload.share()));
+            match broadcast(ep, 0, payload) {
+                Packet::Dense(d) => d,
+                other => panic!("broadcast returned non-dense packet {other:?}"),
+            }
+        });
+        for rank in 0..world {
+            prop_assert_eq!(&ch[rank], &sl[rank], "broadcast rank {}", rank);
+        }
+
+        // Sparse-native split allreduce (SSAR), crossover mid-range so
+        // random densities exercise both representations.
+        let grads: Vec<RowSparse> = (0..world)
+            .map(|r| ssar_local(r, world, vocab, dim.min(3), 0, (&nnzs, &raw_idx, &raw_val)))
+            .collect();
+        let cfg = SsarConfig { vocab, crossover: 0.5 };
+        let (ch, sl) =
+            on_both_transports(world, &plan, |rank, ep| sparse_allreduce(ep, &grads[rank], &cfg));
+        for rank in 0..world {
+            prop_assert_eq!(
+                ch[rank].is_dense(), sl[rank].is_dense(),
+                "ssar representation rank {}", rank
+            );
+            let (d_ch, d_sl) = (ch[rank].to_dense(vocab), sl[rank].to_dense(vocab));
+            prop_assert_eq!(bits(&d_ch.as_slice().to_vec()), bits(&d_sl.as_slice().to_vec()),
+                "ssar rank {}", rank);
         }
     }
 

@@ -81,9 +81,7 @@ pub fn coalesce_into(grad: &RowSparse, out: &mut RowSparse) {
         let row = grad.values().row(src as usize);
         if indices.last() == Some(&row_id) {
             let start = values.len() - dim;
-            for (d, s) in values[start..].iter_mut().zip(row) {
-                *d += s;
-            }
+            crate::kernels::add_assign(&mut values[start..], row);
         } else {
             indices.push(row_id);
             values.extend_from_slice(row);

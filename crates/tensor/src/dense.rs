@@ -150,24 +150,18 @@ impl DenseTensor {
     /// `self += other`, element-wise.
     pub fn add_assign(&mut self, other: &DenseTensor) {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch in add");
-        for (a, b) in self.data_mut().iter_mut().zip(other.data.iter()) {
-            *a += b;
-        }
+        crate::kernels::add_assign(self.data_mut(), &other.data);
     }
 
     /// `self += alpha * other`, element-wise (axpy).
     pub fn axpy(&mut self, alpha: f32, other: &DenseTensor) {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch in axpy");
-        for (a, b) in self.data_mut().iter_mut().zip(other.data.iter()) {
-            *a += alpha * b;
-        }
+        crate::kernels::scaled_add(self.data_mut(), alpha, &other.data);
     }
 
     /// `self *= alpha`, element-wise.
     pub fn scale(&mut self, alpha: f32) {
-        for a in self.data_mut().iter_mut() {
-            *a *= alpha;
-        }
+        crate::kernels::scale(self.data_mut(), alpha);
     }
 
     /// Set every element to zero without reallocating (unless shared, in

@@ -43,6 +43,7 @@ pub mod alloc_counter;
 pub mod coalesce;
 pub mod dense;
 pub mod index;
+pub mod kernels;
 pub mod merge;
 pub mod shard;
 pub mod sparse;

@@ -63,9 +63,7 @@ pub fn merge_rowsparse(parts: &[RowSparse]) -> RowSparse {
                     values.extend_from_slice(row);
                     first = false;
                 } else {
-                    for (d, s) in values[at..].iter_mut().zip(row) {
-                        *d += s;
-                    }
+                    crate::kernels::add_assign(&mut values[at..], row);
                 }
                 cursor[k] += 1;
             }
@@ -83,10 +81,7 @@ pub fn scatter_add_rows(dense: &mut DenseTensor, base: u32, sparse: &RowSparse) 
     assert_eq!(dense.cols(), sparse.dim(), "dim mismatch in scatter-add");
     for (i, &idx) in sparse.indices().iter().enumerate() {
         let local = (idx - base) as usize;
-        let dst = dense.row_mut(local);
-        for (d, s) in dst.iter_mut().zip(sparse.values().row(i)) {
-            *d += s;
-        }
+        crate::kernels::add_assign(dense.row_mut(local), sparse.values().row(i));
     }
 }
 

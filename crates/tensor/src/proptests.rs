@@ -91,6 +91,40 @@ proptest! {
     }
 
     #[test]
+    fn lane_kernels_bitwise_match_scalar_fold(
+        // 0..=20 straddles the lane width: exercises empty input, lengths
+        // below LANES (pure remainder), exactly LANES, and ragged tails.
+        len in 0usize..=20,
+        seed_a in prop::collection::vec(-100.0f32..100.0, 24),
+        seed_b in prop::collection::vec(-100.0f32..100.0, 24),
+        alpha in -5.0f32..5.0,
+    ) {
+        use crate::kernels;
+        let src = &seed_b[..len];
+        let mut lane = seed_a[..len].to_vec();
+        let mut scalar = lane.clone();
+        kernels::add_assign(&mut lane, src);
+        kernels::add_assign_scalar(&mut scalar, src);
+        prop_assert_eq!(
+            lane.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            scalar.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        kernels::scaled_add(&mut lane, alpha, src);
+        kernels::scaled_add_scalar(&mut scalar, alpha, src);
+        prop_assert_eq!(
+            lane.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            scalar.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        // Fused receive-reduce-forward: both outputs equal the scalar sum.
+        let mut fwd = src.to_vec();
+        kernels::add_assign_scalar(&mut scalar, src);
+        kernels::add_assign_both(&mut lane, &mut fwd);
+        let want: Vec<u32> = scalar.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(lane.iter().map(|v| v.to_bits()).collect::<Vec<_>>(), want.clone());
+        prop_assert_eq!(fwd.iter().map(|v| v.to_bits()).collect::<Vec<_>>(), want);
+    }
+
+    #[test]
     fn coalesce_row_count_bounds(
         indices in prop::collection::vec(0u32..10, 0..40),
     ) {
