@@ -55,7 +55,8 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// Crates whose `src/` is subject to the comm-path rules.
-const COMM_PATH_CRATES: &[&str] = &["crates/collectives", "crates/core", "crates/trainer"];
+const COMM_PATH_CRATES: &[&str] =
+    &["crates/collectives", "crates/core", "crates/trainer", "crates/ps"];
 
 /// One lint violation.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -24,7 +24,7 @@ use embrace_analyzer::{
 };
 use embrace_collectives::ops::{sparse_allreduce, SsarConfig};
 use embrace_collectives::{run_group, run_group_on, Comm, Endpoint, Packet};
-use embrace_tensor::{DenseTensor, RowSparse, F32_BYTES, TOKEN_BYTES};
+use embrace_tensor::{DenseTensor, RowSparse, TokenBuf, F32_BYTES, TOKEN_BYTES};
 use embrace_trainer::scheduled::train_convergence_traced;
 
 /// After running `f` on a live mesh, every rank's per-peer (msgs, bytes)
@@ -210,6 +210,35 @@ fn recorded_allgather_trace_equals_plan() {
         }
         let out = embrace_collectives::ops::allgather_tokens(&mut rec, locals[rank].clone());
         assert_eq!(out, locals, "rank {rank} gathered payloads");
+        assert_eq!(rec.trace(), &plan.ranks[rank][..], "rank {rank} trace vs plan");
+    }
+}
+
+#[test]
+fn recorded_lookup_trace_equals_plan() {
+    // The sharded-service lookup RPC is two chained collectives: the
+    // deduplicated id requests (alltoallv_tokens) and the owners' row
+    // responses (alltoall_dense). Drive both real ops over a
+    // RecordingEndpoint; the recorded trace must equal lookup_plan
+    // op for op, byte for byte.
+    let world = 3;
+    let dim = 5;
+    let reqs: Vec<Vec<usize>> = vec![vec![1, 2, 0], vec![4, 1, 3], vec![2, 0, 1]];
+    let plan = embrace_analyzer::plan::lookup_plan(&reqs, dim);
+    for (rank, my_reqs) in reqs.iter().enumerate() {
+        let mut rec = RecordingEndpoint::new(rank, world);
+        for src in (0..world).filter(|&s| s != rank) {
+            rec.script(src, Packet::Tokens(vec![7u32; reqs[src][rank]].into()));
+        }
+        let requests: Vec<TokenBuf> = my_reqs.iter().map(|&n| vec![7u32; n].into()).collect();
+        let incoming = embrace_collectives::ops::alltoallv_tokens(&mut rec, requests);
+        // Phase 2: serve each requester's rows, receive my own.
+        for src in (0..world).filter(|&s| s != rank) {
+            rec.script(src, Packet::Dense(DenseTensor::zeros(my_reqs[src], dim)));
+        }
+        let responses: Vec<DenseTensor> =
+            incoming.iter().map(|ids| DenseTensor::zeros(ids.len(), dim)).collect();
+        let _rows = embrace_collectives::ops::alltoall_dense(&mut rec, responses);
         assert_eq!(rec.trace(), &plan.ranks[rank][..], "rank {rank} trace vs plan");
     }
 }

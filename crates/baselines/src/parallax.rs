@@ -4,23 +4,23 @@
 //! (`embrace-ps`); dense parameters are replicated and AllReduced. Each
 //! step a worker pulls the embedding rows its batch needs, computes, then
 //! pushes the sparse gradient back; the server applies the summed update
-//! synchronously.
+//! synchronously. Malformed batches surface as typed [`PsError`]s.
 
-use embrace_ps::ShardedStore;
+use embrace_ps::{PsError, ShardedStore};
 use embrace_tensor::{coalesce, DenseTensor, RowSparse};
 
 /// Pull the embedding rows for `tokens` (the per-step lookup in Parallax's
 /// sparse-PS plane; duplicates allowed, as in a raw batch).
-pub fn pull_lookup(store: &ShardedStore, tokens: &[u32]) -> DenseTensor {
+pub fn pull_lookup(store: &ShardedStore, tokens: &[u32]) -> Result<DenseTensor, PsError> {
     store.pull_rows(tokens)
 }
 
 /// Push this worker's raw (possibly uncoalesced) embedding gradient; the
 /// gradient is coalesced locally first (Parallax sends unique keys), then
 /// the store applies the synchronous summed SGD update at rate `lr`.
-pub fn push_grad(store: &ShardedStore, grad: &RowSparse, lr: f32) {
+pub fn push_grad(store: &ShardedStore, grad: &RowSparse, lr: f32) -> Result<(), PsError> {
     let g = coalesce(grad);
-    store.push_sparse(&g, lr);
+    store.push_sparse(&g, lr)
 }
 
 #[cfg(test)]
@@ -56,10 +56,10 @@ mod tests {
             for b in &batches {
                 let store = Arc::clone(&store);
                 s.spawn(move || {
-                    let looked = pull_lookup(&store, b);
+                    let looked = pull_lookup(&store, b).expect("batch in range");
                     assert_eq!(looked.rows(), b.len());
                     let grad = RowSparse::new(b.clone(), DenseTensor::full(b.len(), 2, 1.0));
-                    push_grad(&store, &grad, lr);
+                    push_grad(&store, &grad, lr).expect("batch in range");
                 });
             }
         });
@@ -70,8 +70,22 @@ mod tests {
     fn pull_after_push_sees_update() {
         let store = ShardedStore::new(DenseTensor::zeros(4, 1), 1, 1);
         let g = RowSparse::new(vec![2], DenseTensor::full(1, 1, 1.0));
-        push_grad(&store, &g, 1.0);
-        let row = pull_lookup(&store, &[2]);
+        push_grad(&store, &g, 1.0).expect("row in range");
+        let row = pull_lookup(&store, &[2]).expect("row in range");
         assert_eq!(row.as_slice(), &[-1.0]);
+    }
+
+    #[test]
+    fn bad_batches_are_typed_errors() {
+        let store = ShardedStore::new(DenseTensor::zeros(4, 1), 2, 1);
+        assert!(matches!(
+            pull_lookup(&store, &[99]),
+            Err(PsError::RowOutOfRange { row: 99, vocab: 4 })
+        ));
+        let wide = RowSparse::new(vec![0], DenseTensor::zeros(1, 3));
+        assert!(matches!(
+            push_grad(&store, &wide, 1.0),
+            Err(PsError::DimMismatch { expected: 1, got: 3 })
+        ));
     }
 }

@@ -15,6 +15,7 @@
 pub mod cli;
 pub mod record;
 pub mod scenarios;
+pub mod serve_cmd;
 pub mod trace_cmd;
 pub mod verify_plan;
 

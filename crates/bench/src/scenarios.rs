@@ -123,8 +123,12 @@ fn run_cell(
                 "-".into(),
                 match e {
                     embrace_trainer::ElasticRunError::RestartsExhausted { .. } => {
-                        // e.g. a flaky window that re-arms on every full
-                        // relaunch: restart alone cannot get past it.
+                        // A fault that outlives the restart budget (a
+                        // crash the plan keeps re-injecting, a window
+                        // wider than the budget can spend). Flaky windows
+                        // no longer land here: they are keyed to the
+                        // plan-shared clock, so a relaunch resumes the
+                        // fault timeline instead of re-arming the window.
                         "failed: restarts exhausted".into()
                     }
                     other => format!("failed: {other}"),
@@ -295,10 +299,14 @@ pub fn run(args: impl Iterator<Item = String>) -> Result<(), String> {
     }
 
     // The matrix must demonstrate recovery, not just report it: every
-    // crash profile has to finish under both simple policies.
+    // crash profile has to finish under both simple policies, and the
+    // flaky link must heal under restart too now that windows are keyed
+    // to the plan-shared clock instead of per-mesh delivery counters.
     let bad: Vec<String> = cells
         .iter()
-        .filter(|c| c.profile.starts_with("crash") && c.row[8] != "ok")
+        .filter(|c| {
+            (c.profile.starts_with("crash") || c.profile == "flaky-link") && c.row[8] != "ok"
+        })
         .map(|c| format!("{}/{}", c.profile, c.policy))
         .collect();
     if bad.is_empty() {

@@ -1,0 +1,353 @@
+//! `embrace_sim serve` — Zipf request replay against the sharded
+//! embedding service ([`embrace_ps::EmbeddingService`]).
+//!
+//! Full mode drives a million-row table (2²⁰ rows × dim 16) at worlds
+//! 2/4/8 with concurrent trainer + inference traffic: every step each
+//! rank issues one trainer lookup followed by a gradient push through the
+//! shard-colocated Adagrad state, interleaved with inference-only lookups
+//! drawn from an independent Zipf stream (the paper's Fig. 2 skew is what
+//! makes the hot-row cache and request dedup earn their keep). Lookups
+//! and pushes are collectives, so each sample is the end-to-end latency a
+//! rank observes including peer synchronisation — the number an online
+//! serving path actually pays.
+//!
+//! p50/p99 are exact order statistics over the raw per-call nanosecond
+//! samples of every rank, never a histogram sketch. Results merge into
+//! BENCH_collectives.json under the label `pr10-serving` as the `serving`
+//! op family:
+//!
+//! * `serving_lookup_p50` / `serving_lookup_p99` — latency cells
+//!   (`gb_per_s = 0`, `ns_per_iter` = the percentile; `bytes` = the dense
+//!   response payload of one lookup batch), trainer and inference lookups
+//!   pooled.
+//! * `serving_push_p50` / `serving_push_p99` — the same for gradient
+//!   pushes (partition → `alltoallv_sparse` → coalesce → Adagrad).
+//! * `serving_cache_hit_rate` — the hot-row cache hit rate carried in
+//!   `gb_per_s` (a pure ratio, so `bench_comm --compare` reports hit-rate
+//!   ratios across runs); `iters` is the probe count (hits + misses).
+//!
+//! `--quick` shrinks the table and worlds to the CI smoke size; `--out`
+//! redirects the trajectory file.
+
+use crate::record::{self, Entry, Mode};
+use embrace_collectives::run_group;
+use embrace_models::data::ZipfSampler;
+use embrace_obs::Metrics;
+use embrace_ps::{
+    EmbeddingService, OptimizerKind, PartitionPolicy, PsError, PushTransport, ServiceConfig,
+};
+use embrace_tensor::{DenseTensor, RowSparse, F32_BYTES};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// The run label BENCH_collectives.json stores this sweep under.
+pub const LABEL: &str = "pr10-serving";
+
+/// The paper-calibrated skew of the replayed request stream (between the
+/// LM and GNMT exponents in `embrace_models::spec`).
+const ZIPF_S: f64 = 1.05;
+
+/// One replay configuration.
+struct Sizing {
+    vocab: usize,
+    dim: usize,
+    worlds: Vec<usize>,
+    steps: usize,
+    /// Ids per lookup request (trainer and inference batches alike).
+    batch: usize,
+    /// Inference-only lookups interleaved after each trainer step.
+    infer_per_step: usize,
+    cache_rows: usize,
+}
+
+fn sizing(mode: Mode) -> Sizing {
+    match mode {
+        Mode::Full => Sizing {
+            vocab: 1 << 20,
+            dim: 16,
+            worlds: vec![2, 4, 8],
+            steps: 48,
+            batch: 512,
+            infer_per_step: 2,
+            cache_rows: 2048,
+        },
+        Mode::Quick => Sizing {
+            vocab: 1 << 16,
+            dim: 8,
+            worlds: vec![2, 4],
+            steps: 6,
+            batch: 128,
+            infer_per_step: 1,
+            cache_rows: 512,
+        },
+    }
+}
+
+/// Merged measurements of one world size.
+struct WorldReport {
+    world: usize,
+    /// Sorted per-call lookup latencies across all ranks (trainer +
+    /// inference pooled).
+    lookup_ns: Vec<u64>,
+    /// Sorted per-call push latencies across all ranks.
+    push_ns: Vec<u64>,
+    hits: u64,
+    misses: u64,
+    rows_served: u64,
+    rows_fetched: u64,
+}
+
+impl WorldReport {
+    fn hit_rate(&self) -> f64 {
+        if self.hits + self.misses == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / (self.hits + self.misses) as f64
+    }
+
+    /// Fraction of requested rows the dedup + cache kept off the wire.
+    fn wire_savings(&self) -> f64 {
+        if self.rows_served == 0 {
+            return 0.0;
+        }
+        1.0 - self.rows_fetched as f64 / self.rows_served as f64
+    }
+
+    fn entries(&self, sz: &Sizing) -> Vec<Entry> {
+        let bytes = sz.batch * sz.dim * F32_BYTES;
+        let lat = |op, ns| Entry {
+            op,
+            world: self.world,
+            bytes,
+            density: 0.0,
+            iters: self.lookup_ns.len() as u64,
+            ns_per_iter: ns,
+            gb_per_s: 0.0,
+        };
+        vec![
+            lat("serving_lookup_p50", percentile(&self.lookup_ns, 0.50)),
+            lat("serving_lookup_p99", percentile(&self.lookup_ns, 0.99)),
+            Entry {
+                iters: self.push_ns.len() as u64,
+                ..lat("serving_push_p50", percentile(&self.push_ns, 0.50))
+            },
+            Entry {
+                iters: self.push_ns.len() as u64,
+                ..lat("serving_push_p99", percentile(&self.push_ns, 0.99))
+            },
+            Entry {
+                op: "serving_cache_hit_rate",
+                world: self.world,
+                bytes,
+                density: 0.0,
+                iters: self.hits + self.misses,
+                ns_per_iter: 0,
+                gb_per_s: self.hit_rate(),
+            },
+        ]
+    }
+}
+
+/// Exact order statistic over an ascending-sorted sample vector (nearest-
+/// rank on the `0..=n-1` index scale).
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Deterministic non-zero initial table value — cheap enough to
+/// materialise million-row shards without dominating the harness.
+fn init_value(row: u32, col: usize) -> f32 {
+    (row.wrapping_mul(31).wrapping_add(col as u32) % 1024) as f32 * 1e-3
+}
+
+fn replay_world(world: usize, sz: &Sizing) -> Result<WorldReport, String> {
+    // One cumulative table per world, Arc-shared into every rank; trainer
+    // and inference draw from the same distribution through independent
+    // RNG streams (two tenants, one corpus).
+    let stream = ZipfSampler::new(sz.vocab, ZIPF_S);
+    let per_rank = run_group(world, |rank, ep| -> Result<_, PsError> {
+        let cfg = ServiceConfig {
+            vocab: sz.vocab,
+            dim: sz.dim,
+            policy: PartitionPolicy::Range,
+            optimizer: OptimizerKind::Adagrad { lr: 0.05 },
+            cache_rows: sz.cache_rows,
+            push: PushTransport::Alltoallv,
+        };
+        let mut svc = EmbeddingService::new(rank, world, &cfg, &init_value);
+        let mix = (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((world as u64) << 40);
+        let mut train_rng = StdRng::seed_from_u64(0xE3B0 ^ mix);
+        let mut infer_rng = StdRng::seed_from_u64(0xC442 ^ mix);
+        let mut lookup_ns: Vec<u64> = Vec::with_capacity(sz.steps * (1 + sz.infer_per_step));
+        let mut push_ns: Vec<u64> = Vec::with_capacity(sz.steps);
+        for _ in 0..sz.steps {
+            // Trainer: lookup, then push the batch gradient back through
+            // the colocated optimizer (AlltoAll #1 then #2).
+            let ids = stream.sample_batch(sz.batch, &mut train_rng);
+            let t = Instant::now();
+            svc.try_lookup(ep, &ids)?;
+            lookup_ns.push(t.elapsed().as_nanos() as u64);
+            let grad = RowSparse::new(ids, DenseTensor::full(sz.batch, sz.dim, 1e-3));
+            let t = Instant::now();
+            svc.try_push(ep, &grad)?;
+            push_ns.push(t.elapsed().as_nanos() as u64);
+            // Inference: read-only traffic against the same (hot) rows.
+            for _ in 0..sz.infer_per_step {
+                let ids = stream.sample_batch(sz.batch, &mut infer_rng);
+                let t = Instant::now();
+                svc.try_lookup(ep, &ids)?;
+                lookup_ns.push(t.elapsed().as_nanos() as u64);
+            }
+        }
+        let mut m = Metrics::new();
+        svc.export_metrics(&mut m);
+        Ok((lookup_ns, push_ns, m))
+    });
+    let mut rep = WorldReport {
+        world,
+        lookup_ns: Vec::new(),
+        push_ns: Vec::new(),
+        hits: 0,
+        misses: 0,
+        rows_served: 0,
+        rows_fetched: 0,
+    };
+    for r in per_rank {
+        let (lookups, pushes, m) = r.map_err(|e| format!("serve replay at world {world}: {e}"))?;
+        rep.lookup_ns.extend(lookups);
+        rep.push_ns.extend(pushes);
+        rep.hits += m.counter("ps.cache.hits");
+        rep.misses += m.counter("ps.cache.misses");
+        rep.rows_served += m.counter("ps.lookup.rows_served");
+        rep.rows_fetched += m.counter("ps.lookup.rows_fetched");
+    }
+    rep.lookup_ns.sort_unstable();
+    rep.push_ns.sort_unstable();
+    Ok(rep)
+}
+
+pub fn run(args: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut mode = Mode::Full;
+    let mut out = "BENCH_collectives.json".to_string();
+    let mut it = args;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => mode = Mode::Quick,
+            "--out" => out = it.next().ok_or("--out needs a file argument")?,
+            other => return Err(format!("unknown serve flag: {other}")),
+        }
+    }
+    let sz = sizing(mode);
+    println!(
+        "serve: {} rows x dim {}, Zipf s={ZIPF_S}, {} steps x {} ids, \
+         {} inference lookups per trainer step, cache {} rows/rank",
+        sz.vocab, sz.dim, sz.steps, sz.batch, sz.infer_per_step, sz.cache_rows
+    );
+    println!(
+        "{:>6} {:>9} {:>12} {:>12} {:>12} {:>12} {:>9} {:>12}",
+        "world",
+        "lookups",
+        "lookup p50",
+        "lookup p99",
+        "push p50",
+        "push p99",
+        "hit rate",
+        "wire saved"
+    );
+    let mut entries: Vec<Entry> = Vec::new();
+    for &world in &sz.worlds {
+        let rep = replay_world(world, &sz)?;
+        let us = |ns: u64| format!("{:.1}us", ns as f64 / 1e3);
+        println!(
+            "{:>6} {:>9} {:>12} {:>12} {:>12} {:>12} {:>8.1}% {:>11.1}%",
+            world,
+            rep.lookup_ns.len(),
+            us(percentile(&rep.lookup_ns, 0.50)),
+            us(percentile(&rep.lookup_ns, 0.99)),
+            us(percentile(&rep.push_ns, 0.50)),
+            us(percentile(&rep.push_ns, 0.99)),
+            rep.hit_rate() * 100.0,
+            rep.wire_savings() * 100.0
+        );
+        entries.extend(rep.entries(&sz));
+    }
+    let doc = record::merge_into_file(&out, LABEL, record::fmt_run(LABEL, mode, &entries))?;
+    std::fs::write(&out, doc).map_err(|e| format!("write {out}: {e}"))?;
+    println!("recorded {} serving cells under label \"{LABEL}\" in {out}", entries.len());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embrace_obs::json;
+
+    #[test]
+    fn percentiles_are_exact_order_statistics() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 0.0), 1);
+        assert_eq!(percentile(&sorted, 0.50), 51); // round(99 * 0.5) = 50
+        assert_eq!(percentile(&sorted, 0.99), 99);
+        assert_eq!(percentile(&sorted, 1.0), 100);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.99), 7);
+    }
+
+    #[test]
+    fn flag_errors_are_reported_not_panicked() {
+        assert!(run(["--bogus".to_string()].into_iter()).is_err());
+        assert!(run(["--out".to_string()].into_iter()).is_err());
+    }
+
+    #[test]
+    fn quick_replay_records_the_serving_family() {
+        let dir = std::env::temp_dir().join("embrace_serve_cmd_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("traj.json");
+        let path = path.to_str().expect("utf8 path").to_string();
+        std::fs::remove_file(&path).ok();
+        run(["--quick".to_string(), "--out".to_string(), path.clone()].into_iter())
+            .expect("quick replay");
+        let doc = std::fs::read_to_string(&path).expect("trajectory written");
+        let v = json::parse(&doc).expect("valid json");
+        let runs = v.get("runs").and_then(|r| r.as_arr()).expect("runs array");
+        let run_obj = runs
+            .iter()
+            .find(|r| r.get("label").and_then(|l| l.as_str()) == Some(LABEL))
+            .expect("serving run present");
+        let entries = run_obj.get("entries").and_then(|e| e.as_arr()).expect("entries");
+        // 5 cells per world, worlds {2, 4} in quick mode.
+        assert_eq!(entries.len(), 10);
+        for world in [2.0, 4.0] {
+            let cell = |op: &str| {
+                entries
+                    .iter()
+                    .find(|e| {
+                        e.get("op").and_then(|o| o.as_str()) == Some(op)
+                            && e.get("world").and_then(json::Value::as_f64) == Some(world)
+                    })
+                    .unwrap_or_else(|| panic!("{op} cell at world {world}"))
+            };
+            let ns = |op: &str| {
+                cell(op).get("ns_per_iter").and_then(json::Value::as_f64).expect("ns") as u64
+            };
+            assert!(ns("serving_lookup_p50") > 0);
+            assert!(ns("serving_lookup_p99") >= ns("serving_lookup_p50"));
+            assert!(ns("serving_push_p99") >= ns("serving_push_p50"));
+            let hit = cell("serving_cache_hit_rate")
+                .get("gb_per_s")
+                .and_then(json::Value::as_f64)
+                .expect("hit rate");
+            assert!(
+                (0.0..=1.0).contains(&hit) && hit > 0.0,
+                "Zipf traffic must hit the hot-row cache, got {hit}"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -25,8 +25,8 @@ use embrace_analyzer::model_check::{check, CheckConfig, Collective};
 use embrace_analyzer::plan::{
     allgather_plan, alltoall_plan, barrier_plan, broadcast_plan, chunked_alltoall_plan,
     chunked_ring_allreduce_plan, grad_alltoall_bytes, horizontal_schedule_plan,
-    lookup_alltoall_bytes, reform_plan, ring_allreduce_plan, sparse_allreduce_demo_plan,
-    sparse_allreduce_plan, P2pPlan,
+    lookup_alltoall_bytes, lookup_demo_plan, lookup_plan, reform_plan, ring_allreduce_plan,
+    sparse_allreduce_demo_plan, sparse_allreduce_plan, P2pPlan,
 };
 use embrace_analyzer::verify::{mutate_p2p, mutate_partition, mutate_schedule};
 use embrace_analyzer::{
@@ -106,7 +106,14 @@ fn verify_model(spec: &ModelSpec, world: usize) -> Result<usize, String> {
             .collect();
         let ssar = sparse_allreduce_plan(world, &locals, emb.dim, emb.vocab, 0.5);
         expect_clean(&format!("{} {} sparse allreduce", spec.name, emb.name), &verify_p2p(&ssar))?;
-        checked += 3;
+        // Serving-path lookup RPC over the same table: deterministic
+        // skewed request counts (rank/owner-dependent, never uniform).
+        let reqs: Vec<Vec<usize>> = (0..world)
+            .map(|i| (0..world).map(|j| (i * 13 + j * 7 + rows) % (rows + 1)).collect())
+            .collect();
+        let serve = lookup_plan(&reqs, emb.dim);
+        expect_clean(&format!("{} {} serving lookup", spec.name, emb.name), &verify_p2p(&serve))?;
+        checked += 4;
     }
     let dense = ring_allreduce_plan(world, spec.block_params);
     expect_clean(&format!("{} dense ring", spec.name), &verify_p2p(&dense))?;
@@ -278,6 +285,7 @@ fn plan_families(world: usize) -> Vec<P2pPlan> {
         alltoall_plan("alltoallv_grad", &grad_alltoall_bytes(&rows, dim)),
         chunked_alltoall_plan("alltoall_chunked", &lookup_alltoall_bytes(&rows, dim)),
         sparse_allreduce_demo_plan(world),
+        lookup_demo_plan(world),
         reform_plan(world),
     ]
 }

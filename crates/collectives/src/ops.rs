@@ -409,6 +409,46 @@ pub fn try_allgather_tokens<C: Comm>(
     Ok(out)
 }
 
+/// AlltoAllv of token batches: `parts[j]` goes to rank `j`; returns the
+/// batches received, indexed by source rank (own batch kept in place,
+/// zero-copy via the `TokenBuf` handle). This is the request leg of the
+/// sharded embedding service's lookup RPC: each rank scatters the row ids
+/// it needs to the shards that own them.
+pub fn alltoallv_tokens<C: Comm>(ep: &mut C, parts: Vec<TokenBuf>) -> Vec<TokenBuf> {
+    finish(try_alltoallv_tokens(ep, parts))
+}
+
+/// Fallible [`alltoallv_tokens`].
+pub fn try_alltoallv_tokens<C: Comm>(
+    ep: &mut C,
+    mut parts: Vec<TokenBuf>,
+) -> Result<Vec<TokenBuf>, CommError> {
+    let _span = recorder::span("alltoallv_tokens", "collective");
+    let world = ep.world();
+    let rank = ep.rank();
+    assert_eq!(parts.len(), world, "need one outgoing batch per rank");
+    // Send in a rotated order so no rank is flooded first.
+    for off in 1..world {
+        let dst = (rank + off) % world;
+        let batch = std::mem::replace(&mut parts[dst], TokenBuf::from(Vec::new()));
+        if let Err(e) = ep.try_send(dst, Packet::Tokens(batch)) {
+            return fail(ep, e);
+        }
+    }
+    let mut out = Vec::with_capacity(world);
+    for src in 0..world {
+        if src == rank {
+            out.push(std::mem::replace(&mut parts[rank], TokenBuf::from(Vec::new())));
+        } else {
+            match ep.try_recv(src).and_then(Packet::try_into_tokens) {
+                Ok(t) => out.push(t),
+                Err(e) => return fail(ep, e),
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// AlltoAll of dense blocks: `parts[j]` goes to rank `j`; returns the
 /// blocks received, indexed by source rank (own block kept in place).
 /// This is AlltoAll #1 of §4.1.1 — redistributing embedding lookup results.

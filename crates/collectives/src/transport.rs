@@ -470,6 +470,50 @@ pub struct FaultPlan {
     /// ([`Endpoint::try_send`] call) — a mid-collective death, as opposed
     /// to the step-boundary `crashes`.
     crashes_at_op: HashMap<usize, u64>,
+    /// Monotonic per-link delivery clock for flaky windows, shared across
+    /// every clone of the plan (see [`FlakyClock`]).
+    flaky_clock: FlakyClock,
+}
+
+/// Monotonic per-link message clock backing `FaultPlan::flaky_link`
+/// windows. The clock is shared across every clone of the plan, so the
+/// window is keyed to *plan* time: a full restart that rebuilds the mesh
+/// from the same (cloned) plan continues the fault timeline instead of
+/// re-arming the window from message zero — restart and in-group shrink
+/// see the same faults, as a real intermittent cable would behave.
+/// Fresh plans (even with the same seed) get fresh clocks.
+#[derive(Clone, Default)]
+struct FlakyClock(Arc<Mutex<HashMap<(usize, usize), u64>>>);
+
+impl FlakyClock {
+    /// Tick the clock for the ordered link `from → to` and return the
+    /// message index *before* the tick (0 for the first message ever sent
+    /// on the link under this plan).
+    fn tick(&self, from: usize, to: usize) -> u64 {
+        let mut m = self.0.lock().expect("flaky clock mutex poisoned");
+        let c = m.entry((from, to)).or_insert(0);
+        let n = *c;
+        *c += 1;
+        n
+    }
+}
+
+impl fmt::Debug for FlakyClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0.lock() {
+            Ok(m) => write!(f, "FlakyClock({m:?})"),
+            Err(_) => write!(f, "FlakyClock(<poisoned>)"),
+        }
+    }
+}
+
+/// Plan equality is about the *configured* faults, not how far a mesh has
+/// advanced through them: the clock is runtime bookkeeping and never
+/// distinguishes two plans.
+impl PartialEq for FlakyClock {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
 }
 
 impl FaultPlan {
@@ -625,6 +669,8 @@ impl FaultPlan {
             drop_after,
             flaky,
             delivered: vec![0; world],
+            rank,
+            clock: self.flaky_clock.clone(),
             delay_tx: (0..world).map(|_| None).collect(),
         })
     }
@@ -635,9 +681,15 @@ struct LinkFaults {
     delays: Vec<Option<Duration>>,
     drop_after: Vec<Option<u64>>,
     /// Flaky windows `[down, up)` of per-link message indices that are
-    /// dropped; delivery resumes once the window has passed.
+    /// dropped; delivery resumes once the window has passed. Window
+    /// indices are read off the plan-shared [`FlakyClock`], not the
+    /// per-mesh `delivered` counters, so a relaunch cannot re-arm them.
     flaky: Vec<Option<(u64, u64)>>,
     delivered: Vec<u64>,
+    /// This sender's rank — the `from` half of the clock's link key.
+    rank: usize,
+    /// Plan-shared monotonic message clock for flaky links.
+    clock: FlakyClock,
     /// Lazily spawned store-and-forward workers for delayed links; the
     /// worker exits once this sender half is dropped and its queue drains.
     delay_tx: Vec<Option<Sender<Packet>>>,
@@ -1004,7 +1056,12 @@ impl Endpoint {
                 }
             }
             if let Some((down, up)) = f.flaky[to] {
-                if n >= down && n < up {
+                // Window indices come off the plan-shared clock: a mesh
+                // rebuilt from a clone of the plan (checkpoint restart)
+                // continues the fault timeline where the previous
+                // incarnation left it instead of re-arming the window.
+                let k = f.clock.tick(f.rank, to);
+                if k >= down && k < up {
                     return Ok(()); // dropped inside the flaky window
                 }
             }

@@ -17,13 +17,79 @@
 //! prior rows, once for the delayed rows — and the optimizer is told which
 //! part it is applying ([`UpdatePart`]).
 
+use crate::partition::column_payload_matrix;
 use embrace_collectives::ops::{
-    alltoall_dense, alltoallv_sparse, try_alltoall_dense, try_alltoallv_sparse,
+    alltoall_dense, alltoallv_sparse, sparse_allreduce, try_alltoall_dense, try_alltoallv_sparse,
+    try_sparse_allreduce, SparseReduced, SsarConfig,
 };
 use embrace_collectives::{Comm, CommError};
 use embrace_dlsim::optim::{Optimizer, UpdatePart};
 use embrace_dlsim::EmbeddingTable;
+use embrace_simnet::CostModel;
 use embrace_tensor::{coalesce, column_partition, ColumnRange, DenseTensor, RowSparse};
+
+/// Which collective carries a gradient exchange (AlltoAll #2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum GradPlane {
+    /// The paper's hybrid plane: slice per-shard column blocks and
+    /// AlltoAllv them to the owning shards.
+    #[default]
+    Alltoallv,
+    /// Sparse-native allreduce (SparCML SSAR) of the full-width gradient;
+    /// every rank then slices its own column range out of the global sum.
+    SparseAllreduce,
+}
+
+/// Rank-invariant dispatch policy for the embedding-gradient plane.
+///
+/// Both planes are collectives, so every rank of a group must pick the
+/// same one: the plane is resolved **once**, from configuration shared by
+/// all ranks (either a hand-picked [`GradPlane`] or the simnet cost
+/// crossover via [`GradPlanePolicy::from_cost`]) — never from per-rank
+/// gradient contents, which differ across ranks and would wedge the
+/// group on mismatched collectives.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GradPlanePolicy {
+    /// The plane every exchange of this run rides.
+    pub plane: GradPlane,
+    /// Representation-switch density forwarded to [`SsarConfig`] when the
+    /// sparse-native plane carries the exchange; values above `1.0` keep
+    /// the index–value representation throughout.
+    pub crossover: f64,
+}
+
+impl Default for GradPlanePolicy {
+    fn default() -> Self {
+        GradPlanePolicy { plane: GradPlane::Alltoallv, crossover: SSAR_NEVER_DENSIFY }
+    }
+}
+
+/// A crossover density above 1.0: the SSAR stream never densifies, so the
+/// reduced gradient keeps the row set the AlltoAllv plane would deliver.
+const SSAR_NEVER_DENSIFY: f64 = 1.5;
+
+impl GradPlanePolicy {
+    /// Pin the plane explicitly (the default policy is hybrid AlltoAllv).
+    pub fn fixed(plane: GradPlane) -> Self {
+        GradPlanePolicy { plane, ..Self::default() }
+    }
+
+    /// Resolve the plane from the simnet cost model: price one exchange of
+    /// `batch_rows` gradient rows per rank, both as the column-block
+    /// AlltoAllv (`column_payload_matrix`) and as the sparse-native
+    /// allreduce at per-rank density `batch_rows / vocab`, and take the
+    /// cheaper. Deterministic in `(model, vocab, dim_total, batch_rows)`,
+    /// so ranks constructing from the same config always agree.
+    pub fn from_cost(model: &CostModel, vocab: usize, dim_total: usize, batch_rows: usize) -> Self {
+        let world = model.cluster.world();
+        let a2a = model.alltoallv(&column_payload_matrix(&vec![batch_rows; world], dim_total));
+        let delta = (batch_rows as f64 / vocab as f64).min(1.0);
+        let ssar =
+            model.sparse_allreduce(delta, vocab as f64, dim_total as f64, SSAR_NEVER_DENSIFY);
+        let plane = if ssar < a2a { GradPlane::SparseAllreduce } else { GradPlane::Alltoallv };
+        GradPlanePolicy { plane, crossover: SSAR_NEVER_DENSIFY }
+    }
+}
 
 /// One worker's column shard of an embedding table, with the AlltoAll
 /// forward/backward protocol.
@@ -33,6 +99,7 @@ pub struct ColumnShardedEmbedding {
     ranges: Vec<ColumnRange>,
     rank: usize,
     dim_total: usize,
+    policy: GradPlanePolicy,
 }
 
 impl ColumnShardedEmbedding {
@@ -46,7 +113,20 @@ impl ColumnShardedEmbedding {
             ranges,
             rank,
             dim_total: full.cols(),
+            policy: GradPlanePolicy::default(),
         }
+    }
+
+    /// Builder: route gradient exchanges per `policy` (every rank of the
+    /// group must install the same policy — see [`GradPlanePolicy`]).
+    pub fn with_policy(mut self, policy: GradPlanePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The installed gradient-plane policy.
+    pub fn policy(&self) -> GradPlanePolicy {
+        self.policy
     }
 
     pub fn rank(&self) -> usize {
@@ -153,10 +233,20 @@ impl ColumnShardedEmbedding {
     /// Backward for an already-split gradient part (Vertical Scheduling):
     /// same exchange, but the caller passes per-destination row-sparse
     /// blocks built from `G_p` or `G_d` instead of the raw output grad.
+    /// Dispatches on the installed [`GradPlanePolicy`].
     pub fn exchange_grad_part<C: Comm>(&self, ep: &mut C, part: &RowSparse) -> RowSparse {
-        let outgoing = self.grad_parts(part);
-        let received = alltoallv_sparse(ep, outgoing);
-        Self::merge_grad_shards(&received)
+        match self.policy.plane {
+            GradPlane::Alltoallv => {
+                let outgoing = self.grad_parts(part);
+                let received = alltoallv_sparse(ep, outgoing);
+                Self::merge_grad_shards(&received)
+            }
+            GradPlane::SparseAllreduce => {
+                assert_eq!(part.dim(), self.dim_total, "part must be full width");
+                let cfg = self.ssar_config();
+                self.slice_reduced(sparse_allreduce(ep, part, &cfg))
+            }
+        }
     }
 
     /// Fallible [`Self::exchange_grad_part`].
@@ -165,9 +255,42 @@ impl ColumnShardedEmbedding {
         ep: &mut C,
         part: &RowSparse,
     ) -> Result<RowSparse, CommError> {
-        let outgoing = self.grad_parts(part);
-        let received = try_alltoallv_sparse(ep, outgoing)?;
-        Ok(Self::merge_grad_shards(&received))
+        match self.policy.plane {
+            GradPlane::Alltoallv => {
+                let outgoing = self.grad_parts(part);
+                let received = try_alltoallv_sparse(ep, outgoing)?;
+                Ok(Self::merge_grad_shards(&received))
+            }
+            GradPlane::SparseAllreduce => {
+                assert_eq!(part.dim(), self.dim_total, "part must be full width");
+                let cfg = self.ssar_config();
+                Ok(self.slice_reduced(try_sparse_allreduce(ep, part, &cfg)?))
+            }
+        }
+    }
+
+    fn ssar_config(&self) -> SsarConfig {
+        SsarConfig { vocab: self.shard.vocab(), crossover: self.policy.crossover }
+    }
+
+    /// Slice this rank's column range out of a globally-reduced full-width
+    /// gradient. The sparse result carries the union of every rank's rows —
+    /// the same row set the AlltoAllv plane coalesces. A densified result
+    /// keeps rows with any nonzero full-width value: a summed row of exact
+    /// zeros is indistinguishable from an untouched one, and applying it
+    /// would be a no-op either way.
+    fn slice_reduced(&self, reduced: SparseReduced) -> RowSparse {
+        let r = self.ranges[self.rank];
+        match reduced {
+            SparseReduced::Sparse(s) => s.slice_columns(r.start, r.end),
+            SparseReduced::Dense(d) => {
+                let keep: Vec<u32> = (0..d.rows())
+                    .filter(|&i| d.row(i).iter().any(|&x| x != 0.0))
+                    .map(|i| i as u32)
+                    .collect();
+                RowSparse::new(keep.clone(), d.gather_rows(&keep).slice_columns(r.start, r.end))
+            }
+        }
     }
 
     /// The local half of a gradient exchange: slice a full-width gradient
@@ -294,6 +417,92 @@ mod tests {
             let merged = coalesce(&RowSparse::concat(&[prior, delayed]));
             assert_eq!(merged, whole);
         }
+    }
+
+    #[test]
+    fn ssar_plane_delivers_the_alltoallv_gradient() {
+        // Same exchange, either plane: identical row set, values equal up
+        // to the summation-order difference between the destination's
+        // stable coalesce and SSAR's tree reduction.
+        for world in [1, 2, 3, 4] {
+            let vocab = 16;
+            let dim = 6;
+            let full = full_table(vocab, dim);
+            let got = run_group(world, move |rank, ep| {
+                let a2a = ColumnShardedEmbedding::new(&full, rank, world);
+                let ssar = ColumnShardedEmbedding::new(&full, rank, world)
+                    .with_policy(GradPlanePolicy::fixed(GradPlane::SparseAllreduce));
+                // Duplicate, rank-skewed rows; values vary per position.
+                let rows: Vec<u32> =
+                    vec![rank as u32, (rank as u32 + 3) % vocab as u32, rank as u32];
+                let vals = DenseTensor::from_vec(
+                    rows.len(),
+                    dim,
+                    (0..rows.len() * dim).map(|i| 0.25 * (i + rank + 1) as f32).collect(),
+                );
+                let part = RowSparse::new(rows, vals);
+                (a2a.exchange_grad_part(ep, &part), ssar.exchange_grad_part(ep, &part))
+            });
+            for (rank, (a, s)) in got.into_iter().enumerate() {
+                assert_eq!(a.indices(), s.indices(), "row set diverged: rank {rank}");
+                assert!(
+                    a.values().approx_eq(s.values(), 1e-5),
+                    "values diverged: rank {rank} world {world}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn densified_ssar_plane_still_matches() {
+        // crossover 0.0 forces the dense representation from step 0, so
+        // the Dense-result slice path (nonzero-row recovery) is exercised.
+        let world = 4;
+        let vocab = 12;
+        let dim = 8;
+        let full = full_table(vocab, dim);
+        let got = run_group(world, move |rank, ep| {
+            let a2a = ColumnShardedEmbedding::new(&full, rank, world);
+            let mut policy = GradPlanePolicy::fixed(GradPlane::SparseAllreduce);
+            policy.crossover = 0.0;
+            let ssar = ColumnShardedEmbedding::new(&full, rank, world).with_policy(policy);
+            let rows: Vec<u32> = vec![2 * rank as u32, 2 * rank as u32 + 1];
+            let part = RowSparse::new(rows.clone(), DenseTensor::full(rows.len(), dim, 1.5));
+            (a2a.exchange_grad_part(ep, &part), ssar.exchange_grad_part(ep, &part))
+        });
+        for (a, s) in got {
+            assert_eq!(a.indices(), s.indices());
+            assert!(a.values().approx_eq(s.values(), 1e-5));
+        }
+    }
+
+    #[test]
+    fn policy_resolution_agrees_with_the_raw_cost_comparison() {
+        // `from_cost` must pick exactly the argmin of the two priced
+        // collectives for every batch size — the dispatch IS the cost
+        // crossover, not an approximation of it.
+        use embrace_simnet::Cluster;
+        let model = CostModel::new(Cluster::rtx3090(8));
+        let vocab = 100_000;
+        let dim = 64;
+        let world = model.cluster.world();
+        let mut planes = std::collections::BTreeSet::new();
+        for rows in [1, 4, 16, 64, 256, 1024, 4096, 16384, 65536] {
+            let a2a = model.alltoallv(&column_payload_matrix(&vec![rows; world], dim));
+            let ssar = model.sparse_allreduce(
+                (rows as f64 / vocab as f64).min(1.0),
+                vocab as f64,
+                dim as f64,
+                1.5,
+            );
+            let picked = GradPlanePolicy::from_cost(&model, vocab, dim, rows).plane;
+            let cheaper =
+                if ssar < a2a { GradPlane::SparseAllreduce } else { GradPlane::Alltoallv };
+            assert_eq!(picked, cheaper, "rows {rows}: a2a {a2a:.3e} ssar {ssar:.3e}");
+            planes.insert(format!("{picked:?}"));
+        }
+        // The sweep must actually cross: both planes get picked somewhere.
+        assert_eq!(planes.len(), 2, "no crossover in sweep: {planes:?}");
     }
 
     #[test]

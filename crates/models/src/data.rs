@@ -50,6 +50,14 @@ impl ZipfSampler {
         let idx = self.cum.partition_point(|&c| c <= u);
         (idx + 1) as u32
     }
+
+    /// Draw a serving batch of `n` row ids. Duplicates are expected and
+    /// intentional under the skew — deduplication, caching, and gradient
+    /// coalescing all happen downstream, so a request replay must present
+    /// the raw Zipf stream, never a pre-uniqued one.
+    pub fn sample_batch<R: Rng>(&self, n: usize, rng: &mut R) -> Vec<u32> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
 }
 
 /// Per-worker batch generator: an infinite stream of token batches.
@@ -212,6 +220,19 @@ mod tests {
         for _ in 0..1000 {
             assert_ne!(s.sample(&mut rng), PAD_TOKEN);
         }
+    }
+
+    #[test]
+    fn serving_batches_keep_duplicates_and_skew() {
+        let s = ZipfSampler::new(1 << 16, 1.05);
+        let mut rng = StdRng::seed_from_u64(9);
+        let batch = s.sample_batch(512, &mut rng);
+        assert_eq!(batch.len(), 512);
+        let unique: std::collections::BTreeSet<u32> = batch.iter().copied().collect();
+        assert!(unique.len() < batch.len(), "a skewed batch repeats hot rows");
+        assert!(batch.iter().all(|&t| t != PAD_TOKEN));
+        let mut rng2 = StdRng::seed_from_u64(9);
+        assert_eq!(batch, s.sample_batch(512, &mut rng2), "replay must be deterministic");
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Hot-row LRU cache for the serving path.
+//!
+//! DLRM-style inference traffic is Zipf-skewed (paper Fig. 2): a small hot
+//! head of the table absorbs most lookups, so a bounded per-rank cache
+//! short-circuits the AlltoAll round trip for those rows entirely.
+//!
+//! Coherence is version-based write-invalidate-all: every applied push
+//! bumps the table version, and cached entries tagged with an older
+//! version are treated as misses (and reclaimed) on their next probe.
+//! That is the right trade for sparse training traffic — a push touches an
+//! unpredictable subset of rows on *other* shards this rank cannot see, so
+//! per-row invalidation would itself need a broadcast.
+//!
+//! Recency is a monotone tick per probe; eviction removes the smallest
+//! tick through a `BTreeMap` index (O(log n), no unsafe linked lists).
+
+use std::collections::{BTreeMap, HashMap};
+
+struct Entry {
+    /// Table version the row was cached at; stale when the table moved on.
+    version: u64,
+    /// Recency tick of the last hit or insert (key into `by_tick`).
+    tick: u64,
+    values: Vec<f32>,
+}
+
+/// Running hit/miss/eviction tallies of a [`RowCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    /// Pushes that invalidated the whole cache (version bumps).
+    pub invalidations: u64,
+    /// Live (current-version) entries at the time of the snapshot.
+    pub occupancy: usize,
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Fraction of probes served from cache (0 when never probed).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Bounded per-rank cache of embedding rows, LRU-evicted, version-invalidated.
+pub struct RowCache {
+    capacity: usize,
+    version: u64,
+    clock: u64,
+    map: HashMap<u32, Entry>,
+    by_tick: BTreeMap<u64, u32>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidations: u64,
+}
+
+impl RowCache {
+    /// A cache holding at most `capacity` rows (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        RowCache {
+            capacity,
+            version: 0,
+            clock: 0,
+            map: HashMap::new(),
+            by_tick: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// Probe for `row`. A current-version entry is a hit (and refreshed to
+    /// most-recently-used); a stale or absent entry is a miss, and stale
+    /// storage is reclaimed on the spot.
+    pub fn get(&mut self, row: u32) -> Option<&[f32]> {
+        match self.map.get(&row) {
+            Some(e) if e.version == self.version => {
+                self.hits += 1;
+                self.clock += 1;
+                let entry = self.map.get_mut(&row).expect("probed above");
+                self.by_tick.remove(&entry.tick);
+                entry.tick = self.clock;
+                self.by_tick.insert(entry.tick, row);
+                Some(&entry.values)
+            }
+            Some(_) => {
+                self.misses += 1;
+                let e = self.map.remove(&row).expect("probed above");
+                self.by_tick.remove(&e.tick);
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Install `values` for `row` at the current version, evicting the
+    /// least-recently-used entry if the cache is full. No-op at capacity 0.
+    pub fn insert(&mut self, row: u32, values: &[f32]) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        if let Some(old) = self.map.get(&row) {
+            // Re-insert refreshes recency in place (no eviction needed).
+            self.by_tick.remove(&old.tick);
+        } else if self.map.len() >= self.capacity {
+            if let Some((&tick, &victim)) = self.by_tick.iter().next() {
+                self.by_tick.remove(&tick);
+                self.map.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        self.by_tick.insert(self.clock, row);
+        self.map.insert(
+            row,
+            Entry { version: self.version, tick: self.clock, values: values.to_vec() },
+        );
+    }
+
+    /// The table changed under the cache: bump the version so every live
+    /// entry becomes stale (reclaimed lazily on its next probe).
+    pub fn invalidate_all(&mut self) {
+        if !self.map.is_empty() {
+            self.invalidations += 1;
+        }
+        self.version += 1;
+    }
+
+    /// Counter snapshot; `occupancy` counts only current-version entries.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            invalidations: self.invalidations,
+            occupancy: self.map.values().filter(|e| e.version == self.version).count(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let mut c = RowCache::new(4);
+        assert!(c.get(7).is_none());
+        c.insert(7, &[1.0, 2.0]);
+        assert_eq!(c.get(7), Some(&[1.0, 2.0][..]));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.occupancy), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_probed() {
+        let mut c = RowCache::new(2);
+        c.insert(1, &[1.0]);
+        c.insert(2, &[2.0]);
+        assert!(c.get(1).is_some()); // 2 is now the LRU entry
+        c.insert(3, &[3.0]);
+        assert!(c.get(2).is_none(), "LRU row evicted");
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn invalidation_stales_every_entry() {
+        let mut c = RowCache::new(4);
+        c.insert(1, &[1.0]);
+        c.insert(2, &[2.0]);
+        c.invalidate_all();
+        assert_eq!(c.stats().occupancy, 0);
+        assert!(c.get(1).is_none(), "stale entry must miss");
+        c.insert(1, &[1.5]);
+        assert_eq!(c.get(1), Some(&[1.5][..]));
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let mut c = RowCache::new(0);
+        c.insert(1, &[1.0]);
+        assert!(c.get(1).is_none());
+        assert_eq!(c.stats().occupancy, 0);
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_evicting() {
+        let mut c = RowCache::new(2);
+        c.insert(1, &[1.0]);
+        c.insert(2, &[2.0]);
+        c.insert(1, &[1.1]); // refresh, not a third entry
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.get(1), Some(&[1.1][..]));
+        assert!(c.get(2).is_some());
+    }
+}

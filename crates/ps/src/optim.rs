@@ -1,0 +1,121 @@
+//! Sparse per-row optimizers colocated with the shard.
+//!
+//! The optimizer state (Adagrad accumulator, momentum velocity) lives next
+//! to the parameter rows it updates — DGL's `DistSparseGradOptimizer`
+//! layout — so a push only moves the gradient, never the state. Updates
+//! are element-wise over exactly the rows a push touched; the arithmetic
+//! matches `embrace-dlsim`'s dense optimizers step-for-step so a sharded
+//! service and a single-shard oracle stay bitwise interchangeable.
+
+use embrace_tensor::DenseTensor;
+
+/// Which update rule a [`RowOptimizer`] applies.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum OptimizerKind {
+    /// Plain SGD: `p -= lr * g`.
+    Sgd { lr: f32 },
+    /// SGD with momentum: `v = m*v + g; p -= lr * v`.
+    Momentum { lr: f32, momentum: f32 },
+    /// Adagrad: `a += g²; p -= lr * g / (sqrt(a) + eps)` with `eps = 1e-10`
+    /// (the same constant `embrace-dlsim`'s Adagrad uses).
+    Adagrad { lr: f32 },
+}
+
+/// Per-row optimizer state for one shard of `rows × dim` parameters.
+pub struct RowOptimizer {
+    kind: OptimizerKind,
+    /// Adagrad accumulator or momentum velocity (`rows × dim`); empty
+    /// (0 × dim) for stateless SGD.
+    state: DenseTensor,
+}
+
+const ADAGRAD_EPS: f32 = 1e-10;
+
+impl RowOptimizer {
+    /// Fresh (zero) state for a shard of `rows` rows of width `dim`.
+    pub fn new(kind: OptimizerKind, rows: usize, dim: usize) -> Self {
+        let state = match kind {
+            OptimizerKind::Sgd { .. } => DenseTensor::zeros(0, dim),
+            OptimizerKind::Momentum { .. } | OptimizerKind::Adagrad { .. } => {
+                DenseTensor::zeros(rows, dim)
+            }
+        };
+        RowOptimizer { kind, state }
+    }
+
+    pub fn kind(&self) -> OptimizerKind {
+        self.kind
+    }
+
+    /// Apply one gradient row `grad` to the parameter row `params`, using
+    /// (and updating) the state of local row `local`.
+    pub fn update_row(&mut self, local: usize, params: &mut [f32], grad: &[f32]) {
+        debug_assert_eq!(params.len(), grad.len());
+        match self.kind {
+            OptimizerKind::Sgd { lr } => {
+                for (p, &g) in params.iter_mut().zip(grad) {
+                    *p -= lr * g;
+                }
+            }
+            OptimizerKind::Momentum { lr, momentum } => {
+                let v = self.state.row_mut(local);
+                for ((p, v), &g) in params.iter_mut().zip(v).zip(grad) {
+                    *v = momentum * *v + g;
+                    *p -= lr * *v;
+                }
+            }
+            OptimizerKind::Adagrad { lr } => {
+                let a = self.state.row_mut(local);
+                for ((p, a), &g) in params.iter_mut().zip(a).zip(grad) {
+                    *a += g * g;
+                    *p -= lr * g / (a.sqrt() + ADAGRAD_EPS);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_is_stateless_scaling() {
+        let mut opt = RowOptimizer::new(OptimizerKind::Sgd { lr: 0.5 }, 2, 2);
+        let mut p = vec![1.0, 2.0];
+        opt.update_row(0, &mut p, &[2.0, 4.0]);
+        assert_eq!(p, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut opt = RowOptimizer::new(OptimizerKind::Momentum { lr: 1.0, momentum: 0.5 }, 1, 1);
+        let mut p = vec![0.0];
+        opt.update_row(0, &mut p, &[1.0]); // v = 1,   p = -1
+        opt.update_row(0, &mut p, &[1.0]); // v = 1.5, p = -2.5
+        assert_eq!(p, vec![-2.5]);
+    }
+
+    #[test]
+    fn adagrad_matches_dlsim_math() {
+        let lr = 0.1f32;
+        let g = 2.0f32;
+        let mut opt = RowOptimizer::new(OptimizerKind::Adagrad { lr }, 1, 1);
+        let mut p = vec![0.0f32];
+        opt.update_row(0, &mut p, &[g]);
+        let a = g * g;
+        assert_eq!(p[0], -(lr * g / (a.sqrt() + ADAGRAD_EPS)));
+    }
+
+    #[test]
+    fn rows_have_independent_state() {
+        let mut opt = RowOptimizer::new(OptimizerKind::Adagrad { lr: 1.0 }, 2, 1);
+        let mut p0 = vec![0.0];
+        let mut p1 = vec![0.0];
+        opt.update_row(0, &mut p0, &[3.0]);
+        opt.update_row(1, &mut p1, &[3.0]);
+        assert_eq!(p0, p1, "first step identical on fresh state");
+        opt.update_row(0, &mut p0, &[3.0]);
+        assert_ne!(p0, p1, "second step sees row 0's accumulator only");
+    }
+}

@@ -6,7 +6,14 @@
 //! Workers `pull` the rows they need and `push` sparse gradients; a push
 //! blocks until all `world` workers of the step have pushed, then one
 //! worker applies the summed update — synchronous data-parallel semantics.
+//!
+//! Bad inputs are typed [`PsError`]s, not panics: the comm-path lint rules
+//! apply to this crate, and a worker thread that panics mid-barrier would
+//! strand every peer blocked on the shard condvar. All validation happens
+//! *before* a push touches any shard's barrier state, so an `Err` return
+//! leaves the synchronisation protocol exactly as it found it.
 
+use crate::error::PsError;
 use embrace_tensor::{coalesce, row_partition, DenseTensor, RowRange, RowSparse};
 use parking_lot::{Condvar, Mutex};
 
@@ -77,38 +84,47 @@ impl ShardedStore {
         self.shards.len()
     }
 
-    fn shard_of(&self, row: u32) -> usize {
+    fn shard_of(&self, row: u32) -> Result<usize, PsError> {
         self.shards
             .iter()
             .position(|s| s.range.contains(row))
-            .unwrap_or_else(|| panic!("row {row} outside table of {} rows", self.vocab))
+            .ok_or(PsError::RowOutOfRange { row, vocab: self.vocab })
     }
 
     /// Fetch the current values of `rows` (global ids, any order, duplicates
-    /// allowed) — the per-step parameter pull.
-    pub fn pull_rows(&self, rows: &[u32]) -> DenseTensor {
+    /// allowed) — the per-step parameter pull. A row outside the table is a
+    /// typed error and no partial result.
+    pub fn pull_rows(&self, rows: &[u32]) -> Result<DenseTensor, PsError> {
         let mut out = DenseTensor::zeros(rows.len(), self.dim);
         for (i, &row) in rows.iter().enumerate() {
-            let shard = &self.shards[self.shard_of(row)];
+            let shard = &self.shards[self.shard_of(row)?];
             let st = shard.state.lock();
             let local = row as usize - shard.range.start;
             out.row_mut(i).copy_from_slice(st.table.row(local));
         }
-        out
+        Ok(out)
     }
 
     /// Push this worker's sparse gradient for the step and block until the
     /// step's summed update (SGD with rate `lr`) has been applied by the
     /// last pusher. Every worker must push exactly once per step.
-    pub fn push_sparse(&self, grad: &RowSparse, lr: f32) {
-        assert_eq!(grad.dim(), self.dim, "gradient dim mismatch");
+    ///
+    /// A malformed gradient (wrong width, out-of-range row) fails *before*
+    /// the worker enters any shard's barrier, so an `Err` never strands the
+    /// other workers of the step.
+    pub fn push_sparse(&self, grad: &RowSparse, lr: f32) -> Result<(), PsError> {
+        if grad.dim() != self.dim {
+            return Err(PsError::DimMismatch { expected: self.dim, got: grad.dim() });
+        }
         // Split the gradient by owning shard, then run the sync protocol
         // independently per shard (empty pushes still participate so the
-        // barrier count reaches `world` on every shard).
+        // barrier count reaches `world` on every shard). Validation — the
+        // only fallible part — completes here, before any barrier state
+        // moves.
         let mut per_shard: Vec<(Vec<u32>, Vec<u32>)> =
             vec![(Vec::new(), Vec::new()); self.shards.len()];
         for (pos, &row) in grad.indices().iter().enumerate() {
-            let s = self.shard_of(row);
+            let s = self.shard_of(row)?;
             per_shard[s].0.push(pos as u32);
             per_shard[s].1.push(row);
         }
@@ -145,6 +161,7 @@ impl ShardedStore {
                 shard.cv.wait_while(&mut st, |st| st.step == my_step);
             }
         }
+        Ok(())
     }
 
     /// Snapshot the full table (test/inspection helper).
@@ -168,17 +185,30 @@ mod tests {
     #[test]
     fn pull_returns_requested_rows() {
         let store = ShardedStore::new(arange_table(10, 2), 3, 1);
-        let got = store.pull_rows(&[9, 0, 9]);
+        let got = store.pull_rows(&[9, 0, 9]).expect("rows in range");
         assert_eq!(got.row(0), &[18.0, 19.0]);
         assert_eq!(got.row(1), &[0.0, 1.0]);
         assert_eq!(got.row(2), &[18.0, 19.0]);
     }
 
     #[test]
+    fn pull_of_empty_batch_is_empty() {
+        let store = ShardedStore::new(arange_table(10, 2), 3, 1);
+        let got = store.pull_rows(&[]).expect("empty batch is fine");
+        assert_eq!((got.rows(), got.cols()), (0, 2));
+    }
+
+    #[test]
+    fn pull_out_of_range_is_typed() {
+        let store = ShardedStore::new(arange_table(10, 2), 3, 1);
+        assert_eq!(store.pull_rows(&[0, 10]), Err(PsError::RowOutOfRange { row: 10, vocab: 10 }));
+    }
+
+    #[test]
     fn single_worker_push_applies_sgd() {
         let store = ShardedStore::new(DenseTensor::zeros(4, 2), 2, 1);
         let g = RowSparse::new(vec![1, 3], DenseTensor::full(2, 2, 1.0));
-        store.push_sparse(&g, 0.5);
+        store.push_sparse(&g, 0.5).expect("valid gradient");
         let snap = store.snapshot();
         assert_eq!(snap.row(1), &[-0.5, -0.5]);
         assert_eq!(snap.row(3), &[-0.5, -0.5]);
@@ -198,7 +228,7 @@ mod tests {
                         vec![2, (w + 3) as u32],
                         DenseTensor::from_vec(2, 1, vec![1.0, 10.0]),
                     );
-                    store.push_sparse(&g, 1.0);
+                    store.push_sparse(&g, 1.0).expect("valid gradient");
                 });
             }
         });
@@ -218,7 +248,7 @@ mod tests {
                 s.spawn(move || {
                     for _ in 0..5 {
                         let g = RowSparse::new(vec![0], DenseTensor::full(1, 1, 1.0));
-                        store.push_sparse(&g, 1.0);
+                        store.push_sparse(&g, 1.0).expect("valid gradient");
                     }
                 });
             }
@@ -233,14 +263,14 @@ mod tests {
             {
                 let store = Arc::clone(&store);
                 s.spawn(move || {
-                    store.push_sparse(&RowSparse::empty(1), 1.0);
+                    store.push_sparse(&RowSparse::empty(1), 1.0).expect("empty push is fine");
                 });
             }
             {
                 let store = Arc::clone(&store);
                 s.spawn(move || {
                     let g = RowSparse::new(vec![0], DenseTensor::full(1, 1, 2.0));
-                    store.push_sparse(&g, 1.0);
+                    store.push_sparse(&g, 1.0).expect("valid gradient");
                 });
             }
         });
@@ -251,14 +281,34 @@ mod tests {
     fn duplicate_rows_in_push_are_coalesced() {
         let store = ShardedStore::new(DenseTensor::zeros(4, 1), 1, 1);
         let g = RowSparse::new(vec![1, 1], DenseTensor::from_vec(2, 1, vec![1.0, 2.0]));
-        store.push_sparse(&g, 1.0);
+        store.push_sparse(&g, 1.0).expect("valid gradient");
         assert_eq!(store.snapshot().row(1), &[-3.0]);
     }
 
     #[test]
-    #[should_panic(expected = "dim mismatch")]
-    fn wrong_dim_push_panics() {
+    fn wrong_dim_push_is_typed() {
         let store = ShardedStore::new(DenseTensor::zeros(4, 2), 1, 1);
-        store.push_sparse(&RowSparse::new(vec![0], DenseTensor::zeros(1, 3)), 1.0);
+        let err = store.push_sparse(&RowSparse::new(vec![0], DenseTensor::zeros(1, 3)), 1.0);
+        assert_eq!(err, Err(PsError::DimMismatch { expected: 2, got: 3 }));
+    }
+
+    #[test]
+    fn out_of_range_push_fails_before_the_barrier() {
+        // world = 2 but only one worker pushes (a bad gradient): the error
+        // must surface without touching any shard barrier, so a later
+        // valid two-worker step still completes.
+        let store = Arc::new(ShardedStore::new(DenseTensor::zeros(4, 1), 2, 2));
+        let bad = RowSparse::new(vec![9], DenseTensor::full(1, 1, 1.0));
+        assert_eq!(store.push_sparse(&bad, 1.0), Err(PsError::RowOutOfRange { row: 9, vocab: 4 }));
+        thread::scope(|s| {
+            for _ in 0..2 {
+                let store = Arc::clone(&store);
+                s.spawn(move || {
+                    let g = RowSparse::new(vec![0], DenseTensor::full(1, 1, 1.0));
+                    store.push_sparse(&g, 1.0).expect("valid gradient");
+                });
+            }
+        });
+        assert_eq!(store.snapshot().row(0), &[-2.0]);
     }
 }

@@ -1,0 +1,227 @@
+#![recursion_limit = "1024"] // the 11-parameter proptest! below expands deep
+
+//! Serving-path properties (ISSUE 10 satellite): the sharded embedding
+//! service must be observationally *bitwise* identical to a single-shard
+//! oracle — same lookups, same post-push tables — across partition
+//! policies, worlds 2–8, duplicate-id batches and all three optimizers;
+//! and the shared-memory store must never expose a torn row to concurrent
+//! inference readers.
+
+use embrace_collectives::run_group;
+use embrace_ps::{
+    EmbeddingService, OptimizerKind, PartitionPolicy, PushTransport, ServiceConfig, ShardedStore,
+};
+use embrace_tensor::{DenseTensor, RowSparse};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::thread;
+
+const MAX_WORLD: usize = 8;
+const MAX_STEPS: usize = 3;
+const MAX_BATCH: usize = 8;
+const MAX_DIM: usize = 3;
+
+fn init(row: u32, col: usize) -> f32 {
+    (row as f32 + 1.0) * 0.125 - 0.01 * col as f32
+}
+
+/// One rank's trajectory: the lookup result of every step plus a final
+/// post-training lookup, flattened to raw f32s for bitwise comparison.
+type Trajectory = Vec<Vec<f32>>;
+
+/// Drive `steps` of lookup→push on a `world`-rank service and return each
+/// rank's trajectory. `batches[step][rank]` are the (duplicated, skewed)
+/// ids; values are deterministic in (step, rank, position).
+fn run_sharded(
+    world: usize,
+    cfg: ServiceConfig,
+    batches: &[Vec<Vec<u32>>],
+    vals: &[Vec<Vec<f32>>],
+) -> Vec<Trajectory> {
+    let batches = batches.to_vec();
+    let vals = vals.to_vec();
+    run_group(world, move |rank, ep| {
+        let mut svc = EmbeddingService::new(rank, world, &cfg, &init);
+        let mut traj: Trajectory = Vec::new();
+        for (step_ids, step_vals) in batches.iter().zip(&vals) {
+            let ids = &step_ids[rank];
+            let looked = svc.try_lookup(ep, ids).expect("lookup in range");
+            traj.push(looked.as_slice().to_vec());
+            let grad = RowSparse::new(
+                ids.clone(),
+                DenseTensor::from_vec(ids.len(), cfg.dim, step_vals[rank].clone()),
+            );
+            svc.try_push(ep, &grad).expect("push in range");
+        }
+        // Final read-back of everything this rank ever touched.
+        let all: Vec<u32> = batches.iter().flat_map(|s| s[rank].iter().copied()).collect();
+        let fin = svc.try_lookup(ep, &all).expect("final lookup");
+        traj.push(fin.as_slice().to_vec());
+        traj
+    })
+}
+
+/// The single-shard oracle: a world-1 service pushed with the concatenation
+/// of all ranks' gradients (rank order), looked up with each rank's batch
+/// in rank order — the exact (source rank, source position) summation
+/// order the sharded destination's stable coalesce applies.
+fn run_oracle(
+    world: usize,
+    cfg: ServiceConfig,
+    batches: &[Vec<Vec<u32>>],
+    vals: &[Vec<Vec<f32>>],
+) -> Vec<Trajectory> {
+    let batches = batches.to_vec();
+    let vals = vals.to_vec();
+    let mut out = run_group(1, move |_, ep| {
+        let mut svc = EmbeddingService::new(0, 1, &cfg, &init);
+        let mut trajs: Vec<Trajectory> = vec![Vec::new(); world];
+        for (step_ids, step_vals) in batches.iter().zip(&vals) {
+            for rank in 0..world {
+                let looked = svc.try_lookup(ep, &step_ids[rank]).expect("lookup in range");
+                trajs[rank].push(looked.as_slice().to_vec());
+            }
+            let parts: Vec<RowSparse> = (0..world)
+                .map(|rank| {
+                    let ids = &step_ids[rank];
+                    RowSparse::new(
+                        ids.clone(),
+                        DenseTensor::from_vec(ids.len(), cfg.dim, step_vals[rank].clone()),
+                    )
+                })
+                .collect();
+            svc.try_push(ep, &RowSparse::concat(&parts)).expect("push in range");
+        }
+        for (rank, traj) in trajs.iter_mut().enumerate() {
+            let all: Vec<u32> = batches.iter().flat_map(|s| s[rank].iter().copied()).collect();
+            let fin = svc.try_lookup(ep, &all).expect("final lookup");
+            traj.push(fin.as_slice().to_vec());
+        }
+        trajs
+    });
+    out.pop().expect("one rank")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Sharded lookup→update→lookup round-trips are bitwise identical to
+    // the single-shard oracle for every partition policy, world 2–8,
+    // optimizer, and duplicate-heavy batch mix.
+    #[test]
+    fn sharded_service_is_bitwise_the_single_shard_oracle(
+        world in 2usize..=MAX_WORLD,
+        vocab in 8usize..48,
+        dim in 1usize..=MAX_DIM,
+        steps in 1usize..=MAX_STEPS,
+        policy_sel in 0u8..2,
+        opt_sel in 0u8..3,
+        cache_rows in 0usize..6,
+        raw_lens in vec(0usize..=MAX_BATCH, MAX_STEPS * MAX_WORLD),
+        raw_ids in vec(0u32..u32::MAX, MAX_STEPS * MAX_WORLD * MAX_BATCH),
+        raw_vals in vec(-1.0f32..1.0, MAX_STEPS * MAX_WORLD * MAX_BATCH * MAX_DIM),
+    ) {
+        let policy =
+            if policy_sel == 1 { PartitionPolicy::Hash } else { PartitionPolicy::Range };
+        let optimizer = match opt_sel {
+            0 => OptimizerKind::Sgd { lr: 0.3 },
+            1 => OptimizerKind::Adagrad { lr: 0.3 },
+            _ => OptimizerKind::Momentum { lr: 0.3, momentum: 0.9 },
+        };
+        // batches[step][rank]: ids folded into the vocabulary, duplicates
+        // kept (the dedup/coalesce paths must both handle them).
+        let mut batches: Vec<Vec<Vec<u32>>> = Vec::new();
+        let mut vals: Vec<Vec<Vec<f32>>> = Vec::new();
+        for step in 0..steps {
+            let mut step_ids = Vec::new();
+            let mut step_vals = Vec::new();
+            for rank in 0..world {
+                let slot = step * MAX_WORLD + rank;
+                let n = raw_lens[slot];
+                let base = slot * MAX_BATCH;
+                let ids: Vec<u32> =
+                    (0..n).map(|i| raw_ids[base + i] % vocab as u32).collect();
+                let vbase = slot * MAX_BATCH * MAX_DIM;
+                let v: Vec<f32> = (0..n * dim).map(|i| raw_vals[vbase + i]).collect();
+                step_ids.push(ids);
+                step_vals.push(v);
+            }
+            batches.push(step_ids);
+            vals.push(step_vals);
+        }
+        let cfg = ServiceConfig {
+            vocab,
+            dim,
+            policy,
+            optimizer,
+            cache_rows,
+            push: PushTransport::Alltoallv,
+        };
+        // The oracle runs uncached; the sharded side runs with whatever
+        // cache the case drew — the cache must be value-transparent.
+        let oracle_cfg = ServiceConfig { cache_rows: 0, ..cfg };
+        let sharded = run_sharded(world, cfg, &batches, &vals);
+        let oracle = run_oracle(world, oracle_cfg, &batches, &vals);
+        for rank in 0..world {
+            prop_assert_eq!(
+                &sharded[rank],
+                &oracle[rank],
+                "trajectory diverged at rank {} ({:?}, world {})",
+                rank,
+                policy,
+                world
+            );
+        }
+    }
+}
+
+/// Concurrent trainer + inference traffic on the shared-memory store:
+/// every push writes rows whose elements are all equal, so any row a
+/// reader ever observes must be internally uniform — a mixed row is a
+/// torn (half-applied) update escaping the shard lock.
+#[test]
+fn concurrent_trainer_and_inference_never_see_torn_rows() {
+    let vocab = 32;
+    let dim = 8;
+    let world = 4;
+    let steps = 50;
+    let store = Arc::new(ShardedStore::new(DenseTensor::zeros(vocab, dim), 4, world));
+
+    thread::scope(|s| {
+        for w in 0..world {
+            let store = Arc::clone(&store);
+            s.spawn(move || {
+                for step in 0..steps {
+                    // Every worker hits the same hot rows plus a private
+                    // one; all elements of a gradient row are equal, so
+                    // the table rows stay uniform step to step.
+                    let ids = vec![0u32, (vocab / 2) as u32, (w + 8) as u32];
+                    let g = DenseTensor::full(ids.len(), dim, (step % 7) as f32 + 1.0);
+                    store.push_sparse(&RowSparse::new(ids, g), 0.01).expect("valid gradient");
+                }
+            });
+        }
+        // Inference readers race the trainers; they are not part of the
+        // push barrier (pulls never block on the step protocol).
+        for r in 0..2u32 {
+            let store = Arc::clone(&store);
+            s.spawn(move || {
+                for _ in 0..300 {
+                    let ids: Vec<u32> = (0..vocab as u32).filter(|i| i % 2 == r % 2).collect();
+                    let rows = store.pull_rows(&ids).expect("rows in range");
+                    for i in 0..rows.rows() {
+                        let row = rows.row(i);
+                        assert!(row.iter().all(|&x| x == row[0]), "torn row observed: {row:?}");
+                    }
+                }
+            });
+        }
+    });
+    // The fully-settled table must itself be uniform per row.
+    let snap = store.snapshot();
+    for i in 0..snap.rows() {
+        let row = snap.row(i);
+        assert!(row.iter().all(|&x| x == row[0]));
+    }
+}

@@ -968,6 +968,27 @@ mod tests {
     }
 
     #[test]
+    fn flaky_window_does_not_rearm_across_restarts() {
+        // PR 6 surfaced finding, fixed here: flaky windows used to be
+        // keyed to per-mesh delivery counters, so a full relaunch reset
+        // the link's message index to zero and the checkpoint replay ran
+        // straight back into the same `[down, up)` window — the restart
+        // policy burned its whole budget on two dropped messages that
+        // in-group shrink sailed past. The window is *plan* time: once an
+        // incarnation has spent it, the relaunch must see a healed link.
+        let plan = FaultPlan::new(17).flaky_link(0, 1, 10, 12);
+        let cfg = ElasticConfig::quick(plan, RecoveryPolicy::Restart);
+        let report = run_elastic(&cfg).expect("restart heals a spent flaky window");
+        assert!(report.restarts >= 1, "the flaky window never tripped — move it earlier");
+        assert!(report.restarts <= cfg.max_restarts);
+        assert_eq!(report.shrinks, 0);
+        assert_eq!(report.final_world, 4);
+        // Restart replays the dropped span at the full world, so the
+        // curve still equals the fault-free run bitwise.
+        assert_eq!(report.losses, fault_free_reference(&cfg));
+    }
+
+    #[test]
     fn crash_at_step_zero_shrinks_via_seeded_replica() {
         // No replica exchange has run yet when rank 0 dies entering step
         // 0 — the deterministic initial state seeds the replica, so the

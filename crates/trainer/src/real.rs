@@ -12,11 +12,12 @@
 use embrace_baselines::horovod::{allgather_sparse_grad, allreduce_dense_grad};
 use embrace_collectives::ops::allgather_tokens;
 use embrace_collectives::{run_group, Endpoint};
-use embrace_core::{vertical_split, ColumnShardedEmbedding};
+use embrace_core::{vertical_split, ColumnShardedEmbedding, GradPlanePolicy};
 use embrace_dlsim::optim::{Adam, Optimizer, UpdatePart};
 use embrace_dlsim::{EmbeddingTable, Prefetcher};
 use embrace_models::{BatchGen, ZipfSampler};
 use embrace_obs::{recorder, SpanSet};
+use embrace_simnet::{Cluster, CostModel};
 use embrace_tensor::{DenseTensor, RowSparse};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -43,6 +44,9 @@ pub struct ConvergenceConfig {
     pub lr: f32,
     pub zipf_s: f64,
     pub seed: u64,
+    /// Which collective carries the embedding-gradient exchanges of the
+    /// EmbRace method (shared config, so every rank dispatches alike).
+    pub grad_plane: GradPlanePolicy,
 }
 
 impl Default for ConvergenceConfig {
@@ -56,7 +60,21 @@ impl Default for ConvergenceConfig {
             lr: 0.05,
             zipf_s: 0.9,
             seed: 7,
+            grad_plane: GradPlanePolicy::default(),
         }
+    }
+}
+
+impl ConvergenceConfig {
+    /// Resolve [`Self::grad_plane`] from the simnet cost crossover on the
+    /// paper's RTX3090 testbed at this config's world/batch shape: the
+    /// gradient plane rides the sparse-native allreduce whenever the cost
+    /// model prices it under the column-block AlltoAllv.
+    pub fn with_cost_tuned_plane(mut self) -> Self {
+        let model = CostModel::new(Cluster::rtx3090(self.world));
+        self.grad_plane =
+            GradPlanePolicy::from_cost(&model, self.vocab, self.dim, self.tokens_per_batch);
+        self
     }
 }
 
@@ -252,7 +270,8 @@ fn train_allgather(rank: usize, ep: &mut Endpoint, cfg: &ConvergenceConfig) -> V
 
 fn train_embrace(rank: usize, ep: &mut Endpoint, cfg: &ConvergenceConfig) -> Vec<f64> {
     let (emb_init, w_init, targets) = init_toy_state(cfg);
-    let mut emb = ColumnShardedEmbedding::new(&emb_init, rank, cfg.world);
+    let mut emb =
+        ColumnShardedEmbedding::new(&emb_init, rank, cfg.world).with_policy(cfg.grad_plane);
     let mut w = w_init;
     // Adam over the local column shard only; the modified step-state rule
     // makes the split update equivalent to the baseline's whole update.
@@ -318,6 +337,33 @@ mod tests {
         let a = train_convergence(TrainMethod::EmbRace, &cfg);
         let b = train_convergence(TrainMethod::EmbRace, &cfg);
         assert_eq!(a.losses, b.losses);
+    }
+
+    #[test]
+    fn ssar_grad_plane_trains_to_the_same_curve() {
+        // Routing AlltoAll #2 through the sparse-native allreduce changes
+        // only the summation order of the shard gradient, so the loss
+        // curve must track the hybrid plane within float-sum jitter.
+        use embrace_core::GradPlane;
+        let base = ConvergenceConfig { steps: 20, ..Default::default() };
+        let hybrid = train_convergence(TrainMethod::EmbRace, &base);
+        let ssar_cfg = ConvergenceConfig {
+            grad_plane: GradPlanePolicy::fixed(GradPlane::SparseAllreduce),
+            ..base
+        };
+        let ssar = train_convergence(TrainMethod::EmbRace, &ssar_cfg);
+        let scale = hybrid.losses[0].abs().max(1.0);
+        let diff = hybrid.max_curve_diff(&ssar) / scale;
+        assert!(diff < 1e-3, "planes diverge: relative diff {diff}");
+    }
+
+    #[test]
+    fn cost_tuned_plane_is_deterministic_and_trains() {
+        let cfg = ConvergenceConfig::default().with_cost_tuned_plane();
+        let again = ConvergenceConfig::default().with_cost_tuned_plane();
+        assert_eq!(cfg.grad_plane, again.grad_plane, "resolution must be rank-invariant");
+        let r = train_convergence(TrainMethod::EmbRace, &ConvergenceConfig { steps: 4, ..cfg });
+        assert!(r.final_loss().is_finite());
     }
 
     #[test]

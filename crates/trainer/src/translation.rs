@@ -250,6 +250,7 @@ mod tests {
             lr: 0.03,
             zipf_s: 0.9,
             seed: 21,
+            ..Default::default()
         }
     }
 

@@ -1,6 +1,7 @@
 //! Failure-injection: the substrate must fail loudly and precisely on
 //! misuse — a distributed-training framework that hangs or silently
-//! corrupts on programmer error is worse than one that panics.
+//! corrupts on programmer error is worse than one that panics. The
+//! parameter-server surface goes one better and returns typed errors.
 
 use embrace_repro::collectives::{mesh, run_group, CommOp, CommScheduler};
 use embrace_repro::ps::ShardedStore;
@@ -37,19 +38,17 @@ fn mismatched_alltoall_parts_panic() {
 fn ps_rejects_wrong_gradient_width() {
     let store = ShardedStore::new(DenseTensor::zeros(4, 2), 2, 1);
     let bad = RowSparse::new(vec![0], DenseTensor::zeros(1, 5));
-    let result = catch_unwind(AssertUnwindSafe(|| store.push_sparse(&bad, 0.1)));
-    assert!(result.is_err(), "dim mismatch must panic, not corrupt");
+    assert!(store.push_sparse(&bad, 0.1).is_err(), "dim mismatch must error, not corrupt");
     // The store remains usable afterwards.
     let good = RowSparse::new(vec![1], DenseTensor::full(1, 2, 1.0));
-    store.push_sparse(&good, 1.0);
-    assert_eq!(store.pull_rows(&[1]).row(0), &[-1.0, -1.0]);
+    store.push_sparse(&good, 1.0).expect("matching width");
+    assert_eq!(store.pull_rows(&[1]).expect("row in range").row(0), &[-1.0, -1.0]);
 }
 
 #[test]
 fn ps_rejects_out_of_range_rows() {
     let store = ShardedStore::new(DenseTensor::zeros(4, 1), 2, 1);
-    let result = catch_unwind(AssertUnwindSafe(|| store.pull_rows(&[99])));
-    assert!(result.is_err());
+    assert!(store.pull_rows(&[99]).is_err());
 }
 
 #[test]
